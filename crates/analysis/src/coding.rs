@@ -1,0 +1,111 @@
+//! Coding/decoding rate model — Section 2.2 (Fig. 1).
+//!
+//! Figure 1 plots the measured throughput of Rizzo's software RSE coder on
+//! a Pentium 133: data packets processed per second while producing `h`
+//! parities per `k` data packets (encode) or reconstructing `h` lost
+//! packets per group (decode). The observation the paper draws from it:
+//! **throughput is inversely proportional to `h * k`** — per *data* packet
+//! the coder does `h` multiply-accumulate passes of cost proportional to
+//! the packet size, so per-TG work is `h * k * c`, i.e. rate `= 1/(h c)`
+//! for `h >= 1`, which at fixed redundancy `rho = h/k` is `1/(rho k c)`.
+//!
+//! The model here regenerates the figure's curves from a per-packet-pass
+//! cost constant; `pm-bench` additionally *measures* the real `pm-rse`
+//! codec so the reproduction rests on actual numbers.
+
+/// One multiply-accumulate pass over one packet on the paper's Fig. 1
+/// hardware (Pentium 133, 1 KB packets): calibrated from the reported
+/// "k = 7, h = 1 encodes 8000 packets/s" (=> 1/8000 s per pass).
+pub const PENTIUM133_ENCODE_PASS: f64 = 1.25e-4;
+/// Decode pass cost on the same hardware (the figure's decode points sit
+/// marginally below encode).
+pub const PENTIUM133_DECODE_PASS: f64 = 1.30e-4;
+
+/// Encoding throughput in data packets/second: `k` data packets cost
+/// `h * k * pass` seconds to protect with `h` parities.
+///
+/// `h = 0` returns `f64::INFINITY` (nothing to encode).
+///
+/// # Panics
+/// Panics unless `k >= 1` and `pass > 0`.
+pub fn encode_rate(k: usize, h: usize, pass: f64) -> f64 {
+    assert!(k >= 1, "k must be at least 1");
+    assert!(pass > 0.0, "pass cost must be positive");
+    if h == 0 {
+        return f64::INFINITY;
+    }
+    1.0 / (h as f64 * pass)
+}
+
+/// Decoding throughput in data packets/second given `h` of every `k` data
+/// packets are lost and must be reconstructed.
+///
+/// # Panics
+/// As for [`encode_rate`].
+pub fn decode_rate(k: usize, h: usize, pass: f64) -> f64 {
+    assert!(k >= 1, "k must be at least 1");
+    assert!(pass > 0.0, "pass cost must be positive");
+    if h == 0 {
+        return f64::INFINITY;
+    }
+    1.0 / (h as f64 * pass)
+}
+
+/// Rate at a redundancy ratio `rho = h/k` (Fig. 1's x-axis): `h` is the
+/// nearest integer parity count `round(rho * k)`, clamped to at least 1.
+///
+/// # Panics
+/// Panics unless `rho > 0`.
+pub fn rate_at_redundancy(k: usize, rho: f64, pass: f64) -> f64 {
+    assert!(rho > 0.0, "redundancy must be positive");
+    let h = ((rho * k as f64).round() as usize).max(1);
+    encode_rate(k, h, pass)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_calibration_point() {
+        // k = 7, h = 1 (14.3% redundancy) -> 8000 packets/s.
+        let r = encode_rate(7, 1, PENTIUM133_ENCODE_PASS);
+        assert!((r - 8000.0).abs() < 1.0, "r={r}");
+    }
+
+    #[test]
+    fn inverse_in_h_times_k_at_fixed_redundancy() {
+        // At the same redundancy, doubling k halves the rate (pick k values
+        // where rho * k is integral so rounding does not blur the ratio).
+        let r8 = rate_at_redundancy(8, 0.5, PENTIUM133_ENCODE_PASS);
+        let r16 = rate_at_redundancy(16, 0.5, PENTIUM133_ENCODE_PASS);
+        assert!((r8 / r16 - 2.0).abs() < 1e-9, "r8={r8} r16={r16}");
+    }
+
+    #[test]
+    fn ordering_of_paper_curves() {
+        // Fig. 1: at any redundancy, k = 7 is fastest, k = 100 slowest.
+        for rho in [0.1, 0.3, 0.6, 1.0] {
+            let r7 = rate_at_redundancy(7, rho, PENTIUM133_ENCODE_PASS);
+            let r20 = rate_at_redundancy(20, rho, PENTIUM133_ENCODE_PASS);
+            let r100 = rate_at_redundancy(100, rho, PENTIUM133_ENCODE_PASS);
+            assert!(r7 >= r20 && r20 >= r100, "rho={rho}: {r7} {r20} {r100}");
+        }
+    }
+
+    #[test]
+    fn zero_parities_cost_nothing() {
+        assert_eq!(encode_rate(20, 0, PENTIUM133_ENCODE_PASS), f64::INFINITY);
+        assert_eq!(decode_rate(20, 0, PENTIUM133_DECODE_PASS), f64::INFINITY);
+    }
+
+    #[test]
+    fn figure_range_sane() {
+        // The figure's y-range is ~1e2..1e4 packets/s over redundancies
+        // up to 100% and k up to 100.
+        let lo = rate_at_redundancy(100, 1.0, PENTIUM133_ENCODE_PASS);
+        let hi = rate_at_redundancy(7, 0.143, PENTIUM133_ENCODE_PASS);
+        assert!((50.0..=200.0).contains(&lo), "lo={lo}");
+        assert!((5000.0..=10000.0).contains(&hi), "hi={hi}");
+    }
+}

@@ -1,0 +1,347 @@
+//! End-host processing rates and throughput — Section 5 (Figs. 17–18).
+//!
+//! Compares protocol **N2** (receiver-initiated NAK ARQ, Towsley/Kurose/
+//! Pingali) with protocol **NP** (NP = N2 + parity retransmission + per-TG
+//! feedback). The achievable end-system throughput is the minimum of the
+//! sender and receiver per-packet processing rates, Eq. (9)/(12).
+//!
+//! All times are in **seconds**; rates in packets/second. The default
+//! [`CostModel`] carries the paper's measured constants (DECstation
+//! 5000/200, 2 KB packets, `m = 8`), so [`n2_rates`]/[`np_rates`] regenerate
+//! Figs. 17–18 exactly; substitute your own measurements to model other
+//! hardware.
+
+use crate::integrated;
+use crate::nofec;
+use crate::population::Population;
+use crate::rounds;
+
+/// Per-operation processing times (seconds).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostModel {
+    /// `E[X_p]` — send one data/parity packet.
+    pub send_packet: f64,
+    /// `E[X_n]` — process one received NAK at the sender.
+    pub sender_nak: f64,
+    /// `E[X_t]` — sender timer overhead (kept for completeness; the
+    /// paper's rate formulas only charge timers at receivers).
+    pub sender_timer: f64,
+    /// `E[Y_p]` — receive one packet.
+    pub recv_packet: f64,
+    /// `E[Y_n]` — process *and transmit* a NAK at a receiver.
+    pub recv_nak_send: f64,
+    /// `E[Y'_n]` — receive and process another receiver's NAK.
+    pub recv_nak_other: f64,
+    /// `E[Y_t]` — receiver timer overhead.
+    pub recv_timer: f64,
+    /// `c_e` — encode constant: one parity packet costs `k * c_e`.
+    pub encode_const: f64,
+    /// `c_d` — decode constant: one reconstructed packet costs `k * c_d`.
+    pub decode_const: f64,
+}
+
+impl CostModel {
+    /// The paper's Section 5 constants: `E[X_p] = E[Y_p] = 1000 us` (2 KB
+    /// packets), `E[X_n] = E[Y_n] = E[Y'_n] = 500 us`, timers `24 us`,
+    /// `c_e = 700 us`, `c_d = 720 us`.
+    pub fn paper_defaults() -> Self {
+        CostModel {
+            send_packet: 1000e-6,
+            sender_nak: 500e-6,
+            sender_timer: 24e-6,
+            recv_packet: 1000e-6,
+            recv_nak_send: 500e-6,
+            recv_nak_other: 500e-6,
+            recv_timer: 24e-6,
+            encode_const: 700e-6,
+            decode_const: 720e-6,
+        }
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        Self::paper_defaults()
+    }
+}
+
+/// Sender/receiver processing rates (packets per second).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Rates {
+    /// `Lambda_s` — sender per-packet processing rate.
+    pub sender: f64,
+    /// `Lambda_r` — receiver per-packet processing rate.
+    pub receiver: f64,
+}
+
+impl Rates {
+    /// `Lambda_o = min(Lambda_s, Lambda_r)` — Eq. (9)/(12).
+    pub fn throughput(&self) -> f64 {
+        self.sender.min(self.receiver)
+    }
+}
+
+/// Options for the NP rate computation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NpOptions {
+    /// Parities pre-encoded offline: the `E[X_e]` term drops from the
+    /// sender (the paper's "NP pre-encode" curve in Fig. 18).
+    pub preencode: bool,
+    /// Ablation from Section 5.1: one NAK per *missing packet* instead of
+    /// one per transmission round.
+    pub nak_per_packet: bool,
+}
+
+/// `E[M_r | M_r > 2]` for the geometric per-receiver transmission count of
+/// N2 (`P(M_r <= i) = 1 - p^i`).
+fn n2_tail_mean(p: f64) -> f64 {
+    if p <= 0.0 {
+        return 0.0;
+    }
+    let e = 1.0 / (1.0 - p);
+    let p1 = 1.0 - p;
+    let p2 = p * (1.0 - p);
+    (e - p1 - 2.0 * p2) / (p * p)
+}
+
+/// Eqs. (10)–(11): processing rates of protocol N2 for `r` receivers with
+/// homogeneous loss `p`.
+///
+/// # Panics
+/// Panics unless `p` is in `[0, 1)` and `r >= 1`.
+pub fn n2_rates(p: f64, r: u64, cost: &CostModel) -> Rates {
+    assert!((0.0..1.0).contains(&p), "p must be in [0, 1)");
+    assert!(r >= 1, "need at least one receiver");
+    let m = nofec::expected_transmissions(&Population::homogeneous(p, r));
+    let x = m * cost.send_packet + (m - 1.0) * cost.sender_nak;
+
+    let rf = r as f64;
+    let p_gt2 = p * p; // P(M_r > 2) = p^2 for the geometric distribution
+    let y = m * (1.0 - p) * cost.recv_packet
+        + (m - 1.0) * (cost.recv_nak_send / rf + (rf - 1.0) / rf * cost.recv_nak_other)
+        + p_gt2 * (n2_tail_mean(p) - 2.0) * cost.recv_timer;
+    Rates {
+        sender: 1.0 / x,
+        receiver: 1.0 / y,
+    }
+}
+
+/// Eqs. (13)–(16): processing rates of protocol NP with TG size `k`,
+/// homogeneous loss `p`, `r` receivers.
+///
+/// `E[M^NP]` is the integrated lower bound of Eq. (6) (`a = 0`); the paper
+/// argues 3 extra parities suffice to sit on it, so the bound is what both
+/// Fig. 17 and Fig. 18 plot.
+///
+/// # Panics
+/// Panics unless `k >= 1`, `p` in `[0, 1)` and `r >= 1`.
+pub fn np_rates(k: usize, p: f64, r: u64, cost: &CostModel, opts: NpOptions) -> Rates {
+    assert!(k >= 1, "k must be at least 1");
+    assert!((0.0..1.0).contains(&p), "p must be in [0, 1)");
+    assert!(r >= 1, "need at least one receiver");
+    let pop = Population::homogeneous(p, r);
+    let m = integrated::lower_bound(k, 0, &pop);
+    let t = rounds::expected_rounds(k, &pop);
+
+    // Feedback events per data packet: one NAK per round covers the whole
+    // TG ((E[T]-1)/k), or one per missing packet (E[M]-1) in the ablation.
+    let naks_per_packet = if opts.nak_per_packet {
+        m - 1.0
+    } else {
+        (t - 1.0) / k as f64
+    };
+
+    // Eq. (15): per-packet encode share — (E[M]-1) parities, k*c_e each.
+    let encode = if opts.preencode {
+        0.0
+    } else {
+        k as f64 * (m - 1.0) * cost.encode_const
+    };
+    let x = encode + m * cost.send_packet + naks_per_packet * cost.sender_nak;
+
+    // Eq. (16): per-TG decode work is the k*p expected lost packets, k*c_d
+    // each — per *packet* share is p * k * c_d.
+    let decode = k as f64 * p * cost.decode_const;
+    let rf = r as f64;
+    let p_gt2 = rounds::receiver_rounds_gt2(k, p);
+    let tail = rounds::receiver_rounds_tail_mean(k, p);
+    let timer = if p_gt2 > 0.0 {
+        p_gt2 * (tail - 2.0) * cost.recv_timer
+    } else {
+        0.0
+    };
+    let y = m * (1.0 - p) * cost.recv_packet
+        + naks_per_packet * (cost.recv_nak_send / rf + (rf - 1.0) / rf * cost.recv_nak_other)
+        + timer
+        + decode;
+    Rates {
+        sender: 1.0 / x,
+        receiver: 1.0 / y,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const K: usize = 20;
+    const P: f64 = 0.01;
+
+    #[test]
+    fn n2_sender_receiver_nearly_identical() {
+        // Fig. 17: the N2 curves for sender and receiver almost coincide.
+        for &r in &[10u64, 1_000, 1_000_000] {
+            let rates = n2_rates(P, r, &CostModel::paper_defaults());
+            let rel = (rates.sender - rates.receiver).abs() / rates.sender;
+            assert!(
+                rel < 0.1,
+                "R={r}: sender={} receiver={}",
+                rates.sender,
+                rates.receiver
+            );
+        }
+    }
+
+    #[test]
+    fn np_sender_is_bottleneck() {
+        // Fig. 17/18: for NP the sender (which encodes) is the bottleneck.
+        for &r in &[100u64, 10_000, 1_000_000] {
+            let rates = np_rates(K, P, r, &CostModel::paper_defaults(), NpOptions::default());
+            assert!(
+                rates.sender < rates.receiver,
+                "R={r}: sender={} receiver={}",
+                rates.sender,
+                rates.receiver
+            );
+        }
+    }
+
+    #[test]
+    fn preencode_beats_n2_and_plain_np() {
+        // Fig. 18's headline: NP with pre-encoding out-throughputs N2 and
+        // NP-without-pre-encoding. At R = 10 the two are within a few
+        // percent (the online-decode term k*p*c_d still bites while the
+        // retransmission savings are tiny); the gap opens decisively with
+        // R and reaches ~3x at R = 1e6.
+        let cost = CostModel::paper_defaults();
+        for &r in &[100u64, 1_000, 1_000_000] {
+            let n2 = n2_rates(P, r, &cost).throughput();
+            let np = np_rates(K, P, r, &cost, NpOptions::default()).throughput();
+            let np_pre = np_rates(
+                K,
+                P,
+                r,
+                &cost,
+                NpOptions {
+                    preencode: true,
+                    ..Default::default()
+                },
+            )
+            .throughput();
+            assert!(np_pre > n2, "R={r}: np_pre={np_pre} n2={n2}");
+            assert!(np_pre > np, "R={r}: np_pre={np_pre} np={np}");
+        }
+        let n2_small = n2_rates(P, 10, &cost).throughput();
+        let np_pre_small = np_rates(
+            K,
+            P,
+            10,
+            &cost,
+            NpOptions {
+                preencode: true,
+                ..Default::default()
+            },
+        )
+        .throughput();
+        assert!(
+            np_pre_small > 0.9 * n2_small,
+            "{np_pre_small} vs {n2_small}"
+        );
+        let n2_big = n2_rates(P, 1_000_000, &cost).throughput();
+        let np_pre_big = np_rates(
+            K,
+            P,
+            1_000_000,
+            &cost,
+            NpOptions {
+                preencode: true,
+                ..Default::default()
+            },
+        )
+        .throughput();
+        let gain = np_pre_big / n2_big;
+        assert!(
+            (2.0..4.5).contains(&gain),
+            "expected ~3x at R=1e6, got {gain}"
+        );
+    }
+
+    #[test]
+    fn rates_decrease_with_population() {
+        let cost = CostModel::paper_defaults();
+        let small = n2_rates(P, 10, &cost);
+        let big = n2_rates(P, 1_000_000, &cost);
+        assert!(big.sender < small.sender);
+        assert!(big.receiver < small.receiver);
+        let small = np_rates(K, P, 10, &cost, NpOptions::default());
+        let big = np_rates(K, P, 1_000_000, &cost, NpOptions::default());
+        assert!(big.sender < small.sender);
+    }
+
+    #[test]
+    fn nak_per_packet_barely_matters() {
+        // Paper: "reducing the NAKs to one per transmission round ... has
+        // only a minor effect on the processing rates".
+        let cost = CostModel::paper_defaults();
+        let per_round = np_rates(K, P, 1_000_000, &cost, NpOptions::default());
+        let per_packet = np_rates(
+            K,
+            P,
+            1_000_000,
+            &cost,
+            NpOptions {
+                nak_per_packet: true,
+                ..Default::default()
+            },
+        );
+        let rel_s = (per_round.sender - per_packet.sender).abs() / per_round.sender;
+        let rel_r = (per_round.receiver - per_packet.receiver).abs() / per_round.receiver;
+        assert!(rel_s < 0.05, "sender rel diff {rel_s}");
+        assert!(rel_r < 0.10, "receiver rel diff {rel_r}");
+    }
+
+    #[test]
+    fn lossless_limits() {
+        // p = 0: every packet sent once, no NAKs, no decode.
+        let cost = CostModel::paper_defaults();
+        let n2 = n2_rates(0.0, 1000, &cost);
+        assert!((n2.sender - 1.0 / cost.send_packet).abs() < 1e-6);
+        let np = np_rates(K, 0.0, 1000, &cost, NpOptions::default());
+        assert!((np.sender - 1.0 / cost.send_packet).abs() < 1e-6);
+        assert!((np.receiver - 1.0 / cost.recv_packet).abs() < 1e-6);
+    }
+
+    #[test]
+    fn throughput_is_min() {
+        let r = Rates {
+            sender: 10.0,
+            receiver: 7.0,
+        };
+        assert_eq!(r.throughput(), 7.0);
+    }
+
+    #[test]
+    fn paper_magnitudes() {
+        // Fig. 17 is plotted in pkts/msec with values in roughly [0.1, 1.1].
+        let cost = CostModel::paper_defaults();
+        let n2 = n2_rates(P, 100, &cost);
+        let np = np_rates(K, P, 100, &cost, NpOptions::default());
+        for v in [n2.sender, n2.receiver, np.sender, np.receiver] {
+            let pkts_per_msec = v / 1000.0;
+            assert!(
+                (0.05..1.5).contains(&pkts_per_msec),
+                "rate {pkts_per_msec} pkts/msec"
+            );
+        }
+    }
+}

@@ -1,0 +1,177 @@
+//! Layered FEC analysis — Section 3.1 (Figs. 3 and 4).
+//!
+//! An FEC layer below the reliable-multicast (RM) layer groups every `k`
+//! data packets, appends `h = n - k` parities, and reconstructs when at
+//! least `k` of the `n` arrive. The RM layer above sees a *reduced* loss
+//! probability `q(k, n, p)` and still runs plain ARQ (lost originals are
+//! retransmitted in later groups).
+
+use crate::numerics::{binom_cdf, sum_series};
+use crate::population::Population;
+
+/// Iteration cap for the `E[M']` series (terms decay like `q^i`, so this is
+/// never approached in practice; it bounds runtime under pathological
+/// inputs).
+const SERIES_CAP: u64 = 100_000;
+/// Absolute tail tolerance for series truncation.
+const SERIES_TOL: f64 = 1e-12;
+
+/// Eq. (2): probability `q(k, n, p)` that the RM receiver misses a given
+/// data packet of a TG — the packet itself is lost *and* more than
+/// `n - k - 1` of the other `n - 1` block packets are lost, so FEC cannot
+/// repair it:
+///
+/// ```text
+///     q = p * (1 - sum_{j=0}^{n-k-1} C(n-1, j) p^j (1-p)^(n-1-j))
+///       = p * (1 - BinCdf(n-k-1; n-1, p))
+/// ```
+///
+/// With `n = k` (no parities) this degenerates to `q = p`, the no-FEC case.
+///
+/// # Panics
+/// Panics unless `1 <= k <= n` and `p` is a probability.
+pub fn rm_loss_probability(k: usize, n: usize, p: f64) -> f64 {
+    assert!(k >= 1 && k <= n, "need 1 <= k <= n, got k={k} n={n}");
+    assert!((0.0..=1.0).contains(&p), "p must be a probability");
+    if n == k {
+        return p;
+    }
+    let h = (n - k) as u64;
+    p * (1.0 - binom_cdf(n as u64 - 1, h - 1, p))
+}
+
+/// `E[M']` — expected transmissions of a given data packet until every
+/// receiver has it, under per-receiver residual loss `q_r`:
+/// `E[M'] = sum_{i>=0} (1 - prod_r (1 - q_r^i))`.
+fn expected_data_transmissions(qs: &[(f64, u64)]) -> f64 {
+    sum_series(0, SERIES_TOL, SERIES_CAP, |i| {
+        // 1 - prod_c (1 - q_c^i)^{count_c}, in stable complementary form.
+        let mut ln_prod = 0.0f64;
+        for &(q, c) in qs {
+            let qi = q.powi(i as i32);
+            if qi >= 1.0 {
+                return 1.0;
+            }
+            ln_prod += c as f64 * (-qi).ln_1p();
+        }
+        -ln_prod.exp_m1()
+    })
+}
+
+/// Eq. (3)/(7): expected transmissions per *data* packet for layered FEC
+/// with TG size `k` and `h` parity packets, over an arbitrary (possibly
+/// heterogeneous) independent-loss population. Parities count toward the
+/// transmission budget via the `n/k` expansion factor.
+///
+/// # Panics
+/// As for [`rm_loss_probability`].
+pub fn expected_transmissions(k: usize, h: usize, pop: &Population) -> f64 {
+    let n = k + h;
+    let qs: Vec<(f64, u64)> = pop
+        .classes()
+        .iter()
+        .map(|&(p, c)| (rm_loss_probability(k, n, p), c))
+        .collect();
+    (n as f64 / k as f64) * expected_data_transmissions(&qs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn q_degenerates_without_parities() {
+        assert_eq!(rm_loss_probability(7, 7, 0.01), 0.01);
+        assert_eq!(rm_loss_probability(1, 1, 0.3), 0.3);
+    }
+
+    #[test]
+    fn q_decreases_with_parities() {
+        let p = 0.01;
+        let mut prev = rm_loss_probability(7, 7, p);
+        for h in 1..=5 {
+            let q = rm_loss_probability(7, 7 + h, p);
+            assert!(q < prev, "h={h}: q={q} !< {prev}");
+            prev = q;
+        }
+        // One parity already cuts q by roughly an order of magnitude at
+        // p = 1e-2, k = 7: q = p * P(Bin(7, p) >= 1) ~ p * 7p.
+        let q1 = rm_loss_probability(7, 8, p);
+        assert!((q1 / (p * 7.0 * p) - 1.0).abs() < 0.1, "q1={q1}");
+    }
+
+    #[test]
+    fn q_zero_and_extreme_p() {
+        assert_eq!(rm_loss_probability(7, 10, 0.0), 0.0);
+        // p = 1: everything lost, q = 1 * (1 - 0) = 1.
+        assert!((rm_loss_probability(7, 10, 1.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_receiver_no_fec_closed_form() {
+        // R = 1, h = 0: E[M'] = 1/(1-p) (geometric), E[M] = same.
+        let p = 0.25;
+        let m = expected_transmissions(1, 0, &Population::homogeneous(p, 1));
+        assert!((m - 1.0 / (1.0 - p)).abs() < 1e-9, "m={m}");
+    }
+
+    #[test]
+    fn no_loss_costs_exactly_expansion_factor() {
+        let pop = Population::homogeneous(0.0, 1000);
+        let m = expected_transmissions(7, 2, &pop);
+        assert!((m - 9.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn grows_with_receivers() {
+        let mut prev = 0.0;
+        for &r in &[1u64, 10, 100, 10_000, 1_000_000] {
+            let m = expected_transmissions(7, 2, &Population::homogeneous(0.01, r));
+            assert!(m > prev, "R={r}: {m} !> {prev}");
+            prev = m;
+        }
+    }
+
+    #[test]
+    fn paper_fig3_shape() {
+        // Fig. 3 (p = 0.01, h = 2): at R = 10^6 layered FEC with k = 7 or
+        // 20 beats no FEC, while k = 100 with only 2 parities is worse than
+        // k = 7.
+        let pop = Population::homogeneous(0.01, 1_000_000);
+        let no_fec = crate::nofec::expected_transmissions(&pop);
+        let k7 = expected_transmissions(7, 2, &pop);
+        let k20 = expected_transmissions(20, 2, &pop);
+        let k100 = expected_transmissions(100, 2, &pop);
+        assert!(k7 < no_fec, "k7={k7} no_fec={no_fec}");
+        assert!(k20 < no_fec);
+        assert!(k100 > k7, "k100={k100} should underperform k7={k7} at h=2");
+    }
+
+    #[test]
+    fn paper_fig4_shape() {
+        // Fig. 4 (h = 7): k = 100 now beats k = 7 and k = 20 for mid-size
+        // populations (1 .. ~200k receivers).
+        let pop = Population::homogeneous(0.01, 10_000);
+        let k7 = expected_transmissions(7, 7, &pop);
+        let k20 = expected_transmissions(20, 7, &pop);
+        let k100 = expected_transmissions(100, 7, &pop);
+        assert!(k100 < k20 && k20 < k7, "k100={k100} k20={k20} k7={k7}");
+    }
+
+    #[test]
+    fn small_receiver_counts_pay_parity_overhead() {
+        // For R = 1 and tiny loss, layered FEC costs ~ n/k > no-FEC ~ 1.
+        let pop = Population::homogeneous(0.01, 1);
+        let layered = expected_transmissions(7, 2, &pop);
+        let no_fec = crate::nofec::expected_transmissions(&pop);
+        assert!(layered > no_fec);
+    }
+
+    #[test]
+    fn heterogeneous_dominated_by_high_loss() {
+        let r = 100_000;
+        let clean = expected_transmissions(7, 2, &Population::homogeneous(0.01, r));
+        let one_pct = expected_transmissions(7, 2, &Population::two_class(r, 0.01, 0.01, 0.25));
+        assert!(one_pct > clean * 1.2, "one_pct={one_pct} clean={clean}");
+    }
+}

@@ -1,0 +1,294 @@
+//! Monte-Carlo cross-checks: every analytical expression is validated
+//! against a direct stochastic simulation of the *model assumptions* (not
+//! of the formulas), so implementation errors in either direction surface.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use crate::integrated;
+use crate::layered;
+use crate::nofec;
+use crate::population::Population;
+use crate::rounds;
+
+fn rng(seed: u64) -> ChaCha8Rng {
+    ChaCha8Rng::seed_from_u64(seed)
+}
+
+/// Geometric number of trials until first success with success prob `1-p`.
+fn geometric_trials(rng: &mut ChaCha8Rng, p: f64) -> u64 {
+    let mut n = 1;
+    while rng.random::<f64>() < p {
+        n += 1;
+    }
+    n
+}
+
+#[test]
+fn mc_nofec_expected_transmissions() {
+    let (p, r, trials) = (0.1, 40usize, 30_000);
+    let mut g = rng(1);
+    let mut total = 0u64;
+    for _ in 0..trials {
+        let m = (0..r).map(|_| geometric_trials(&mut g, p)).max().unwrap();
+        total += m;
+    }
+    let mc = total as f64 / trials as f64;
+    let analytic = nofec::expected_transmissions(&Population::homogeneous(p, r as u64));
+    assert!(
+        (mc - analytic).abs() / analytic < 0.02,
+        "MC {mc} vs analytic {analytic}"
+    );
+}
+
+#[test]
+fn mc_rm_loss_probability_eq2() {
+    // q(k, n, p): packet lost AND more than h-1 of the other n-1 lost.
+    let (k, h, p) = (7usize, 2usize, 0.05);
+    let n = k + h;
+    let trials = 2_000_000;
+    let mut g = rng(2);
+    let mut unrecovered = 0u64;
+    for _ in 0..trials {
+        let own_lost = g.random::<f64>() < p;
+        let others_lost = (0..n - 1).filter(|_| g.random::<f64>() < p).count();
+        if own_lost && others_lost > h - 1 {
+            unrecovered += 1;
+        }
+    }
+    let mc = unrecovered as f64 / trials as f64;
+    let analytic = layered::rm_loss_probability(k, n, p);
+    assert!(
+        (mc - analytic).abs() / analytic < 0.05,
+        "MC {mc} vs analytic {analytic}"
+    );
+}
+
+#[test]
+fn mc_layered_expected_transmissions() {
+    // Simulate the layered model end to end for one data packet: each
+    // round the packet rides in a fresh FEC block; receiver r recovers it
+    // unless it loses the packet and more than h-1 of the other n-1.
+    let (k, h, p, r) = (7usize, 1usize, 0.05, 20usize);
+    let n = k + h;
+    let trials = 20_000;
+    let mut g = rng(3);
+    let mut total_rounds = 0u64;
+    for _ in 0..trials {
+        let mut pending: Vec<usize> = (0..r).collect();
+        let mut rounds_needed = 0u64;
+        while !pending.is_empty() {
+            rounds_needed += 1;
+            pending.retain(|_| {
+                let own_lost = g.random::<f64>() < p;
+                let others = (0..n - 1).filter(|_| g.random::<f64>() < p).count();
+                own_lost && others > h - 1
+            });
+        }
+        total_rounds += rounds_needed;
+    }
+    let mc = (total_rounds as f64 / trials as f64) * n as f64 / k as f64;
+    let analytic = layered::expected_transmissions(k, h, &Population::homogeneous(p, r as u64));
+    assert!(
+        (mc - analytic).abs() / analytic < 0.03,
+        "MC {mc} vs analytic {analytic}"
+    );
+}
+
+#[test]
+fn mc_integrated_lower_bound() {
+    // Idealized integrated FEC: receiver r needs k successes from an iid
+    // Bernoulli(1-p) packet stream; L_r = trials - (k + a).
+    let (k, a, p, r) = (7usize, 0usize, 0.1, 25usize);
+    let trials = 30_000;
+    let mut g = rng(4);
+    let mut total_l = 0u64;
+    for _ in 0..trials {
+        let mut worst = 0u64;
+        for _ in 0..r {
+            let mut got = 0usize;
+            let mut sent = 0u64;
+            // The first k+a packets arrive as a batch; then one at a time.
+            while got < k {
+                sent += 1;
+                if g.random::<f64>() >= p {
+                    got += 1;
+                }
+            }
+            let l = sent.saturating_sub((k + a) as u64);
+            worst = worst.max(l);
+        }
+        total_l += worst;
+    }
+    let mc = (total_l as f64 / trials as f64 + (k + a) as f64) / k as f64;
+    let analytic = integrated::lower_bound(k, a, &Population::homogeneous(p, r as u64));
+    assert!(
+        (mc - analytic).abs() / analytic < 0.02,
+        "MC {mc} vs analytic {analytic}"
+    );
+}
+
+#[test]
+fn mc_integrated_lower_bound_with_proactive_parities() {
+    let (k, a, p, r) = (5usize, 2usize, 0.2, 10usize);
+    let trials = 30_000;
+    let mut g = rng(5);
+    let mut total_l = 0u64;
+    for _ in 0..trials {
+        let mut worst = 0u64;
+        for _ in 0..r {
+            let mut got = 0usize;
+            let mut sent = 0u64;
+            while got < k {
+                sent += 1;
+                if g.random::<f64>() >= p {
+                    got += 1;
+                }
+            }
+            worst = worst.max(sent.saturating_sub((k + a) as u64));
+        }
+        total_l += worst;
+    }
+    let mc = (total_l as f64 / trials as f64 + (k + a) as f64) / k as f64;
+    let analytic = integrated::lower_bound(k, a, &Population::homogeneous(p, r as u64));
+    assert!(
+        (mc - analytic).abs() / analytic < 0.02,
+        "MC {mc} vs analytic {analytic}"
+    );
+}
+
+#[test]
+fn mc_hetero_integrated() {
+    let (k, r) = (7usize, 20usize);
+    let pop = Population::two_class(r as u64, 0.25, 0.01, 0.25);
+    let ps = pop.expand();
+    let trials = 30_000;
+    let mut g = rng(6);
+    let mut total_l = 0u64;
+    for _ in 0..trials {
+        let mut worst = 0u64;
+        for &p in &ps {
+            let mut got = 0usize;
+            let mut sent = 0u64;
+            while got < k {
+                sent += 1;
+                if g.random::<f64>() >= p {
+                    got += 1;
+                }
+            }
+            worst = worst.max(sent - k as u64);
+        }
+        total_l += worst;
+    }
+    let mc = (total_l as f64 / trials as f64 + k as f64) / k as f64;
+    let analytic = integrated::lower_bound(k, 0, &pop);
+    assert!(
+        (mc - analytic).abs() / analytic < 0.02,
+        "MC {mc} vs analytic {analytic}"
+    );
+}
+
+#[test]
+fn mc_rounds_model() {
+    // Ayanoglu-style rounds: each of the k slots independently takes a
+    // geometric number of rounds; T_r is their max, T the max over
+    // receivers.
+    let (k, p, r) = (20usize, 0.05, 15usize);
+    let trials = 30_000;
+    let mut g = rng(7);
+    let mut total = 0u64;
+    for _ in 0..trials {
+        let t = (0..r)
+            .map(|_| (0..k).map(|_| geometric_trials(&mut g, p)).max().unwrap())
+            .max()
+            .unwrap();
+        total += t;
+    }
+    let mc = total as f64 / trials as f64;
+    let analytic = rounds::expected_rounds(k, &Population::homogeneous(p, r as u64));
+    assert!(
+        (mc - analytic).abs() / analytic < 0.02,
+        "MC {mc} vs analytic {analytic}"
+    );
+}
+
+#[test]
+fn mc_finite_integrated_components() {
+    // The finite-h expression is assembled from two stochastic quantities;
+    // validate each against a direct simulation of its definition.
+    //
+    // (a) E[B]: per block, a receiver still missing the packet fails to
+    //     recover it iff its own copy is lost AND more than h-1 of the
+    //     other n-1 block packets are lost (the q(k,n,p) event); the
+    //     packet needs a new block while any receiver remains pending.
+    let (k, h, p, r) = (7usize, 2usize, 0.1, 10usize);
+    let n = k + h;
+    let trials = 40_000;
+    let mut g = rng(8);
+    let mut total_blocks = 0u64;
+    for _ in 0..trials {
+        let mut pending = r;
+        let mut blocks = 0u64;
+        while pending > 0 {
+            blocks += 1;
+            let mut still = 0usize;
+            for _ in 0..pending {
+                let own_lost = g.random::<f64>() < p;
+                let others = (0..n - 1).filter(|_| g.random::<f64>() < p).count();
+                if own_lost && others > h - 1 {
+                    still += 1;
+                }
+            }
+            pending = still;
+        }
+        total_blocks += blocks;
+    }
+    let mc_b = total_blocks as f64 / trials as f64;
+    let q = layered::rm_loss_probability(k, n, p);
+    let analytic_b = crate::numerics::sum_series(0, 1e-12, 100_000, |i| {
+        crate::numerics::one_minus_pow_one_minus(q.powi(i as i32), r as f64)
+    });
+    assert!(
+        (mc_b - analytic_b).abs() / analytic_b < 0.02,
+        "E[B]: MC {mc_b} vs analytic {analytic_b}"
+    );
+
+    // (b) E[L | L <= h]: rejection-sample the max over receivers of the
+    //     negative-binomial extra demand, conditioned on <= h.
+    let mut kept = 0u64;
+    let mut total_l = 0u64;
+    let mut attempts = 0u64;
+    while kept < 20_000 && attempts < 10_000_000 {
+        attempts += 1;
+        let mut worst = 0u64;
+        for _ in 0..r {
+            let mut got = 0usize;
+            let mut sent = 0u64;
+            while got < k {
+                sent += 1;
+                if g.random::<f64>() >= p {
+                    got += 1;
+                }
+            }
+            worst = worst.max(sent - k as u64);
+        }
+        if worst <= h as u64 {
+            kept += 1;
+            total_l += worst;
+        }
+    }
+    assert!(
+        kept >= 1000,
+        "conditioning event too rare for the test setup"
+    );
+    let mc_l = total_l as f64 / kept as f64;
+
+    // Recover the analytic conditional mean by inverting the published
+    // finite() assembly with the analytic E[B].
+    let analytic_total = integrated::finite(k, h, 0, &Population::homogeneous(p, r as u64));
+    let analytic_l = analytic_total * k as f64 - (analytic_b - 1.0) * n as f64 - k as f64;
+    assert!(
+        (mc_l - analytic_l).abs() < 0.05 * (1.0 + analytic_l),
+        "E[L|L<=h]: MC {mc_l} vs analytic {analytic_l}"
+    );
+}

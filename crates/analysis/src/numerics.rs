@@ -1,0 +1,226 @@
+//! Numerically careful building blocks: log-domain binomials, stable
+//! `x^R` powers, and tail-bounded series summation.
+//!
+//! The paper's curves run to `R = 10^6` receivers and `p = 10^-3`, so naive
+//! `choose(n, k) * p^j * (1-p)^(n-j)` overflows/underflows and
+//! `(1 - q^i)^R` loses all precision exactly where the curves bend. Every
+//! probability here is assembled in log space.
+
+/// Natural log of the gamma function (Lanczos approximation, g = 7, 9
+/// coefficients; absolute error below 1e-13 over the positive axis).
+///
+/// # Panics
+/// Panics on non-positive input (never needed by the formulas here).
+pub fn ln_gamma(x: f64) -> f64 {
+    assert!(x > 0.0, "ln_gamma requires a positive argument, got {x}");
+    const G: f64 = 7.0;
+    const COEF: [f64; 9] = [
+        0.999_999_999_999_809_9,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula keeps accuracy near zero.
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut a = COEF[0];
+    let t = x + G + 0.5;
+    for (i, &c) in COEF.iter().enumerate().skip(1) {
+        a += c / (x + i as f64);
+    }
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + a.ln()
+}
+
+/// `ln C(n, k)`; `-inf` when `k > n`.
+pub fn ln_choose(n: u64, k: u64) -> f64 {
+    if k > n {
+        return f64::NEG_INFINITY;
+    }
+    if k == 0 || k == n {
+        return 0.0;
+    }
+    ln_gamma(n as f64 + 1.0) - ln_gamma(k as f64 + 1.0) - ln_gamma((n - k) as f64 + 1.0)
+}
+
+/// Binomial pmf `P(X = j)` for `X ~ Bin(n, p)`, evaluated in log space.
+pub fn binom_pmf(n: u64, j: u64, p: f64) -> f64 {
+    debug_assert!((0.0..=1.0).contains(&p));
+    if j > n {
+        return 0.0;
+    }
+    if p == 0.0 {
+        return if j == 0 { 1.0 } else { 0.0 };
+    }
+    if p == 1.0 {
+        return if j == n { 1.0 } else { 0.0 };
+    }
+    let ln = ln_choose(n, j) + j as f64 * p.ln() + (n - j) as f64 * (-p).ln_1p();
+    ln.exp()
+}
+
+/// Binomial cdf `P(X <= j)`. The sums here have at most a few hundred
+/// terms (block sizes), so direct summation of log-space pmfs is both
+/// accurate and fast.
+pub fn binom_cdf(n: u64, j: u64, p: f64) -> f64 {
+    if j >= n {
+        return 1.0;
+    }
+    let mut acc = 0.0;
+    for i in 0..=j {
+        acc += binom_pmf(n, i, p);
+    }
+    acc.min(1.0)
+}
+
+/// `(1 - x)^r` for probability-like `x`, stable for tiny `x` and huge `r`:
+/// `exp(r * ln(1 - x))` with `ln_1p`.
+pub fn pow_one_minus(x: f64, r: f64) -> f64 {
+    debug_assert!((0.0..=1.0).contains(&x), "x={x}");
+    if x >= 1.0 {
+        return if r == 0.0 { 1.0 } else { 0.0 };
+    }
+    (r * (-x).ln_1p()).exp()
+}
+
+/// `1 - (1 - x)^r`, stable when the result is tiny: `-expm1(r ln(1-x))`.
+pub fn one_minus_pow_one_minus(x: f64, r: f64) -> f64 {
+    debug_assert!((0.0..=1.0).contains(&x), "x={x}");
+    if x >= 1.0 {
+        return if r == 0.0 { 0.0 } else { 1.0 };
+    }
+    -(r * (-x).ln_1p()).exp_m1()
+}
+
+/// Sum `sum_{i = start}^{inf} term(i)` for a non-negative, eventually
+/// geometrically decreasing series: stops when `iters >= min_iters` and the
+/// current term drops below `tol`, with a hard cap to bound runtime.
+///
+/// Returns the partial sum; the formulas that use this have terms bounded
+/// by `min(1, R q^i)`, so `tol = 1e-12` leaves error far below plot
+/// resolution.
+pub fn sum_series(start: u64, tol: f64, cap: u64, mut term: impl FnMut(u64) -> f64) -> f64 {
+    let mut acc = 0.0;
+    let mut i = start;
+    let mut below = 0u32;
+    while i < start + cap {
+        let t = term(i);
+        debug_assert!(t >= -1e-12, "series term {t} negative at i={i}");
+        acc += t.max(0.0);
+        // Two consecutive sub-tolerance terms guard against slow starts
+        // (terms can sit at ~1.0 for a long prefix when R is large).
+        if t < tol {
+            below += 1;
+            if below >= 2 {
+                break;
+            }
+        } else {
+            below = 0;
+        }
+        i += 1;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ln_gamma_matches_factorials() {
+        let mut fact = 1.0f64;
+        for n in 1..=20u32 {
+            fact *= n as f64;
+            let lg = ln_gamma(n as f64 + 1.0);
+            assert!((lg - fact.ln()).abs() < 1e-10, "n={n}");
+        }
+        // Gamma(1/2) = sqrt(pi).
+        assert!((ln_gamma(0.5) - 0.5 * std::f64::consts::PI.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn choose_small_values_exact() {
+        assert_eq!(ln_choose(5, 0), 0.0);
+        assert_eq!(ln_choose(5, 5), 0.0);
+        assert!((ln_choose(5, 2).exp() - 10.0).abs() < 1e-9);
+        assert!((ln_choose(52, 5).exp() - 2_598_960.0).abs() < 1e-3);
+        assert_eq!(ln_choose(3, 4), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn choose_huge_values_finite() {
+        let v = ln_choose(1_000_000, 500_000);
+        assert!(v.is_finite() && v > 0.0);
+    }
+
+    #[test]
+    fn binom_pmf_sums_to_one() {
+        for &(n, p) in &[(10u64, 0.3), (100, 0.01), (255, 0.25)] {
+            let total: f64 = (0..=n).map(|j| binom_pmf(n, j, p)).sum();
+            assert!((total - 1.0).abs() < 1e-10, "n={n} p={p} total={total}");
+        }
+    }
+
+    #[test]
+    fn binom_edge_probabilities() {
+        assert_eq!(binom_pmf(5, 0, 0.0), 1.0);
+        assert_eq!(binom_pmf(5, 3, 0.0), 0.0);
+        assert_eq!(binom_pmf(5, 5, 1.0), 1.0);
+        assert_eq!(binom_pmf(5, 6, 0.5), 0.0);
+        assert_eq!(binom_cdf(5, 5, 0.7), 1.0);
+        assert_eq!(binom_cdf(5, 9, 0.7), 1.0);
+    }
+
+    #[test]
+    fn binom_cdf_monotone() {
+        let mut prev = 0.0;
+        for j in 0..=20 {
+            let c = binom_cdf(20, j, 0.25);
+            assert!(c >= prev);
+            prev = c;
+        }
+        assert!((prev - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stable_powers() {
+        // (1 - 1e-12)^(1e6): naive f64 would round 1 - 1e-12 fine, but the
+        // complementary form must match expm1 precision.
+        let x = 1e-12;
+        let r = 1e6;
+        let direct = one_minus_pow_one_minus(x, r);
+        assert!((direct - 1e-6).abs() / 1e-6 < 1e-6, "got {direct}");
+        assert!((pow_one_minus(x, r) + direct - 1.0).abs() < 1e-15);
+        // Degenerate x = 1.
+        assert_eq!(pow_one_minus(1.0, 3.0), 0.0);
+        assert_eq!(one_minus_pow_one_minus(1.0, 3.0), 1.0);
+    }
+
+    #[test]
+    fn series_sums_geometric() {
+        // sum q^i = 1/(1-q)
+        let s = sum_series(0, 1e-14, 10_000, |i| 0.5f64.powi(i as i32));
+        assert!((s - 2.0).abs() < 1e-12, "s={s}");
+    }
+
+    #[test]
+    fn series_survives_flat_prefix() {
+        // Terms that stay ~1.0 for a while then drop geometrically (the
+        // (1 - (1-q^i)^R) shape with large R).
+        let r = 1e6;
+        let q: f64 = 0.1;
+        let s = sum_series(0, 1e-13, 10_000, |i| {
+            one_minus_pow_one_minus(q.powi(i as i32), r)
+        });
+        // First several terms are ~1 (i=0 exactly 1); expect s > 6 because
+        // R q^i stays > 1 until q^i < 1e-6, i.e. i = 6.
+        assert!(s > 6.0 && s < 9.0, "s={s}");
+    }
+}

@@ -1,0 +1,163 @@
+//! Receiver populations, possibly heterogeneous.
+
+/// A receiver population described as classes of identical receivers:
+/// `(loss probability, count)`. Spatial/temporal independence is assumed by
+/// every formula that consumes this (the paper's Section 3 setting);
+/// correlated scenarios are handled by the `pm-sim` simulator instead.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Population {
+    classes: Vec<(f64, u64)>,
+}
+
+impl Population {
+    /// `r` receivers, all with loss probability `p`.
+    ///
+    /// # Panics
+    /// Panics unless `p` is a probability and `r > 0`.
+    pub fn homogeneous(p: f64, r: u64) -> Self {
+        Population::from_classes(vec![(p, r)])
+    }
+
+    /// The paper's two-class mix (Section 3.3): `round(alpha * r)` high-loss
+    /// receivers at `p_high`, the rest at `p_low`.
+    ///
+    /// # Panics
+    /// Panics on non-probability arguments or `r == 0`.
+    pub fn two_class(r: u64, alpha: f64, p_low: f64, p_high: f64) -> Self {
+        assert!((0.0..=1.0).contains(&alpha), "alpha must be a probability");
+        let high = (alpha * r as f64).round() as u64;
+        let mut classes = Vec::new();
+        if high > 0 {
+            classes.push((p_high, high));
+        }
+        if r - high > 0 {
+            classes.push((p_low, r - high));
+        }
+        Population::from_classes(classes)
+    }
+
+    /// Arbitrary classes.
+    ///
+    /// # Panics
+    /// Panics if empty, any count is zero, or any `p` is not in `[0, 1)`
+    /// (a receiver losing everything can never be satisfied).
+    pub fn from_classes(classes: Vec<(f64, u64)>) -> Self {
+        assert!(
+            !classes.is_empty(),
+            "population must have at least one class"
+        );
+        for &(p, c) in &classes {
+            assert!(
+                (0.0..1.0).contains(&p),
+                "class loss probability {p} must be in [0, 1)"
+            );
+            assert!(c > 0, "class counts must be positive");
+        }
+        Population { classes }
+    }
+
+    /// Total receiver count `R`.
+    pub fn receivers(&self) -> u64 {
+        self.classes.iter().map(|&(_, c)| c).sum()
+    }
+
+    /// The `(p, count)` classes.
+    pub fn classes(&self) -> &[(f64, u64)] {
+        &self.classes
+    }
+
+    /// `prod_r f(p_r)` computed per class as `f(p)^count`, with `f`
+    /// returning a probability. The workhorse behind Eqs. (7)–(8).
+    pub fn product_over_receivers(&self, mut f: impl FnMut(f64) -> f64) -> f64 {
+        let mut acc = 1.0f64;
+        for &(p, c) in &self.classes {
+            let v = f(p);
+            debug_assert!(
+                (0.0..=1.0).contains(&v),
+                "f(p) must be a probability, got {v}"
+            );
+            if v <= 0.0 {
+                return 0.0;
+            }
+            acc *= (c as f64 * v.ln()).exp();
+            if acc == 0.0 {
+                return 0.0;
+            }
+        }
+        acc
+    }
+
+    /// Expand into one probability per receiver (test/simulation helper;
+    /// avoid for `R = 10^6` analytics).
+    pub fn expand(&self) -> Vec<f64> {
+        let mut v = Vec::with_capacity(self.receivers() as usize);
+        for &(p, c) in &self.classes {
+            v.extend(std::iter::repeat_n(p, c as usize));
+        }
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn homogeneous_counts() {
+        let pop = Population::homogeneous(0.01, 1000);
+        assert_eq!(pop.receivers(), 1000);
+        assert_eq!(pop.classes(), &[(0.01, 1000)]);
+    }
+
+    #[test]
+    fn two_class_rounding() {
+        let pop = Population::two_class(1_000_000, 0.01, 0.01, 0.25);
+        assert_eq!(pop.receivers(), 1_000_000);
+        assert_eq!(pop.classes()[0], (0.25, 10_000));
+        assert_eq!(pop.classes()[1], (0.01, 990_000));
+        // alpha = 0 collapses to one class.
+        let pop = Population::two_class(100, 0.0, 0.01, 0.25);
+        assert_eq!(pop.classes(), &[(0.01, 100)]);
+        // alpha = 1 likewise.
+        let pop = Population::two_class(100, 1.0, 0.01, 0.25);
+        assert_eq!(pop.classes(), &[(0.25, 100)]);
+    }
+
+    #[test]
+    fn product_matches_expansion() {
+        let pop = Population::two_class(50, 0.2, 0.1, 0.5);
+        let f = |p: f64| 1.0 - p * p;
+        let via_product = pop.product_over_receivers(f);
+        let via_expand: f64 = pop.expand().iter().map(|&p| f(p)).product();
+        assert!((via_product - via_expand).abs() < 1e-12);
+    }
+
+    #[test]
+    fn product_handles_huge_counts() {
+        let pop = Population::homogeneous(0.01, 1_000_000);
+        let v = pop.product_over_receivers(|p| 1.0 - p * 1e-7);
+        // (1 - 1e-9)^1e6 ~ exp(-1e-3)
+        assert!((v - (-1e-3f64).exp()).abs() < 1e-9, "v={v}");
+    }
+
+    #[test]
+    fn product_zero_short_circuits() {
+        let pop = Population::from_classes(vec![(0.5, 10), (0.1, 5)]);
+        assert_eq!(
+            pop.product_over_receivers(|p| if p > 0.3 { 0.0 } else { 1.0 }),
+            0.0
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one class")]
+    fn empty_population_rejected() {
+        let _ = Population::from_classes(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in [0, 1)")]
+    fn p_one_rejected() {
+        let _ = Population::homogeneous(1.0, 10);
+    }
+}

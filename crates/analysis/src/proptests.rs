@@ -1,0 +1,129 @@
+//! Property-based tests: monotonicity and dominance relations the paper's
+//! conclusions rest on must hold over the whole parameter space.
+
+use proptest::prelude::*;
+
+use crate::integrated;
+use crate::layered;
+use crate::nofec;
+use crate::population::Population;
+use crate::rounds;
+
+fn p_strategy() -> impl Strategy<Value = f64> {
+    // Loss probabilities over the paper's range (1e-3 .. 0.25).
+    (0.001f64..0.25).prop_map(|p| p)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Eq. (2): 0 <= q(k,n,p) <= p, decreasing in n.
+    #[test]
+    fn q_bounded_and_monotone(k in 1usize..30, h in 0usize..10, p in p_strategy()) {
+        let q = layered::rm_loss_probability(k, k + h, p);
+        prop_assert!(q >= 0.0 && q <= p + 1e-15, "q={q} p={p}");
+        if h > 0 {
+            let q_less = layered::rm_loss_probability(k, k + h - 1, p);
+            prop_assert!(q <= q_less + 1e-15);
+        }
+    }
+
+    /// E[M] >= 1 always, and is non-decreasing in R for every scheme.
+    #[test]
+    fn m_monotone_in_receivers(
+        k in 1usize..20,
+        h in 0usize..6,
+        p in p_strategy(),
+        r in 1u64..1000,
+    ) {
+        let small = Population::homogeneous(p, r);
+        let big = Population::homogeneous(p, r * 10);
+        let l_small = layered::expected_transmissions(k, h, &small);
+        let l_big = layered::expected_transmissions(k, h, &big);
+        prop_assert!(l_small >= (k + h) as f64 / k as f64 - 1e-12);
+        prop_assert!(l_big >= l_small - 1e-9, "layered {l_big} < {l_small}");
+        let i_small = integrated::lower_bound(k, 0, &small);
+        let i_big = integrated::lower_bound(k, 0, &big);
+        prop_assert!(i_small >= 1.0 - 1e-12);
+        prop_assert!(i_big >= i_small - 1e-9, "integrated {i_big} < {i_small}");
+    }
+
+    /// The integrated lower bound never exceeds the no-FEC expectation
+    /// (parities can only help), for any k.
+    #[test]
+    fn integrated_bound_below_nofec(k in 1usize..40, p in p_strategy(), r in 1u64..100_000) {
+        let pop = Population::homogeneous(p, r);
+        let ib = integrated::lower_bound(k, 0, &pop);
+        let arq = nofec::expected_transmissions(&pop);
+        // k = 1 makes them mathematically equal; allow series-truncation
+        // noise at the 1e-6 relative level.
+        prop_assert!(ib <= arq * (1.0 + 1e-6), "ib={ib} arq={arq}");
+    }
+
+    /// finite(h) equals no-FEC at h = 0, never beats the lower bound, and
+    /// respects the provable waste ceiling `(E[M_arq] + 1) * n/k` (each of
+    /// at most E[M_arq]-ish blocks costs at most n packets per k data).
+    /// It is NOT monotone in h and for small k can even sit a few percent
+    /// above no-FEC — see `finite_not_monotone_in_h_at_large_r`.
+    #[test]
+    fn finite_bracketed(k in 2usize..15, p in p_strategy(), r in 1u64..10_000) {
+        let pop = Population::homogeneous(p, r);
+        let arq = nofec::expected_transmissions(&pop);
+        let f0 = integrated::finite(k, 0, 0, &pop);
+        prop_assert!((f0 - arq).abs() < 1e-6, "f0={f0} arq={arq}");
+        let lb = integrated::lower_bound(k, 0, &pop);
+        for h in 1..=6 {
+            let f = integrated::finite(k, h, 0, &pop);
+            let n_over_k = (k + h) as f64 / k as f64;
+            prop_assert!(f <= (arq + 1.0) * n_over_k, "h={h}: {f} > ceiling");
+            prop_assert!(f >= lb * (1.0 - 1e-3), "h={h}: {f} < bound {lb}");
+        }
+    }
+
+    /// Heterogeneous populations are bracketed by their homogeneous
+    /// extremes.
+    #[test]
+    fn hetero_bracketed(
+        k in 1usize..15,
+        alpha in 0.01f64..0.99,
+        r in 10u64..100_000,
+    ) {
+        let (p_low, p_high) = (0.01, 0.25);
+        let mix = Population::two_class(r, alpha, p_low, p_high);
+        let low = Population::homogeneous(p_low, r);
+        let high = Population::homogeneous(p_high, r);
+        let m_mix = integrated::lower_bound(k, 0, &mix);
+        let m_low = integrated::lower_bound(k, 0, &low);
+        let m_high = integrated::lower_bound(k, 0, &high);
+        prop_assert!(m_mix >= m_low - 1e-9 && m_mix <= m_high + 1e-9,
+            "{m_low} <= {m_mix} <= {m_high}");
+    }
+
+    /// Rounds: E[T] >= 1, non-decreasing in p and in R.
+    #[test]
+    fn rounds_monotone(k in 1usize..30, p in p_strategy(), r in 1u64..100_000) {
+        let e = rounds::expected_rounds(k, &Population::homogeneous(p, r));
+        prop_assert!(e >= 1.0 - 1e-12);
+        let e_more_loss = rounds::expected_rounds(k, &Population::homogeneous((p * 1.5).min(0.3), r));
+        prop_assert!(e_more_loss >= e - 1e-9);
+        let e_more_recv = rounds::expected_rounds(k, &Population::homogeneous(p, r * 2));
+        prop_assert!(e_more_recv >= e - 1e-9);
+    }
+
+    /// Processing rates are positive and throughput equals their min.
+    #[test]
+    fn endhost_rates_positive(p in p_strategy(), r in 1u64..1_000_000, k in 2usize..50) {
+        let cost = crate::endhost::CostModel::paper_defaults();
+        let n2 = crate::endhost::n2_rates(p, r, &cost);
+        prop_assert!(n2.sender > 0.0 && n2.receiver > 0.0);
+        prop_assert_eq!(n2.throughput(), n2.sender.min(n2.receiver));
+        let np = crate::endhost::np_rates(k, p, r, &cost, Default::default());
+        prop_assert!(np.sender > 0.0 && np.receiver > 0.0);
+        // Pre-encoding can only raise the sender rate.
+        let pre = crate::endhost::np_rates(
+            k, p, r, &cost,
+            crate::endhost::NpOptions { preencode: true, ..Default::default() },
+        );
+        prop_assert!(pre.sender >= np.sender - 1e-12);
+    }
+}

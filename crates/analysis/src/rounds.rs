@@ -1,0 +1,151 @@
+//! Transmission rounds — appendix Eq. (17).
+//!
+//! Protocol NP transmits a TG in rounds (round 1: the `k` data packets;
+//! round `j > 1`: as many parities as the worst receiver still needs). The
+//! appendix upper-bounds the rounds a single receiver needs via the
+//! Ayanoglu et al. \[19\] expression
+//!
+//! ```text
+//!     P(T_r <= m) = (1 - p^m)^k
+//! ```
+//!
+//! (each of the `k` packet "slots" independently survives within `m` rounds
+//! with probability `1 - p^m`), and the population-wide rounds satisfy
+//! `P(T <= m) = P(T_r <= m)^R`.
+
+use crate::numerics::{one_minus_pow_one_minus, sum_series};
+use crate::population::Population;
+
+const SERIES_CAP: u64 = 100_000;
+const SERIES_TOL: f64 = 1e-12;
+
+/// `P(T_r <= m)` for one receiver with loss probability `p` and TG size `k`.
+///
+/// # Panics
+/// Panics unless `k >= 1` and `p` is in `[0, 1)`.
+pub fn receiver_rounds_cdf(k: usize, p: f64, m: u64) -> f64 {
+    assert!(k >= 1, "k must be at least 1");
+    assert!((0.0..1.0).contains(&p), "p must be in [0, 1)");
+    if m == 0 {
+        return 0.0;
+    }
+    (k as f64 * (-p.powi(m as i32)).ln_1p()).exp()
+}
+
+/// `E[T_r]` — expected rounds for a single receiver.
+pub fn receiver_expected_rounds(k: usize, p: f64) -> f64 {
+    sum_series(0, SERIES_TOL, SERIES_CAP, |m| {
+        1.0 - receiver_rounds_cdf(k, p, m)
+    })
+}
+
+/// `P(T_r = m)`.
+pub fn receiver_rounds_pmf(k: usize, p: f64, m: u64) -> f64 {
+    if m == 0 {
+        return 0.0;
+    }
+    receiver_rounds_cdf(k, p, m) - receiver_rounds_cdf(k, p, m - 1)
+}
+
+/// `E[T_r | T_r > 2]` — used by the receiver processing-rate formula
+/// (timeout overhead is only paid from the third round on).
+///
+/// Returns 0 when `P(T_r > 2) = 0` (lossless populations never time out).
+pub fn receiver_rounds_tail_mean(k: usize, p: f64) -> f64 {
+    let p1 = receiver_rounds_pmf(k, p, 1);
+    let p2 = receiver_rounds_pmf(k, p, 2);
+    let p_gt2 = 1.0 - p1 - p2;
+    if p_gt2 <= 0.0 {
+        return 0.0;
+    }
+    (receiver_expected_rounds(k, p) - p1 - 2.0 * p2) / p_gt2
+}
+
+/// `P(T_r > 2)`.
+pub fn receiver_rounds_gt2(k: usize, p: f64) -> f64 {
+    one_minus_pow_one_minus(p * p, k as f64) // 1 - (1 - p^2)^k
+}
+
+/// `E[T]` — expected rounds until *every* receiver has the TG,
+/// `P(T <= m) = prod_r P(T_r <= m)` over the (possibly heterogeneous)
+/// population.
+pub fn expected_rounds(k: usize, pop: &Population) -> f64 {
+    sum_series(0, SERIES_TOL, SERIES_CAP, |m| {
+        let mut ln_prod = 0.0f64;
+        for &(p, c) in pop.classes() {
+            let cdf = receiver_rounds_cdf(k, p, m);
+            if cdf <= 0.0 {
+                return 1.0;
+            }
+            ln_prod += c as f64 * cdf.ln();
+        }
+        -ln_prod.exp_m1()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cdf_sane() {
+        assert_eq!(receiver_rounds_cdf(7, 0.01, 0), 0.0);
+        let c1 = receiver_rounds_cdf(7, 0.01, 1);
+        assert!((c1 - 0.99f64.powi(7)).abs() < 1e-12);
+        let mut prev = 0.0;
+        for m in 0..20 {
+            let c = receiver_rounds_cdf(7, 0.3, m);
+            assert!(c >= prev);
+            prev = c;
+        }
+        assert!(prev > 1.0 - 1e-9);
+    }
+
+    #[test]
+    fn lossless_one_round() {
+        assert!((receiver_expected_rounds(20, 0.0) - 1.0).abs() < 1e-12);
+        let pop = Population::homogeneous(0.0, 1_000_000);
+        assert!((expected_rounds(20, &pop) - 1.0).abs() < 1e-12);
+        assert_eq!(receiver_rounds_tail_mean(20, 0.0), 0.0);
+    }
+
+    #[test]
+    fn k1_geometric_rounds() {
+        // k = 1: P(T_r <= m) = 1 - p^m, so E[T_r] = 1/(1-p).
+        let p = 0.25;
+        let e = receiver_expected_rounds(1, p);
+        assert!((e - 1.0 / (1.0 - p)).abs() < 1e-9, "e={e}");
+    }
+
+    #[test]
+    fn rounds_grow_slowly_with_population() {
+        let e1 = expected_rounds(20, &Population::homogeneous(0.01, 1));
+        let e6 = expected_rounds(20, &Population::homogeneous(0.01, 1_000_000));
+        assert!(e6 > e1);
+        assert!(e6 < e1 + 4.0, "logarithmic growth expected: {e1} -> {e6}");
+    }
+
+    #[test]
+    fn tail_mean_exceeds_two() {
+        let t = receiver_rounds_tail_mean(20, 0.25);
+        assert!(
+            t > 2.0,
+            "conditional mean beyond 2 rounds must exceed 2, got {t}"
+        );
+    }
+
+    #[test]
+    fn gt2_matches_pmf_sum() {
+        let k = 20;
+        let p = 0.1;
+        let direct = receiver_rounds_gt2(k, p);
+        let via_pmf = 1.0 - receiver_rounds_pmf(k, p, 1) - receiver_rounds_pmf(k, p, 2);
+        assert!((direct - via_pmf).abs() < 1e-12, "{direct} vs {via_pmf}");
+    }
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let total: f64 = (0..200).map(|m| receiver_rounds_pmf(7, 0.3, m)).sum();
+        assert!((total - 1.0).abs() < 1e-9, "{total}");
+    }
+}

@@ -1,0 +1,152 @@
+//! Code-parameter tuning — the paper's "the number of parity packets
+//! needs to be matched to the TG size" observation (Section 3.1) and its
+//! future-work thread, turned into a small planning API.
+//!
+//! Everything here is a thin search over the Section 3 formulas, so the
+//! answers inherit their assumptions (independent loss, idealized
+//! integrated protocol).
+
+use crate::integrated;
+use crate::layered;
+use crate::population::Population;
+
+/// Largest block GF(2^8) supports.
+const MAX_BLOCK: usize = 255;
+
+/// Smallest parity budget `h` for which the finite-budget integrated
+/// scheme is within `tol` (relative) of the Eq. (6) lower bound — "how
+/// many parities until more stop mattering". Returns `None` if no
+/// `h <= 255 - k` reaches the tolerance (huge populations: the budgeted
+/// scheme re-TGs often no matter what).
+///
+/// # Panics
+/// Panics unless `k >= 1`, `k <= 255` and `tol > 0`.
+pub fn min_parity_for_bound(k: usize, pop: &Population, tol: f64) -> Option<usize> {
+    assert!((1..=MAX_BLOCK).contains(&k), "k out of range");
+    assert!(tol > 0.0, "tolerance must be positive");
+    let bound = integrated::lower_bound(k, 0, pop);
+    (0..=(MAX_BLOCK - k)).find(|&h| {
+        let m = integrated::finite(k, h, 0, pop);
+        (m - bound) / bound <= tol
+    })
+}
+
+/// Smallest TG size `k` whose idealized integrated E\[M\] meets
+/// `target_m`, or `None` if even `k = 255` misses it (then the target is
+/// below what this population/loss combination allows).
+///
+/// Larger `k` amortises repairs over more packets (Fig. 7), so E\[M\] is
+/// decreasing in `k` and a linear scan from small `k` finds the minimum
+/// group size — which also minimises decoding latency and memory.
+///
+/// # Panics
+/// Panics unless `target_m >= 1`.
+pub fn min_group_for_target(pop: &Population, target_m: f64) -> Option<usize> {
+    assert!(target_m >= 1.0, "E[M] below 1 is impossible");
+    (1..=MAX_BLOCK).find(|&k| integrated::lower_bound(k, 0, pop) <= target_m)
+}
+
+/// For layered FEC with a fixed `k`: the parity count `h*` minimising
+/// E\[M\] (the trade-off the paper illustrates with Figs. 3/4: too few
+/// parities leave retransmissions, too many waste bandwidth). Returns
+/// `(h*, E\[M\] at h*)`.
+///
+/// # Panics
+/// Panics unless `1 <= k <= 255`.
+pub fn best_layered_parity(k: usize, pop: &Population) -> (usize, f64) {
+    assert!((1..=MAX_BLOCK).contains(&k), "k out of range");
+    let mut best = (0usize, layered::expected_transmissions(k, 0, pop));
+    for h in 1..=(MAX_BLOCK - k) {
+        let m = layered::expected_transmissions(k, h, pop);
+        if m < best.1 {
+            best = (h, m);
+        }
+        // E\[M\] is convex-ish in h: once we are clearly past the minimum
+        // (pure n/k growth), stop scanning.
+        if m > best.1 * 1.5 && h > best.0 + 5 {
+            break;
+        }
+    }
+    best
+}
+
+/// Proactive-parity planning for latency-sensitive senders: the smallest
+/// `a` such that a fraction >= `quantile` of receivers decode a group
+/// from round 1 alone (no feedback round-trip). With independent loss the
+/// per-receiver round-1 success probability is `P(Bin(k + a, p) <= a)`.
+///
+/// Returns `None` if even `a = 255 - k` cannot reach the quantile.
+///
+/// # Panics
+/// Panics unless `k` in range, `p` in `[0, 1)`, `quantile` in `(0, 1]`.
+pub fn min_proactive_parity(k: usize, p: f64, quantile: f64) -> Option<usize> {
+    assert!((1..=MAX_BLOCK).contains(&k), "k out of range");
+    assert!((0.0..1.0).contains(&p), "p must be in [0, 1)");
+    assert!(quantile > 0.0 && quantile <= 1.0, "quantile in (0, 1]");
+    (0..=(MAX_BLOCK - k))
+        .find(|&a| crate::numerics::binom_cdf((k + a) as u64, a as u64, p) >= quantile)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parity_budget_matches_fig6() {
+        // k = 7, p = 0.01: 3 parities reach the bound (2%) through 1e4.
+        let pop = Population::homogeneous(0.01, 10_000);
+        let h = min_parity_for_bound(7, &pop, 0.02).unwrap();
+        assert!(h <= 3, "h={h}");
+        // Lossless populations need none.
+        let clean = Population::homogeneous(0.0, 1000);
+        assert_eq!(min_parity_for_bound(7, &clean, 0.01), Some(0));
+    }
+
+    #[test]
+    fn group_size_for_target() {
+        let pop = Population::homogeneous(0.01, 1_000_000);
+        // Fig. 7: k = 100 achieves ~1.09 at 1e6.
+        let k = min_group_for_target(&pop, 1.10).unwrap();
+        assert!((60..=110).contains(&k), "k={k}");
+        // Impossible target.
+        assert_eq!(min_group_for_target(&pop, 1.0000001), None);
+        // Trivial target.
+        assert_eq!(min_group_for_target(&pop, 100.0), Some(1));
+    }
+
+    #[test]
+    fn layered_optimum_moves_with_population() {
+        let small = Population::homogeneous(0.01, 10);
+        let large = Population::homogeneous(0.01, 1_000_000);
+        let (h_small, m_small) = best_layered_parity(20, &small);
+        let (h_large, m_large) = best_layered_parity(20, &large);
+        assert!(h_large >= h_small, "bigger populations want more parities");
+        assert!(m_small <= m_large);
+        // The optimum beats both endpoints it interpolates.
+        let none = layered::expected_transmissions(20, 0, &large);
+        assert!(m_large <= none);
+    }
+
+    #[test]
+    fn proactive_parity_quantiles() {
+        // k = 7, p = 0.01: one parity covers the vast majority of
+        // receivers in round 1.
+        let a = min_proactive_parity(7, 0.01, 0.99).unwrap();
+        assert!(a <= 2, "a={a}");
+        // Perfection requires more; heavy loss more still.
+        let a_heavy = min_proactive_parity(7, 0.25, 0.99).unwrap();
+        assert!(a_heavy >= 4, "a_heavy={a_heavy}");
+        assert_eq!(min_proactive_parity(7, 0.0, 1.0), Some(0));
+    }
+
+    #[test]
+    fn consistency_between_planners() {
+        // The h chosen by min_parity_for_bound indeed achieves the bound.
+        let pop = Population::homogeneous(0.05, 1000);
+        let k = 20;
+        let h = min_parity_for_bound(k, &pop, 0.05).unwrap();
+        let bound = integrated::lower_bound(k, 0, &pop);
+        let m = integrated::finite(k, h, 0, &pop);
+        assert!((m - bound) / bound <= 0.05);
+    }
+}

@@ -1,0 +1,57 @@
+//! Criterion benchmarks of the analytical engine: the figure grids sweep
+//! these functions hundreds of times, so they must stay fast even at
+//! `R = 10^6`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use pm_analysis::{integrated, layered, nofec, rounds, Population};
+
+fn bench_expected_transmissions(c: &mut Criterion) {
+    let mut g = c.benchmark_group("expected_transmissions");
+    for &r in &[1_000u64, 1_000_000] {
+        let pop = Population::homogeneous(0.01, r);
+        g.bench_with_input(BenchmarkId::new("nofec", r), &pop, |b, pop| {
+            b.iter(|| nofec::expected_transmissions(std::hint::black_box(pop)));
+        });
+        g.bench_with_input(BenchmarkId::new("layered_k7_h2", r), &pop, |b, pop| {
+            b.iter(|| layered::expected_transmissions(7, 2, std::hint::black_box(pop)));
+        });
+        g.bench_with_input(
+            BenchmarkId::new("integrated_bound_k7", r),
+            &pop,
+            |b, pop| {
+                b.iter(|| integrated::lower_bound(7, 0, std::hint::black_box(pop)));
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("integrated_finite_k7_h3", r),
+            &pop,
+            |b, pop| {
+                b.iter(|| integrated::finite(7, 3, 0, std::hint::black_box(pop)));
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_hetero(c: &mut Criterion) {
+    let pop = Population::two_class(1_000_000, 0.01, 0.01, 0.25);
+    c.bench_function("hetero_integrated_bound_1e6", |b| {
+        b.iter(|| integrated::lower_bound(7, 0, std::hint::black_box(&pop)));
+    });
+}
+
+fn bench_rounds(c: &mut Criterion) {
+    let pop = Population::homogeneous(0.01, 1_000_000);
+    c.bench_function("expected_rounds_k20_1e6", |b| {
+        b.iter(|| rounds::expected_rounds(20, std::hint::black_box(&pop)));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_expected_transmissions,
+    bench_hetero,
+    bench_rounds
+);
+criterion_main!(benches);

@@ -1,0 +1,144 @@
+//! Criterion benchmarks of the RSE codec — the measured basis of Fig. 1.
+//!
+//! Throughput is reported in bytes of *data* processed, so `thrpt` lines
+//! convert directly to the paper's packets/second at 1 KB packets.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use pm_rse::{CodeSpec, RseDecoder, RseEncoder};
+
+const PACKET: usize = 1024;
+
+fn group_data(k: usize) -> Vec<Vec<u8>> {
+    (0..k)
+        .map(|i| {
+            (0..PACKET)
+                .map(|b| ((i * 37 + b * 11) % 256) as u8)
+                .collect()
+        })
+        .collect()
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let mut g = c.benchmark_group("encode");
+    for &(k, h) in &[
+        (7usize, 1usize),
+        (7, 3),
+        (20, 2),
+        (20, 10),
+        (100, 7),
+        (100, 20),
+    ] {
+        let enc = RseEncoder::new(CodeSpec::new(k, h).unwrap()).unwrap();
+        let data = group_data(k);
+        g.throughput(Throughput::Bytes((k * PACKET) as u64));
+        g.bench_with_input(
+            BenchmarkId::new(format!("k={k}"), format!("h={h}")),
+            &h,
+            |b, _| {
+                b.iter(|| enc.encode_all(std::hint::black_box(&data)).unwrap());
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_single_parity(c: &mut Criterion) {
+    // Protocol NP's hot path: produce exactly one fresh parity on NAK.
+    let mut g = c.benchmark_group("single_parity");
+    for &k in &[7usize, 20, 100] {
+        let enc = RseEncoder::new(CodeSpec::new(k, 8).unwrap()).unwrap();
+        let data = group_data(k);
+        g.throughput(Throughput::Bytes((k * PACKET) as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
+            b.iter(|| enc.parity(3, std::hint::black_box(&data)).unwrap());
+        });
+    }
+    g.finish();
+}
+
+fn bench_decode(c: &mut Criterion) {
+    let mut g = c.benchmark_group("decode");
+    for &(k, lost) in &[(7usize, 1usize), (7, 3), (20, 5), (100, 7)] {
+        let enc = RseEncoder::new(CodeSpec::new(k, lost).unwrap()).unwrap();
+        let dec = RseDecoder::from_encoder(&enc);
+        let data = group_data(k);
+        let parities = enc.encode_all(&data).unwrap();
+        let shares: Vec<(usize, &[u8])> = data
+            .iter()
+            .enumerate()
+            .skip(lost)
+            .map(|(i, d)| (i, d.as_slice()))
+            .chain(
+                parities
+                    .iter()
+                    .enumerate()
+                    .map(|(j, p)| (k + j, p.as_slice())),
+            )
+            .collect();
+        g.throughput(Throughput::Bytes((k * PACKET) as u64));
+        g.bench_with_input(
+            BenchmarkId::new(format!("k={k}"), format!("lost={lost}")),
+            &lost,
+            |b, _| {
+                b.iter(|| dec.decode(std::hint::black_box(&shares)).unwrap());
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_decode_fast_path(c: &mut Criterion) {
+    // All data received: decoding must be near-free (systematic code).
+    let enc = RseEncoder::new(CodeSpec::new(20, 10).unwrap()).unwrap();
+    let dec = RseDecoder::from_encoder(&enc);
+    let data = group_data(20);
+    let shares: Vec<(usize, &[u8])> = data
+        .iter()
+        .enumerate()
+        .map(|(i, d)| (i, d.as_slice()))
+        .collect();
+    c.bench_function("decode_fast_path_k20", |b| {
+        b.iter(|| dec.decode(std::hint::black_box(&shares)).unwrap());
+    });
+}
+
+fn bench_incremental_decode(c: &mut Criterion) {
+    use pm_rse::IncrementalDecoder;
+    // Same recovery task as `decode` k=20/lost=5, spread across arrivals.
+    let (k, lost) = (20usize, 5usize);
+    let enc = RseEncoder::new(CodeSpec::new(k, lost).unwrap()).unwrap();
+    let data = group_data(k);
+    let parities = enc.encode_all(&data).unwrap();
+    let order: Vec<(usize, &[u8])> = data
+        .iter()
+        .enumerate()
+        .skip(lost)
+        .map(|(i, d)| (i, d.as_slice()))
+        .chain(
+            parities
+                .iter()
+                .enumerate()
+                .map(|(j, p)| (k + j, p.as_slice())),
+        )
+        .collect();
+    c.bench_function("incremental_decode_k20_lost5", |b| {
+        b.iter(|| {
+            let mut dec = IncrementalDecoder::from_encoder(&enc);
+            for &(i, p) in &order {
+                dec.add_share(i, std::hint::black_box(p)).unwrap();
+            }
+            dec.finish().unwrap()
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_encode,
+    bench_single_parity,
+    bench_decode,
+    bench_decode_fast_path,
+    bench_incremental_decode
+);
+criterion_main!(benches);

@@ -1,0 +1,96 @@
+//! Figure 3 — no-FEC vs layered FEC with `h = 2` parities, TG sizes
+//! `k = 7, 20, 100`, loss `p = 0.01`.
+
+use pm_analysis::{layered, nofec, Population};
+
+use crate::common::{receiver_grid, Figure, Quality, Series};
+
+/// Loss probability of the figure.
+pub const P: f64 = 0.01;
+
+/// Shared generator for Figs. 3/4 (they differ only in `h`).
+pub fn layered_figure(id: &str, h: usize, quality: Quality) -> Figure {
+    let grid = receiver_grid(quality);
+    let no_fec: Vec<(f64, f64)> = grid
+        .iter()
+        .map(|&r| {
+            (
+                r as f64,
+                nofec::expected_transmissions(&Population::homogeneous(P, r)),
+            )
+        })
+        .collect();
+    let mut series = vec![Series::new("no FEC", no_fec)];
+    for k in [7usize, 20, 100] {
+        let pts: Vec<(f64, f64)> = grid
+            .iter()
+            .map(|&r| {
+                (
+                    r as f64,
+                    layered::expected_transmissions(k, h, &Population::homogeneous(P, r)),
+                )
+            })
+            .collect();
+        series.push(Series::new(format!("layered FEC, k = {k}"), pts));
+    }
+    Figure {
+        id: id.into(),
+        title: format!("no-FEC vs layered FEC, h = {h}, p = {P}"),
+        x_label: "receivers R".into(),
+        y_label: "transmissions E[M]".into(),
+        log_x: true,
+        series,
+        notes: vec![format!("Eq. (2)+(3); h = {h} parity packets per group")],
+    }
+}
+
+/// Generate Figure 3.
+pub fn generate(quality: Quality) -> Figure {
+    layered_figure("fig3", 2, quality)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::Quality;
+
+    #[test]
+    fn paper_shape_h2() {
+        let fig = generate(Quality::Full);
+        let no_fec = fig.series_named("no FEC").unwrap().last_y().unwrap();
+        let k7 = fig
+            .series_named("layered FEC, k = 7")
+            .unwrap()
+            .last_y()
+            .unwrap();
+        let k20 = fig
+            .series_named("layered FEC, k = 20")
+            .unwrap()
+            .last_y()
+            .unwrap();
+        let k100 = fig
+            .series_named("layered FEC, k = 100")
+            .unwrap()
+            .last_y()
+            .unwrap();
+        // At R = 1e6 with only 2 parities: k=7 and k=20 beat no-FEC,
+        // k=100 is under-protected and worse than both.
+        assert!(
+            k7 < no_fec && k20 < no_fec,
+            "k7={k7} k20={k20} noFEC={no_fec}"
+        );
+        assert!(k100 > k7 && k100 > k20, "k100={k100} should underperform");
+        // Paper magnitudes at the right edge: no-FEC ~ 4, layered k=7 ~< 2.5.
+        assert!((3.0..5.0).contains(&no_fec), "no_fec={no_fec}");
+        assert!(k7 < 2.6, "k7={k7}");
+    }
+
+    #[test]
+    fn small_population_overhead() {
+        // At R = 1 layered FEC pays the n/k overhead and loses to no-FEC.
+        let fig = generate(Quality::Quick);
+        let no_fec = fig.series_named("no FEC").unwrap().points[0].1;
+        let k7 = fig.series_named("layered FEC, k = 7").unwrap().points[0].1;
+        assert!(k7 > no_fec);
+    }
+}

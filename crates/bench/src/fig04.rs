@@ -1,0 +1,52 @@
+//! Figure 4 — no-FEC vs layered FEC with `h = 7` parities, `k = 7, 20,
+//! 100`, `p = 0.01`.
+
+use crate::common::{Figure, Quality};
+use crate::fig03::layered_figure;
+
+/// Generate Figure 4.
+pub fn generate(quality: Quality) -> Figure {
+    layered_figure("fig4", 7, quality)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_shape_h7() {
+        let fig = generate(Quality::Full);
+        // With 7 parities, k = 100 becomes the best choice for mid-size
+        // populations (the paper: "1 - 200,000 range").
+        let k7 = fig.series_named("layered FEC, k = 7").unwrap();
+        let k20 = fig.series_named("layered FEC, k = 20").unwrap();
+        let k100 = fig.series_named("layered FEC, k = 100").unwrap();
+        for x in [100.0f64, 10_000.0, 100_000.0] {
+            let (a, b, c) = (
+                k100.y_at(x).unwrap(),
+                k20.y_at(x).unwrap(),
+                k7.y_at(x).unwrap(),
+            );
+            assert!(a < b && b < c, "at R={x}: k100={a} k20={b} k7={c}");
+        }
+    }
+
+    #[test]
+    fn more_parities_help_at_paper_scale() {
+        // At R = 10^6 the h = 2 curves for k >= 20 are retransmission-
+        // bound, so the h = 7 overhead pays for itself. (At R <= 1000 it
+        // does not — extra parities are then pure expansion-factor cost.)
+        let f3 = crate::fig03::generate(Quality::Full);
+        let f4 = generate(Quality::Full);
+        for k in [20, 100] {
+            let label = format!("layered FEC, k = {k}");
+            let h2 = f3.series_named(&label).unwrap().last_y().unwrap();
+            let h7 = f4.series_named(&label).unwrap().last_y().unwrap();
+            assert!(h7 < h2, "k={k}: h7={h7} h2={h2}");
+        }
+        let label = "layered FEC, k = 20";
+        let h2_small = f3.series_named(label).unwrap().y_at(1000.0).unwrap();
+        let h7_small = f4.series_named(label).unwrap().y_at(1000.0).unwrap();
+        assert!(h7_small > h2_small, "at R=1e3 extra parities are overhead");
+    }
+}

@@ -1,0 +1,93 @@
+//! Figure 6 — integrated FEC with finite parity budgets: `(7,8)`, `(7,9)`,
+//! `(7,10)` and `(7, inf)`, `p = 0.01`.
+
+use pm_analysis::{integrated, nofec, Population};
+
+use crate::common::{receiver_grid, Figure, Quality, Series};
+
+const P: f64 = 0.01;
+const K: usize = 7;
+
+/// Generate Figure 6.
+pub fn generate(quality: Quality) -> Figure {
+    let grid = receiver_grid(quality);
+    let mut series = vec![Series::new(
+        "non-FEC",
+        grid.iter()
+            .map(|&r| {
+                (
+                    r as f64,
+                    nofec::expected_transmissions(&Population::homogeneous(P, r)),
+                )
+            })
+            .collect(),
+    )];
+    for h in [1usize, 2, 3] {
+        let n = K + h;
+        series.push(Series::new(
+            format!("({K},{n})"),
+            grid.iter()
+                .map(|&r| {
+                    (
+                        r as f64,
+                        integrated::finite(K, h, 0, &Population::homogeneous(P, r)),
+                    )
+                })
+                .collect(),
+        ));
+    }
+    series.push(Series::new(
+        format!("({K},inf)"),
+        grid.iter()
+            .map(|&r| {
+                (
+                    r as f64,
+                    integrated::lower_bound(K, 0, &Population::homogeneous(P, r)),
+                )
+            })
+            .collect(),
+    ));
+    Figure {
+        id: "fig6".into(),
+        title: format!("integrated FEC, k = {K}, finite parity budgets, p = {P}"),
+        x_label: "receivers R".into(),
+        y_label: "transmissions E[M]".into(),
+        log_x: true,
+        series,
+        notes: vec!["paper: 3 parities attain the bound for R up to 100k-200k".into()],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn three_parities_reach_the_bound_mid_range() {
+        let fig = generate(Quality::Full);
+        let h3 = fig.series_named("(7,10)").unwrap();
+        let bound = fig.series_named("(7,inf)").unwrap();
+        for x in [100.0f64, 10_000.0] {
+            let a = h3.y_at(x).unwrap();
+            let b = bound.y_at(x).unwrap();
+            assert!((a - b) / b < 0.02, "at R={x}: (7,10)={a} bound={b}");
+        }
+        // ... and visibly peel away by R = 1e6.
+        let a = h3.last_y().unwrap();
+        let b = bound.last_y().unwrap();
+        assert!(
+            a > b * 1.05,
+            "at 1e6 the budgeted curve must diverge: {a} vs {b}"
+        );
+    }
+
+    #[test]
+    fn all_budgets_beat_nofec_at_scale() {
+        let fig = generate(Quality::Full);
+        let n = fig.series_named("non-FEC").unwrap().last_y().unwrap();
+        for label in ["(7,8)", "(7,9)", "(7,10)", "(7,inf)"] {
+            let v = fig.series_named(label).unwrap().last_y().unwrap();
+            assert!(v < n, "{label}={v} vs non-FEC={n}");
+        }
+    }
+}

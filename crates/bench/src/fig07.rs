@@ -1,0 +1,78 @@
+//! Figure 7 — idealized integrated FEC vs receiver count for
+//! `k = 7, 20, 100`, `p = 0.01`.
+
+use pm_analysis::{integrated, nofec, Population};
+
+use crate::common::{receiver_grid, Figure, Quality, Series};
+
+const P: f64 = 0.01;
+
+/// Generate Figure 7.
+pub fn generate(quality: Quality) -> Figure {
+    let grid = receiver_grid(quality);
+    let mut series = vec![Series::new(
+        "no FEC",
+        grid.iter()
+            .map(|&r| {
+                (
+                    r as f64,
+                    nofec::expected_transmissions(&Population::homogeneous(P, r)),
+                )
+            })
+            .collect(),
+    )];
+    for k in [7usize, 20, 100] {
+        series.push(Series::new(
+            format!("integr. FEC, k = {k}"),
+            grid.iter()
+                .map(|&r| {
+                    (
+                        r as f64,
+                        integrated::lower_bound(k, 0, &Population::homogeneous(P, r)),
+                    )
+                })
+                .collect(),
+        ));
+    }
+    Figure {
+        id: "fig7".into(),
+        title: format!("influence of k on idealized integrated FEC, p = {P}"),
+        x_label: "receivers R".into(),
+        y_label: "transmissions E[M]".into(),
+        log_x: true,
+        series,
+        notes: vec!["Eq. (4)-(6) with a = 0".into()],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn larger_groups_drive_m_to_one() {
+        let fig = generate(Quality::Full);
+        let k7 = fig
+            .series_named("integr. FEC, k = 7")
+            .unwrap()
+            .last_y()
+            .unwrap();
+        let k20 = fig
+            .series_named("integr. FEC, k = 20")
+            .unwrap()
+            .last_y()
+            .unwrap();
+        let k100 = fig
+            .series_named("integr. FEC, k = 100")
+            .unwrap()
+            .last_y()
+            .unwrap();
+        assert!(k100 < k20 && k20 < k7, "{k100} < {k20} < {k7}");
+        assert!(k100 < 1.25, "k=100 at R=1e6 should be near 1, got {k100}");
+        let no_fec = fig.series_named("no FEC").unwrap().last_y().unwrap();
+        assert!(
+            no_fec / k100 > 3.0,
+            "the dramatic reduction: {no_fec} vs {k100}"
+        );
+    }
+}

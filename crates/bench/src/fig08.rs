@@ -1,0 +1,83 @@
+//! Figure 8 — idealized integrated FEC vs loss probability at `R = 1000`,
+//! `k = 7, 20, 100`.
+
+use pm_analysis::{integrated, nofec, Population};
+
+use crate::common::{Figure, Quality, Series};
+
+const R: u64 = 1000;
+
+fn p_grid(quality: Quality) -> Vec<f64> {
+    match quality {
+        Quality::Quick => vec![0.001, 0.01, 0.1],
+        Quality::Full => vec![0.001, 0.002, 0.005, 0.01, 0.02, 0.05, 0.1],
+    }
+}
+
+/// Generate Figure 8.
+pub fn generate(quality: Quality) -> Figure {
+    let ps = p_grid(quality);
+    let mut series = vec![Series::new(
+        "no FEC",
+        ps.iter()
+            .map(|&p| {
+                (
+                    p,
+                    nofec::expected_transmissions(&Population::homogeneous(p, R)),
+                )
+            })
+            .collect(),
+    )];
+    for k in [7usize, 20, 100] {
+        series.push(Series::new(
+            format!("integr. FEC, k = {k}"),
+            ps.iter()
+                .map(|&p| {
+                    (
+                        p,
+                        integrated::lower_bound(k, 0, &Population::homogeneous(p, R)),
+                    )
+                })
+                .collect(),
+        ));
+    }
+    Figure {
+        id: "fig8".into(),
+        title: format!("influence of p on idealized integrated FEC, R = {R}"),
+        x_label: "packet loss probability p".into(),
+        y_label: "transmissions E[M]".into(),
+        log_x: true,
+        series,
+        notes: vec!["Eq. (4)-(6) with a = 0".into()],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn large_k_insensitive_to_p() {
+        let fig = generate(Quality::Full);
+        let k100 = fig.series_named("integr. FEC, k = 100").unwrap();
+        let spread = k100.last_y().unwrap() - k100.points[0].1;
+        assert!(
+            spread < 0.6,
+            "k=100 spread over p grid should stay small, got {spread}"
+        );
+        // no-FEC blows up over the same range.
+        let n = fig.series_named("no FEC").unwrap();
+        let n_spread = n.last_y().unwrap() - n.points[0].1;
+        assert!(n_spread > 1.5, "no-FEC spread {n_spread}");
+    }
+
+    #[test]
+    fn monotone_in_p() {
+        let fig = generate(Quality::Full);
+        for s in &fig.series {
+            for w in s.points.windows(2) {
+                assert!(w[1].1 >= w[0].1 - 1e-9, "{}: non-monotone {w:?}", s.label);
+            }
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! Figure 9 — heterogeneous populations without FEC: 0/1/5/25% high-loss
+//! receivers (`p = 0.25`) among `p = 0.01` receivers.
+
+use pm_analysis::{nofec, Population};
+
+use crate::common::{receiver_grid, Figure, Quality, Series};
+
+/// The paper's two-class parameters.
+pub const P_LOW: f64 = 0.01;
+/// High-loss class probability.
+pub const P_HIGH: f64 = 0.25;
+/// High-loss fractions plotted.
+pub const ALPHAS: [f64; 4] = [0.0, 0.01, 0.05, 0.25];
+
+/// Shared generator for Figs. 9/10.
+pub fn hetero_figure(
+    id: &str,
+    title: &str,
+    quality: Quality,
+    eval: impl Fn(&Population) -> f64,
+) -> Figure {
+    let grid = receiver_grid(quality);
+    let mut series = Vec::new();
+    for &alpha in &ALPHAS {
+        let pts: Vec<(f64, f64)> = grid
+            .iter()
+            .map(|&r| {
+                (
+                    r as f64,
+                    eval(&Population::two_class(r, alpha, P_LOW, P_HIGH)),
+                )
+            })
+            .collect();
+        series.push(Series::new(
+            format!("high loss: {}%", (alpha * 100.0) as u32),
+            pts,
+        ));
+    }
+    Figure {
+        id: id.into(),
+        title: title.into(),
+        x_label: "receivers R".into(),
+        y_label: "transmissions E[M]".into(),
+        log_x: true,
+        series,
+        notes: vec![format!(
+            "two classes: p = {P_LOW} and p = {P_HIGH} (Eq. 7/8)"
+        )],
+    }
+}
+
+/// Generate Figure 9.
+pub fn generate(quality: Quality) -> Figure {
+    hetero_figure("fig9", "heterogeneous receivers, no FEC", quality, |pop| {
+        nofec::expected_transmissions(pop)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_percent_roughly_doubles_at_a_million() {
+        let fig = generate(Quality::Full);
+        let clean = fig.series_named("high loss: 0%").unwrap().last_y().unwrap();
+        let one = fig.series_named("high loss: 1%").unwrap().last_y().unwrap();
+        let ratio = one / clean;
+        assert!((1.5..2.6).contains(&ratio), "ratio at R=1e6: {ratio}");
+    }
+
+    #[test]
+    fn degradation_ordered_by_alpha() {
+        let fig = generate(Quality::Quick);
+        let edge: Vec<f64> = fig.series.iter().map(|s| s.last_y().unwrap()).collect();
+        for w in edge.windows(2) {
+            assert!(
+                w[1] >= w[0] - 1e-9,
+                "more high-loss receivers must cost more: {edge:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn single_high_loss_receiver_in_100_is_mild() {
+        let fig = generate(Quality::Full);
+        let clean = fig
+            .series_named("high loss: 0%")
+            .unwrap()
+            .y_at(100.0)
+            .unwrap();
+        let one = fig
+            .series_named("high loss: 1%")
+            .unwrap()
+            .y_at(100.0)
+            .unwrap();
+        assert!(one / clean < 1.5, "at R=100: {one} vs {clean}");
+    }
+}

@@ -1,0 +1,91 @@
+//! Figure 14 — distribution of consecutive-loss run lengths at one
+//! receiver: independent loss vs Markov burst loss (`b = 2`), `p = 0.01`,
+//! packets every 40 ms.
+
+use pm_loss::{BurstStats, GilbertLoss, IndependentLoss, LossModel};
+
+use crate::common::{Figure, Quality, Series};
+
+const P: f64 = 0.01;
+const DELTA: f64 = 0.040;
+
+fn histogram(model: &mut dyn LossModel, packets: usize) -> Vec<(f64, f64)> {
+    let mut stats = BurstStats::new();
+    let mut lost = vec![false; 1];
+    for i in 0..packets {
+        model.sample(i as f64 * DELTA, &mut lost);
+        stats.record(lost[0]);
+    }
+    stats.finish();
+    stats
+        .histogram()
+        .iter()
+        .enumerate()
+        .filter(|(_, &c)| c > 0)
+        .map(|(i, &c)| ((i + 1) as f64, c as f64))
+        .collect()
+}
+
+/// Generate Figure 14.
+pub fn generate(quality: Quality) -> Figure {
+    let packets = match quality {
+        Quality::Quick => 200_000,
+        Quality::Full => 2_000_000,
+    };
+    let mut iid = IndependentLoss::new(1, P, 0x14);
+    let mut burst = GilbertLoss::new(1, P, 2.0, DELTA, 0x14);
+    let series = vec![
+        Series::new("no burst loss", histogram(&mut iid, packets)),
+        Series::new("burst loss, b = 2", histogram(&mut burst, packets)),
+    ];
+    Figure {
+        id: "fig14".into(),
+        title: format!("burst length distribution, p = {P}"),
+        x_label: "burst length [packets]".into(),
+        y_label: "occurrences".into(),
+        log_x: false,
+        series,
+        notes: vec![format!(
+            "{packets} packets at 1/{DELTA} = 25 pkts/s, one receiver"
+        )],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn burst_model_has_heavier_tail() {
+        let fig = generate(Quality::Quick);
+        let iid = fig.series_named("no burst loss").unwrap();
+        let burst = fig.series_named("burst loss, b = 2").unwrap();
+        // Both have runs of length 1; the burst model has far more mass at
+        // length >= 2.
+        let tail = |s: &crate::Series| -> f64 {
+            s.points.iter().filter(|p| p.0 >= 2.0).map(|p| p.1).sum()
+        };
+        let t_iid = tail(iid);
+        let t_burst = tail(burst);
+        assert!(
+            t_burst > 10.0 * t_iid.max(1.0),
+            "burst tail {t_burst} vs iid tail {t_iid}"
+        );
+    }
+
+    #[test]
+    fn geometric_tail_on_log_scale() {
+        // The paper notes both tails fall linearly on a log scale: check
+        // successive ratios of the burst histogram are roughly constant.
+        let fig = generate(Quality::Quick);
+        let burst = fig.series_named("burst loss, b = 2").unwrap();
+        let ys: Vec<f64> = burst.points.iter().take(4).map(|p| p.1).collect();
+        if ys.len() >= 3 {
+            let r1 = ys[1] / ys[0];
+            let r2 = ys[2] / ys[1];
+            assert!((r1 - r2).abs() < 0.25, "ratios {r1} vs {r2}");
+            // Continuation probability ~ 1 - 1/b = 0.5.
+            assert!((r1 - 0.5).abs() < 0.15, "r1={r1}");
+        }
+    }
+}

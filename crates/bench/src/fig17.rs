@@ -1,0 +1,74 @@
+//! Figure 17 — sender/receiver processing rates for protocols N2 and NP,
+//! `k = 20`, `p = 0.01`, the paper's DECstation cost table.
+
+use pm_analysis::endhost::{n2_rates, np_rates, NpOptions};
+use pm_analysis::CostModel;
+
+use crate::common::{receiver_grid, Figure, Quality, Series};
+
+const P: f64 = 0.01;
+const K: usize = 20;
+
+/// Generate Figure 17.
+pub fn generate(quality: Quality) -> Figure {
+    let grid = receiver_grid(quality);
+    let cost = CostModel::paper_defaults();
+    let mut n2_s = Vec::new();
+    let mut n2_r = Vec::new();
+    let mut np_s = Vec::new();
+    let mut np_r = Vec::new();
+    for &r in &grid {
+        let n2 = n2_rates(P, r, &cost);
+        let np = np_rates(K, P, r, &cost, NpOptions::default());
+        // pkts/msec like the paper's y axis.
+        n2_s.push((r as f64, n2.sender / 1e3));
+        n2_r.push((r as f64, n2.receiver / 1e3));
+        np_s.push((r as f64, np.sender / 1e3));
+        np_r.push((r as f64, np.receiver / 1e3));
+    }
+    Figure {
+        id: "fig17".into(),
+        title: format!("processing rates, N2 vs NP, k = {K}, p = {P}"),
+        x_label: "receivers R".into(),
+        y_label: "processing rate [pkts/msec]".into(),
+        log_x: true,
+        series: vec![
+            Series::new("N2 sender", n2_s),
+            Series::new("N2 receiver", n2_r),
+            Series::new("NP sender", np_s),
+            Series::new("NP receiver", np_r),
+        ],
+        notes: vec!["Eqs. (10)-(16); paper cost constants (2KB pkts, DECstation 5000/200)".into()],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_shape() {
+        let fig = generate(Quality::Full);
+        let at_edge = |l: &str| fig.series_named(l).unwrap().last_y().unwrap();
+        // N2 sender and receiver curves nearly coincide.
+        let (n2s, n2r) = (at_edge("N2 sender"), at_edge("N2 receiver"));
+        assert!((n2s - n2r).abs() / n2s < 0.12, "{n2s} vs {n2r}");
+        // NP: sender is the bottleneck (encoding), receiver much faster.
+        let (nps, npr) = (at_edge("NP sender"), at_edge("NP receiver"));
+        assert!(nps < npr, "NP sender {nps} must be below receiver {npr}");
+        // All rates decrease with R.
+        for s in &fig.series {
+            assert!(
+                s.points[0].1 >= s.last_y().unwrap(),
+                "{} should decrease",
+                s.label
+            );
+        }
+        // Magnitudes in the paper's 0..1.1 pkts/msec window.
+        for s in &fig.series {
+            for &(_, y) in &s.points {
+                assert!((0.01..=1.3).contains(&y), "{}: {y}", s.label);
+            }
+        }
+    }
+}

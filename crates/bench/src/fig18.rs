@@ -1,0 +1,87 @@
+//! Figure 18 — achievable end-system throughput: N2 vs NP vs NP with
+//! pre-encoding, `k = 20`, `p = 0.01`.
+
+use pm_analysis::endhost::{n2_rates, np_rates, NpOptions};
+use pm_analysis::CostModel;
+
+use crate::common::{receiver_grid, Figure, Quality, Series};
+
+const P: f64 = 0.01;
+const K: usize = 20;
+
+/// Generate Figure 18.
+pub fn generate(quality: Quality) -> Figure {
+    let grid = receiver_grid(quality);
+    let cost = CostModel::paper_defaults();
+    let series = vec![
+        Series::new(
+            "N2",
+            grid.iter()
+                .map(|&r| (r as f64, n2_rates(P, r, &cost).throughput() / 1e3))
+                .collect(),
+        ),
+        Series::new(
+            "NP",
+            grid.iter()
+                .map(|&r| {
+                    (
+                        r as f64,
+                        np_rates(K, P, r, &cost, NpOptions::default()).throughput() / 1e3,
+                    )
+                })
+                .collect(),
+        ),
+        Series::new(
+            "NP pre-encode",
+            grid.iter()
+                .map(|&r| {
+                    let opts = NpOptions {
+                        preencode: true,
+                        ..Default::default()
+                    };
+                    (r as f64, np_rates(K, P, r, &cost, opts).throughput() / 1e3)
+                })
+                .collect(),
+        ),
+    ];
+    Figure {
+        id: "fig18".into(),
+        title: format!("throughput, N2 vs NP (with/without pre-encoding), k = {K}, p = {P}"),
+        x_label: "receivers R".into(),
+        y_label: "throughput [pkts/msec]".into(),
+        log_x: true,
+        series,
+        notes: vec!["Eq. (9)/(12) over the Eqs. (10)-(16) rates".into()],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preencoding_wins_by_about_3x_at_scale() {
+        let fig = generate(Quality::Full);
+        let n2 = fig.series_named("N2").unwrap().last_y().unwrap();
+        let np = fig.series_named("NP").unwrap().last_y().unwrap();
+        let pre = fig.series_named("NP pre-encode").unwrap().last_y().unwrap();
+        assert!(pre > np, "pre-encode {pre} must beat online {np}");
+        assert!(pre > n2, "pre-encode {pre} must beat N2 {n2}");
+        let gain = pre / n2;
+        assert!(
+            (2.0..4.5).contains(&gain),
+            "expected ~3x at R=1e6, got {gain}"
+        );
+    }
+
+    #[test]
+    fn online_np_encoding_bound() {
+        // Without pre-encoding the NP sender pays k*c_e per parity; at
+        // small R (few retransmissions) NP still lands in the same band as
+        // N2 rather than collapsing.
+        let fig = generate(Quality::Full);
+        let np = fig.series_named("NP").unwrap().points[0].1;
+        let n2 = fig.series_named("N2").unwrap().points[0].1;
+        assert!(np > 0.5 * n2, "NP at R=1: {np} vs N2 {n2}");
+    }
+}

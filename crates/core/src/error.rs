@@ -1,0 +1,82 @@
+//! Protocol-level errors.
+
+use std::fmt;
+
+use pm_net::NetError;
+use pm_rse::RseError;
+
+/// Errors surfaced by the NP/N2 state machines and runtime.
+#[derive(Debug)]
+pub enum ProtocolError {
+    /// Invalid configuration.
+    Config(String),
+    /// Erasure-coding failure (bad geometry, undecodable group).
+    Rse(RseError),
+    /// Transport failure.
+    Net(NetError),
+    /// The session ended (FIN received) before the transfer completed.
+    SenderGone { groups_missing: usize },
+    /// The runtime gave up waiting (no progress within the configured
+    /// patience).
+    Stalled { waited_secs: f64 },
+    /// A message arrived that contradicts session state (e.g. geometry
+    /// change mid-session).
+    Inconsistent(String),
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolError::Config(msg) => write!(f, "invalid configuration: {msg}"),
+            ProtocolError::Rse(e) => write!(f, "erasure coding error: {e}"),
+            ProtocolError::Net(e) => write!(f, "network error: {e}"),
+            ProtocolError::SenderGone { groups_missing } => {
+                write!(
+                    f,
+                    "sender closed the session with {groups_missing} groups undelivered"
+                )
+            }
+            ProtocolError::Stalled { waited_secs } => {
+                write!(f, "no session progress for {waited_secs:.1}s")
+            }
+            ProtocolError::Inconsistent(msg) => write!(f, "inconsistent session state: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ProtocolError::Rse(e) => Some(e),
+            ProtocolError::Net(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<RseError> for ProtocolError {
+    fn from(e: RseError) -> Self {
+        ProtocolError::Rse(e)
+    }
+}
+
+impl From<NetError> for ProtocolError {
+    fn from(e: NetError) -> Self {
+        ProtocolError::Net(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = ProtocolError::from(RseError::NotEnoughShares { have: 1, need: 3 });
+        assert!(e.to_string().contains("erasure"));
+        assert!(std::error::Error::source(&e).is_some());
+        let e = ProtocolError::Stalled { waited_secs: 2.5 };
+        assert!(e.to_string().contains("2.5"));
+        assert!(std::error::Error::source(&e).is_none());
+    }
+}

@@ -1,0 +1,499 @@
+//! Deterministic event-driven harness: the *real* protocol state machines
+//! (NP or N2, via the [`crate::runtime`] traits) running against a
+//! simulated multicast medium — no threads, no wall clock, reproducible
+//! from a seed, and fast enough for receiver populations in the thousands.
+//!
+//! This closes the gap between the two validation tiers the paper uses:
+//! `pm-sim` simulates *idealized schemes* (Section 3's math), while the
+//! threaded runtime runs the *implementation* but only at thread-count
+//! scale. The harness runs the implementation itself — wire messages,
+//! suppression timers, round logic — at Section 3 scale, so claims like
+//! "a single NAK per round survives damping at R = 1000" are tested
+//! against the actual code.
+//!
+//! ## Medium model
+//!
+//! * Multicast transmissions propagate with a fixed one-way `latency`;
+//!   consecutive sender transmissions are paced `delta` apart.
+//! * Per-receiver loss comes from any [`pm_loss::LossModel`] (independent,
+//!   shared-tree, burst). By default, loss applies only to data-plane
+//!   packets (`Message::Packet`) and control messages are delivered
+//!   reliably — matching the paper's analysis assumptions ("NAKs are never
+//!   lost"); set [`HarnessConfig::lossy_control`] to subject feedback to
+//!   the same loss process.
+//! * Receiver-to-network messages (NAKs, Done) are multicast back to the
+//!   sender and to every other receiver (suppression needs to overhear
+//!   them), after the same latency.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use pm_loss::LossModel;
+use pm_net::Message;
+
+use crate::costs::CostCounters;
+use crate::error::ProtocolError;
+use crate::receiver::ReceiverAction;
+use crate::runtime::{ReceiverMachine, SenderMachine};
+use crate::sender::SenderStep;
+
+/// Medium and pacing parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HarnessConfig {
+    /// Spacing between consecutive sender transmissions (the paper's
+    /// `delta`), seconds.
+    pub delta: f64,
+    /// One-way propagation latency, seconds.
+    pub latency: f64,
+    /// Subject control messages (polls, NAKs, announces, Done, FIN) to the
+    /// loss process as well. Default `false` = the paper's assumption.
+    pub lossy_control: bool,
+    /// Abort the run at this virtual time (safety valve), seconds.
+    pub time_cap: f64,
+}
+
+impl Default for HarnessConfig {
+    fn default() -> Self {
+        HarnessConfig {
+            delta: 0.001,
+            latency: 0.005,
+            lossy_control: false,
+            time_cap: 600.0,
+        }
+    }
+}
+
+/// Outcome of one harness run.
+#[derive(Debug, Clone)]
+pub struct SimulationReport {
+    /// Virtual completion time (sender FIN), seconds.
+    pub elapsed: f64,
+    /// Sender work counters.
+    pub sender: CostCounters,
+    /// Per-receiver work counters.
+    pub receivers: Vec<CostCounters>,
+    /// Receivers that completed (decoded everything).
+    pub completed: usize,
+    /// Transmissions per data packet actually achieved, `E[M]`.
+    pub transmissions_per_packet: f64,
+    /// NAKs that reached the sender (feedback-implosion metric).
+    pub naks_at_sender: u64,
+}
+
+/// Event kinds, ordered by time with deterministic tie-breaking.
+#[derive(Debug, Clone, PartialEq)]
+enum EventKind {
+    /// Give the sender a step (transmission pacing or wake-up).
+    SenderStep,
+    /// Deliver a message to receiver `idx`.
+    DeliverToReceiver { idx: usize, msg: Message },
+    /// Deliver a message to the sender.
+    DeliverToSender { msg: Message },
+    /// Check receiver `idx`'s NAK timers.
+    ReceiverTimer { idx: usize },
+}
+
+#[derive(Debug, Clone)]
+struct Event {
+    time: f64,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.time
+            .total_cmp(&other.time)
+            .then(self.seq.cmp(&other.seq))
+    }
+}
+
+/// Run one full session of `sender` against `receivers` over a simulated
+/// multicast medium with per-receiver loss from `loss`.
+///
+/// # Errors
+/// Protocol errors from the machines, or [`ProtocolError::Stalled`] if the
+/// virtual time cap is reached before the sender finishes.
+///
+/// # Panics
+/// Panics if `loss.receivers() != receivers.len()` (caller wiring bug).
+pub fn run_simulation<S, R, L>(
+    sender: &mut S,
+    receivers: &mut [R],
+    loss: &mut L,
+    cfg: &HarnessConfig,
+) -> Result<SimulationReport, ProtocolError>
+where
+    S: SenderMachine,
+    R: ReceiverMachine,
+    L: LossModel,
+{
+    assert_eq!(
+        loss.receivers(),
+        receivers.len(),
+        "loss model population must match receiver count"
+    );
+    let r = receivers.len();
+    let mut lost = vec![false; r];
+    let mut queue: BinaryHeap<Reverse<Event>> = BinaryHeap::new();
+    let mut seq = 0u64;
+    let mut push =
+        |queue: &mut BinaryHeap<Reverse<Event>>, seq: &mut u64, time: f64, kind: EventKind| {
+            *seq += 1;
+            queue.push(Reverse(Event {
+                time,
+                seq: *seq,
+                kind,
+            }));
+        };
+    push(&mut queue, &mut seq, 0.0, EventKind::SenderStep);
+
+    // The sender never needs more than one pending step event; track the
+    // earliest one scheduled so wake-ups don't flood the queue.
+    let mut sender_step_at = 0.0f64;
+    let mut naks_at_sender = 0u64;
+    let mut finished_at: Option<f64> = None;
+
+    while let Some(Reverse(ev)) = queue.pop() {
+        let now = ev.time;
+        if now > cfg.time_cap {
+            return Err(ProtocolError::Stalled {
+                waited_secs: cfg.time_cap,
+            });
+        }
+        match ev.kind {
+            EventKind::SenderStep => {
+                if ev.time < sender_step_at {
+                    continue; // superseded by an earlier wake-up
+                }
+                match sender.next_step(now) {
+                    SenderStep::Finished => {
+                        finished_at = Some(now);
+                        break;
+                    }
+                    SenderStep::Transmit(msg) => {
+                        let is_data = matches!(msg, Message::Packet { .. });
+                        if is_data || cfg.lossy_control {
+                            loss.sample(now, &mut lost);
+                        } else {
+                            lost.fill(false);
+                        }
+                        for (idx, &l) in lost.iter().enumerate() {
+                            if !l {
+                                push(
+                                    &mut queue,
+                                    &mut seq,
+                                    now + cfg.latency,
+                                    EventKind::DeliverToReceiver {
+                                        idx,
+                                        msg: msg.clone(),
+                                    },
+                                );
+                            }
+                        }
+                        sender_step_at = now + cfg.delta;
+                        push(&mut queue, &mut seq, sender_step_at, EventKind::SenderStep);
+                    }
+                    SenderStep::WaitUntil(t) => {
+                        sender_step_at = t.max(now + cfg.delta);
+                        push(&mut queue, &mut seq, sender_step_at, EventKind::SenderStep);
+                    }
+                }
+            }
+            EventKind::DeliverToSender { msg } => {
+                if matches!(msg, Message::Nak { .. }) {
+                    naks_at_sender += 1;
+                }
+                sender.handle(&msg, now)?;
+                // Feedback may have queued repair work: wake the sender.
+                if now < sender_step_at {
+                    sender_step_at = now;
+                    push(&mut queue, &mut seq, now, EventKind::SenderStep);
+                }
+            }
+            EventKind::DeliverToReceiver { idx, msg } => {
+                let actions = receivers[idx].handle(&msg, now)?;
+                dispatch_receiver_actions(
+                    actions, idx, now, r, cfg, loss, &mut lost, &mut queue, &mut seq, &mut push,
+                );
+                if let Some(d) = receivers[idx].next_deadline() {
+                    push(
+                        &mut queue,
+                        &mut seq,
+                        d.max(now),
+                        EventKind::ReceiverTimer { idx },
+                    );
+                }
+            }
+            EventKind::ReceiverTimer { idx } => {
+                let actions = receivers[idx].on_timer(now);
+                dispatch_receiver_actions(
+                    actions, idx, now, r, cfg, loss, &mut lost, &mut queue, &mut seq, &mut push,
+                );
+                if let Some(d) = receivers[idx].next_deadline() {
+                    push(
+                        &mut queue,
+                        &mut seq,
+                        d.max(now),
+                        EventKind::ReceiverTimer { idx },
+                    );
+                }
+            }
+        }
+    }
+
+    let elapsed = match finished_at {
+        Some(t) => t,
+        None => {
+            return Err(ProtocolError::Stalled {
+                waited_secs: cfg.time_cap,
+            })
+        }
+    };
+    let sender_counters = *sender.counters();
+    let tx = sender_counters.data_sent + sender_counters.repairs_sent;
+    Ok(SimulationReport {
+        elapsed,
+        sender: sender_counters,
+        receivers: receivers.iter().map(|m| *m.counters()).collect(),
+        completed: receivers.iter().filter(|m| m.is_complete()).count(),
+        transmissions_per_packet: tx as f64 / sender_counters.data_sent.max(1) as f64,
+        naks_at_sender,
+    })
+}
+
+/// Multicast a receiver's outbound messages: to the sender and to every
+/// *other* receiver (suppression overhears), all after the medium latency.
+#[allow(clippy::too_many_arguments)]
+fn dispatch_receiver_actions<L: LossModel>(
+    actions: Vec<ReceiverAction>,
+    from: usize,
+    now: f64,
+    r: usize,
+    cfg: &HarnessConfig,
+    loss: &mut L,
+    lost: &mut [bool],
+    queue: &mut BinaryHeap<Reverse<Event>>,
+    seq: &mut u64,
+    push: &mut impl FnMut(&mut BinaryHeap<Reverse<Event>>, &mut u64, f64, EventKind),
+) {
+    for action in actions {
+        let ReceiverAction::Send(msg) = action else {
+            continue;
+        };
+        push(
+            queue,
+            seq,
+            now + cfg.latency,
+            EventKind::DeliverToSender { msg: msg.clone() },
+        );
+        if cfg.lossy_control {
+            loss.sample(now, lost);
+        } else {
+            lost.fill(false);
+        }
+        #[allow(clippy::needless_range_loop)] // idx feeds both lost[] and the event
+        for idx in 0..r {
+            if idx != from && !lost[idx] {
+                push(
+                    queue,
+                    seq,
+                    now + cfg.latency,
+                    EventKind::DeliverToReceiver {
+                        idx,
+                        msg: msg.clone(),
+                    },
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{CompletionPolicy, NpConfig};
+    use crate::receiver::NpReceiver;
+    use crate::sender::NpSender;
+    use pm_loss::IndependentLoss;
+
+    const SESSION: u32 = 0x5CA1E;
+
+    fn config(receivers: u32, k: usize) -> NpConfig {
+        let mut c = NpConfig::small(CompletionPolicy::KnownReceivers(receivers));
+        c.k = k;
+        c.h = 255 - k;
+        c.payload_len = 8; // payload content is irrelevant to the dynamics
+        c.nak_slot = 0.002;
+        c.round_timeout = 0.05;
+        c
+    }
+
+    fn run_np(
+        r: usize,
+        k: usize,
+        p: f64,
+        bytes: usize,
+        seed: u64,
+        cfg: &HarnessConfig,
+    ) -> SimulationReport {
+        let data: Vec<u8> = (0..bytes).map(|i| (i % 251) as u8).collect();
+        let mut sender = NpSender::new(SESSION, &data, config(r as u32, k)).unwrap();
+        let mut receivers: Vec<NpReceiver> = (0..r)
+            .map(|i| NpReceiver::new(i as u32, SESSION, 0.002, seed + i as u64))
+            .collect();
+        let mut loss = IndependentLoss::new(r, p, seed);
+        run_simulation(&mut sender, &mut receivers, &mut loss, cfg).unwrap()
+    }
+
+    #[test]
+    fn lossless_completes_in_one_round() {
+        let report = run_np(16, 5, 0.0, 400, 1, &HarnessConfig::default());
+        assert_eq!(report.completed, 16);
+        assert_eq!(report.sender.repairs_sent, 0);
+        assert_eq!(report.naks_at_sender, 0);
+        assert!((report.transmissions_per_packet - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn implementation_tracks_analytical_bound_at_scale() {
+        // R = 200 real NpReceivers — far beyond what threads could do in a
+        // unit test — with 5% loss. The protocol's achieved E[M] must land
+        // near Eq. (6).
+        let (r, k, p) = (200usize, 20usize, 0.05);
+        let report = run_np(r, k, p, 20 * 8 * 10, 7, &HarnessConfig::default());
+        assert_eq!(report.completed, r);
+        let bound = pm_analysis::integrated::lower_bound(
+            k,
+            0,
+            &pm_analysis::Population::homogeneous(p, r as u64),
+        );
+        assert!(
+            report.transmissions_per_packet < bound * 1.30,
+            "E[M] {} vs bound {bound}",
+            report.transmissions_per_packet
+        );
+        assert!(report.transmissions_per_packet >= 1.0);
+    }
+
+    #[test]
+    fn suppression_keeps_feedback_sublinear() {
+        // The paper's scalability claim for NP's feedback: NAK count at
+        // the sender grows far slower than R.
+        let cfg = HarnessConfig {
+            latency: 0.0005,
+            ..Default::default()
+        };
+        let naks_per_r: Vec<(usize, u64)> = [10usize, 100, 400]
+            .iter()
+            .map(|&r| {
+                let report = run_np(r, 10, 0.05, 10 * 8 * 6, 13, &cfg);
+                assert_eq!(report.completed, r);
+                (r, report.naks_at_sender)
+            })
+            .collect();
+        let (r_small, naks_small) = naks_per_r[0];
+        let (r_big, naks_big) = naks_per_r[2];
+        let growth = naks_big as f64 / naks_small.max(1) as f64;
+        let population_growth = r_big as f64 / r_small as f64;
+        assert!(
+            growth < population_growth / 2.0,
+            "NAK growth {growth:.1}x should stay far below population growth {population_growth:.0}x ({naks_per_r:?})"
+        );
+    }
+
+    #[test]
+    fn lossy_control_still_converges() {
+        // With control traffic subject to the same 10% loss, the recovery
+        // machinery (announce heartbeats, stale-NAK quarantine) must still
+        // complete the session.
+        let cfg = HarnessConfig {
+            lossy_control: true,
+            ..Default::default()
+        };
+        let report = run_np(20, 10, 0.10, 10 * 8 * 4, 21, &cfg);
+        assert_eq!(report.completed, 20);
+    }
+
+    #[test]
+    fn time_cap_surfaces_as_stall() {
+        let cfg = HarnessConfig {
+            time_cap: 0.000_001,
+            ..Default::default()
+        };
+        let data = vec![0u8; 100];
+        let mut sender = NpSender::new(SESSION, &data, config(1, 5)).unwrap();
+        let mut receivers = vec![NpReceiver::new(0, SESSION, 0.002, 1)];
+        let mut loss = IndependentLoss::new(1, 0.0, 1);
+        match run_simulation(&mut sender, &mut receivers, &mut loss, &cfg) {
+            Err(ProtocolError::Stalled { .. }) => {}
+            other => panic!("expected stall, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn n2_baseline_runs_in_harness_too() {
+        use crate::n2::{N2Receiver, N2Sender};
+        let r = 50usize;
+        let data: Vec<u8> = (0..2000).map(|i| (i % 251) as u8).collect();
+        let mut cfg = config(r as u32, 10);
+        cfg.h = 0;
+        let mut sender = N2Sender::new(SESSION, &data, cfg).unwrap();
+        let mut receivers: Vec<N2Receiver> = (0..r)
+            .map(|i| N2Receiver::new(i as u32, SESSION, 0.002, i as u64))
+            .collect();
+        let mut loss = IndependentLoss::new(r, 0.05, 31);
+        let report = run_simulation(
+            &mut sender,
+            &mut receivers,
+            &mut loss,
+            &HarnessConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(report.completed, r);
+        assert!(
+            report.transmissions_per_packet > 1.0,
+            "5% loss forces retransmissions"
+        );
+    }
+
+    #[test]
+    fn np_beats_n2_at_scale_in_the_real_implementation() {
+        use crate::n2::{N2Receiver, N2Sender};
+        let (r, p) = (100usize, 0.05);
+        let bytes = 10 * 8 * 8;
+        let np = run_np(r, 10, p, bytes, 41, &HarnessConfig::default());
+        let data: Vec<u8> = (0..bytes).map(|i| (i % 251) as u8).collect();
+        let mut cfg = config(r as u32, 10);
+        cfg.h = 0;
+        let mut sender = N2Sender::new(SESSION, &data, cfg).unwrap();
+        let mut receivers: Vec<N2Receiver> = (0..r)
+            .map(|i| N2Receiver::new(i as u32, SESSION, 0.002, i as u64))
+            .collect();
+        let mut loss = IndependentLoss::new(r, p, 41);
+        let n2 = run_simulation(
+            &mut sender,
+            &mut receivers,
+            &mut loss,
+            &HarnessConfig::default(),
+        )
+        .unwrap();
+        assert!(
+            np.transmissions_per_packet < n2.transmissions_per_packet,
+            "NP E[M] {} must beat N2 E[M] {}",
+            np.transmissions_per_packet,
+            n2.transmissions_per_packet
+        );
+    }
+}

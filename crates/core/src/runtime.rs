@@ -1,0 +1,418 @@
+//! Wall-clock drivers: run a sans-io machine over a [`pm_net::Transport`].
+//!
+//! The drivers are deliberately simple single-threaded loops — structured
+//! concurrency at the application level means one thread per endpoint,
+//! joined by the caller (see the `file_multicast` example). The machines
+//! never block; all waiting happens in `recv_timeout`.
+
+use std::time::{Duration, Instant};
+
+use pm_net::{Message, Transport};
+
+use crate::costs::CostCounters;
+use crate::error::ProtocolError;
+use crate::n2::{N2Receiver, N2Sender};
+use crate::receiver::{NpReceiver, ReceiverAction};
+use crate::sender::{NpSender, SenderStep};
+
+/// Timing knobs of the drivers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RuntimeConfig {
+    /// Pacing between consecutive packet transmissions (the paper's
+    /// `delta`).
+    pub packet_spacing: Duration,
+    /// Abort if the session makes no progress for this long.
+    pub stall_timeout: Duration,
+    /// How long a *complete* receiver lingers answering polls before
+    /// concluding the sender's FIN was lost and returning anyway. Should
+    /// exceed a few announce intervals; much shorter than `stall_timeout`.
+    pub complete_linger: Duration,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            packet_spacing: Duration::from_micros(200),
+            stall_timeout: Duration::from_secs(10),
+            complete_linger: Duration::from_millis(500),
+        }
+    }
+}
+
+/// Sender-side protocol machine, abstracted over NP/N2.
+pub trait SenderMachine: Send {
+    /// Decide the next action.
+    fn next_step(&mut self, now: f64) -> SenderStep;
+    /// Feed one received message.
+    ///
+    /// # Errors
+    /// Protocol-level failures abort the session.
+    fn handle(&mut self, msg: &Message, now: f64) -> Result<(), ProtocolError>;
+    /// True once FIN went out.
+    fn is_finished(&self) -> bool;
+    /// Work counters.
+    fn counters(&self) -> &CostCounters;
+}
+
+/// Receiver-side protocol machine, abstracted over NP/N2.
+pub trait ReceiverMachine: Send {
+    /// Feed one received message.
+    ///
+    /// # Errors
+    /// Protocol-level failures abort the session.
+    fn handle(&mut self, msg: &Message, now: f64) -> Result<Vec<ReceiverAction>, ProtocolError>;
+    /// Fire due timers.
+    fn on_timer(&mut self, now: f64) -> Vec<ReceiverAction>;
+    /// Earliest timer deadline.
+    fn next_deadline(&self) -> Option<f64>;
+    /// All groups decoded.
+    fn is_complete(&self) -> bool;
+    /// Sender closed the session.
+    fn fin_seen(&self) -> bool;
+    /// The reassembled transfer.
+    ///
+    /// # Errors
+    /// If called before completion.
+    fn take_data(&self) -> Result<Vec<u8>, ProtocolError>;
+    /// Work counters.
+    fn counters(&self) -> &CostCounters;
+}
+
+impl SenderMachine for NpSender {
+    fn next_step(&mut self, now: f64) -> SenderStep {
+        NpSender::next_step(self, now)
+    }
+    fn handle(&mut self, msg: &Message, now: f64) -> Result<(), ProtocolError> {
+        NpSender::handle(self, msg, now)
+    }
+    fn is_finished(&self) -> bool {
+        NpSender::is_finished(self)
+    }
+    fn counters(&self) -> &CostCounters {
+        NpSender::counters(self)
+    }
+}
+
+impl SenderMachine for N2Sender {
+    fn next_step(&mut self, now: f64) -> SenderStep {
+        N2Sender::next_step(self, now)
+    }
+    fn handle(&mut self, msg: &Message, now: f64) -> Result<(), ProtocolError> {
+        N2Sender::handle(self, msg, now)
+    }
+    fn is_finished(&self) -> bool {
+        N2Sender::is_finished(self)
+    }
+    fn counters(&self) -> &CostCounters {
+        N2Sender::counters(self)
+    }
+}
+
+impl ReceiverMachine for NpReceiver {
+    fn handle(&mut self, msg: &Message, now: f64) -> Result<Vec<ReceiverAction>, ProtocolError> {
+        NpReceiver::handle(self, msg, now)
+    }
+    fn on_timer(&mut self, now: f64) -> Vec<ReceiverAction> {
+        NpReceiver::on_timer(self, now)
+    }
+    fn next_deadline(&self) -> Option<f64> {
+        NpReceiver::next_deadline(self)
+    }
+    fn is_complete(&self) -> bool {
+        NpReceiver::is_complete(self)
+    }
+    fn fin_seen(&self) -> bool {
+        NpReceiver::fin_seen(self)
+    }
+    fn take_data(&self) -> Result<Vec<u8>, ProtocolError> {
+        NpReceiver::take_data(self)
+    }
+    fn counters(&self) -> &CostCounters {
+        NpReceiver::counters(self)
+    }
+}
+
+impl ReceiverMachine for N2Receiver {
+    fn handle(&mut self, msg: &Message, now: f64) -> Result<Vec<ReceiverAction>, ProtocolError> {
+        N2Receiver::handle(self, msg, now)
+    }
+    fn on_timer(&mut self, now: f64) -> Vec<ReceiverAction> {
+        N2Receiver::on_timer(self, now)
+    }
+    fn next_deadline(&self) -> Option<f64> {
+        N2Receiver::next_deadline(self)
+    }
+    fn is_complete(&self) -> bool {
+        N2Receiver::is_complete(self)
+    }
+    fn fin_seen(&self) -> bool {
+        N2Receiver::fin_seen(self)
+    }
+    fn take_data(&self) -> Result<Vec<u8>, ProtocolError> {
+        N2Receiver::take_data(self)
+    }
+    fn counters(&self) -> &CostCounters {
+        N2Receiver::counters(self)
+    }
+}
+
+/// Result of a completed sender run.
+#[derive(Debug, Clone, Copy)]
+pub struct SenderReport {
+    /// Work counters at session end.
+    pub counters: CostCounters,
+    /// Wall-clock duration of the session.
+    pub elapsed: Duration,
+}
+
+/// Result of a completed receiver run.
+#[derive(Debug, Clone)]
+pub struct ReceiverReport {
+    /// The received byte stream.
+    pub data: Vec<u8>,
+    /// Work counters at session end.
+    pub counters: CostCounters,
+    /// Wall-clock duration until completion.
+    pub elapsed: Duration,
+}
+
+/// Drive a sender machine to completion.
+///
+/// # Errors
+/// Protocol errors from the machine, transport failures, or
+/// [`ProtocolError::Stalled`] when nothing happens for the configured
+/// stall timeout.
+pub fn drive_sender<S: SenderMachine, T: Transport>(
+    machine: &mut S,
+    transport: &mut T,
+    rt: &RuntimeConfig,
+) -> Result<SenderReport, ProtocolError> {
+    let start = Instant::now();
+    let mut last_progress = start;
+    loop {
+        let now = start.elapsed().as_secs_f64();
+        match machine.next_step(now) {
+            SenderStep::Finished => {
+                return Ok(SenderReport {
+                    counters: *machine.counters(),
+                    elapsed: start.elapsed(),
+                })
+            }
+            SenderStep::Transmit(msg) => {
+                // Keep-alive re-announces are not progress; without this a
+                // sender with zero receivers would re-announce forever
+                // instead of stalling out.
+                let is_keepalive = matches!(msg, Message::Announce { .. });
+                transport.send(&msg)?;
+                if !is_keepalive {
+                    last_progress = Instant::now();
+                }
+                // Pace transmissions while staying responsive to feedback.
+                let pace_deadline = Instant::now() + rt.packet_spacing;
+                loop {
+                    let left = pace_deadline.saturating_duration_since(Instant::now());
+                    if left.is_zero() {
+                        break;
+                    }
+                    match transport.recv_timeout(left)? {
+                        Some(incoming) => {
+                            machine.handle(&incoming, start.elapsed().as_secs_f64())?;
+                            last_progress = Instant::now();
+                        }
+                        None => break,
+                    }
+                }
+            }
+            SenderStep::WaitUntil(t) => {
+                let now_i = Instant::now();
+                if now_i.duration_since(last_progress) > rt.stall_timeout {
+                    return Err(ProtocolError::Stalled {
+                        waited_secs: now_i.duration_since(last_progress).as_secs_f64(),
+                    });
+                }
+                let wait = Duration::from_secs_f64((t - now).max(0.0))
+                    .min(Duration::from_millis(50))
+                    .max(Duration::from_micros(100));
+                if let Some(incoming) = transport.recv_timeout(wait)? {
+                    machine.handle(&incoming, start.elapsed().as_secs_f64())?;
+                    last_progress = Instant::now();
+                }
+            }
+        }
+    }
+}
+
+/// Drive a receiver machine until the transfer is complete *and* the
+/// sender has closed the session (so late polls still get `Done` answers),
+/// or until the sender disappears.
+///
+/// # Errors
+/// [`ProtocolError::SenderGone`] if FIN arrives before completion,
+/// [`ProtocolError::Stalled`] when nothing happens for the stall timeout
+/// (unless the transfer is already complete — then the lost FIN is
+/// forgiven and the data returned).
+pub fn drive_receiver<R: ReceiverMachine, T: Transport>(
+    machine: &mut R,
+    transport: &mut T,
+    rt: &RuntimeConfig,
+) -> Result<ReceiverReport, ProtocolError> {
+    let start = Instant::now();
+    let mut last_progress = start;
+    let mut outbound: Vec<Message> = Vec::new();
+    loop {
+        let now = start.elapsed().as_secs_f64();
+
+        // Fire due NAK timers.
+        for action in machine.on_timer(now) {
+            if let ReceiverAction::Send(m) = action {
+                outbound.push(m);
+            }
+        }
+        for m in outbound.drain(..) {
+            transport.send(&m)?;
+            last_progress = Instant::now();
+        }
+
+        if machine.fin_seen() {
+            return if machine.is_complete() {
+                Ok(ReceiverReport {
+                    data: machine.take_data()?,
+                    counters: *machine.counters(),
+                    elapsed: start.elapsed(),
+                })
+            } else {
+                Err(ProtocolError::SenderGone { groups_missing: 1 })
+            };
+        }
+
+        let idle = Instant::now().duration_since(last_progress);
+        if machine.is_complete() && idle > rt.complete_linger {
+            // FIN was lost but the data is whole; stop lingering.
+            return Ok(ReceiverReport {
+                data: machine.take_data()?,
+                counters: *machine.counters(),
+                elapsed: start.elapsed(),
+            });
+        }
+        if idle > rt.stall_timeout {
+            return Err(ProtocolError::Stalled {
+                waited_secs: idle.as_secs_f64(),
+            });
+        }
+
+        // Sleep until the next NAK deadline (or a short poll tick).
+        let timeout = match machine.next_deadline() {
+            Some(d) => Duration::from_secs_f64((d - now).max(0.0)).min(Duration::from_millis(20)),
+            None => Duration::from_millis(20),
+        }
+        .max(Duration::from_micros(100));
+        if let Some(msg) = transport.recv_timeout(timeout)? {
+            let now = start.elapsed().as_secs_f64();
+            for action in machine.handle(&msg, now)? {
+                if let ReceiverAction::Send(m) = action {
+                    outbound.push(m);
+                }
+            }
+            last_progress = Instant::now();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{CompletionPolicy, NpConfig};
+    use pm_net::MemHub;
+
+    fn config(recv: u32) -> NpConfig {
+        let mut c = NpConfig::small(CompletionPolicy::KnownReceivers(recv));
+        c.k = 4;
+        c.h = 8;
+        c.payload_len = 64;
+        c.nak_slot = 0.001;
+        c
+    }
+
+    fn rt() -> RuntimeConfig {
+        RuntimeConfig {
+            packet_spacing: Duration::from_micros(50),
+            stall_timeout: Duration::from_secs(5),
+            complete_linger: Duration::from_millis(300),
+        }
+    }
+
+    fn payload(n: usize) -> Vec<u8> {
+        (0..n).map(|i| (i * 17 % 253) as u8).collect()
+    }
+
+    #[test]
+    fn np_lossless_end_to_end() {
+        let hub = MemHub::new();
+        let bytes = payload(3000);
+        let mut sender_tp = hub.join();
+        let mut recv_tp = hub.join();
+        let data = bytes.clone();
+        let sender = std::thread::spawn(move || {
+            let mut s = NpSender::new(1, &data, config(1)).unwrap();
+            drive_sender(&mut s, &mut sender_tp, &rt()).unwrap()
+        });
+        let mut r = NpReceiver::new(7, 1, 0.001, 3);
+        let report = drive_receiver(&mut r, &mut recv_tp, &rt()).unwrap();
+        let sender_report = sender.join().unwrap();
+        assert_eq!(report.data, bytes);
+        assert!(sender_report.counters.data_sent > 0);
+        assert_eq!(
+            sender_report.counters.repairs_sent, 0,
+            "lossless needs no parities"
+        );
+    }
+
+    #[test]
+    fn n2_lossless_end_to_end() {
+        let hub = MemHub::new();
+        let bytes = payload(2000);
+        let mut sender_tp = hub.join();
+        let mut recv_tp = hub.join();
+        let data = bytes.clone();
+        let sender = std::thread::spawn(move || {
+            let mut s = N2Sender::new(2, &data, config(1)).unwrap();
+            drive_sender(&mut s, &mut sender_tp, &rt()).unwrap()
+        });
+        let mut r = N2Receiver::new(8, 2, 0.001, 4);
+        let report = drive_receiver(&mut r, &mut recv_tp, &rt()).unwrap();
+        sender.join().unwrap();
+        assert_eq!(report.data, bytes);
+    }
+
+    #[test]
+    fn receiver_stall_without_sender() {
+        let hub = MemHub::new();
+        let mut tp = hub.join();
+        let mut r = NpReceiver::new(1, 1, 0.001, 5);
+        let fast = RuntimeConfig {
+            packet_spacing: Duration::from_micros(50),
+            stall_timeout: Duration::from_millis(100),
+            complete_linger: Duration::from_millis(300),
+        };
+        match drive_receiver(&mut r, &mut tp, &fast) {
+            Err(ProtocolError::Stalled { .. }) => {}
+            other => panic!("expected stall, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sender_stall_without_receivers() {
+        let hub = MemHub::new();
+        let mut tp = hub.join();
+        let mut s = NpSender::new(3, &payload(500), config(1)).unwrap();
+        let fast = RuntimeConfig {
+            packet_spacing: Duration::from_micros(50),
+            stall_timeout: Duration::from_millis(150),
+            complete_linger: Duration::from_millis(300),
+        };
+        match drive_sender(&mut s, &mut tp, &fast) {
+            Err(ProtocolError::Stalled { .. }) => {}
+            other => panic!("expected stall, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,328 @@
+//! Session geometry: chunking a byte stream into transmission groups and
+//! reassembling it.
+
+use std::collections::BTreeMap;
+
+use bytes::Bytes;
+
+use pm_net::Message;
+
+use crate::error::ProtocolError;
+
+/// Immutable description of one transfer's layout.
+///
+/// `groups - 1` full groups of `k` packets are followed by one final group
+/// of `last_k <= k` packets; every packet carries exactly `payload_len`
+/// bytes (the tail is zero-padded and trimmed back to `total_bytes` on
+/// reassembly). Each group's FEC block keeps the same parity budget `h`,
+/// so the final group's block size is `last_k + h`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SessionPlan {
+    /// Session identifier.
+    pub session: u32,
+    /// Data packets per full group.
+    pub k: u16,
+    /// Parity budget per group.
+    pub h: u16,
+    /// Payload bytes per packet.
+    pub payload_len: u32,
+    /// Number of transmission groups (0 for an empty transfer).
+    pub groups: u32,
+    /// Data packets in the final group (`== k` when the length divides
+    /// evenly; 0 only when `groups == 0`).
+    pub last_k: u16,
+    /// Exact transfer length in bytes.
+    pub total_bytes: u64,
+}
+
+impl SessionPlan {
+    /// Plan a transfer of `total_bytes` with group size `k`, parity budget
+    /// `h` and packet payload `payload_len`.
+    ///
+    /// # Errors
+    /// [`ProtocolError::Config`] on zero/oversize parameters.
+    pub fn new(
+        session: u32,
+        total_bytes: u64,
+        k: usize,
+        h: usize,
+        payload_len: usize,
+    ) -> Result<Self, ProtocolError> {
+        if k == 0 || k + h > 255 {
+            return Err(ProtocolError::Config(format!(
+                "bad group geometry k={k} h={h}"
+            )));
+        }
+        if payload_len == 0 {
+            return Err(ProtocolError::Config("payload_len must be positive".into()));
+        }
+        let packets = total_bytes.div_ceil(payload_len as u64);
+        let groups = packets.div_ceil(k as u64);
+        if groups > u32::MAX as u64 {
+            return Err(ProtocolError::Config("transfer too large".into()));
+        }
+        let last_k = if groups == 0 {
+            0
+        } else {
+            let rem = packets % k as u64;
+            if rem == 0 {
+                k as u16
+            } else {
+                rem as u16
+            }
+        };
+        Ok(SessionPlan {
+            session,
+            k: k as u16,
+            h: h as u16,
+            payload_len: payload_len as u32,
+            groups: groups as u32,
+            last_k,
+            total_bytes,
+        })
+    }
+
+    /// Data packets in group `g`.
+    ///
+    /// # Panics
+    /// Panics if `g >= groups`.
+    pub fn group_k(&self, g: u32) -> usize {
+        assert!(g < self.groups, "group {g} out of range");
+        if g + 1 == self.groups {
+            self.last_k as usize
+        } else {
+            self.k as usize
+        }
+    }
+
+    /// FEC block size of group `g` (`group_k + h`).
+    pub fn group_n(&self, g: u32) -> usize {
+        self.group_k(g) + self.h as usize
+    }
+
+    /// Total data packets across all groups.
+    pub fn total_packets(&self) -> u64 {
+        if self.groups == 0 {
+            0
+        } else {
+            (self.groups as u64 - 1) * self.k as u64 + self.last_k as u64
+        }
+    }
+
+    /// The announce message describing this plan.
+    pub fn announce(&self) -> Message {
+        Message::Announce {
+            session: self.session,
+            groups: self.groups,
+            k: self.k,
+            n: self.k + self.h,
+            last_k: if self.groups == 0 { 1 } else { self.last_k },
+            payload_len: self.payload_len,
+            total_bytes: self.total_bytes,
+        }
+    }
+
+    /// Reconstruct a plan from an announce message.
+    ///
+    /// # Errors
+    /// [`ProtocolError::Inconsistent`] if the message is not an announce
+    /// or carries impossible geometry.
+    pub fn from_announce(msg: &Message) -> Result<Self, ProtocolError> {
+        let Message::Announce {
+            session,
+            groups,
+            k,
+            n,
+            last_k,
+            payload_len,
+            total_bytes,
+        } = *msg
+        else {
+            return Err(ProtocolError::Inconsistent(
+                "expected an announce message".into(),
+            ));
+        };
+        if k == 0 || n < k || payload_len == 0 {
+            return Err(ProtocolError::Inconsistent(
+                "announce carries bad geometry".into(),
+            ));
+        }
+        Ok(SessionPlan {
+            session,
+            k,
+            h: n - k,
+            payload_len,
+            groups,
+            last_k: if groups == 0 { 0 } else { last_k },
+            total_bytes,
+        })
+    }
+
+    /// Split `data` into per-group padded packets.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != total_bytes` (caller constructed the plan
+    /// from this very buffer).
+    pub fn split(&self, data: &[u8]) -> Vec<Vec<Bytes>> {
+        assert_eq!(
+            data.len() as u64,
+            self.total_bytes,
+            "plan/data length mismatch"
+        );
+        let plen = self.payload_len as usize;
+        let mut out = Vec::with_capacity(self.groups as usize);
+        let mut off = 0usize;
+        for g in 0..self.groups {
+            let gk = self.group_k(g);
+            let mut packets = Vec::with_capacity(gk);
+            for _ in 0..gk {
+                let end = (off + plen).min(data.len());
+                let mut payload = Vec::with_capacity(plen);
+                payload.extend_from_slice(&data[off..end]);
+                payload.resize(plen, 0);
+                packets.push(Bytes::from(payload));
+                off = end;
+            }
+            out.push(packets);
+        }
+        out
+    }
+
+    /// Reassemble the byte stream from decoded groups (keys `0..groups`).
+    ///
+    /// # Errors
+    /// [`ProtocolError::Inconsistent`] if groups are missing or have the
+    /// wrong shape.
+    pub fn reassemble(&self, groups: &BTreeMap<u32, Vec<Bytes>>) -> Result<Vec<u8>, ProtocolError> {
+        let mut out = Vec::with_capacity(self.total_bytes as usize);
+        for g in 0..self.groups {
+            let packets = groups.get(&g).ok_or_else(|| {
+                ProtocolError::Inconsistent(format!("group {g} missing at reassembly"))
+            })?;
+            if packets.len() != self.group_k(g) {
+                return Err(ProtocolError::Inconsistent(format!(
+                    "group {g} has {} packets, expected {}",
+                    packets.len(),
+                    self.group_k(g)
+                )));
+            }
+            for p in packets {
+                if p.len() != self.payload_len as usize {
+                    return Err(ProtocolError::Inconsistent(format!(
+                        "group {g} packet size {} != {}",
+                        p.len(),
+                        self.payload_len
+                    )));
+                }
+                out.extend_from_slice(p);
+            }
+        }
+        out.truncate(self.total_bytes as usize);
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data(n: usize) -> Vec<u8> {
+        (0..n).map(|i| (i * 31 % 251) as u8).collect()
+    }
+
+    #[test]
+    fn exact_multiple_layout() {
+        let p = SessionPlan::new(1, 7 * 4 * 16, 7, 3, 16).unwrap();
+        assert_eq!(p.groups, 4);
+        assert_eq!(p.last_k, 7);
+        assert_eq!(p.total_packets(), 28);
+        assert_eq!(p.group_k(3), 7);
+        assert_eq!(p.group_n(0), 10);
+    }
+
+    #[test]
+    fn ragged_tail_layout() {
+        // 100 bytes, 16-byte packets => 7 packets; k = 3 => groups 3,
+        // last_k = 1.
+        let p = SessionPlan::new(1, 100, 3, 2, 16).unwrap();
+        assert_eq!(p.groups, 3);
+        assert_eq!(p.last_k, 1);
+        assert_eq!(p.total_packets(), 7);
+        assert_eq!(p.group_k(2), 1);
+        assert_eq!(p.group_n(2), 3);
+    }
+
+    #[test]
+    fn empty_transfer() {
+        let p = SessionPlan::new(1, 0, 7, 3, 1024).unwrap();
+        assert_eq!(p.groups, 0);
+        assert_eq!(p.total_packets(), 0);
+        assert_eq!(p.split(&[]).len(), 0);
+        assert_eq!(p.reassemble(&BTreeMap::new()).unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn split_reassemble_roundtrip() {
+        for len in [1usize, 15, 16, 17, 100, 1000, 7 * 16] {
+            let p = SessionPlan::new(9, len as u64, 7, 3, 16).unwrap();
+            let bytes = data(len);
+            let split = p.split(&bytes);
+            assert_eq!(split.len(), p.groups as usize);
+            let map: BTreeMap<u32, Vec<Bytes>> = split
+                .into_iter()
+                .enumerate()
+                .map(|(i, g)| (i as u32, g))
+                .collect();
+            assert_eq!(p.reassemble(&map).unwrap(), bytes, "len={len}");
+        }
+    }
+
+    #[test]
+    fn padding_is_zero() {
+        let p = SessionPlan::new(1, 5, 2, 1, 4).unwrap();
+        let split = p.split(&data(5));
+        // 5 bytes over 4-byte packets: 2 packets, second padded.
+        assert_eq!(split[0][1][1..], [0, 0, 0][..]);
+    }
+
+    #[test]
+    fn announce_roundtrip() {
+        let p = SessionPlan::new(3, 12345, 20, 40, 512).unwrap();
+        let q = SessionPlan::from_announce(&p.announce()).unwrap();
+        assert_eq!(p, q);
+        // Empty plan survives too (last_k encodes as 1 on the wire, comes
+        // back as 0 because groups == 0).
+        let p = SessionPlan::new(3, 0, 20, 40, 512).unwrap();
+        let q = SessionPlan::from_announce(&p.announce()).unwrap();
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn from_announce_rejects_non_announce() {
+        let r = SessionPlan::from_announce(&Message::Fin { session: 1 });
+        assert!(matches!(r, Err(ProtocolError::Inconsistent(_))));
+    }
+
+    #[test]
+    fn reassemble_detects_missing_and_malformed() {
+        let p = SessionPlan::new(1, 64, 2, 1, 16).unwrap();
+        let split = p.split(&data(64));
+        let mut map: BTreeMap<u32, Vec<Bytes>> = split
+            .into_iter()
+            .enumerate()
+            .map(|(i, g)| (i as u32, g))
+            .collect();
+        let mut missing = map.clone();
+        missing.remove(&1);
+        assert!(p.reassemble(&missing).is_err());
+        map.get_mut(&0).unwrap().pop();
+        assert!(p.reassemble(&map).is_err());
+    }
+
+    #[test]
+    fn invalid_plans_rejected() {
+        assert!(SessionPlan::new(1, 10, 0, 3, 16).is_err());
+        assert!(SessionPlan::new(1, 10, 200, 100, 16).is_err());
+        assert!(SessionPlan::new(1, 10, 7, 3, 0).is_err());
+    }
+}

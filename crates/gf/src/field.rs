@@ -1,0 +1,329 @@
+//! Runtime-configurable Galois fields GF(2^m), `2 <= m <= 16`.
+//!
+//! Elements are represented as `u16` (values `< 2^m`). Addition is XOR;
+//! multiplication and division go through exp/log tables generated from a
+//! primitive polynomial. Table generation verifies primitivity: the powers of
+//! the generator `alpha = x` must enumerate every non-zero element exactly
+//! once, so a bad polynomial cannot silently produce a broken field.
+
+use std::fmt;
+
+/// Errors raised by field construction and arithmetic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GfError {
+    /// Requested symbol width `m` outside the supported range `2..=16`.
+    UnsupportedWidth(u32),
+    /// Division by zero.
+    DivisionByZero,
+    /// An element value `>= 2^m` was passed to a field of width `m`.
+    OutOfRange { value: u32, width: u32 },
+    /// A matrix that must be invertible is singular.
+    SingularMatrix,
+    /// Operand shapes do not agree.
+    DimensionMismatch { expected: usize, got: usize },
+}
+
+impl fmt::Display for GfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GfError::UnsupportedWidth(m) => {
+                write!(
+                    f,
+                    "unsupported field width m={m}; supported range is 2..=16"
+                )
+            }
+            GfError::DivisionByZero => write!(f, "division by zero in GF(2^m)"),
+            GfError::OutOfRange { value, width } => {
+                write!(f, "element {value} out of range for GF(2^{width})")
+            }
+            GfError::SingularMatrix => write!(f, "matrix is singular over GF(2^m)"),
+            GfError::DimensionMismatch { expected, got } => {
+                write!(f, "dimension mismatch: expected {expected}, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GfError {}
+
+/// Primitive polynomials for GF(2^m), indexed by `m` (entries 0 and 1 unused).
+///
+/// Bit `i` of the entry is the coefficient of `x^i`; the top bit (`x^m`) is
+/// included. These are the standard minimum-weight primitive polynomials.
+const PRIMITIVE_POLYS: [u32; 17] = [
+    0, 0, 0x7, 0xB, 0x13, 0x25, 0x43, 0x89, 0x11D, 0x211, 0x409, 0x805, 0x1053, 0x201B, 0x4443,
+    0x8003, 0x1100B,
+];
+
+/// A Galois field GF(2^m) with exp/log tables.
+///
+/// `exp` has length `2 * (size - 1)` so that products of logs can be looked
+/// up without a modulo reduction: for non-zero `a`, `b`,
+/// `a * b = exp[log[a] + log[b]]`.
+#[derive(Debug, Clone)]
+pub struct GfField {
+    m: u32,
+    size: usize,
+    exp: Vec<u16>,
+    log: Vec<u16>,
+}
+
+impl GfField {
+    /// Construct GF(2^m). Supported widths are `2..=16`.
+    ///
+    /// Table construction is O(2^m) time and memory; the result should be
+    /// built once and shared.
+    pub fn new(m: u32) -> Result<Self, GfError> {
+        if !(2..=16).contains(&m) {
+            return Err(GfError::UnsupportedWidth(m));
+        }
+        let size = 1usize << m;
+        let poly = PRIMITIVE_POLYS[m as usize];
+        let mut exp = vec![0u16; 2 * (size - 1)];
+        let mut log = vec![0u16; size];
+        let mut x: u32 = 1;
+        for (i, e) in exp.iter_mut().enumerate().take(size - 1) {
+            *e = x as u16;
+            log[x as usize] = i as u16;
+            x <<= 1;
+            if x & (1 << m) != 0 {
+                x ^= poly;
+            }
+        }
+        // The generator must cycle through all non-zero elements and return
+        // to 1; anything else means `poly` is not primitive.
+        debug_assert_eq!(x, 1, "polynomial {poly:#x} is not primitive for m={m}");
+        for i in 0..(size - 1) {
+            exp[size - 1 + i] = exp[i];
+        }
+        Ok(GfField { m, size, exp, log })
+    }
+
+    /// Field width `m` (symbols are `m` bits).
+    #[inline]
+    pub fn width(&self) -> u32 {
+        self.m
+    }
+
+    /// Number of elements, `2^m`.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Largest valid element value, `2^m - 1`. Also the multiplicative order.
+    #[inline]
+    pub fn max_element(&self) -> u16 {
+        (self.size - 1) as u16
+    }
+
+    #[inline]
+    fn check(&self, a: u16) -> Result<(), GfError> {
+        if (a as usize) < self.size {
+            Ok(())
+        } else {
+            Err(GfError::OutOfRange {
+                value: a as u32,
+                width: self.m,
+            })
+        }
+    }
+
+    /// Addition (= subtraction) in characteristic 2: XOR.
+    #[inline]
+    pub fn add(&self, a: u16, b: u16) -> u16 {
+        a ^ b
+    }
+
+    /// Multiply two elements.
+    ///
+    /// # Panics
+    /// Debug-panics if operands are out of range (callers validate inputs at
+    /// the API boundary; internal use is by construction in-range).
+    #[inline]
+    pub fn mul(&self, a: u16, b: u16) -> u16 {
+        debug_assert!((a as usize) < self.size && (b as usize) < self.size);
+        if a == 0 || b == 0 {
+            return 0;
+        }
+        self.exp[self.log[a as usize] as usize + self.log[b as usize] as usize]
+    }
+
+    /// Multiplicative inverse. Errors on zero.
+    #[inline]
+    pub fn inv(&self, a: u16) -> Result<u16, GfError> {
+        self.check(a)?;
+        if a == 0 {
+            return Err(GfError::DivisionByZero);
+        }
+        let order = (self.size - 1) as u16;
+        let l = self.log[a as usize];
+        Ok(self.exp[(order - l) as usize])
+    }
+
+    /// Division `a / b`. Errors if `b == 0`.
+    #[inline]
+    pub fn div(&self, a: u16, b: u16) -> Result<u16, GfError> {
+        self.check(a)?;
+        self.check(b)?;
+        if b == 0 {
+            return Err(GfError::DivisionByZero);
+        }
+        if a == 0 {
+            return Ok(0);
+        }
+        let order = (self.size - 1) as isize;
+        let d = self.log[a as usize] as isize - self.log[b as usize] as isize;
+        let d = if d < 0 { d + order } else { d };
+        Ok(self.exp[d as usize])
+    }
+
+    /// `alpha^i`, where `alpha` is the primitive element and `i` is reduced
+    /// modulo `2^m - 1`.
+    #[inline]
+    pub fn exp(&self, i: usize) -> u16 {
+        self.exp[i % (self.size - 1)]
+    }
+
+    /// Discrete log base `alpha`. Errors on zero (log undefined).
+    #[inline]
+    pub fn log(&self, a: u16) -> Result<u16, GfError> {
+        self.check(a)?;
+        if a == 0 {
+            return Err(GfError::DivisionByZero);
+        }
+        Ok(self.log[a as usize])
+    }
+
+    /// `a^e` by log/exp (e reduced mod the group order). `0^0 == 1`.
+    pub fn pow(&self, a: u16, e: u64) -> u16 {
+        if e == 0 {
+            return 1;
+        }
+        if a == 0 {
+            return 0;
+        }
+        let order = (self.size - 1) as u64;
+        let l = self.log[a as usize] as u64;
+        self.exp[((l * (e % order)) % order) as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_unsupported_widths() {
+        assert_eq!(GfField::new(0).unwrap_err(), GfError::UnsupportedWidth(0));
+        assert_eq!(GfField::new(1).unwrap_err(), GfError::UnsupportedWidth(1));
+        assert_eq!(GfField::new(17).unwrap_err(), GfError::UnsupportedWidth(17));
+    }
+
+    #[test]
+    fn all_supported_widths_build() {
+        for m in 2..=16 {
+            let f = GfField::new(m).unwrap();
+            assert_eq!(f.size(), 1 << m);
+            assert_eq!(f.width(), m);
+        }
+    }
+
+    #[test]
+    fn exp_log_roundtrip_gf16() {
+        let f = GfField::new(4).unwrap();
+        for a in 1..16u16 {
+            let l = f.log(a).unwrap();
+            assert_eq!(f.exp(l as usize), a);
+        }
+    }
+
+    #[test]
+    fn mul_matches_schoolbook_gf16() {
+        // Carry-less multiply reduced by x^4 + x + 1.
+        fn slow_mul(mut a: u16, mut b: u16) -> u16 {
+            let mut r = 0u16;
+            while b != 0 {
+                if b & 1 != 0 {
+                    r ^= a;
+                }
+                b >>= 1;
+                a <<= 1;
+                if a & 0x10 != 0 {
+                    a ^= 0x13;
+                }
+            }
+            r
+        }
+        let f = GfField::new(4).unwrap();
+        for a in 0..16u16 {
+            for b in 0..16u16 {
+                assert_eq!(f.mul(a, b), slow_mul(a, b), "{a} * {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn inverse_is_inverse() {
+        for m in [2u32, 4, 8, 12, 16] {
+            let f = GfField::new(m).unwrap();
+            // Exhaustive for small fields, sampled stride for m=16.
+            let stride = if m <= 8 { 1 } else { 97 };
+            let mut a = 1u32;
+            while a < f.size() as u32 {
+                let inv = f.inv(a as u16).unwrap();
+                assert_eq!(f.mul(a as u16, inv), 1, "m={m} a={a}");
+                a += stride;
+            }
+        }
+    }
+
+    #[test]
+    fn division_by_zero_errors() {
+        let f = GfField::new(8).unwrap();
+        assert_eq!(f.div(5, 0).unwrap_err(), GfError::DivisionByZero);
+        assert_eq!(f.inv(0).unwrap_err(), GfError::DivisionByZero);
+        assert_eq!(f.log(0).unwrap_err(), GfError::DivisionByZero);
+    }
+
+    #[test]
+    fn out_of_range_detected() {
+        let f = GfField::new(4).unwrap();
+        assert!(matches!(f.div(16, 1), Err(GfError::OutOfRange { .. })));
+        assert!(matches!(f.inv(255), Err(GfError::OutOfRange { .. })));
+    }
+
+    #[test]
+    fn pow_basics() {
+        let f = GfField::new(8).unwrap();
+        assert_eq!(f.pow(0, 0), 1);
+        assert_eq!(f.pow(0, 5), 0);
+        assert_eq!(f.pow(7, 0), 1);
+        assert_eq!(f.pow(7, 1), 7);
+        assert_eq!(f.pow(2, 8), f.mul(f.pow(2, 4), f.pow(2, 4)));
+        // Fermat: a^(2^m - 1) == 1 for a != 0.
+        for a in 1..=255u16 {
+            assert_eq!(f.pow(a, 255), 1);
+        }
+    }
+
+    #[test]
+    fn exp_wraps_modulo_order() {
+        let f = GfField::new(8).unwrap();
+        assert_eq!(f.exp(0), 1);
+        assert_eq!(f.exp(255), 1);
+        assert_eq!(f.exp(256), f.exp(1));
+    }
+
+    #[test]
+    fn distributivity_sampled_gf256() {
+        let f = GfField::new(8).unwrap();
+        for a in (0..256u16).step_by(7) {
+            for b in (0..256u16).step_by(11) {
+                for c in (0..256u16).step_by(13) {
+                    assert_eq!(f.mul(a, b ^ c), f.mul(a, b) ^ f.mul(a, c));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! Galois-field arithmetic for Reed–Solomon erasure coding.
+//!
+//! This crate is the arithmetic substrate for the packet-level FEC codec used
+//! in the SIGCOMM '97 reproduction of *Parity-Based Loss Recovery for
+//! Reliable Multicast Transmission* (Nonnenmacher, Biersack, Towsley). It
+//! provides:
+//!
+//! * [`GfField`] — a runtime-configurable field GF(2^m) for `2 <= m <= 16`,
+//!   built from exp/log tables over a primitive polynomial. The paper uses
+//!   `m = 8` ("for our purposes, m = 8 will be sufficiently large"), but the
+//!   generic field lets the codec support FEC blocks with `n > 255`.
+//! * [`Gf256`] — a zero-cost scalar wrapper specialised to GF(2^8) with
+//!   statically initialised tables, used on the hot encode/decode paths.
+//! * [`mod@slice`] — bulk operations (`dst ^= c * src`) over byte slices, the
+//!   inner loop of the McAuley/Rizzo-style packet coder.
+//! * [`poly`] — polynomials over GF(2^8): Horner evaluation (the paper's
+//!   Eq. 1 encoder computes parities as `p_j = F(alpha^(j-1))`) and Lagrange
+//!   interpolation.
+//! * [`matrix`] — dense matrices over GF(2^8): Vandermonde construction,
+//!   systematisation and Gauss–Jordan inversion for the erasure decoder.
+//!
+//! All arithmetic is table-driven and allocation-free on the hot path.
+//!
+//! ```
+//! use pm_gf::Gf256;
+//! let a = Gf256(0x53);
+//! let b = Gf256(0xCA);
+//! assert_eq!(a + b, Gf256(0x53 ^ 0xCA));          // addition is XOR
+//! assert_eq!((a * b) * a.checked_inv().unwrap(), b); // field inverse
+//! ```
+
+pub mod field;
+pub mod gf256;
+pub mod matrix;
+pub mod poly;
+pub mod slice;
+
+pub use field::{GfError, GfField};
+pub use gf256::Gf256;
+pub use matrix::Matrix;
+pub use poly::Poly;
+
+#[cfg(test)]
+mod proptests;

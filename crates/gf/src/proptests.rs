@@ -1,0 +1,114 @@
+//! Property-based tests for the field axioms and matrix identities.
+
+use proptest::prelude::*;
+
+use crate::gf256::Gf256;
+use crate::matrix::Matrix;
+use crate::poly::Poly;
+use crate::slice;
+
+fn gf() -> impl Strategy<Value = Gf256> {
+    any::<u8>().prop_map(Gf256)
+}
+
+proptest! {
+    #[test]
+    fn add_commutative_associative(a in gf(), b in gf(), c in gf()) {
+        prop_assert_eq!(a + b, b + a);
+        prop_assert_eq!((a + b) + c, a + (b + c));
+    }
+
+    #[test]
+    fn mul_commutative_associative(a in gf(), b in gf(), c in gf()) {
+        prop_assert_eq!(a * b, b * a);
+        prop_assert_eq!((a * b) * c, a * (b * c));
+    }
+
+    #[test]
+    fn distributive(a in gf(), b in gf(), c in gf()) {
+        prop_assert_eq!(a * (b + c), a * b + a * c);
+    }
+
+    #[test]
+    fn mul_inverse_cancels(a in gf()) {
+        prop_assume!(!a.is_zero());
+        prop_assert_eq!(a * a.checked_inv().unwrap(), Gf256::ONE);
+    }
+
+    #[test]
+    fn div_then_mul_roundtrips(a in gf(), b in gf()) {
+        prop_assume!(!b.is_zero());
+        prop_assert_eq!(a.checked_div(b).unwrap() * b, a);
+    }
+
+    #[test]
+    fn pow_is_homomorphism(a in gf(), e1 in 0u64..1000, e2 in 0u64..1000) {
+        prop_assert_eq!(a.pow(e1) * a.pow(e2), a.pow(e1 + e2));
+    }
+
+    #[test]
+    fn slice_mul_add_linear(
+        c1 in gf(),
+        c2 in gf(),
+        src in proptest::collection::vec(any::<u8>(), 1..200),
+    ) {
+        // (c1 + c2) * src == c1 * src + c2 * src, applied to whole slices.
+        let mut lhs = vec![0u8; src.len()];
+        slice::mul_add_slice(c1 + c2, &src, &mut lhs);
+        let mut rhs = vec![0u8; src.len()];
+        slice::mul_add_slice(c1, &src, &mut rhs);
+        slice::mul_add_slice(c2, &src, &mut rhs);
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn poly_eval_additive(d1 in proptest::collection::vec(any::<u8>(), 0..32),
+                          d2 in proptest::collection::vec(any::<u8>(), 0..32),
+                          x in gf()) {
+        let p1 = Poly::from_bytes(&d1);
+        let p2 = Poly::from_bytes(&d2);
+        prop_assert_eq!(p1.add(&p2).eval(x), p1.eval(x) + p2.eval(x));
+    }
+
+    #[test]
+    fn poly_interpolation_roundtrip(coeffs in proptest::collection::vec(any::<u8>(), 1..12)) {
+        let p = Poly::from_bytes(&coeffs);
+        let pts: Vec<_> = (0..coeffs.len())
+            .map(|i| (Gf256::alpha_pow(i), p.eval(Gf256::alpha_pow(i))))
+            .collect();
+        let q = Poly::interpolate(&pts).unwrap();
+        for i in 0..coeffs.len() {
+            prop_assert_eq!(q.coeff(i), p.coeff(i));
+        }
+    }
+
+    #[test]
+    fn random_vandermonde_subsets_invert(
+        k in 2usize..8,
+        extra in 1usize..8,
+        seed in any::<u64>(),
+    ) {
+        // Any k rows of an n x k Vandermonde over distinct points invert.
+        let n = k + extra;
+        let points: Vec<Gf256> = (0..n).map(Gf256::alpha_pow).collect();
+        let v = Matrix::vandermonde(&points, k);
+        // Pick k distinct rows pseudo-randomly from the seed.
+        let mut rows: Vec<usize> = (0..n).collect();
+        let mut s = seed.wrapping_add(1);
+        for i in (1..rows.len()).rev() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let j = (s >> 33) as usize % (i + 1);
+            rows.swap(i, j);
+        }
+        rows.truncate(k);
+        prop_assert!(v.select_rows(&rows).invert().is_ok());
+    }
+
+    #[test]
+    fn matrix_inverse_involution(vals in proptest::collection::vec(any::<u8>(), 9..=9)) {
+        let m = Matrix::from_fn(3, 3, |r, c| Gf256(vals[r * 3 + c]));
+        if let Ok(inv) = m.invert() {
+            prop_assert_eq!(inv.invert().unwrap(), m);
+        }
+    }
+}

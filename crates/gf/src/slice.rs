@@ -1,0 +1,169 @@
+//! Bulk GF(256) operations over byte slices — the codec inner loop.
+//!
+//! A packet-level RSE coder spends essentially all of its time computing
+//! `parity ^= coeff * data` over whole packets (Section 2.2 of the paper:
+//! one GF(2^8) operation per byte per matrix coefficient, so encode cost is
+//! proportional to `h * k * packet_len`). These routines use a 256-entry
+//! per-multiplier lookup row (built once per coefficient) and a plain `u64`
+//! XOR fast path when the coefficient is 1.
+
+use crate::gf256::{fill_mul_row, Gf256};
+
+/// `dst ^= src`, element-wise. Both slices must have equal length.
+///
+/// # Panics
+/// Panics if the lengths differ (caller bug: packets in one FEC block must
+/// have equal size).
+pub fn xor_slice(dst: &mut [u8], src: &[u8]) {
+    assert_eq!(dst.len(), src.len(), "xor_slice length mismatch");
+    // Wide XOR on aligned middle chunks; bytewise head/tail.
+    let n = dst.len();
+    let chunks = n / 8;
+    for i in 0..chunks {
+        let o = i * 8;
+        let a = u64::from_ne_bytes(dst[o..o + 8].try_into().unwrap());
+        let b = u64::from_ne_bytes(src[o..o + 8].try_into().unwrap());
+        dst[o..o + 8].copy_from_slice(&(a ^ b).to_ne_bytes());
+    }
+    for i in chunks * 8..n {
+        dst[i] ^= src[i];
+    }
+}
+
+/// `dst ^= c * src` — multiply-accumulate with a scalar coefficient.
+///
+/// # Panics
+/// Panics if the lengths differ.
+pub fn mul_add_slice(c: Gf256, src: &[u8], dst: &mut [u8]) {
+    assert_eq!(dst.len(), src.len(), "mul_add_slice length mismatch");
+    if c.is_zero() {
+        return;
+    }
+    if c == Gf256::ONE {
+        xor_slice(dst, src);
+        return;
+    }
+    let mut row = [0u8; 256];
+    fill_mul_row(c, &mut row);
+    for (d, s) in dst.iter_mut().zip(src.iter()) {
+        *d ^= row[*s as usize];
+    }
+}
+
+/// `dst = c * src` (overwrites `dst`).
+///
+/// # Panics
+/// Panics if the lengths differ.
+pub fn mul_slice(c: Gf256, src: &[u8], dst: &mut [u8]) {
+    assert_eq!(dst.len(), src.len(), "mul_slice length mismatch");
+    if c.is_zero() {
+        dst.fill(0);
+        return;
+    }
+    if c == Gf256::ONE {
+        dst.copy_from_slice(src);
+        return;
+    }
+    let mut row = [0u8; 256];
+    fill_mul_row(c, &mut row);
+    for (d, s) in dst.iter_mut().zip(src.iter()) {
+        *d = row[*s as usize];
+    }
+}
+
+/// Scale a slice in place: `data *= c`.
+pub fn scale_slice(c: Gf256, data: &mut [u8]) {
+    if c == Gf256::ONE {
+        return;
+    }
+    if c.is_zero() {
+        data.fill(0);
+        return;
+    }
+    let mut row = [0u8; 256];
+    fill_mul_row(c, &mut row);
+    for d in data.iter_mut() {
+        *d = row[*d as usize];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reference_mul_add(c: Gf256, src: &[u8], dst: &mut [u8]) {
+        for (d, s) in dst.iter_mut().zip(src) {
+            *d = (Gf256(*d) + c * Gf256(*s)).0;
+        }
+    }
+
+    #[test]
+    fn xor_slice_matches_bytewise() {
+        // Lengths straddling the 8-byte fast path boundary.
+        for len in [0usize, 1, 7, 8, 9, 15, 16, 17, 100, 1024] {
+            let src: Vec<u8> = (0..len).map(|i| (i * 37 + 11) as u8).collect();
+            let mut dst: Vec<u8> = (0..len).map(|i| (i * 13 + 5) as u8).collect();
+            let mut expect = dst.clone();
+            for (d, s) in expect.iter_mut().zip(&src) {
+                *d ^= s;
+            }
+            xor_slice(&mut dst, &src);
+            assert_eq!(dst, expect, "len={len}");
+        }
+    }
+
+    #[test]
+    fn mul_add_matches_reference() {
+        let src: Vec<u8> = (0..300).map(|i| (i * 7 + 3) as u8).collect();
+        for c in [0u8, 1, 2, 37, 255] {
+            let mut dst: Vec<u8> = (0..300).map(|i| (i * 31) as u8).collect();
+            let mut expect = dst.clone();
+            reference_mul_add(Gf256(c), &src, &mut expect);
+            mul_add_slice(Gf256(c), &src, &mut dst);
+            assert_eq!(dst, expect, "c={c}");
+        }
+    }
+
+    #[test]
+    fn mul_slice_then_xor_equals_mul_add() {
+        let src: Vec<u8> = (0..128).map(|i| (i * 5 + 1) as u8).collect();
+        let base: Vec<u8> = (0..128).map(|i| (i * 11 + 7) as u8).collect();
+        for c in [0u8, 1, 9, 200] {
+            let mut tmp = vec![0u8; 128];
+            mul_slice(Gf256(c), &src, &mut tmp);
+            let mut via_two_step = base.clone();
+            xor_slice(&mut via_two_step, &tmp);
+            let mut direct = base.clone();
+            mul_add_slice(Gf256(c), &src, &mut direct);
+            assert_eq!(via_two_step, direct, "c={c}");
+        }
+    }
+
+    #[test]
+    fn scale_by_inverse_roundtrips() {
+        let orig: Vec<u8> = (0..500).map(|i| (i * 3 + 17) as u8).collect();
+        for c in [1u8, 2, 77, 254] {
+            let mut data = orig.clone();
+            scale_slice(Gf256(c), &mut data);
+            scale_slice(Gf256(c).checked_inv().unwrap(), &mut data);
+            assert_eq!(data, orig, "c={c}");
+        }
+    }
+
+    #[test]
+    fn zero_coefficient_behaviour() {
+        let src = vec![0xffu8; 32];
+        let mut dst = vec![0xaau8; 32];
+        mul_add_slice(Gf256::ZERO, &src, &mut dst);
+        assert_eq!(dst, vec![0xaau8; 32], "mul_add by zero is a no-op");
+        mul_slice(Gf256::ZERO, &src, &mut dst);
+        assert_eq!(dst, vec![0u8; 32], "mul by zero clears");
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let mut dst = vec![0u8; 4];
+        mul_add_slice(Gf256::ONE, &[1, 2, 3], &mut dst);
+    }
+}

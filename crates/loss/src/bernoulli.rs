@@ -1,0 +1,127 @@
+//! Spatially and temporally independent loss (the Section 3 baseline).
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use crate::model::LossModel;
+
+/// Every receiver loses each packet independently with probability `p`;
+/// packets are independent of each other ("independent loss" in the paper:
+/// only the receivers lose packets, interior tree nodes do not).
+#[derive(Debug, Clone)]
+pub struct IndependentLoss {
+    receivers: usize,
+    p: f64,
+    rng: ChaCha8Rng,
+}
+
+impl IndependentLoss {
+    /// Create the model for `receivers` receivers with loss probability `p`.
+    ///
+    /// # Panics
+    /// Panics unless `0 <= p <= 1` and `receivers > 0`.
+    pub fn new(receivers: usize, p: f64, seed: u64) -> Self {
+        assert!(receivers > 0, "need at least one receiver");
+        assert!((0.0..=1.0).contains(&p), "p must be a probability, got {p}");
+        IndependentLoss {
+            receivers,
+            p,
+            rng: ChaCha8Rng::seed_from_u64(seed),
+        }
+    }
+
+    /// The configured loss probability.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+}
+
+impl LossModel for IndependentLoss {
+    fn receivers(&self) -> usize {
+        self.receivers
+    }
+
+    fn sample(&mut self, _time: f64, lost: &mut [bool]) {
+        assert_eq!(lost.len(), self.receivers, "loss buffer size mismatch");
+        for l in lost.iter_mut() {
+            *l = self.rng.random::<f64>() < self.p;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::empirical_loss_rate;
+
+    #[test]
+    fn zero_and_one_are_degenerate() {
+        let mut never = IndependentLoss::new(4, 0.0, 1);
+        assert!(never.sample_vec(0.0).iter().all(|&l| !l));
+        let mut always = IndependentLoss::new(4, 1.0, 1);
+        assert!(always.sample_vec(0.0).iter().all(|&l| l));
+    }
+
+    #[test]
+    fn rate_converges_to_p() {
+        for p in [0.01, 0.25, 0.9] {
+            let mut m = IndependentLoss::new(50, p, 99);
+            let rate = empirical_loss_rate(&mut m, 4000, 0.04);
+            assert!((rate - p).abs() < 0.02, "p={p} rate={rate}");
+        }
+    }
+
+    #[test]
+    fn reproducible_from_seed() {
+        let mut a = IndependentLoss::new(10, 0.5, 1234);
+        let mut b = IndependentLoss::new(10, 0.5, 1234);
+        for i in 0..50 {
+            assert_eq!(a.sample_vec(i as f64), b.sample_vec(i as f64));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = IndependentLoss::new(64, 0.5, 1);
+        let mut b = IndependentLoss::new(64, 0.5, 2);
+        let mut any_diff = false;
+        for i in 0..20 {
+            if a.sample_vec(i as f64) != b.sample_vec(i as f64) {
+                any_diff = true;
+                break;
+            }
+        }
+        assert!(any_diff);
+    }
+
+    #[test]
+    fn receivers_are_spatially_independent() {
+        // Correlation between two receivers should be ~0.
+        let mut m = IndependentLoss::new(2, 0.3, 7);
+        let n = 20000;
+        let (mut c01, mut c10, mut c11) = (0, 0, 0);
+        for i in 0..n {
+            let v = m.sample_vec(i as f64);
+            match (v[0], v[1]) {
+                (false, false) => {}
+                (false, true) => c01 += 1,
+                (true, false) => c10 += 1,
+                (true, true) => c11 += 1,
+            }
+        }
+        let p1 = (c10 + c11) as f64 / n as f64;
+        let p2 = (c01 + c11) as f64 / n as f64;
+        let joint = c11 as f64 / n as f64;
+        assert!(
+            (joint - p1 * p2).abs() < 0.01,
+            "joint={joint} p1*p2={}",
+            p1 * p2
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn invalid_p_panics() {
+        let _ = IndependentLoss::new(1, 1.5, 0);
+    }
+}

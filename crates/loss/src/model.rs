@@ -1,0 +1,91 @@
+//! The loss-model trait and shared helpers.
+
+/// A (possibly stateful) packet-loss process over a fixed receiver
+/// population.
+///
+/// One call to [`LossModel::sample`] corresponds to one multicast
+/// transmission: the model decides, for every receiver, whether that packet
+/// is lost. Spatial correlation (shared tree loss) lives *within* one call;
+/// temporal correlation (burst loss) lives *across* calls via the `time`
+/// argument.
+///
+/// `time` is the absolute send time in seconds and must be non-decreasing
+/// across calls for time-dependent models; memoryless models ignore it.
+pub trait LossModel {
+    /// Size of the receiver population `R`.
+    fn receivers(&self) -> usize;
+
+    /// Sample the loss pattern of one transmission at time `time`.
+    /// Overwrites every entry of `lost` (`lost.len() == receivers()`).
+    ///
+    /// # Panics
+    /// Implementations panic if `lost.len() != receivers()` (caller bug).
+    fn sample(&mut self, time: f64, lost: &mut [bool]);
+
+    /// Convenience: sample into a fresh vector.
+    fn sample_vec(&mut self, time: f64) -> Vec<bool> {
+        let mut v = vec![false; self.receivers()];
+        self.sample(time, &mut v);
+        v
+    }
+
+    /// Convenience: sample and return only whether a *specific* receiver
+    /// lost the packet — used by single-receiver studies. Implementations
+    /// still advance all internal state so sequences stay reproducible.
+    fn sample_one(&mut self, time: f64, receiver: usize) -> bool {
+        let v = self.sample_vec(time);
+        v[receiver]
+    }
+}
+
+/// Blanket impl so `&mut M` can be passed where a model is consumed.
+impl<M: LossModel + ?Sized> LossModel for &mut M {
+    fn receivers(&self) -> usize {
+        (**self).receivers()
+    }
+    fn sample(&mut self, time: f64, lost: &mut [bool]) {
+        (**self).sample(time, lost)
+    }
+}
+
+/// Measure the empirical per-receiver loss rate of a model over `packets`
+/// transmissions spaced `delta` seconds apart. Returns the overall fraction
+/// of `(packet, receiver)` pairs lost. Test/calibration helper.
+pub fn empirical_loss_rate<M: LossModel>(model: &mut M, packets: usize, delta: f64) -> f64 {
+    let r = model.receivers();
+    let mut lost = vec![false; r];
+    let mut total_lost = 0usize;
+    for i in 0..packets {
+        model.sample(i as f64 * delta, &mut lost);
+        total_lost += lost.iter().filter(|&&l| l).count();
+    }
+    total_lost as f64 / (packets * r) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bernoulli::IndependentLoss;
+
+    #[test]
+    fn sample_vec_matches_receivers() {
+        let mut m = IndependentLoss::new(3, 0.5, 42);
+        assert_eq!(m.sample_vec(0.0).len(), 3);
+    }
+
+    #[test]
+    fn mut_ref_is_a_model() {
+        fn takes_model<M: LossModel>(m: M) -> usize {
+            m.receivers()
+        }
+        let mut m = IndependentLoss::new(5, 0.1, 1);
+        assert_eq!(takes_model(&mut m), 5);
+    }
+
+    #[test]
+    fn empirical_rate_close_to_p() {
+        let mut m = IndependentLoss::new(100, 0.2, 7);
+        let rate = empirical_loss_rate(&mut m, 2000, 0.04);
+        assert!((rate - 0.2).abs() < 0.01, "rate {rate}");
+    }
+}

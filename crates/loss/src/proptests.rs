@@ -1,0 +1,90 @@
+//! Property-based tests across loss models.
+
+use proptest::prelude::*;
+
+use crate::bernoulli::IndependentLoss;
+use crate::gilbert::GilbertLoss;
+use crate::hetero::TwoClassLoss;
+use crate::model::LossModel;
+use crate::stats::BurstStats;
+use crate::tree::TreeLoss;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Burst accounting identity: sum over histogram of len*count equals
+    /// total losses, for any loss pattern.
+    #[test]
+    fn burst_histogram_conserves_losses(pattern in proptest::collection::vec(any::<bool>(), 0..500)) {
+        let mut s = BurstStats::new();
+        for &l in &pattern {
+            s.record(l);
+        }
+        s.finish();
+        let total: u64 = s
+            .histogram()
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (i as u64 + 1) * c)
+            .sum();
+        prop_assert_eq!(total, s.lost_packets());
+        prop_assert_eq!(s.packets(), pattern.len() as u64);
+    }
+
+    /// Every model reports the receiver count it was built with and fills
+    /// the whole buffer.
+    #[test]
+    fn models_fill_buffers(r in 1usize..40, seed in any::<u64>()) {
+        let mut models: Vec<Box<dyn LossModel>> = vec![
+            Box::new(IndependentLoss::new(r, 0.3, seed)),
+            Box::new(TwoClassLoss::new(r, 0.25, 0.01, 0.25, seed)),
+            Box::new(GilbertLoss::new(r, 0.1, 2.0, 0.04, seed)),
+        ];
+        for m in &mut models {
+            prop_assert_eq!(m.receivers(), r);
+            let v = m.sample_vec(0.0);
+            prop_assert_eq!(v.len(), r);
+        }
+    }
+
+    /// FBT receiver count is 2^d and single-packet marginals stay inside
+    /// plausible bounds.
+    #[test]
+    fn fbt_shape(d in 0u32..8, seed in any::<u64>()) {
+        let mut t = TreeLoss::full_binary(d, 0.1, seed);
+        prop_assert_eq!(t.receivers(), 1usize << d);
+        let v = t.sample_vec(0.0);
+        prop_assert_eq!(v.len(), 1usize << d);
+        prop_assert!((t.path_loss_probability() - 0.1).abs() < 1e-9);
+    }
+
+    /// Gilbert model sampled at identical timestamps returns a consistent
+    /// present state (dt = 0 keeps the chain where it is).
+    #[test]
+    fn gilbert_zero_dt_is_stable(seed in any::<u64>()) {
+        let mut g = GilbertLoss::new(1, 0.3, 2.0, 0.04, seed);
+        let a = g.sample_vec(1.0);
+        let b = g.sample_vec(1.0);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Seed determinism holds for every model.
+    #[test]
+    fn determinism(seed in any::<u64>()) {
+        let mk = |s: u64| -> Vec<Box<dyn LossModel>> {
+            vec![
+                Box::new(IndependentLoss::new(5, 0.4, s)),
+                Box::new(TwoClassLoss::new(5, 0.2, 0.05, 0.5, s)),
+                Box::new(GilbertLoss::new(5, 0.2, 2.0, 0.04, s)),
+                Box::new(TreeLoss::full_binary(3, 0.2, s)),
+            ]
+        };
+        let mut a = mk(seed);
+        let mut b = mk(seed);
+        for (ma, mb) in a.iter_mut().zip(b.iter_mut()) {
+            for i in 0..20 {
+                prop_assert_eq!(ma.sample_vec(i as f64 * 0.04), mb.sample_vec(i as f64 * 0.04));
+            }
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! Loss-sequence statistics: burst-length histograms (Fig. 14) and rates.
+
+/// Collects the distribution of consecutive-loss run lengths in a packet
+/// stream, plus aggregate loss counts.
+///
+/// Feed per-packet outcomes with [`BurstStats::record`] in transmission
+/// order and call [`BurstStats::finish`] when the stream ends (to close a
+/// trailing burst).
+#[derive(Debug, Clone, Default)]
+pub struct BurstStats {
+    /// `histogram[i]` = number of bursts of length `i + 1`.
+    histogram: Vec<u64>,
+    current_run: u64,
+    packets: u64,
+    lost: u64,
+    finished: bool,
+}
+
+impl BurstStats {
+    /// Empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record the outcome of one packet (`true` = lost).
+    ///
+    /// # Panics
+    /// Panics if called after [`BurstStats::finish`].
+    pub fn record(&mut self, lost: bool) {
+        assert!(!self.finished, "record() after finish()");
+        self.packets += 1;
+        if lost {
+            self.lost += 1;
+            self.current_run += 1;
+        } else if self.current_run > 0 {
+            self.bump(self.current_run);
+            self.current_run = 0;
+        }
+    }
+
+    /// Close the stream: a burst in progress at the end is counted.
+    /// Idempotent.
+    pub fn finish(&mut self) {
+        if self.current_run > 0 {
+            let run = self.current_run;
+            self.bump(run);
+            self.current_run = 0;
+        }
+        self.finished = true;
+    }
+
+    fn bump(&mut self, run: u64) {
+        let idx = (run - 1) as usize;
+        if self.histogram.len() <= idx {
+            self.histogram.resize(idx + 1, 0);
+        }
+        self.histogram[idx] += 1;
+    }
+
+    /// `histogram()[i]` = occurrences of bursts of length `i + 1`
+    /// (Fig. 14's y-axis over x = i + 1).
+    pub fn histogram(&self) -> &[u64] {
+        &self.histogram
+    }
+
+    /// Occurrences of bursts of exactly `len` consecutive losses.
+    pub fn occurrences(&self, len: usize) -> u64 {
+        if len == 0 {
+            return 0;
+        }
+        self.histogram.get(len - 1).copied().unwrap_or(0)
+    }
+
+    /// Total packets recorded.
+    pub fn packets(&self) -> u64 {
+        self.packets
+    }
+
+    /// Total packets lost.
+    pub fn lost_packets(&self) -> u64 {
+        self.lost
+    }
+
+    /// Overall loss fraction (0 if nothing recorded).
+    pub fn loss_rate(&self) -> f64 {
+        if self.packets == 0 {
+            0.0
+        } else {
+            self.lost as f64 / self.packets as f64
+        }
+    }
+
+    /// Number of bursts observed.
+    pub fn burst_count(&self) -> u64 {
+        self.histogram.iter().sum()
+    }
+
+    /// Mean burst length, `None` if no bursts were observed. Call
+    /// [`BurstStats::finish`] first for an exact answer.
+    pub fn mean_burst(&self) -> Option<f64> {
+        let count = self.burst_count();
+        if count == 0 {
+            return None;
+        }
+        let total: u64 = self
+            .histogram
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (i as u64 + 1) * c)
+            .sum();
+        Some(total as f64 / count as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feed(pattern: &[u8]) -> BurstStats {
+        let mut s = BurstStats::new();
+        for &b in pattern {
+            s.record(b == 1);
+        }
+        s.finish();
+        s
+    }
+
+    #[test]
+    fn counts_runs() {
+        // Pattern: L LL LLL (separated by successes).
+        let s = feed(&[1, 0, 1, 1, 0, 1, 1, 1, 0]);
+        assert_eq!(s.occurrences(1), 1);
+        assert_eq!(s.occurrences(2), 1);
+        assert_eq!(s.occurrences(3), 1);
+        assert_eq!(s.occurrences(4), 0);
+        assert_eq!(s.burst_count(), 3);
+        assert_eq!(s.mean_burst(), Some(2.0));
+        assert_eq!(s.lost_packets(), 6);
+        assert_eq!(s.packets(), 9);
+    }
+
+    #[test]
+    fn trailing_burst_needs_finish() {
+        let mut s = BurstStats::new();
+        for b in [0, 1, 1] {
+            s.record(b == 1);
+        }
+        assert_eq!(s.burst_count(), 0, "open burst not yet counted");
+        s.finish();
+        assert_eq!(s.occurrences(2), 1);
+        s.finish(); // idempotent
+        assert_eq!(s.occurrences(2), 1);
+    }
+
+    #[test]
+    fn empty_and_lossless_streams() {
+        let s = feed(&[]);
+        assert_eq!(s.mean_burst(), None);
+        assert_eq!(s.loss_rate(), 0.0);
+        let s = feed(&[0, 0, 0]);
+        assert_eq!(s.burst_count(), 0);
+        assert_eq!(s.loss_rate(), 0.0);
+    }
+
+    #[test]
+    fn all_lost_is_one_burst() {
+        let s = feed(&[1, 1, 1, 1]);
+        assert_eq!(s.burst_count(), 1);
+        assert_eq!(s.occurrences(4), 1);
+        assert_eq!(s.mean_burst(), Some(4.0));
+        assert_eq!(s.loss_rate(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "after finish")]
+    fn record_after_finish_panics() {
+        let mut s = BurstStats::new();
+        s.finish();
+        s.record(true);
+    }
+}

@@ -1,0 +1,334 @@
+//! Spatially correlated ("shared") loss on a multicast tree — Section 4.1.
+//!
+//! A packet travels from the root (the source) down the distribution tree;
+//! every node drops it independently with that node's loss probability, and
+//! a drop at an interior node is *shared* by every receiver underneath. The
+//! paper's reference topology is the **full binary tree (FBT)** of height
+//! `d` with `R = 2^d` leaf receivers, where every node (including source
+//! and leaves) drops with the same `p_node`, chosen so that each receiver's
+//! end-to-end loss probability is the target `p`:
+//!
+//! ```text
+//!     p = 1 - (1 - p_node)^(d+1)
+//! ```
+//!
+//! (A root-to-leaf path crosses `d + 1` potentially-dropping nodes: the
+//! source's link plus one per tree level.)
+//!
+//! [`TreeLoss`] supports arbitrary trees with per-node probabilities; the
+//! sampler walks the tree once per packet and prunes subtrees below a drop,
+//! so shared losses cost less RNG work, not more.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use crate::model::LossModel;
+
+/// One node of the distribution tree.
+#[derive(Debug, Clone)]
+struct Node {
+    /// Loss probability of the hop into this node.
+    p: f64,
+    children: Vec<usize>,
+    /// `Some(r)` if this node is receiver `r` (a leaf).
+    receiver: Option<usize>,
+}
+
+/// Loss model over an explicit multicast tree.
+#[derive(Debug, Clone)]
+pub struct TreeLoss {
+    nodes: Vec<Node>,
+    receivers: usize,
+    rng: ChaCha8Rng,
+    /// Scratch stack for the per-packet walk (avoids per-call allocation).
+    stack: Vec<(usize, bool)>,
+}
+
+/// Builder for arbitrary tree topologies.
+#[derive(Debug, Clone, Default)]
+pub struct TreeBuilder {
+    nodes: Vec<Node>,
+}
+
+impl TreeBuilder {
+    /// Start a new tree; `p_root` is the loss probability at the source
+    /// itself (set 0.0 for a loss-free source).
+    pub fn new(p_root: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&p_root),
+            "p_root must be a probability"
+        );
+        TreeBuilder {
+            nodes: vec![Node {
+                p: p_root,
+                children: Vec::new(),
+                receiver: None,
+            }],
+        }
+    }
+
+    /// Add an interior node under `parent`; returns the new node's id.
+    ///
+    /// # Panics
+    /// Panics on a bad parent id or non-probability `p`.
+    pub fn add_node(&mut self, parent: usize, p: f64) -> usize {
+        assert!(parent < self.nodes.len(), "parent {parent} does not exist");
+        assert!((0.0..=1.0).contains(&p), "p must be a probability");
+        let id = self.nodes.len();
+        self.nodes.push(Node {
+            p,
+            children: Vec::new(),
+            receiver: None,
+        });
+        self.nodes[parent].children.push(id);
+        id
+    }
+
+    /// Mark node `id` as a receiver (leaf). Receiver indices are assigned
+    /// in call order.
+    ///
+    /// # Panics
+    /// Panics if the node has children or is already a receiver.
+    pub fn mark_receiver(&mut self, id: usize) {
+        assert!(id < self.nodes.len(), "node {id} does not exist");
+        assert!(
+            self.nodes[id].children.is_empty(),
+            "receivers must be leaves"
+        );
+        assert!(
+            self.nodes[id].receiver.is_none(),
+            "node {id} is already a receiver"
+        );
+        // Receiver index assigned at build time (count of already-marked).
+        let r = self.nodes.iter().filter(|n| n.receiver.is_some()).count();
+        self.nodes[id].receiver = Some(r);
+    }
+
+    /// Finish the tree.
+    ///
+    /// # Panics
+    /// Panics if no node was marked as a receiver.
+    pub fn build(self, seed: u64) -> TreeLoss {
+        let receivers = self.nodes.iter().filter(|n| n.receiver.is_some()).count();
+        assert!(receivers > 0, "tree has no receivers");
+        TreeLoss {
+            nodes: self.nodes,
+            receivers,
+            rng: ChaCha8Rng::seed_from_u64(seed),
+            stack: Vec::new(),
+        }
+    }
+}
+
+impl TreeLoss {
+    /// The paper's FBT model: full binary tree of height `d` (`R = 2^d`
+    /// receivers at the leaves), every node dropping independently with
+    /// `p_node = 1 - (1-p)^(1/(d+1))` so each receiver sees loss
+    /// probability exactly `p`.
+    ///
+    /// `d = 0` degenerates to a single receiver losing with probability `p`.
+    ///
+    /// # Panics
+    /// Panics unless `p` is a probability and `d <= 26` (2^26 receivers is
+    /// the supported ceiling).
+    pub fn full_binary(d: u32, p: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "p must be a probability");
+        assert!(d <= 26, "FBT height {d} too large");
+        let p_node = 1.0 - (1.0 - p).powf(1.0 / (d as f64 + 1.0));
+        let mut b = TreeBuilder::new(p_node);
+        // Breadth-first construction; leaves at depth d become receivers.
+        let mut level = vec![0usize];
+        for _ in 0..d {
+            let mut next = Vec::with_capacity(level.len() * 2);
+            for &n in &level {
+                next.push(b.add_node(n, p_node));
+                next.push(b.add_node(n, p_node));
+            }
+            level = next;
+        }
+        for &leaf in &level {
+            b.mark_receiver(leaf);
+        }
+        b.build(seed)
+    }
+
+    /// Per-node loss probability of node `id`.
+    pub fn node_p(&self, id: usize) -> f64 {
+        self.nodes[id].p
+    }
+
+    /// Total number of tree nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// End-to-end loss probability of receiver 0 assuming a path of
+    /// independent per-node drops (diagnostic; exact for symmetric trees).
+    pub fn path_loss_probability(&self) -> f64 {
+        // Walk from root to the first receiver greedily.
+        let mut surv = 1.0;
+        let mut id = 0usize;
+        loop {
+            surv *= 1.0 - self.nodes[id].p;
+            if self.nodes[id].receiver.is_some() {
+                break;
+            }
+            match self.nodes[id].children.first() {
+                Some(&c) => id = c,
+                None => break,
+            }
+        }
+        1.0 - surv
+    }
+}
+
+impl LossModel for TreeLoss {
+    fn receivers(&self) -> usize {
+        self.receivers
+    }
+
+    fn sample(&mut self, _time: f64, lost: &mut [bool]) {
+        assert_eq!(lost.len(), self.receivers, "loss buffer size mismatch");
+        // Depth-first walk; once an ancestor drops, everything below is
+        // lost without further sampling (that's the sharing).
+        self.stack.clear();
+        self.stack.push((0, false));
+        while let Some((id, ancestor_dropped)) = self.stack.pop() {
+            let node = &self.nodes[id];
+            let dropped = ancestor_dropped || (node.p > 0.0 && self.rng.random::<f64>() < node.p);
+            if let Some(r) = node.receiver {
+                lost[r] = dropped;
+            }
+            for &c in &node.children {
+                self.stack.push((c, dropped));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::empirical_loss_rate;
+
+    #[test]
+    fn fbt_sizes() {
+        let t = TreeLoss::full_binary(0, 0.01, 0);
+        assert_eq!(t.receivers(), 1);
+        assert_eq!(t.node_count(), 1);
+        let t = TreeLoss::full_binary(3, 0.01, 0);
+        assert_eq!(t.receivers(), 8);
+        assert_eq!(t.node_count(), 15);
+    }
+
+    #[test]
+    fn per_receiver_rate_is_p() {
+        let mut t = TreeLoss::full_binary(4, 0.05, 42);
+        let rate = empirical_loss_rate(&mut t, 20_000, 1.0);
+        assert!((rate - 0.05).abs() < 0.005, "rate={rate}");
+        assert!((t.path_loss_probability() - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn siblings_share_loss() {
+        // In an FBT with loss only possible at shared nodes, sibling
+        // receivers must be positively correlated.
+        let mut t = TreeLoss::full_binary(3, 0.2, 7);
+        let n = 30_000;
+        let (mut l0, mut l1, mut both) = (0usize, 0usize, 0usize);
+        let mut lost = vec![false; 8];
+        for i in 0..n {
+            t.sample(i as f64, &mut lost);
+            if lost[0] {
+                l0 += 1;
+            }
+            if lost[1] {
+                l1 += 1;
+            }
+            if lost[0] && lost[1] {
+                both += 1;
+            }
+        }
+        let joint = both as f64 / n as f64;
+        let indep = (l0 as f64 / n as f64) * (l1 as f64 / n as f64);
+        assert!(
+            joint > indep + 0.01,
+            "siblings should be positively correlated: joint={joint} indep={indep}"
+        );
+    }
+
+    #[test]
+    fn distant_receivers_less_correlated_than_siblings() {
+        let mut t = TreeLoss::full_binary(3, 0.2, 9);
+        let n = 30_000;
+        let mut joint_sib = 0usize;
+        let mut joint_far = 0usize;
+        let mut lost = vec![false; 8];
+        for i in 0..n {
+            t.sample(i as f64, &mut lost);
+            if lost[0] && lost[1] {
+                joint_sib += 1;
+            }
+            if lost[0] && lost[7] {
+                joint_far += 1;
+            }
+        }
+        assert!(
+            joint_sib > joint_far,
+            "siblings (share d nodes) should co-lose more than distant pairs: {joint_sib} vs {joint_far}"
+        );
+    }
+
+    #[test]
+    fn source_drop_loses_everyone() {
+        // Tree whose only lossy node is the root: losses hit all or none.
+        let mut b = TreeBuilder::new(0.3);
+        let l = b.add_node(0, 0.0);
+        let r = b.add_node(0, 0.0);
+        b.mark_receiver(l);
+        b.mark_receiver(r);
+        let mut t = b.build(5);
+        let mut lost = vec![false; 2];
+        for i in 0..2000 {
+            t.sample(i as f64, &mut lost);
+            assert_eq!(lost[0], lost[1], "root loss must be fully shared");
+        }
+    }
+
+    #[test]
+    fn custom_tree_receiver_indices_in_mark_order() {
+        let mut b = TreeBuilder::new(0.0);
+        let a = b.add_node(0, 1.0); // always drops
+        let c = b.add_node(0, 0.0); // never drops
+        b.mark_receiver(a);
+        b.mark_receiver(c);
+        let mut t = b.build(1);
+        let v = t.sample_vec(0.0);
+        assert!(v[0], "receiver 0 sits behind an always-drop node");
+        assert!(!v[1], "receiver 1 has a clean path");
+    }
+
+    #[test]
+    fn reproducible_from_seed() {
+        let mut a = TreeLoss::full_binary(5, 0.1, 33);
+        let mut b = TreeLoss::full_binary(5, 0.1, 33);
+        for i in 0..50 {
+            assert_eq!(a.sample_vec(i as f64), b.sample_vec(i as f64));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "receivers must be leaves")]
+    fn interior_receiver_rejected() {
+        let mut b = TreeBuilder::new(0.0);
+        let mid = b.add_node(0, 0.1);
+        let _leaf = b.add_node(mid, 0.1);
+        b.mark_receiver(mid);
+    }
+
+    #[test]
+    #[should_panic(expected = "no receivers")]
+    fn empty_tree_rejected() {
+        let _ = TreeBuilder::new(0.0).build(0);
+    }
+}

@@ -1,0 +1,528 @@
+//! Layered FEC as a transparent transport — the paper's Figure 2(a).
+//!
+//! "The simplest approach is to add a layer responsible for FEC between
+//! the network layer and the reliable multicast layer": [`FecTransport`]
+//! wraps any [`Transport`] and does exactly that, with the semantics of
+//! Section 3.1:
+//!
+//! * **Send path** — outgoing datagrams are buffered into groups of `k`;
+//!   each goes out immediately as a data-slot [`Message::FecFrame`]
+//!   (length-prefixed and zero-padded to the block's common size), and
+//!   once the block is full `h` parity frames follow. A configurable
+//!   `max_delay` pads out and flushes a part-filled block so trailing
+//!   traffic is never stranded.
+//! * **Receive path** — data slots are unwrapped and delivered at once (no
+//!   added latency when nothing is lost); frames are also retained per
+//!   block, and as soon as any `k` of the `n` arrive the missing data
+//!   slots are reconstructed and delivered late. "Whenever the FEC layer
+//!   receives at least `k` out of `k + h` packets, all of the lost
+//!   original packets are reconstructed and delivered to the RM layer."
+//! * If fewer than `k` arrive, the block is eventually garbage-collected
+//!   and the RM layer above recovers by its own ARQ — exactly the layered
+//!   division of labour whose cost the paper's Figures 3–5 analyse.
+//!
+//! The layer is protocol-agnostic: running N2 over `FecTransport` yields
+//! the paper's layered architecture live, which
+//! `tests/layered_transport.rs` demonstrates against plain N2.
+
+use std::collections::{HashMap, VecDeque};
+use std::time::{Duration, Instant};
+
+use bytes::{BufMut, Bytes, BytesMut};
+
+use pm_rse::{CodeSpec, RseDecoder, RseEncoder};
+
+use crate::transport::{NetError, Transport};
+use crate::wire::Message;
+
+/// Blocks retained while waiting for repair before being given up on.
+const BLOCK_RETENTION: usize = 64;
+
+/// Configuration of the FEC layer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FecLayerConfig {
+    /// Data datagrams per FEC block (`k`).
+    pub k: usize,
+    /// Parity frames per block (`h`).
+    pub h: usize,
+    /// Flush a part-filled block (padding it with empty datagrams) once
+    /// its oldest datagram has waited this long.
+    pub max_delay: Duration,
+    /// Distinguishes concurrent senders on one group; their blocks must
+    /// not mix. Pick any value unique per sender (e.g. from a PID or RNG).
+    pub sender_tag: u32,
+}
+
+impl FecLayerConfig {
+    /// The paper's layered configuration `k = 7, h = 1` with a 20 ms
+    /// flush.
+    pub fn paper_default(sender_tag: u32) -> Self {
+        FecLayerConfig {
+            k: 7,
+            h: 1,
+            max_delay: Duration::from_millis(20),
+            sender_tag,
+        }
+    }
+}
+
+/// Per-block receive state.
+struct RxBlock {
+    k: usize,
+    /// Slot payloads (padded form), `n` entries.
+    slots: Vec<Option<Bytes>>,
+    received: usize,
+    /// Data slots already delivered upward (so late repair skips them).
+    delivered: Vec<bool>,
+    done: bool,
+}
+
+/// Counters exposed for tests and reporting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FecLayerStats {
+    /// Data frames sent.
+    pub data_frames_sent: u64,
+    /// Parity frames sent.
+    pub parity_frames_sent: u64,
+    /// Padding (empty) datagrams used to flush part-filled blocks.
+    pub pad_frames_sent: u64,
+    /// Inner datagrams delivered straight through.
+    pub delivered_direct: u64,
+    /// Inner datagrams recovered by decoding.
+    pub delivered_recovered: u64,
+    /// Blocks dropped with fewer than `k` frames (RM layer must recover).
+    pub blocks_abandoned: u64,
+}
+
+/// A [`Transport`] decorator adding a transparent layered-FEC sublayer.
+pub struct FecTransport<T> {
+    inner: T,
+    cfg: FecLayerConfig,
+    encoder: RseEncoder,
+    decoder: RseDecoder,
+    // --- send state ---
+    pending: Vec<Bytes>,
+    pending_since: Option<Instant>,
+    next_block: u32,
+    // --- receive state ---
+    rx_blocks: HashMap<(u32, u32), RxBlock>,
+    rx_order: VecDeque<(u32, u32)>,
+    deliver_queue: VecDeque<Message>,
+    stats: FecLayerStats,
+}
+
+impl<T: Transport> FecTransport<T> {
+    /// Wrap `inner` with an FEC sublayer.
+    ///
+    /// # Errors
+    /// Invalid `(k, h)` geometry.
+    pub fn new(inner: T, cfg: FecLayerConfig) -> Result<Self, NetError> {
+        if cfg.k == 0 || cfg.k + cfg.h > 255 {
+            return Err(NetError::Decode(format!(
+                "invalid FEC layer geometry k={} h={}",
+                cfg.k, cfg.h
+            )));
+        }
+        let spec = CodeSpec::new(cfg.k, cfg.h).expect("validated above");
+        let encoder = RseEncoder::new(spec).expect("valid spec");
+        let decoder = RseDecoder::from_encoder(&encoder);
+        Ok(FecTransport {
+            inner,
+            cfg,
+            encoder,
+            decoder,
+            pending: Vec::new(),
+            pending_since: None,
+            next_block: 0,
+            rx_blocks: HashMap::new(),
+            rx_order: VecDeque::new(),
+            deliver_queue: VecDeque::new(),
+            stats: FecLayerStats::default(),
+        })
+    }
+
+    /// Layer counters.
+    pub fn stats(&self) -> FecLayerStats {
+        self.stats
+    }
+
+    /// Access the wrapped transport.
+    pub fn inner_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+
+    /// Flush a part-filled block immediately (pads with empty datagrams).
+    ///
+    /// # Errors
+    /// Transport send failures.
+    pub fn flush(&mut self) -> Result<(), NetError> {
+        if !self.pending.is_empty() {
+            self.emit_block()?;
+        }
+        Ok(())
+    }
+
+    fn emit_block(&mut self) -> Result<(), NetError> {
+        let k = self.cfg.k;
+        while self.pending.len() < k {
+            self.stats.pad_frames_sent += 1;
+            self.pending.push(Bytes::new());
+        }
+        // Common padded size: 2-byte length prefix + longest datagram.
+        let longest = self.pending.iter().map(Bytes::len).max().unwrap_or(0);
+        let padded_len = 2 + longest;
+        let padded: Vec<Bytes> = self
+            .pending
+            .drain(..)
+            .map(|d| {
+                let mut b = BytesMut::with_capacity(padded_len);
+                b.put_u16(d.len() as u16);
+                b.extend_from_slice(&d);
+                b.resize(padded_len, 0);
+                b.freeze()
+            })
+            .collect();
+        self.pending_since = None;
+        let block = self.next_block;
+        self.next_block = self.next_block.wrapping_add(1);
+        let (k16, n16) = (k as u16, (k + self.cfg.h) as u16);
+        for (i, payload) in padded.iter().enumerate() {
+            self.stats.data_frames_sent += 1;
+            self.inner.send(&Message::FecFrame {
+                session: self.cfg.sender_tag,
+                block,
+                index: i as u16,
+                k: k16,
+                n: n16,
+                payload: payload.clone(),
+            })?;
+        }
+        let parities = self
+            .encoder
+            .encode_all(&padded)
+            .expect("equal-size padded packets");
+        for (j, parity) in parities.into_iter().enumerate() {
+            self.stats.parity_frames_sent += 1;
+            self.inner.send(&Message::FecFrame {
+                session: self.cfg.sender_tag,
+                block,
+                index: (k + j) as u16,
+                k: k16,
+                n: n16,
+                payload: Bytes::from(parity),
+            })?;
+        }
+        Ok(())
+    }
+
+    /// Strip the length prefix from a padded slot; `None` for padding
+    /// datagrams or garbage.
+    fn unwrap_inner(padded: &[u8]) -> Option<Message> {
+        if padded.len() < 2 {
+            return None;
+        }
+        let len = u16::from_be_bytes([padded[0], padded[1]]) as usize;
+        if len == 0 || padded.len() < 2 + len {
+            return None;
+        }
+        Message::decode(Bytes::copy_from_slice(&padded[2..2 + len])).ok()
+    }
+
+    fn on_fec_frame(
+        &mut self,
+        sender: u32,
+        block: u32,
+        index: u16,
+        k: u16,
+        n: u16,
+        payload: Bytes,
+    ) {
+        let key = (sender, block);
+        let (k, n, index) = (k as usize, n as usize, index as usize);
+        if let std::collections::hash_map::Entry::Vacant(e) = self.rx_blocks.entry(key) {
+            e.insert(RxBlock {
+                k,
+                slots: vec![None; n],
+                received: 0,
+                delivered: vec![false; k],
+                done: false,
+            });
+            self.rx_order.push_back(key);
+            // Bounded memory: abandon the oldest blocks.
+            while self.rx_order.len() > BLOCK_RETENTION {
+                if let Some(old) = self.rx_order.pop_front() {
+                    if let Some(b) = self.rx_blocks.remove(&old) {
+                        if !b.done && b.received < b.k {
+                            self.stats.blocks_abandoned += 1;
+                        }
+                    }
+                }
+            }
+        }
+        let st = self.rx_blocks.get_mut(&key).expect("inserted above");
+        if st.k != k || st.slots.len() != n || index >= n || st.slots[index].is_some() {
+            return; // geometry conflict or duplicate: ignore the frame
+        }
+        // Immediate pass-through for fresh data slots.
+        if index < k && !st.delivered[index] {
+            st.delivered[index] = true;
+            if let Some(msg) = Self::unwrap_inner(&payload) {
+                self.stats.delivered_direct += 1;
+                self.deliver_queue.push_back(msg);
+            }
+        }
+        st.slots[index] = Some(payload);
+        st.received += 1;
+        // Late repair once k frames are in and data slots are missing.
+        if !st.done && st.received >= st.k {
+            st.done = true;
+            let missing: Vec<usize> = (0..st.k).filter(|&i| st.slots[i].is_none()).collect();
+            if !missing.is_empty() {
+                let shares: Vec<(usize, &[u8])> = st
+                    .slots
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, s)| s.as_ref().map(|b| (i, b.as_ref())))
+                    .collect();
+                if let Ok(recovered) = self.decoder.decode_missing(&shares) {
+                    for (i, padded) in recovered {
+                        st.delivered[i] = true;
+                        if let Some(msg) = Self::unwrap_inner(&padded) {
+                            self.stats.delivered_recovered += 1;
+                            self.deliver_queue.push_back(msg);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl<T: Transport> Transport for FecTransport<T> {
+    fn send(&mut self, msg: &Message) -> Result<(), NetError> {
+        self.pending.push(msg.encode());
+        if self.pending_since.is_none() {
+            self.pending_since = Some(Instant::now());
+        }
+        if self.pending.len() >= self.cfg.k {
+            self.emit_block()?;
+        }
+        Ok(())
+    }
+
+    fn recv_timeout(&mut self, timeout: Duration) -> Result<Option<Message>, NetError> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if let Some(ready) = self.deliver_queue.pop_front() {
+                return Ok(Some(ready));
+            }
+            // Age-based flush keeps trailing sends from stalling forever.
+            if let Some(since) = self.pending_since {
+                if since.elapsed() >= self.cfg.max_delay {
+                    self.flush()?;
+                }
+            }
+            let budget = deadline
+                .saturating_duration_since(Instant::now())
+                .min(self.cfg.max_delay);
+            match self.inner.recv_timeout(budget)? {
+                Some(Message::FecFrame {
+                    session,
+                    block,
+                    index,
+                    k,
+                    n,
+                    payload,
+                }) => {
+                    self.on_fec_frame(session, block, index, k, n, payload);
+                    // Loop: the frame may have queued deliverables.
+                }
+                Some(other) => return Ok(Some(other)), // un-layered traffic passes through
+                None => {
+                    if Instant::now() >= deadline {
+                        return Ok(None);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mem::MemHub;
+
+    const TICK: Duration = Duration::from_millis(300);
+
+    fn cfg(k: usize, h: usize, tag: u32) -> FecLayerConfig {
+        FecLayerConfig {
+            k,
+            h,
+            max_delay: Duration::from_millis(5),
+            sender_tag: tag,
+        }
+    }
+
+    fn fins(n: u32) -> Vec<Message> {
+        (0..n).map(|s| Message::Fin { session: s }).collect()
+    }
+
+    #[test]
+    fn passthrough_when_nothing_lost() {
+        let hub = MemHub::new();
+        let mut tx = FecTransport::new(hub.join(), cfg(3, 1, 1)).unwrap();
+        let mut rx = FecTransport::new(hub.join(), cfg(3, 1, 2)).unwrap();
+        for m in fins(3) {
+            tx.send(&m).unwrap();
+        }
+        for m in fins(3) {
+            assert_eq!(rx.recv_timeout(TICK).unwrap(), Some(m));
+        }
+        assert_eq!(rx.stats().delivered_direct, 3);
+        assert_eq!(rx.stats().delivered_recovered, 0);
+        assert_eq!(tx.stats().data_frames_sent, 3);
+        assert_eq!(tx.stats().parity_frames_sent, 1);
+    }
+
+    #[test]
+    fn parity_recovers_one_lost_datagram() {
+        // Raw hub endpoints let the test drop a specific frame.
+        let hub = MemHub::new();
+        let mut tx = FecTransport::new(hub.join(), cfg(3, 1, 7)).unwrap();
+        let mut tap = hub.join(); // sees the raw frames
+        let rx_ep = hub.join();
+        let mut rx = FecTransport::new(rx_ep, cfg(3, 1, 8)).unwrap();
+        for m in fins(3) {
+            tx.send(&m).unwrap();
+        }
+        // Sanity via the tap: 3 data + 1 parity frames on the wire.
+        let mut frames = 0;
+        while let Some(Message::FecFrame { .. }) = tap.recv_timeout(TICK).unwrap() {
+            frames += 1;
+            if frames == 4 {
+                break;
+            }
+        }
+        assert_eq!(frames, 4);
+        // rx's endpoint received everything; simulate loss by wrapping a
+        // fresh scenario below instead. Here everything arrives, so the
+        // three inner datagrams + recovery path are exercised in
+        // `recovery_with_faulty_transport`.
+        for m in fins(3) {
+            assert_eq!(rx.recv_timeout(TICK).unwrap(), Some(m));
+        }
+    }
+
+    #[test]
+    fn recovery_with_faulty_transport() {
+        use crate::fault::{FaultConfig, FaultyTransport};
+        let hub = MemHub::new();
+        let mut tx = FecTransport::new(hub.join(), cfg(4, 2, 11)).unwrap();
+        // 20% receive loss under the FEC layer.
+        let lossy = FaultyTransport::new(hub.join(), FaultConfig::drop_only(0.2), 99);
+        let mut rx = FecTransport::new(lossy, cfg(4, 2, 12)).unwrap();
+        let n = 400u32;
+        for m in fins(n) {
+            tx.send(&m).unwrap();
+        }
+        tx.flush().unwrap();
+        let mut got = Vec::new();
+        while let Some(m) = rx.recv_timeout(Duration::from_millis(50)).unwrap() {
+            if let Message::Fin { session } = m {
+                got.push(session);
+            }
+        }
+        // h = 2 of 6 tolerates 1/3 loss per block; at 20% most blocks
+        // recover fully. Require clearly-better-than-no-FEC delivery and
+        // actual use of the decode path.
+        let direct_rate = 0.8f64;
+        let delivered = got.len() as f64 / n as f64;
+        assert!(
+            delivered > direct_rate + 0.05,
+            "delivery {delivered} should beat the no-FEC rate {direct_rate}"
+        );
+        assert!(rx.stats().delivered_recovered > 0, "decode path must fire");
+        // Everything delivered exactly once.
+        let mut sorted = got.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), got.len(), "no duplicates");
+    }
+
+    #[test]
+    fn partial_block_flushes_by_age() {
+        let hub = MemHub::new();
+        let mut tx = FecTransport::new(hub.join(), cfg(5, 1, 21)).unwrap();
+        let mut rx = FecTransport::new(hub.join(), cfg(5, 1, 22)).unwrap();
+        // Send 2 of 5 — not enough to fill a block.
+        tx.send(&Message::Fin { session: 1 }).unwrap();
+        tx.send(&Message::Fin { session: 2 }).unwrap();
+        // The sender's own recv pump performs the age flush.
+        std::thread::sleep(Duration::from_millis(10));
+        let _ = tx.recv_timeout(Duration::from_millis(1)).unwrap();
+        assert_eq!(tx.stats().pad_frames_sent, 3);
+        assert_eq!(
+            rx.recv_timeout(TICK).unwrap(),
+            Some(Message::Fin { session: 1 })
+        );
+        assert_eq!(
+            rx.recv_timeout(TICK).unwrap(),
+            Some(Message::Fin { session: 2 })
+        );
+        // Padding never surfaces.
+        assert_eq!(rx.recv_timeout(Duration::from_millis(20)).unwrap(), None);
+    }
+
+    #[test]
+    fn explicit_flush() {
+        let hub = MemHub::new();
+        let mut tx = FecTransport::new(hub.join(), cfg(4, 1, 31)).unwrap();
+        let mut rx = FecTransport::new(hub.join(), cfg(4, 1, 32)).unwrap();
+        tx.send(&Message::Fin { session: 9 }).unwrap();
+        tx.flush().unwrap();
+        assert_eq!(
+            rx.recv_timeout(TICK).unwrap(),
+            Some(Message::Fin { session: 9 })
+        );
+    }
+
+    #[test]
+    fn two_senders_do_not_mix_blocks() {
+        let hub = MemHub::new();
+        let mut tx_a = FecTransport::new(hub.join(), cfg(2, 1, 100)).unwrap();
+        let mut tx_b = FecTransport::new(hub.join(), cfg(2, 1, 200)).unwrap();
+        let mut rx = FecTransport::new(hub.join(), cfg(2, 1, 300)).unwrap();
+        tx_a.send(&Message::Fin { session: 1 }).unwrap();
+        tx_b.send(&Message::Fin { session: 101 }).unwrap();
+        tx_a.send(&Message::Fin { session: 2 }).unwrap();
+        tx_b.send(&Message::Fin { session: 102 }).unwrap();
+        let mut got = Vec::new();
+        while let Some(Message::Fin { session }) =
+            rx.recv_timeout(Duration::from_millis(50)).unwrap()
+        {
+            got.push(session);
+        }
+        got.sort_unstable();
+        assert_eq!(got, vec![1, 2, 101, 102]);
+    }
+
+    #[test]
+    fn non_fec_traffic_passes_through() {
+        let hub = MemHub::new();
+        let mut plain = hub.join();
+        let mut rx = FecTransport::new(hub.join(), cfg(3, 1, 41)).unwrap();
+        plain.send(&Message::Fin { session: 77 }).unwrap();
+        assert_eq!(
+            rx.recv_timeout(TICK).unwrap(),
+            Some(Message::Fin { session: 77 })
+        );
+    }
+
+    #[test]
+    fn invalid_geometry_rejected() {
+        let hub = MemHub::new();
+        assert!(FecTransport::new(hub.join(), cfg(0, 1, 1)).is_err());
+        assert!(FecTransport::new(hub.join(), cfg(200, 100, 1)).is_err());
+    }
+}

@@ -1,0 +1,44 @@
+//! Network substrate for the NP reliable-multicast protocol.
+//!
+//! This crate supplies everything `pm-core` needs to run over a real or
+//! simulated network:
+//!
+//! * [`wire`] — the packet format: one compact binary encoding for data
+//!   packets, parities, sender POLLs, receiver NAKs and session control.
+//! * [`transport`] — the [`Transport`] trait: multicast send +
+//!   timeout-bounded receive.
+//! * [`mem`] — an in-process multicast hub over crossbeam channels, with
+//!   deterministic per-endpoint fault injection; the workhorse of protocol
+//!   tests.
+//! * [`udp`] — real UDP multicast (`239.0.0.0/8`) via std sockets: one
+//!   socket joins the group and an in-process hub fans packets out to any
+//!   number of endpoints (std cannot set `SO_REUSEPORT`, so multiple OS
+//!   sockets on one port are out of reach without adding a crate; the hub
+//!   preserves multicast semantics for in-process receivers — see
+//!   DESIGN.md).
+//! * [`fault`] — a transport decorator that drops / duplicates / reorders
+//!   received packets with configured probabilities (the smoltcp-style
+//!   fault-injection idiom), seedable for reproducibility.
+//! * [`suppression`] — NAK slotting-and-damping: the timer discipline from
+//!   the paper's Section 5.1 (receivers needing more packets answer in
+//!   earlier slots; hearing an equal-or-better NAK cancels yours).
+
+pub mod fault;
+pub mod fec_layer;
+pub mod mem;
+pub mod pcap;
+pub mod suppression;
+pub mod transport;
+pub mod udp;
+pub mod wire;
+
+pub use fault::{FaultConfig, FaultyTransport};
+pub use fec_layer::{FecLayerConfig, FecTransport};
+pub use mem::MemHub;
+pub use pcap::{PcapTransport, PcapWriter};
+pub use suppression::NakSuppressor;
+pub use transport::{NetError, Transport};
+pub use wire::Message;
+
+#[cfg(test)]
+mod proptests;

@@ -1,0 +1,199 @@
+//! In-process multicast hub — the deterministic test substrate.
+//!
+//! A [`MemHub`] models one multicast group: every endpoint's `send` is
+//! fanned out to every *other* endpoint's queue (no self-delivery, like IP
+//! multicast with loopback disabled). Messages are serialized through the
+//! real wire codec so the full encode/decode path is exercised.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use parking_lot::Mutex;
+
+use crate::transport::{NetError, Transport};
+use crate::wire::Message;
+
+/// Shared state: the outbound queues of every endpoint.
+#[derive(Default)]
+struct HubState {
+    sinks: Vec<(usize, Sender<bytes::Bytes>)>,
+}
+
+/// An in-process multicast group.
+#[derive(Clone, Default)]
+pub struct MemHub {
+    state: Arc<Mutex<HubState>>,
+}
+
+impl MemHub {
+    /// New empty group.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Join the group, returning a new endpoint.
+    pub fn join(&self) -> MemEndpoint {
+        static NEXT_ID: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+        let id = NEXT_ID.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let (tx, rx) = unbounded();
+        self.state.lock().sinks.push((id, tx));
+        MemEndpoint {
+            id,
+            hub: self.state.clone(),
+            rx,
+        }
+    }
+
+    /// Number of endpoints currently joined.
+    pub fn endpoints(&self) -> usize {
+        self.state.lock().sinks.len()
+    }
+}
+
+/// One endpoint of a [`MemHub`] group.
+pub struct MemEndpoint {
+    id: usize,
+    hub: Arc<Mutex<HubState>>,
+    rx: Receiver<bytes::Bytes>,
+}
+
+impl MemEndpoint {
+    /// Leave the group (subsequent sends by others skip this endpoint).
+    /// Dropping the endpoint leaves implicitly.
+    pub fn leave(&self) {
+        self.hub.lock().sinks.retain(|(id, _)| *id != self.id);
+    }
+}
+
+impl Drop for MemEndpoint {
+    fn drop(&mut self) {
+        self.leave();
+    }
+}
+
+impl Transport for MemEndpoint {
+    fn send(&mut self, msg: &Message) -> Result<(), NetError> {
+        let encoded = msg.encode();
+        let state = self.hub.lock();
+        for (id, sink) in &state.sinks {
+            if *id == self.id {
+                continue; // no self-delivery
+            }
+            // A disconnected sink means that endpoint dropped; ignore.
+            let _ = sink.send(encoded.clone());
+        }
+        Ok(())
+    }
+
+    fn recv_timeout(&mut self, timeout: Duration) -> Result<Option<Message>, NetError> {
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            let remaining = deadline.saturating_duration_since(std::time::Instant::now());
+            match self.rx.recv_timeout(remaining) {
+                Ok(raw) => match Message::decode(raw) {
+                    Ok(msg) => return Ok(Some(msg)),
+                    Err(_) => continue, // skip malformed, keep waiting
+                },
+                Err(RecvTimeoutError::Timeout) => return Ok(None),
+                Err(RecvTimeoutError::Disconnected) => return Err(NetError::Closed),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    const TICK: Duration = Duration::from_millis(200);
+
+    #[test]
+    fn fanout_excludes_sender() {
+        let hub = MemHub::new();
+        let mut a = hub.join();
+        let mut b = hub.join();
+        let mut c = hub.join();
+        assert_eq!(hub.endpoints(), 3);
+        a.send(&Message::Fin { session: 1 }).unwrap();
+        assert_eq!(
+            b.recv_timeout(TICK).unwrap(),
+            Some(Message::Fin { session: 1 })
+        );
+        assert_eq!(
+            c.recv_timeout(TICK).unwrap(),
+            Some(Message::Fin { session: 1 })
+        );
+        assert_eq!(
+            a.recv_timeout(Duration::from_millis(10)).unwrap(),
+            None,
+            "no self-delivery"
+        );
+    }
+
+    #[test]
+    fn timeout_returns_none() {
+        let hub = MemHub::new();
+        let mut a = hub.join();
+        assert_eq!(a.recv_timeout(Duration::from_millis(5)).unwrap(), None);
+    }
+
+    #[test]
+    fn leave_stops_delivery() {
+        let hub = MemHub::new();
+        let mut a = hub.join();
+        let b = hub.join();
+        b.leave();
+        assert_eq!(hub.endpoints(), 1);
+        a.send(&Message::Fin { session: 2 }).unwrap();
+        // a still has nobody to hear from; send worked without error.
+        assert_eq!(a.recv_timeout(Duration::from_millis(5)).unwrap(), None);
+    }
+
+    #[test]
+    fn drop_leaves_implicitly() {
+        let hub = MemHub::new();
+        {
+            let _tmp = hub.join();
+            assert_eq!(hub.endpoints(), 1);
+        }
+        assert_eq!(hub.endpoints(), 0);
+    }
+
+    #[test]
+    fn messages_preserve_order_per_sender() {
+        let hub = MemHub::new();
+        let mut a = hub.join();
+        let mut b = hub.join();
+        for s in 0..20u32 {
+            a.send(&Message::Fin { session: s }).unwrap();
+        }
+        for s in 0..20u32 {
+            assert_eq!(
+                b.recv_timeout(TICK).unwrap(),
+                Some(Message::Fin { session: s })
+            );
+        }
+    }
+
+    #[test]
+    fn cross_thread_delivery() {
+        let hub = MemHub::new();
+        let mut tx = hub.join();
+        let mut rx = hub.join();
+        let handle = std::thread::spawn(move || {
+            let mut got = Vec::new();
+            while got.len() < 5 {
+                if let Some(Message::Fin { session }) = rx.recv_timeout(TICK).unwrap() {
+                    got.push(session);
+                }
+            }
+            got
+        });
+        for s in 0..5u32 {
+            tx.send(&Message::Fin { session: s }).unwrap();
+        }
+        assert_eq!(handle.join().unwrap(), vec![0, 1, 2, 3, 4]);
+    }
+}

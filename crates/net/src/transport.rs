@@ -1,0 +1,104 @@
+//! The transport abstraction.
+
+use std::fmt;
+use std::time::Duration;
+
+use crate::wire::Message;
+
+/// Transport errors.
+#[derive(Debug)]
+pub enum NetError {
+    /// Socket/channel level failure.
+    Io(std::io::Error),
+    /// Malformed datagram.
+    Decode(String),
+    /// The hub/socket behind this endpoint has shut down.
+    Closed,
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::Io(e) => write!(f, "transport I/O error: {e}"),
+            NetError::Decode(msg) => write!(f, "malformed datagram: {msg}"),
+            NetError::Closed => write!(f, "transport closed"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NetError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for NetError {
+    fn from(e: std::io::Error) -> Self {
+        NetError::Io(e)
+    }
+}
+
+impl PartialEq for NetError {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (NetError::Io(a), NetError::Io(b)) => a.kind() == b.kind(),
+            (NetError::Decode(a), NetError::Decode(b)) => a == b,
+            (NetError::Closed, NetError::Closed) => true,
+            _ => false,
+        }
+    }
+}
+
+/// A multicast endpoint: everything sent is delivered to every *other*
+/// endpoint of the group (standard multicast loopback semantics: a sender
+/// does not receive its own datagrams).
+pub trait Transport: Send {
+    /// Multicast one message to the group.
+    ///
+    /// # Errors
+    /// Transport-level failures; encoding cannot fail.
+    fn send(&mut self, msg: &Message) -> Result<(), NetError>;
+
+    /// Receive the next message, waiting up to `timeout`. Returns
+    /// `Ok(None)` on timeout.
+    ///
+    /// Malformed foreign datagrams are skipped silently (they consume
+    /// budget from `timeout` but never surface as errors).
+    ///
+    /// # Errors
+    /// [`NetError::Closed`] when the group is gone.
+    fn recv_timeout(&mut self, timeout: Duration) -> Result<Option<Message>, NetError>;
+}
+
+/// Blanket impl so boxed transports compose with the fault decorator.
+impl Transport for Box<dyn Transport> {
+    fn send(&mut self, msg: &Message) -> Result<(), NetError> {
+        (**self).send(msg)
+    }
+    fn recv_timeout(&mut self, timeout: Duration) -> Result<Option<Message>, NetError> {
+        (**self).recv_timeout(timeout)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display() {
+        let e = NetError::Decode("bad magic".into());
+        assert!(e.to_string().contains("bad magic"));
+        assert_eq!(NetError::Closed.to_string(), "transport closed");
+        let io = NetError::from(std::io::Error::new(std::io::ErrorKind::TimedOut, "t"));
+        assert!(io.to_string().contains("I/O"));
+    }
+
+    #[test]
+    fn error_equality() {
+        assert_eq!(NetError::Closed, NetError::Closed);
+        assert_ne!(NetError::Closed, NetError::Decode("x".into()));
+    }
+}

@@ -1,0 +1,567 @@
+//! Wire format.
+//!
+//! Every datagram carries one [`Message`]. Layout (all integers
+//! big-endian):
+//!
+//! ```text
+//!     0      2      3      4          8
+//!     +------+------+------+----------+---------------- ... ----+
+//!     | MAGIC| VER  | TYPE | SESSION  |  type-specific body     |
+//!     +------+------+------+----------+---------------- ... ----+
+//! ```
+//!
+//! `Packet` unifies data and parity: an FEC-block index `< k` is a data
+//! packet, `>= k` a parity — receivers treat both uniformly, which is the
+//! whole point of parity repair. Block geometry `(k, n)` rides in every
+//! packet so receivers are stateless per group.
+//!
+//! Integrity relies on the UDP checksum (and the in-memory transport is
+//! lossless-but-faulty by construction); the header magic/version guards
+//! against foreign datagrams on the group.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::transport::NetError;
+
+/// Wire magic: "PM".
+pub const MAGIC: u16 = 0x504D;
+/// Current protocol version.
+pub const VERSION: u8 = 1;
+/// Maximum payload bytes carried by one packet (fits a UDP datagram with
+/// ample headroom).
+pub const MAX_PAYLOAD: usize = 60_000;
+
+const TYPE_PACKET: u8 = 1;
+const TYPE_POLL: u8 = 2;
+const TYPE_NAK: u8 = 3;
+const TYPE_NAK_PACKET: u8 = 4;
+const TYPE_ANNOUNCE: u8 = 5;
+const TYPE_DONE: u8 = 6;
+const TYPE_FIN: u8 = 7;
+const TYPE_FEC_FRAME: u8 = 8;
+
+/// One protocol message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Message {
+    /// A data (`index < k`) or parity (`index >= k`) packet of a
+    /// transmission group.
+    Packet {
+        /// Session this packet belongs to.
+        session: u32,
+        /// Transmission-group number.
+        group: u32,
+        /// FEC-block index within the group (`0..n`).
+        index: u16,
+        /// Data packets per group.
+        k: u16,
+        /// FEC block size (data + maximum parities).
+        n: u16,
+        /// Payload bytes (equal length across one group).
+        payload: Bytes,
+    },
+    /// Sender poll `POLL(group, sent)`: asks receivers for the number of
+    /// packets they still need to decode `group`; `sent` is the number of
+    /// packets transmitted in the just-finished round (the NAK slotting
+    /// parameter `s`), `round` the round number.
+    Poll {
+        session: u32,
+        group: u32,
+        sent: u16,
+        round: u16,
+    },
+    /// Receiver NAK `NAK(group, needed)` — protocol NP's per-group
+    /// feedback: "I need `needed` more packets to decode `group`".
+    Nak {
+        session: u32,
+        group: u32,
+        needed: u16,
+        round: u16,
+    },
+    /// Per-packet NAK — protocol N2's feedback: "retransmit packet `index`
+    /// of `group`".
+    NakPacket {
+        session: u32,
+        group: u32,
+        index: u16,
+    },
+    /// Session announcement: geometry of the transfer.
+    Announce {
+        session: u32,
+        /// Number of transmission groups.
+        groups: u32,
+        /// Data packets per full group.
+        k: u16,
+        /// FEC block size per group.
+        n: u16,
+        /// Data packets in the final (possibly short) group.
+        last_k: u16,
+        /// Payload size of every packet.
+        payload_len: u32,
+        /// Exact byte length of the transfer (strips final-packet padding).
+        total_bytes: u64,
+    },
+    /// A receiver reports the whole session decoded.
+    Done { session: u32, receiver: u32 },
+    /// Sender closes the session.
+    Fin { session: u32 },
+    /// A frame of the transparent layered-FEC transport
+    /// ([`crate::fec_layer::FecTransport`]): one slot of an FEC block whose
+    /// payloads are *opaque inner datagrams* (length-prefixed and padded
+    /// for data slots, raw parity bytes otherwise). `session` carries the
+    /// sender tag that keeps concurrent senders' blocks apart.
+    FecFrame {
+        session: u32,
+        /// Block sequence number of this sender.
+        block: u32,
+        /// Slot within the FEC block (`< k` data, `>= k` parity).
+        index: u16,
+        /// Data slots per block.
+        k: u16,
+        /// Block size (data + parities).
+        n: u16,
+        /// Padded inner datagram or parity bytes.
+        payload: Bytes,
+    },
+}
+
+impl Message {
+    /// Session id of any message.
+    pub fn session(&self) -> u32 {
+        match *self {
+            Message::Packet { session, .. }
+            | Message::Poll { session, .. }
+            | Message::Nak { session, .. }
+            | Message::NakPacket { session, .. }
+            | Message::Announce { session, .. }
+            | Message::Done { session, .. }
+            | Message::Fin { session }
+            | Message::FecFrame { session, .. } => session,
+        }
+    }
+
+    /// Encode into a fresh buffer.
+    pub fn encode(&self) -> Bytes {
+        let mut b = BytesMut::with_capacity(64);
+        b.put_u16(MAGIC);
+        b.put_u8(VERSION);
+        match self {
+            Message::Packet {
+                session,
+                group,
+                index,
+                k,
+                n,
+                payload,
+            } => {
+                b.put_u8(TYPE_PACKET);
+                b.put_u32(*session);
+                b.put_u32(*group);
+                b.put_u16(*index);
+                b.put_u16(*k);
+                b.put_u16(*n);
+                b.put_u32(payload.len() as u32);
+                b.extend_from_slice(payload);
+            }
+            Message::Poll {
+                session,
+                group,
+                sent,
+                round,
+            } => {
+                b.put_u8(TYPE_POLL);
+                b.put_u32(*session);
+                b.put_u32(*group);
+                b.put_u16(*sent);
+                b.put_u16(*round);
+            }
+            Message::Nak {
+                session,
+                group,
+                needed,
+                round,
+            } => {
+                b.put_u8(TYPE_NAK);
+                b.put_u32(*session);
+                b.put_u32(*group);
+                b.put_u16(*needed);
+                b.put_u16(*round);
+            }
+            Message::NakPacket {
+                session,
+                group,
+                index,
+            } => {
+                b.put_u8(TYPE_NAK_PACKET);
+                b.put_u32(*session);
+                b.put_u32(*group);
+                b.put_u16(*index);
+            }
+            Message::Announce {
+                session,
+                groups,
+                k,
+                n,
+                last_k,
+                payload_len,
+                total_bytes,
+            } => {
+                b.put_u8(TYPE_ANNOUNCE);
+                b.put_u32(*session);
+                b.put_u32(*groups);
+                b.put_u16(*k);
+                b.put_u16(*n);
+                b.put_u16(*last_k);
+                b.put_u32(*payload_len);
+                b.put_u64(*total_bytes);
+            }
+            Message::Done { session, receiver } => {
+                b.put_u8(TYPE_DONE);
+                b.put_u32(*session);
+                b.put_u32(*receiver);
+            }
+            Message::Fin { session } => {
+                b.put_u8(TYPE_FIN);
+                b.put_u32(*session);
+            }
+            Message::FecFrame {
+                session,
+                block,
+                index,
+                k,
+                n,
+                payload,
+            } => {
+                b.put_u8(TYPE_FEC_FRAME);
+                b.put_u32(*session);
+                b.put_u32(*block);
+                b.put_u16(*index);
+                b.put_u16(*k);
+                b.put_u16(*n);
+                b.put_u32(payload.len() as u32);
+                b.extend_from_slice(payload);
+            }
+        }
+        b.freeze()
+    }
+
+    /// Decode one datagram.
+    ///
+    /// # Errors
+    /// [`NetError::Decode`] on bad magic/version/type, truncation, or an
+    /// over-size payload.
+    pub fn decode(mut buf: Bytes) -> Result<Message, NetError> {
+        fn need(buf: &Bytes, n: usize, what: &'static str) -> Result<(), NetError> {
+            if buf.remaining() < n {
+                Err(NetError::Decode(format!("truncated {what}")))
+            } else {
+                Ok(())
+            }
+        }
+        need(&buf, 8, "header")?;
+        let magic = buf.get_u16();
+        if magic != MAGIC {
+            return Err(NetError::Decode(format!("bad magic {magic:#06x}")));
+        }
+        let version = buf.get_u8();
+        if version != VERSION {
+            return Err(NetError::Decode(format!("unsupported version {version}")));
+        }
+        let ty = buf.get_u8();
+        let session = buf.get_u32();
+        match ty {
+            TYPE_PACKET => {
+                need(&buf, 14, "packet header")?;
+                let group = buf.get_u32();
+                let index = buf.get_u16();
+                let k = buf.get_u16();
+                let n = buf.get_u16();
+                let len = buf.get_u32() as usize;
+                if len > MAX_PAYLOAD {
+                    return Err(NetError::Decode(format!("payload {len} exceeds max")));
+                }
+                need(&buf, len, "payload")?;
+                let payload = buf.split_to(len);
+                if index >= n {
+                    return Err(NetError::Decode(format!("index {index} >= n {n}")));
+                }
+                if k == 0 || k > n {
+                    return Err(NetError::Decode(format!("bad geometry k={k} n={n}")));
+                }
+                Ok(Message::Packet {
+                    session,
+                    group,
+                    index,
+                    k,
+                    n,
+                    payload,
+                })
+            }
+            TYPE_POLL => {
+                need(&buf, 8, "poll")?;
+                Ok(Message::Poll {
+                    session,
+                    group: buf.get_u32(),
+                    sent: buf.get_u16(),
+                    round: buf.get_u16(),
+                })
+            }
+            TYPE_NAK => {
+                need(&buf, 8, "nak")?;
+                Ok(Message::Nak {
+                    session,
+                    group: buf.get_u32(),
+                    needed: buf.get_u16(),
+                    round: buf.get_u16(),
+                })
+            }
+            TYPE_NAK_PACKET => {
+                need(&buf, 6, "nak-packet")?;
+                Ok(Message::NakPacket {
+                    session,
+                    group: buf.get_u32(),
+                    index: buf.get_u16(),
+                })
+            }
+            TYPE_ANNOUNCE => {
+                need(&buf, 22, "announce")?;
+                let groups = buf.get_u32();
+                let k = buf.get_u16();
+                let n = buf.get_u16();
+                let last_k = buf.get_u16();
+                let payload_len = buf.get_u32();
+                let total_bytes = buf.get_u64();
+                if k == 0 || k > n || last_k == 0 || last_k > k {
+                    return Err(NetError::Decode(format!(
+                        "bad announce geometry k={k} n={n} last_k={last_k}"
+                    )));
+                }
+                Ok(Message::Announce {
+                    session,
+                    groups,
+                    k,
+                    n,
+                    last_k,
+                    payload_len,
+                    total_bytes,
+                })
+            }
+            TYPE_DONE => {
+                need(&buf, 4, "done")?;
+                Ok(Message::Done {
+                    session,
+                    receiver: buf.get_u32(),
+                })
+            }
+            TYPE_FIN => Ok(Message::Fin { session }),
+            TYPE_FEC_FRAME => {
+                need(&buf, 14, "fec frame header")?;
+                let block = buf.get_u32();
+                let index = buf.get_u16();
+                let k = buf.get_u16();
+                let n = buf.get_u16();
+                let len = buf.get_u32() as usize;
+                if len > MAX_PAYLOAD {
+                    return Err(NetError::Decode(format!("fec payload {len} exceeds max")));
+                }
+                need(&buf, len, "fec payload")?;
+                let payload = buf.split_to(len);
+                if index >= n || k == 0 || k > n {
+                    return Err(NetError::Decode(format!(
+                        "bad fec geometry index={index} k={k} n={n}"
+                    )));
+                }
+                Ok(Message::FecFrame {
+                    session,
+                    block,
+                    index,
+                    k,
+                    n,
+                    payload,
+                })
+            }
+            other => Err(NetError::Decode(format!("unknown message type {other}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(m: Message) {
+        let encoded = m.encode();
+        let decoded = Message::decode(encoded).unwrap();
+        assert_eq!(decoded, m);
+    }
+
+    #[test]
+    fn roundtrip_all_variants() {
+        roundtrip(Message::Packet {
+            session: 42,
+            group: 7,
+            index: 3,
+            k: 5,
+            n: 9,
+            payload: Bytes::from_static(b"hello world"),
+        });
+        roundtrip(Message::Poll {
+            session: 1,
+            group: 2,
+            sent: 20,
+            round: 1,
+        });
+        roundtrip(Message::Nak {
+            session: 1,
+            group: 2,
+            needed: 3,
+            round: 2,
+        });
+        roundtrip(Message::NakPacket {
+            session: 9,
+            group: 0,
+            index: 11,
+        });
+        roundtrip(Message::Announce {
+            session: 5,
+            groups: 100,
+            k: 20,
+            n: 60,
+            last_k: 13,
+            payload_len: 1024,
+            total_bytes: 2_036_481,
+        });
+        roundtrip(Message::Done {
+            session: 5,
+            receiver: 17,
+        });
+        roundtrip(Message::Fin { session: 5 });
+    }
+
+    #[test]
+    fn fec_frame_roundtrips() {
+        roundtrip(Message::FecFrame {
+            session: 0xBEEF,
+            block: 42,
+            index: 8,
+            k: 7,
+            n: 10,
+            payload: Bytes::from_static(b"opaque inner datagram bytes"),
+        });
+    }
+
+    #[test]
+    fn fec_frame_rejects_bad_geometry() {
+        let good = Message::FecFrame {
+            session: 1,
+            block: 1,
+            index: 9,
+            k: 7,
+            n: 10,
+            payload: Bytes::new(),
+        }
+        .encode();
+        // Patch index beyond n (index lives right after block).
+        let mut raw = good.to_vec();
+        // header(8) + block(4) => index at offset 12.
+        raw[12] = 0xFF;
+        raw[13] = 0xFF;
+        assert!(Message::decode(Bytes::from(raw)).is_err());
+    }
+
+    #[test]
+    fn empty_payload_roundtrips() {
+        roundtrip(Message::Packet {
+            session: 0,
+            group: 0,
+            index: 0,
+            k: 1,
+            n: 1,
+            payload: Bytes::new(),
+        });
+    }
+
+    #[test]
+    fn rejects_foreign_datagrams() {
+        assert!(matches!(
+            Message::decode(Bytes::from_static(b"")),
+            Err(NetError::Decode(_))
+        ));
+        assert!(matches!(
+            Message::decode(Bytes::from_static(b"\x00\x00\x01\x01\x00\x00\x00\x00")),
+            Err(NetError::Decode(_))
+        ));
+        // Right magic, wrong version.
+        let mut bad = BytesMut::new();
+        bad.put_u16(MAGIC);
+        bad.put_u8(99);
+        bad.put_u8(TYPE_FIN);
+        bad.put_u32(0);
+        assert!(matches!(
+            Message::decode(bad.freeze()),
+            Err(NetError::Decode(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_truncation_everywhere() {
+        let full = Message::Packet {
+            session: 1,
+            group: 2,
+            index: 0,
+            k: 3,
+            n: 5,
+            payload: Bytes::from_static(b"abcdef"),
+        }
+        .encode();
+        for cut in 0..full.len() {
+            let sliced = full.slice(0..cut);
+            assert!(
+                Message::decode(sliced).is_err(),
+                "cut at {cut} of {} should fail",
+                full.len()
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_bad_geometry() {
+        // index >= n
+        let mut b = BytesMut::new();
+        b.put_u16(MAGIC);
+        b.put_u8(VERSION);
+        b.put_u8(TYPE_PACKET);
+        b.put_u32(0); // session
+        b.put_u32(0); // group
+        b.put_u16(9); // index
+        b.put_u16(3); // k
+        b.put_u16(5); // n
+        b.put_u32(0); // payload len
+        assert!(Message::decode(b.freeze()).is_err());
+        // k > n in announce
+        let mut b = BytesMut::new();
+        b.put_u16(MAGIC);
+        b.put_u8(VERSION);
+        b.put_u8(TYPE_ANNOUNCE);
+        b.put_u32(0);
+        b.put_u32(1); // groups
+        b.put_u16(9); // k
+        b.put_u16(5); // n
+        b.put_u16(1); // last_k
+        b.put_u32(16);
+        b.put_u64(16);
+        assert!(Message::decode(b.freeze()).is_err());
+    }
+
+    #[test]
+    fn session_accessor() {
+        assert_eq!(Message::Fin { session: 77 }.session(), 77);
+        assert_eq!(
+            Message::Done {
+                session: 3,
+                receiver: 1
+            }
+            .session(),
+            3
+        );
+    }
+}

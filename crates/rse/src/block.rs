@@ -1,0 +1,282 @@
+//! Receiver-side FEC-block accumulator.
+//!
+//! [`GroupDecoder`] is the per-transmission-group state a protocol receiver
+//! keeps: which of the `n` block packets have arrived, how many more are
+//! needed (`l`, the number a NAK reports in protocol NP), and — once any `k`
+//! have been received — the reconstructed data packets.
+
+use bytes::Bytes;
+
+use crate::code::CodeSpec;
+use crate::decoder::RseDecoder;
+use crate::error::RseError;
+
+/// Result of inserting one packet into a [`GroupDecoder`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InsertOutcome {
+    /// Packet stored; the group still needs more packets.
+    Stored,
+    /// Packet stored and the group now has `k` packets — call
+    /// [`GroupDecoder::reconstruct`].
+    Decodable,
+    /// Exact duplicate of an already-received packet; ignored.
+    Duplicate,
+    /// The group already has `k` packets; the extra packet was discarded
+    /// (an "unnecessary reception" in the paper's terminology).
+    Unneeded,
+}
+
+/// Accumulates packets of one FEC block until the transmission group can be
+/// reconstructed.
+#[derive(Debug, Clone)]
+pub struct GroupDecoder {
+    spec: CodeSpec,
+    slots: Vec<Option<Bytes>>,
+    received: usize,
+    /// Count of discarded packets that arrived after the group was complete.
+    unneeded: u64,
+}
+
+impl GroupDecoder {
+    /// New empty accumulator for one transmission group.
+    pub fn new(spec: CodeSpec) -> Self {
+        GroupDecoder {
+            spec,
+            slots: vec![None; spec.n()],
+            received: 0,
+            unneeded: 0,
+        }
+    }
+
+    /// Code parameters.
+    pub fn spec(&self) -> &CodeSpec {
+        &self.spec
+    }
+
+    /// Number of distinct packets received so far.
+    pub fn received(&self) -> usize {
+        self.received
+    }
+
+    /// Number of *additional* packets needed to decode: `max(0, k - received)`.
+    /// This is the `l` a protocol-NP receiver reports in `NAK(i, l)`.
+    pub fn needed(&self) -> usize {
+        self.spec.k().saturating_sub(self.received)
+    }
+
+    /// True once any `k` distinct packets of the block have been received.
+    pub fn is_decodable(&self) -> bool {
+        self.received >= self.spec.k()
+    }
+
+    /// True if all `k` *data* packets arrived (no decoding work required).
+    pub fn all_data_received(&self) -> bool {
+        self.slots[..self.spec.k()].iter().all(Option::is_some)
+    }
+
+    /// Indices of data packets that have not arrived.
+    pub fn missing_data(&self) -> Vec<usize> {
+        (0..self.spec.k())
+            .filter(|&i| self.slots[i].is_none())
+            .collect()
+    }
+
+    /// Packets that arrived after the group was already decodable
+    /// (duplicate/unnecessary receptions — a metric the paper tracks).
+    pub fn unneeded_receptions(&self) -> u64 {
+        self.unneeded
+    }
+
+    /// Insert a packet with FEC-block index `index` (`0..n`).
+    ///
+    /// # Errors
+    /// [`RseError::IndexOutOfRange`] for a bad index,
+    /// [`RseError::PacketSizeMismatch`] if the size differs from earlier
+    /// packets of this block, [`RseError::DuplicateShare`] on a conflicting
+    /// duplicate.
+    pub fn insert(&mut self, index: usize, payload: Bytes) -> Result<InsertOutcome, RseError> {
+        let n = self.spec.n();
+        if index >= n {
+            return Err(RseError::IndexOutOfRange { index, n });
+        }
+        if let Some(first) = self.slots.iter().flatten().next() {
+            if first.len() != payload.len() {
+                return Err(RseError::PacketSizeMismatch {
+                    expected: first.len(),
+                    got: payload.len(),
+                });
+            }
+        }
+        match &self.slots[index] {
+            Some(existing) if existing == &payload => return Ok(InsertOutcome::Duplicate),
+            Some(_) => return Err(RseError::DuplicateShare { index }),
+            None => {}
+        }
+        if self.is_decodable() {
+            self.unneeded += 1;
+            return Ok(InsertOutcome::Unneeded);
+        }
+        self.slots[index] = Some(payload);
+        self.received += 1;
+        Ok(if self.is_decodable() {
+            InsertOutcome::Decodable
+        } else {
+            InsertOutcome::Stored
+        })
+    }
+
+    /// Reconstruct the `k` data packets.
+    ///
+    /// # Errors
+    /// [`RseError::NotEnoughShares`] if fewer than `k` packets have arrived.
+    pub fn reconstruct(&self, decoder: &RseDecoder) -> Result<Vec<Bytes>, RseError> {
+        if !self.is_decodable() {
+            return Err(RseError::NotEnoughShares {
+                have: self.received,
+                need: self.spec.k(),
+            });
+        }
+        if self.all_data_received() {
+            // Systematic fast path: no field arithmetic at all.
+            return Ok(self.slots[..self.spec.k()]
+                .iter()
+                .map(|s| s.clone().expect("all data present"))
+                .collect());
+        }
+        let shares: Vec<(usize, &[u8])> = self
+            .slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|b| (i, b.as_ref())))
+            .collect();
+        Ok(decoder
+            .decode(&shares)?
+            .into_iter()
+            .map(Bytes::from)
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoder::RseEncoder;
+
+    fn setup(k: usize, h: usize) -> (RseEncoder, RseDecoder, Vec<Bytes>, Vec<Bytes>) {
+        let spec = CodeSpec::new(k, h).unwrap();
+        let enc = RseEncoder::new(spec).unwrap();
+        let dec = RseDecoder::from_encoder(&enc);
+        let data: Vec<Bytes> = (0..k)
+            .map(|i| {
+                Bytes::from(
+                    (0..32)
+                        .map(|b| ((i * 41 + b * 3) % 256) as u8)
+                        .collect::<Vec<_>>(),
+                )
+            })
+            .collect();
+        let parities: Vec<Bytes> = enc
+            .encode_all(&data)
+            .unwrap()
+            .into_iter()
+            .map(Bytes::from)
+            .collect();
+        (enc, dec, data, parities)
+    }
+
+    #[test]
+    fn happy_path_all_data() {
+        let (_, dec, data, _) = setup(4, 2);
+        let mut g = GroupDecoder::new(*dec.spec());
+        for (i, d) in data.iter().enumerate() {
+            let out = g.insert(i, d.clone()).unwrap();
+            if i < 3 {
+                assert_eq!(out, InsertOutcome::Stored);
+                assert_eq!(g.needed(), 4 - i - 1);
+            } else {
+                assert_eq!(out, InsertOutcome::Decodable);
+            }
+        }
+        assert!(g.all_data_received());
+        assert_eq!(g.reconstruct(&dec).unwrap(), data);
+    }
+
+    #[test]
+    fn parity_fills_loss() {
+        let (_, dec, data, parities) = setup(5, 3);
+        let mut g = GroupDecoder::new(*dec.spec());
+        // Lose data packets 1 and 3.
+        for i in [0usize, 2, 4] {
+            g.insert(i, data[i].clone()).unwrap();
+        }
+        assert_eq!(g.missing_data(), vec![1, 3]);
+        assert_eq!(g.needed(), 2);
+        g.insert(5, parities[0].clone()).unwrap();
+        let out = g.insert(6, parities[1].clone()).unwrap();
+        assert_eq!(out, InsertOutcome::Decodable);
+        assert_eq!(g.reconstruct(&dec).unwrap(), data);
+    }
+
+    #[test]
+    fn duplicates_and_unneeded_are_counted() {
+        let (_, dec, data, parities) = setup(3, 2);
+        let mut g = GroupDecoder::new(*dec.spec());
+        g.insert(0, data[0].clone()).unwrap();
+        assert_eq!(
+            g.insert(0, data[0].clone()).unwrap(),
+            InsertOutcome::Duplicate
+        );
+        g.insert(1, data[1].clone()).unwrap();
+        g.insert(2, data[2].clone()).unwrap();
+        assert_eq!(
+            g.insert(3, parities[0].clone()).unwrap(),
+            InsertOutcome::Unneeded
+        );
+        assert_eq!(g.unneeded_receptions(), 1);
+        assert_eq!(g.received(), 3);
+    }
+
+    #[test]
+    fn conflicting_duplicate_rejected() {
+        let (_, dec, data, parities) = setup(3, 2);
+        let mut g = GroupDecoder::new(*dec.spec());
+        g.insert(0, data[0].clone()).unwrap();
+        assert_eq!(
+            g.insert(0, parities[0].clone()).unwrap_err(),
+            RseError::DuplicateShare { index: 0 }
+        );
+    }
+
+    #[test]
+    fn premature_reconstruct_errors() {
+        let (_, dec, data, _) = setup(4, 1);
+        let mut g = GroupDecoder::new(*dec.spec());
+        g.insert(0, data[0].clone()).unwrap();
+        assert_eq!(
+            g.reconstruct(&dec).unwrap_err(),
+            RseError::NotEnoughShares { have: 1, need: 4 }
+        );
+    }
+
+    #[test]
+    fn size_mismatch_rejected() {
+        let (_, dec, data, _) = setup(3, 1);
+        let mut g = GroupDecoder::new(*dec.spec());
+        g.insert(0, data[0].clone()).unwrap();
+        let bad = Bytes::from(vec![0u8; 7]);
+        assert!(matches!(
+            g.insert(1, bad),
+            Err(RseError::PacketSizeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn index_out_of_range_rejected() {
+        let (_, dec, _, _) = setup(3, 1);
+        let mut g = GroupDecoder::new(*dec.spec());
+        assert!(matches!(
+            g.insert(4, Bytes::new()),
+            Err(RseError::IndexOutOfRange { .. })
+        ));
+    }
+}

@@ -1,0 +1,135 @@
+//! Code-parameter specification.
+
+use crate::error::RseError;
+
+/// Parameters of one erasure code instance: `k` data packets per
+/// transmission group and up to `h` parity packets, `n = k + h` packets in
+/// the FEC block.
+///
+/// Over GF(2^8) the block is limited to `n <= 255` packets (the paper,
+/// Section 2.2: the symbol size `m` must satisfy `n < 2^m`; `m = 8` is
+/// "sufficiently large for our purposes").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CodeSpec {
+    k: usize,
+    h: usize,
+}
+
+/// Largest supported FEC block size over GF(2^8).
+pub const MAX_BLOCK: usize = 255;
+
+impl CodeSpec {
+    /// Create a spec with `k` data packets and `h` parities.
+    ///
+    /// # Errors
+    /// [`RseError::InvalidSpec`] unless `1 <= k` and `k + h <= 255`.
+    pub fn new(k: usize, h: usize) -> Result<Self, RseError> {
+        let n = k + h;
+        if k == 0 {
+            return Err(RseError::InvalidSpec {
+                k,
+                n,
+                reason: "k must be at least 1",
+            });
+        }
+        if n > MAX_BLOCK {
+            return Err(RseError::InvalidSpec {
+                k,
+                n,
+                reason: "n = k + h exceeds 255 (GF(2^8) block limit)",
+            });
+        }
+        Ok(CodeSpec { k, h })
+    }
+
+    /// Spec with the maximum number of parities for this `k`
+    /// (`h = 255 - k`). Useful for senders such as protocol NP that generate
+    /// parities on demand and want never to run out.
+    pub fn with_max_parity(k: usize) -> Result<Self, RseError> {
+        if k == 0 || k > MAX_BLOCK {
+            return Err(RseError::InvalidSpec {
+                k,
+                n: k,
+                reason: "k out of range 1..=255",
+            });
+        }
+        CodeSpec::new(k, MAX_BLOCK - k)
+    }
+
+    /// Number of data packets per transmission group.
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of parity packets in the block.
+    #[inline]
+    pub fn h(&self) -> usize {
+        self.h
+    }
+
+    /// Total FEC block size `n = k + h`.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.k + self.h
+    }
+
+    /// Redundancy ratio `h / k` (the paper's x-axis in Fig. 1).
+    #[inline]
+    pub fn redundancy(&self) -> f64 {
+        self.h as f64 / self.k as f64
+    }
+
+    /// True if `index` names a data packet (`0 <= index < k`).
+    #[inline]
+    pub fn is_data(&self, index: usize) -> bool {
+        index < self.k
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_specs() {
+        let s = CodeSpec::new(7, 3).unwrap();
+        assert_eq!((s.k(), s.h(), s.n()), (7, 3, 10));
+        assert!(s.is_data(6));
+        assert!(!s.is_data(7));
+        assert!((s.redundancy() - 3.0 / 7.0).abs() < 1e-12);
+        // Degenerate but legal: no parities at all (pure ARQ).
+        assert!(CodeSpec::new(20, 0).is_ok());
+        // Full-size block.
+        assert!(CodeSpec::new(100, 155).is_ok());
+    }
+
+    #[test]
+    fn invalid_specs() {
+        assert!(matches!(
+            CodeSpec::new(0, 3),
+            Err(RseError::InvalidSpec { .. })
+        ));
+        assert!(matches!(
+            CodeSpec::new(100, 156),
+            Err(RseError::InvalidSpec { .. })
+        ));
+        assert!(matches!(
+            CodeSpec::with_max_parity(0),
+            Err(RseError::InvalidSpec { .. })
+        ));
+        assert!(matches!(
+            CodeSpec::with_max_parity(256),
+            Err(RseError::InvalidSpec { .. })
+        ));
+    }
+
+    #[test]
+    fn max_parity_fills_block() {
+        let s = CodeSpec::with_max_parity(7).unwrap();
+        assert_eq!(s.n(), 255);
+        assert_eq!(s.h(), 248);
+        let s = CodeSpec::with_max_parity(255).unwrap();
+        assert_eq!(s.h(), 0);
+    }
+}

@@ -1,0 +1,375 @@
+//! Erasure decoder: reconstruct a transmission group from any `k` packets.
+//!
+//! Decoding follows Rizzo's scheme: collect the generator rows of the `k`
+//! packets that survived, invert that `k x k` matrix, and multiply it with
+//! the received payloads. Because the code is systematic, received *data*
+//! packets are passed through untouched and only the rows of *missing* data
+//! packets are actually computed — so decode cost is proportional to the
+//! number of losses (`l`), matching Section 2.1 of the paper ("the decoding
+//! overhead is proportional to `l`").
+
+use pm_gf::slice::mul_add_slice;
+use pm_gf::{Gf256, Matrix};
+
+use crate::code::CodeSpec;
+use crate::encoder::RseEncoder;
+use crate::error::RseError;
+
+/// A reusable decoder for one [`CodeSpec`].
+#[derive(Debug, Clone)]
+pub struct RseDecoder {
+    spec: CodeSpec,
+    /// Parity rows of the systematic generator, `h x k` (dummy 1 x k if h=0).
+    parity_rows: Matrix,
+}
+
+impl RseDecoder {
+    /// Build a decoder for the given code (same generator as
+    /// [`RseEncoder::new`] for the spec).
+    pub fn new(spec: CodeSpec) -> Result<Self, RseError> {
+        let enc = RseEncoder::new(spec)?;
+        Ok(Self::from_encoder(&enc))
+    }
+
+    /// Build a decoder sharing the encoder's generator (avoids recomputing
+    /// the systematisation).
+    pub fn from_encoder(enc: &RseEncoder) -> Self {
+        let spec = *enc.spec();
+        let k = spec.k();
+        let rows = if spec.h() == 0 {
+            Matrix::zero(1, k)
+        } else {
+            Matrix::from_fn(spec.h(), k, |j, i| enc.parity_coeff(j, i))
+        };
+        RseDecoder {
+            spec,
+            parity_rows: rows,
+        }
+    }
+
+    /// The code parameters this decoder was built for.
+    pub fn spec(&self) -> &CodeSpec {
+        &self.spec
+    }
+
+    /// Generator row for FEC-block index `index` (`0 <= index < n`).
+    fn generator_row(&self, index: usize) -> Vec<Gf256> {
+        let k = self.spec.k();
+        if index < k {
+            let mut row = vec![Gf256::ZERO; k];
+            row[index] = Gf256::ONE;
+            row
+        } else {
+            self.parity_rows.row(index - k).to_vec()
+        }
+    }
+
+    /// Reconstruct all `k` data packets from `shares` — `(block_index,
+    /// payload)` pairs, where indices `0..k` are data and `k..n` parities.
+    ///
+    /// Exact duplicates are tolerated and ignored; conflicting duplicates
+    /// are an error. Extra shares beyond `k` are ignored (data shares are
+    /// preferred, then parities in the order supplied).
+    ///
+    /// # Errors
+    /// [`RseError::NotEnoughShares`] with fewer than `k` distinct shares,
+    /// plus the usual validation errors.
+    pub fn decode<P: AsRef<[u8]>>(&self, shares: &[(usize, P)]) -> Result<Vec<Vec<u8>>, RseError> {
+        let k = self.spec.k();
+        let n = self.spec.n();
+
+        // Deduplicate into per-index slots, validating sizes.
+        let mut slots: Vec<Option<&[u8]>> = vec![None; n];
+        let mut payload_len: Option<usize> = None;
+        let mut parity_order: Vec<usize> = Vec::new();
+        for (index, payload) in shares {
+            let index = *index;
+            let payload = payload.as_ref();
+            if index >= n {
+                return Err(RseError::IndexOutOfRange { index, n });
+            }
+            match payload_len {
+                None => payload_len = Some(payload.len()),
+                Some(expected) if expected != payload.len() => {
+                    return Err(RseError::PacketSizeMismatch {
+                        expected,
+                        got: payload.len(),
+                    })
+                }
+                _ => {}
+            }
+            match slots[index] {
+                None => {
+                    slots[index] = Some(payload);
+                    if index >= k {
+                        parity_order.push(index);
+                    }
+                }
+                Some(existing) if existing == payload => {} // exact duplicate
+                Some(_) => return Err(RseError::DuplicateShare { index }),
+            }
+        }
+
+        let have = slots.iter().filter(|s| s.is_some()).count();
+        if have < k {
+            return Err(RseError::NotEnoughShares { have, need: k });
+        }
+        let len = payload_len.unwrap_or(0);
+
+        let missing: Vec<usize> = (0..k).filter(|&i| slots[i].is_none()).collect();
+        let mut out: Vec<Vec<u8>> = (0..k)
+            .map(|i| {
+                slots[i]
+                    .map(|p| p.to_vec())
+                    .unwrap_or_else(|| vec![0u8; len])
+            })
+            .collect();
+        if missing.is_empty() {
+            return Ok(out);
+        }
+
+        // Selected shares: the received data packets plus just enough
+        // parities to reach k.
+        let mut selected: Vec<usize> = (0..k).filter(|&i| slots[i].is_some()).collect();
+        selected.extend(parity_order.iter().take(missing.len()).copied());
+        debug_assert_eq!(
+            selected.len(),
+            k,
+            "share accounting above guarantees k selections"
+        );
+
+        // Invert the k x k matrix of their generator rows.
+        let m = Matrix::from_fn(k, self.spec.k(), |r, c| self.generator_row(selected[r])[c]);
+        let inv = m.invert()?;
+
+        // d_i = sum_j inv[i][j] * y_j, computed only for missing rows.
+        for &i in &missing {
+            // `out[i]` is already zeroed.
+            for (j, &share_idx) in selected.iter().enumerate() {
+                let coeff = inv[(i, j)];
+                if coeff.is_zero() {
+                    continue;
+                }
+                let payload = slots[share_idx].expect("selected shares are present");
+                // Split-borrow is safe: we only write row i.
+                mul_add_slice(coeff, payload, &mut out[i]);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Convenience: reconstruct and return only the packets that were
+    /// missing, as `(data_index, payload)` pairs.
+    ///
+    /// # Errors
+    /// As for [`RseDecoder::decode`].
+    pub fn decode_missing<P: AsRef<[u8]>>(
+        &self,
+        shares: &[(usize, P)],
+    ) -> Result<Vec<(usize, Vec<u8>)>, RseError> {
+        let k = self.spec.k();
+        let mut present = vec![false; k];
+        for (index, _) in shares {
+            if *index < k {
+                present[*index] = true;
+            }
+        }
+        let all = self.decode(shares)?;
+        Ok(all
+            .into_iter()
+            .enumerate()
+            .filter(|(i, _)| !present[*i])
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn group(k: usize, len: usize) -> Vec<Vec<u8>> {
+        (0..k)
+            .map(|i| {
+                (0..len)
+                    .map(|b| ((i * 97 + b * 31 + 5) % 256) as u8)
+                    .collect()
+            })
+            .collect()
+    }
+
+    fn codec(k: usize, h: usize) -> (RseEncoder, RseDecoder, Vec<Vec<u8>>, Vec<Vec<u8>>) {
+        let spec = CodeSpec::new(k, h).unwrap();
+        let enc = RseEncoder::new(spec).unwrap();
+        let dec = RseDecoder::from_encoder(&enc);
+        let data = group(k, 48);
+        let parities = enc.encode_all(&data).unwrap();
+        (enc, dec, data, parities)
+    }
+
+    #[test]
+    fn all_data_received_fast_path() {
+        let (_, dec, data, _) = codec(7, 3);
+        let shares: Vec<(usize, &[u8])> =
+            data.iter().enumerate().map(|(i, d)| (i, &d[..])).collect();
+        assert_eq!(dec.decode(&shares).unwrap(), data);
+        assert!(dec.decode_missing(&shares).unwrap().is_empty());
+    }
+
+    #[test]
+    fn recover_from_each_single_loss() {
+        let (_, dec, data, parities) = codec(7, 3);
+        for lost in 0..7 {
+            let mut shares: Vec<(usize, &[u8])> = data
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i != lost)
+                .map(|(i, d)| (i, &d[..]))
+                .collect();
+            shares.push((7, &parities[0][..]));
+            let decoded = dec.decode(&shares).unwrap();
+            assert_eq!(decoded, data, "lost packet {lost}");
+            let missing = dec.decode_missing(&shares).unwrap();
+            assert_eq!(missing, vec![(lost, data[lost].clone())]);
+        }
+    }
+
+    #[test]
+    fn recover_from_maximum_loss() {
+        // Lose all h = 3 data packets; recover from k-3 data + 3 parities.
+        let (_, dec, data, parities) = codec(7, 3);
+        let mut shares: Vec<(usize, &[u8])> = (3..7).map(|i| (i, &data[i][..])).collect();
+        for (j, p) in parities.iter().enumerate() {
+            shares.push((7 + j, &p[..]));
+        }
+        assert_eq!(dec.decode(&shares).unwrap(), data);
+    }
+
+    #[test]
+    fn parity_only_decoding() {
+        // k parities, zero data packets: still reconstructs (pure Vandermonde
+        // inversion, no systematic fast path at all).
+        let (_, dec, data, parities) = codec(4, 4);
+        let shares: Vec<(usize, &[u8])> = parities
+            .iter()
+            .enumerate()
+            .map(|(j, p)| (4 + j, &p[..]))
+            .collect();
+        assert_eq!(dec.decode(&shares).unwrap(), data);
+    }
+
+    #[test]
+    fn arbitrary_parity_subset_works() {
+        // Any k of the n packets suffice — try scattered combinations.
+        let (_, dec, data, parities) = codec(5, 5);
+        let combos: [&[usize]; 4] = [
+            &[0, 2, 4, 6, 8],
+            &[1, 3, 5, 7, 9],
+            &[0, 1, 7, 8, 9],
+            &[4, 5, 6, 7, 8],
+        ];
+        for idxs in combos {
+            let shares: Vec<(usize, &[u8])> = idxs
+                .iter()
+                .map(|&i| {
+                    if i < 5 {
+                        (i, &data[i][..])
+                    } else {
+                        (i, &parities[i - 5][..])
+                    }
+                })
+                .collect();
+            assert_eq!(dec.decode(&shares).unwrap(), data, "indices {idxs:?}");
+        }
+    }
+
+    #[test]
+    fn not_enough_shares_error() {
+        let (_, dec, data, _) = codec(7, 3);
+        let shares: Vec<(usize, &[u8])> = (0..6).map(|i| (i, &data[i][..])).collect();
+        assert_eq!(
+            dec.decode(&shares).unwrap_err(),
+            RseError::NotEnoughShares { have: 6, need: 7 }
+        );
+    }
+
+    #[test]
+    fn exact_duplicates_ignored_conflicts_rejected() {
+        let (_, dec, data, parities) = codec(3, 2);
+        let mut shares: Vec<(usize, &[u8])> = vec![
+            (0, &data[0][..]),
+            (0, &data[0][..]), // exact duplicate: fine
+            (1, &data[1][..]),
+            (3, &parities[0][..]),
+        ];
+        assert_eq!(dec.decode(&shares).unwrap(), data);
+        let conflicting = parities[1].clone();
+        shares.push((0, &conflicting[..]));
+        assert_eq!(
+            dec.decode(&shares).unwrap_err(),
+            RseError::DuplicateShare { index: 0 }
+        );
+    }
+
+    #[test]
+    fn index_and_size_validation() {
+        let (_, dec, data, _) = codec(3, 2);
+        let bad = vec![(9usize, &data[0][..])];
+        assert_eq!(
+            dec.decode(&bad).unwrap_err(),
+            RseError::IndexOutOfRange { index: 9, n: 5 }
+        );
+        let short = [0u8; 5];
+        let ragged: Vec<(usize, &[u8])> = vec![(0, &data[0][..]), (1, &short[..])];
+        assert!(matches!(
+            dec.decode(&ragged),
+            Err(RseError::PacketSizeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn extra_shares_beyond_k_are_ignored() {
+        let (_, dec, data, parities) = codec(4, 3);
+        // Send everything: 4 data + 3 parities = 7 shares for k = 4.
+        let mut shares: Vec<(usize, &[u8])> =
+            data.iter().enumerate().map(|(i, d)| (i, &d[..])).collect();
+        for (j, p) in parities.iter().enumerate() {
+            shares.push((4 + j, &p[..]));
+        }
+        assert_eq!(dec.decode(&shares).unwrap(), data);
+    }
+
+    #[test]
+    fn large_group_roundtrip() {
+        // Paper-size group: k = 100 with a burst of 7 losses.
+        let (_, dec, data, parities) = codec(100, 7);
+        let mut shares: Vec<(usize, &[u8])> = data
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !(40..47).contains(i))
+            .map(|(i, d)| (i, &d[..]))
+            .collect();
+        for (j, p) in parities.iter().enumerate() {
+            shares.push((100 + j, &p[..]));
+        }
+        assert_eq!(dec.decode(&shares).unwrap(), data);
+    }
+
+    #[test]
+    fn new_equals_from_encoder() {
+        let spec = CodeSpec::new(6, 4).unwrap();
+        let enc = RseEncoder::new(spec).unwrap();
+        let d1 = RseDecoder::new(spec).unwrap();
+        let d2 = RseDecoder::from_encoder(&enc);
+        let data = group(6, 16);
+        let parities = enc.encode_all(&data).unwrap();
+        let shares: Vec<(usize, &[u8])> = vec![
+            (2, &data[2][..]),
+            (3, &data[3][..]),
+            (6, &parities[0][..]),
+            (7, &parities[1][..]),
+            (8, &parities[2][..]),
+            (9, &parities[3][..]),
+        ];
+        assert_eq!(d1.decode(&shares).unwrap(), d2.decode(&shares).unwrap());
+    }
+}

@@ -1,0 +1,178 @@
+//! Block interleaving for burst-loss resistance.
+//!
+//! Section 4.2 of the paper: "Under interleaving the sender spreads the
+//! transmission of a FEC block over an interval that is longer than the loss
+//! burst length … packets from different transmission groups can be sent
+//! simultaneously in an interleaved manner."
+//!
+//! An [`Interleaver`] of depth `D` round-robins packets of `D` consecutive
+//! FEC blocks: transmission order `b0p0, b1p0, …, b(D-1)p0, b0p1, …`. A loss
+//! burst of length `L` then touches at most `ceil(L / D)` packets of any
+//! single block.
+
+/// Round-robin interleaver over `depth` blocks of `block_len` packets each.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interleaver {
+    depth: usize,
+    block_len: usize,
+}
+
+impl Interleaver {
+    /// Create an interleaver. `depth == 1` is the identity (no interleaving).
+    ///
+    /// # Panics
+    /// Panics if `depth` or `block_len` is zero.
+    pub fn new(depth: usize, block_len: usize) -> Self {
+        assert!(depth > 0, "interleaver depth must be at least 1");
+        assert!(block_len > 0, "block length must be at least 1");
+        Interleaver { depth, block_len }
+    }
+
+    /// Number of blocks interleaved together.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Packets per block.
+    pub fn block_len(&self) -> usize {
+        self.block_len
+    }
+
+    /// Total packets in one interleaving window.
+    pub fn window(&self) -> usize {
+        self.depth * self.block_len
+    }
+
+    /// Map `(block, packet)` to its position in the transmission order.
+    ///
+    /// # Panics
+    /// Panics on out-of-range coordinates.
+    pub fn tx_position(&self, block: usize, packet: usize) -> usize {
+        assert!(block < self.depth, "block {block} out of range");
+        assert!(packet < self.block_len, "packet {packet} out of range");
+        packet * self.depth + block
+    }
+
+    /// Inverse of [`Interleaver::tx_position`]: which `(block, packet)` is
+    /// sent at transmission slot `pos`.
+    ///
+    /// # Panics
+    /// Panics if `pos >= window()`.
+    pub fn source_of(&self, pos: usize) -> (usize, usize) {
+        assert!(pos < self.window(), "position {pos} out of range");
+        (pos % self.depth, pos / self.depth)
+    }
+
+    /// The worst-case number of packets a contiguous loss burst of
+    /// `burst_len` transmissions can remove from any one block.
+    pub fn max_block_damage(&self, burst_len: usize) -> usize {
+        burst_len.div_ceil(self.depth).min(self.block_len)
+    }
+
+    /// Interleave a window of blocks into transmission order.
+    ///
+    /// # Panics
+    /// Panics unless exactly `depth` blocks of `block_len` items are given.
+    pub fn interleave<T: Clone>(&self, blocks: &[Vec<T>]) -> Vec<T> {
+        assert_eq!(blocks.len(), self.depth, "expected {} blocks", self.depth);
+        for b in blocks {
+            assert_eq!(
+                b.len(),
+                self.block_len,
+                "expected {} packets per block",
+                self.block_len
+            );
+        }
+        let mut out = Vec::with_capacity(self.window());
+        for packet in 0..self.block_len {
+            for block in blocks {
+                out.push(block[packet].clone());
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_at_depth_one() {
+        let il = Interleaver::new(1, 5);
+        for p in 0..5 {
+            assert_eq!(il.tx_position(0, p), p);
+            assert_eq!(il.source_of(p), (0, p));
+        }
+    }
+
+    #[test]
+    fn position_roundtrip() {
+        let il = Interleaver::new(3, 4);
+        for b in 0..3 {
+            for p in 0..4 {
+                let pos = il.tx_position(b, p);
+                assert_eq!(il.source_of(pos), (b, p));
+            }
+        }
+        // All positions distinct and covering the window.
+        let mut seen = vec![false; il.window()];
+        for b in 0..3 {
+            for p in 0..4 {
+                let pos = il.tx_position(b, p);
+                assert!(!seen[pos]);
+                seen[pos] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn burst_damage_bounded() {
+        let il = Interleaver::new(4, 10);
+        assert_eq!(il.max_block_damage(1), 1);
+        assert_eq!(il.max_block_damage(4), 1);
+        assert_eq!(il.max_block_damage(5), 2);
+        assert_eq!(il.max_block_damage(8), 2);
+        assert_eq!(il.max_block_damage(1000), 10); // capped at block length
+    }
+
+    #[test]
+    fn burst_damage_matches_brute_force() {
+        // Simulate every burst start and measure actual per-block damage.
+        let il = Interleaver::new(3, 5);
+        for burst in 1..=il.window() {
+            let mut worst = 0;
+            for start in 0..il.window() {
+                let mut damage = [0usize; 3];
+                for off in 0..burst {
+                    let pos = start + off;
+                    if pos >= il.window() {
+                        break;
+                    }
+                    let (b, _) = il.source_of(pos);
+                    damage[b] += 1;
+                }
+                worst = worst.max(*damage.iter().max().unwrap());
+            }
+            assert!(
+                worst <= il.max_block_damage(burst),
+                "burst {burst}: actual {worst} > bound {}",
+                il.max_block_damage(burst)
+            );
+        }
+    }
+
+    #[test]
+    fn interleave_round_robins() {
+        let il = Interleaver::new(2, 3);
+        let out = il.interleave(&[vec!["a0", "a1", "a2"], vec!["b0", "b1", "b2"]]);
+        assert_eq!(out, vec!["a0", "b0", "a1", "b1", "a2", "b2"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "depth must be at least 1")]
+    fn zero_depth_panics() {
+        let _ = Interleaver::new(0, 3);
+    }
+}

@@ -1,0 +1,69 @@
+//! Reed–Solomon erasure (RSE) coding over packets.
+//!
+//! This crate implements the packet-level erasure codec of Section 2 of
+//! *Parity-Based Loss Recovery for Reliable Multicast Transmission*
+//! (Nonnenmacher, Biersack, Towsley, SIGCOMM '97), in the style of McAuley's
+//! burst-erasure coder and Rizzo's software `fec.c`:
+//!
+//! * A **transmission group (TG)** is `k` equal-size data packets
+//!   `d_1 .. d_k`. The encoder derives up to `h = n - k` **parity packets**
+//!   `p_1 .. p_h`; the `n` packets together form an **FEC block**.
+//! * The code is *systematic*: data packets are sent unmodified, so when
+//!   nothing is lost no decoding happens at all, and decode cost is
+//!   proportional to the number of lost data packets.
+//! * A receiver can reconstruct the TG from **any** `k` of the `n` packets
+//!   (MDS property).
+//! * Packets longer than one symbol are handled by running the code
+//!   independently over every byte position (`m = 8` bit symbols), which is
+//!   Figure 2 of McAuley \[12\] and Section 2.2 of the paper.
+//!
+//! Two encoders are provided:
+//!
+//! * [`RseEncoder`]/[`RseDecoder`] — the production systematic
+//!   Vandermonde-matrix codec (Rizzo-style), used by the `pm-core` protocol.
+//! * [`poly_codec`] — the paper's literal Eq. (1) construction
+//!   (`p_j = F(alpha^(j-1))` with Lagrange-interpolation decoding), kept as
+//!   an executable specification and cross-checked against the matrix codec
+//!   in tests.
+//!
+//! [`GroupDecoder`] is the receiver-side accumulator used by the protocol:
+//! it tracks which packets of a block have arrived and reconstructs the TG
+//! as soon as any `k` have been received.
+//!
+//! ```
+//! use pm_rse::{CodeSpec, RseDecoder, RseEncoder};
+//! let spec = CodeSpec::new(4, 2)?;                 // k=4 data, h=2 parities
+//! let enc = RseEncoder::new(spec)?;
+//! let dec = RseDecoder::from_encoder(&enc);
+//! let data: Vec<Vec<u8>> = (0..4).map(|i| vec![i as u8; 8]).collect();
+//! let parities = enc.encode_all(&data)?;
+//! // Lose data packets 1 and 3; decode from the rest + both parities.
+//! let shares: Vec<(usize, &[u8])> = vec![
+//!     (0, &data[0][..]), (2, &data[2][..]),
+//!     (4, &parities[0][..]), (5, &parities[1][..]),
+//! ];
+//! assert_eq!(dec.decode(&shares)?, data);
+//! # Ok::<(), pm_rse::RseError>(())
+//! ```
+
+pub mod block;
+pub mod code;
+pub mod decoder;
+pub mod encoder;
+pub mod error;
+pub mod incremental;
+pub mod interleave;
+pub mod poly_codec;
+pub mod wide;
+
+pub use block::{GroupDecoder, InsertOutcome};
+pub use code::CodeSpec;
+pub use decoder::RseDecoder;
+pub use encoder::RseEncoder;
+pub use error::RseError;
+pub use incremental::{AddOutcome, IncrementalDecoder};
+pub use interleave::Interleaver;
+pub use wide::{WideCodeSpec, WideCodec};
+
+#[cfg(test)]
+mod proptests;

@@ -1,0 +1,538 @@
+//! Wide-symbol RSE codec over GF(2^16) — FEC blocks beyond 255 packets.
+//!
+//! Section 2.2 of the paper: "the symbol size `m` must be picked
+//! sufficiently large such that `n < 2^m`; for our purposes, `m = 8` will
+//! be sufficiently large". This module is the escape hatch for when it is
+//! not: with 16-bit symbols the block may span up to `n = 65535` packets
+//! (bulk pre-encoded distribution, satellite carousels, very large `k`
+//! experiments).
+//!
+//! The construction mirrors [`crate::RseEncoder`] exactly — systematised
+//! Vandermonde generator, any `k` of `n` reconstruct — but packets are
+//! treated as sequences of big-endian `u16` symbols (payload length must
+//! be even) and the arithmetic runs through the table-driven
+//! [`pm_gf::GfField`] rather than the byte-specialised fast path, so it is
+//! roughly 3–5x slower per byte. Prefer the GF(2^8) codec whenever
+//! `n <= 255`.
+
+use pm_gf::{GfError, GfField};
+
+use crate::error::RseError;
+
+/// Code parameters for the wide codec: `k` data packets, `h` parities,
+/// `n = k + h <= 65535`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct WideCodeSpec {
+    k: usize,
+    h: usize,
+}
+
+/// Block limit over GF(2^16): the multiplicative group has 65535 distinct
+/// evaluation points.
+pub const MAX_WIDE_BLOCK: usize = 65_535;
+
+impl WideCodeSpec {
+    /// Create a spec.
+    ///
+    /// # Errors
+    /// [`RseError::InvalidSpec`] unless `1 <= k` and `k + h <= 65535`.
+    pub fn new(k: usize, h: usize) -> Result<Self, RseError> {
+        let n = k + h;
+        if k == 0 {
+            return Err(RseError::InvalidSpec {
+                k,
+                n,
+                reason: "k must be at least 1",
+            });
+        }
+        if n > MAX_WIDE_BLOCK {
+            return Err(RseError::InvalidSpec {
+                k,
+                n,
+                reason: "n = k + h exceeds 65535 (GF(2^16) block limit)",
+            });
+        }
+        Ok(WideCodeSpec { k, h })
+    }
+
+    /// Data packets per group.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Parity budget.
+    pub fn h(&self) -> usize {
+        self.h
+    }
+
+    /// Block size `n = k + h`.
+    pub fn n(&self) -> usize {
+        self.k + self.h
+    }
+}
+
+/// Row-major matrix over GF(2^16), internal to this module.
+struct WideMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<u16>,
+}
+
+impl WideMatrix {
+    fn zero(rows: usize, cols: usize) -> Self {
+        WideMatrix {
+            rows,
+            cols,
+            data: vec![0; rows * cols],
+        }
+    }
+
+    #[inline]
+    fn at(&self, r: usize, c: usize) -> u16 {
+        self.data[r * self.cols + c]
+    }
+
+    #[inline]
+    fn set(&mut self, r: usize, c: usize, v: u16) {
+        self.data[r * self.cols + c] = v;
+    }
+
+    fn identity(n: usize) -> Self {
+        let mut m = WideMatrix::zero(n, n);
+        for i in 0..n {
+            m.set(i, i, 1);
+        }
+        m
+    }
+
+    fn mul(&self, field: &GfField, rhs: &WideMatrix) -> WideMatrix {
+        debug_assert_eq!(self.cols, rhs.rows);
+        let mut out = WideMatrix::zero(self.rows, rhs.cols);
+        for r in 0..self.rows {
+            for i in 0..self.cols {
+                let a = self.at(r, i);
+                if a == 0 {
+                    continue;
+                }
+                for c in 0..rhs.cols {
+                    let prod = field.mul(a, rhs.at(i, c));
+                    let cur = out.at(r, c);
+                    out.set(r, c, cur ^ prod);
+                }
+            }
+        }
+        out
+    }
+
+    fn invert(&self, field: &GfField) -> Result<WideMatrix, GfError> {
+        debug_assert_eq!(self.rows, self.cols);
+        let n = self.rows;
+        let mut a = WideMatrix {
+            rows: n,
+            cols: n,
+            data: self.data.clone(),
+        };
+        let mut inv = WideMatrix::identity(n);
+        for col in 0..n {
+            let pivot = (col..n)
+                .find(|&r| a.at(r, col) != 0)
+                .ok_or(GfError::SingularMatrix)?;
+            if pivot != col {
+                for c in 0..n {
+                    let (x, y) = (a.at(pivot, c), a.at(col, c));
+                    a.set(pivot, c, y);
+                    a.set(col, c, x);
+                    let (x, y) = (inv.at(pivot, c), inv.at(col, c));
+                    inv.set(pivot, c, y);
+                    inv.set(col, c, x);
+                }
+            }
+            let p_inv = field.inv(a.at(col, col))?;
+            for c in 0..n {
+                a.set(col, c, field.mul(a.at(col, c), p_inv));
+                inv.set(col, c, field.mul(inv.at(col, c), p_inv));
+            }
+            for r in 0..n {
+                if r == col || a.at(r, col) == 0 {
+                    continue;
+                }
+                let f = a.at(r, col);
+                for c in 0..n {
+                    let av = field.mul(f, a.at(col, c));
+                    let iv = field.mul(f, inv.at(col, c));
+                    a.set(r, c, a.at(r, c) ^ av);
+                    inv.set(r, c, inv.at(r, c) ^ iv);
+                }
+            }
+        }
+        Ok(inv)
+    }
+}
+
+/// Shared generator state for the wide encoder/decoder.
+pub struct WideCodec {
+    spec: WideCodeSpec,
+    field: GfField,
+    /// Parity rows of the systematic generator: `h x k`.
+    parity_rows: WideMatrix,
+}
+
+impl WideCodec {
+    /// Build the codec (generator construction is O(n·k + k^3) field ops —
+    /// noticeable for `k` in the thousands; build once, reuse).
+    ///
+    /// # Errors
+    /// Spec validation; field construction cannot fail for m = 16.
+    pub fn new(spec: WideCodeSpec) -> Result<Self, RseError> {
+        let field = GfField::new(16)?;
+        let (k, n) = (spec.k(), spec.n());
+        // Vandermonde over alpha^0 .. alpha^(n-1), systematised.
+        let mut v = WideMatrix::zero(n, k);
+        for (r, row) in (0..n).enumerate() {
+            let x = field.exp(row);
+            let mut acc: u16 = 1;
+            for c in 0..k {
+                v.set(r, c, acc);
+                acc = field.mul(acc, x);
+            }
+        }
+        let top = WideMatrix {
+            rows: k,
+            cols: k,
+            data: v.data[..k * k].to_vec(),
+        };
+        let top_inv = top.invert(&field)?;
+        let g = v.mul(&field, &top_inv);
+        let parity_rows = WideMatrix {
+            rows: spec.h().max(1),
+            cols: k,
+            data: if spec.h() == 0 {
+                vec![0; k]
+            } else {
+                g.data[k * k..].to_vec()
+            },
+        };
+        Ok(WideCodec {
+            spec,
+            field,
+            parity_rows,
+        })
+    }
+
+    /// The code parameters.
+    pub fn spec(&self) -> &WideCodeSpec {
+        &self.spec
+    }
+
+    fn check_data<P: AsRef<[u8]>>(&self, data: &[P]) -> Result<usize, RseError> {
+        if data.len() != self.spec.k() {
+            return Err(RseError::WrongDataCount {
+                expected: self.spec.k(),
+                got: data.len(),
+            });
+        }
+        let len = data[0].as_ref().len();
+        if !len.is_multiple_of(2) {
+            return Err(RseError::InvalidSpec {
+                k: self.spec.k(),
+                n: self.spec.n(),
+                reason: "wide codec payloads must have even length (u16 symbols)",
+            });
+        }
+        for d in data {
+            if d.as_ref().len() != len {
+                return Err(RseError::PacketSizeMismatch {
+                    expected: len,
+                    got: d.as_ref().len(),
+                });
+            }
+        }
+        Ok(len)
+    }
+
+    /// Compute parity `j` (`0 <= j < h`).
+    ///
+    /// # Errors
+    /// Validation errors as for the GF(2^8) encoder, plus odd payload
+    /// lengths.
+    pub fn parity<P: AsRef<[u8]>>(&self, j: usize, data: &[P]) -> Result<Vec<u8>, RseError> {
+        if j >= self.spec.h() {
+            return Err(RseError::IndexOutOfRange {
+                index: self.spec.k() + j,
+                n: self.spec.n(),
+            });
+        }
+        let len = self.check_data(data)?;
+        let symbols = len / 2;
+        let mut out = vec![0u16; symbols];
+        for (i, d) in data.iter().enumerate() {
+            let coeff = self.parity_rows.at(j, i);
+            if coeff == 0 {
+                continue;
+            }
+            let bytes = d.as_ref();
+            for (s, o) in out.iter_mut().enumerate() {
+                let sym = u16::from_be_bytes([bytes[2 * s], bytes[2 * s + 1]]);
+                *o ^= self.field.mul(coeff, sym);
+            }
+        }
+        Ok(out.iter().flat_map(|s| s.to_be_bytes()).collect())
+    }
+
+    /// All `h` parities.
+    ///
+    /// # Errors
+    /// As for [`WideCodec::parity`].
+    pub fn encode_all<P: AsRef<[u8]>>(&self, data: &[P]) -> Result<Vec<Vec<u8>>, RseError> {
+        (0..self.spec.h()).map(|j| self.parity(j, data)).collect()
+    }
+
+    fn generator_row(&self, index: usize) -> Vec<u16> {
+        let k = self.spec.k();
+        if index < k {
+            let mut row = vec![0u16; k];
+            row[index] = 1;
+            row
+        } else {
+            let j = index - k;
+            (0..k).map(|c| self.parity_rows.at(j, c)).collect()
+        }
+    }
+
+    /// Reconstruct all `k` data packets from any `k` shares
+    /// `(block_index, payload)`.
+    ///
+    /// # Errors
+    /// As for [`crate::RseDecoder::decode`].
+    pub fn decode<P: AsRef<[u8]>>(&self, shares: &[(usize, P)]) -> Result<Vec<Vec<u8>>, RseError> {
+        let k = self.spec.k();
+        let n = self.spec.n();
+        let mut slots: Vec<Option<&[u8]>> = vec![None; n];
+        let mut payload_len: Option<usize> = None;
+        let mut parity_order = Vec::new();
+        for (index, payload) in shares {
+            let (index, payload) = (*index, payload.as_ref());
+            if index >= n {
+                return Err(RseError::IndexOutOfRange { index, n });
+            }
+            match payload_len {
+                None => payload_len = Some(payload.len()),
+                Some(l) if l != payload.len() => {
+                    return Err(RseError::PacketSizeMismatch {
+                        expected: l,
+                        got: payload.len(),
+                    })
+                }
+                _ => {}
+            }
+            match slots[index] {
+                None => {
+                    slots[index] = Some(payload);
+                    if index >= k {
+                        parity_order.push(index);
+                    }
+                }
+                Some(existing) if existing == payload => {}
+                Some(_) => return Err(RseError::DuplicateShare { index }),
+            }
+        }
+        let have = slots.iter().flatten().count();
+        if have < k {
+            return Err(RseError::NotEnoughShares { have, need: k });
+        }
+        let len = payload_len.unwrap_or(0);
+        if !len.is_multiple_of(2) {
+            return Err(RseError::InvalidSpec {
+                k,
+                n,
+                reason: "wide codec payloads must have even length (u16 symbols)",
+            });
+        }
+
+        let missing: Vec<usize> = (0..k).filter(|&i| slots[i].is_none()).collect();
+        let mut out: Vec<Vec<u8>> = (0..k)
+            .map(|i| {
+                slots[i]
+                    .map(|p| p.to_vec())
+                    .unwrap_or_else(|| vec![0u8; len])
+            })
+            .collect();
+        if missing.is_empty() {
+            return Ok(out);
+        }
+        let mut selected: Vec<usize> = (0..k).filter(|&i| slots[i].is_some()).collect();
+        selected.extend(parity_order.iter().take(missing.len()).copied());
+
+        let mut m = WideMatrix::zero(k, k);
+        for (r, &idx) in selected.iter().enumerate() {
+            for (c, v) in self.generator_row(idx).into_iter().enumerate() {
+                m.set(r, c, v);
+            }
+        }
+        let inv = m.invert(&self.field)?;
+        let symbols = len / 2;
+        for &i in &missing {
+            let mut acc = vec![0u16; symbols];
+            for (j, &share_idx) in selected.iter().enumerate() {
+                let coeff = inv.at(i, j);
+                if coeff == 0 {
+                    continue;
+                }
+                let bytes = slots[share_idx].expect("selected shares present");
+                for (s, a) in acc.iter_mut().enumerate() {
+                    let sym = u16::from_be_bytes([bytes[2 * s], bytes[2 * s + 1]]);
+                    *a ^= self.field.mul(coeff, sym);
+                }
+            }
+            out[i] = acc.iter().flat_map(|s| s.to_be_bytes()).collect();
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn group(k: usize, len: usize) -> Vec<Vec<u8>> {
+        (0..k)
+            .map(|i| {
+                (0..len)
+                    .map(|b| ((i * 131 + b * 17 + 3) % 256) as u8)
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn spec_validation() {
+        assert!(WideCodeSpec::new(0, 1).is_err());
+        assert!(WideCodeSpec::new(60_000, 10_000).is_err());
+        let s = WideCodeSpec::new(300, 100).unwrap();
+        assert_eq!((s.k(), s.h(), s.n()), (300, 100, 400));
+    }
+
+    #[test]
+    fn roundtrip_beyond_gf256_limit() {
+        // n = 300 packets: impossible over GF(2^8), routine here.
+        let codec = WideCodec::new(WideCodeSpec::new(280, 20).unwrap()).unwrap();
+        let data = group(280, 16);
+        let parities = codec.encode_all(&data).unwrap();
+        assert_eq!(parities.len(), 20);
+        // Lose 20 data packets scattered through the group.
+        let mut shares: Vec<(usize, &[u8])> = data
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i % 14 != 0)
+            .map(|(i, d)| (i, d.as_slice()))
+            .collect();
+        for (j, p) in parities.iter().enumerate() {
+            shares.push((280 + j, p.as_slice()));
+        }
+        assert_eq!(codec.decode(&shares).unwrap(), data);
+    }
+
+    #[test]
+    fn small_block_agrees_with_systematic_property() {
+        let codec = WideCodec::new(WideCodeSpec::new(4, 3).unwrap()).unwrap();
+        let data = group(4, 8);
+        // All-data fast path.
+        let shares: Vec<(usize, &[u8])> = data
+            .iter()
+            .enumerate()
+            .map(|(i, d)| (i, d.as_slice()))
+            .collect();
+        assert_eq!(codec.decode(&shares).unwrap(), data);
+        // Parity-only reconstruction (k of them... here k=4 > h=3, so mix).
+        let parities = codec.encode_all(&data).unwrap();
+        let mixed: Vec<(usize, &[u8])> = vec![
+            (1, data[1].as_slice()),
+            (4, parities[0].as_slice()),
+            (5, parities[1].as_slice()),
+            (6, parities[2].as_slice()),
+        ];
+        assert_eq!(codec.decode(&mixed).unwrap(), data);
+    }
+
+    #[test]
+    fn parity_linear_in_data() {
+        let codec = WideCodec::new(WideCodeSpec::new(3, 2).unwrap()).unwrap();
+        let a = group(3, 10);
+        let b: Vec<Vec<u8>> = (0..3)
+            .map(|i| (0..10).map(|x| ((i * 7 + x * 3 + 1) % 256) as u8).collect())
+            .collect();
+        let sum: Vec<Vec<u8>> = a
+            .iter()
+            .zip(&b)
+            .map(|(x, y)| x.iter().zip(y).map(|(p, q)| p ^ q).collect())
+            .collect();
+        for j in 0..2 {
+            let pa = codec.parity(j, &a).unwrap();
+            let pb = codec.parity(j, &b).unwrap();
+            let ps = codec.parity(j, &sum).unwrap();
+            let xored: Vec<u8> = pa.iter().zip(&pb).map(|(x, y)| x ^ y).collect();
+            assert_eq!(ps, xored);
+        }
+    }
+
+    #[test]
+    fn odd_length_rejected() {
+        let codec = WideCodec::new(WideCodeSpec::new(2, 1).unwrap()).unwrap();
+        let data = vec![vec![0u8; 7], vec![0u8; 7]];
+        assert!(matches!(
+            codec.parity(0, &data),
+            Err(RseError::InvalidSpec { .. })
+        ));
+    }
+
+    #[test]
+    fn validation_mirrors_narrow_codec() {
+        let codec = WideCodec::new(WideCodeSpec::new(3, 2).unwrap()).unwrap();
+        let data = group(3, 8);
+        assert!(matches!(
+            codec.parity(2, &data),
+            Err(RseError::IndexOutOfRange { .. })
+        ));
+        assert!(matches!(
+            codec.parity(0, &data[..2]),
+            Err(RseError::WrongDataCount { .. })
+        ));
+        let shares: Vec<(usize, &[u8])> = vec![(0, data[0].as_slice())];
+        assert!(matches!(
+            codec.decode(&shares),
+            Err(RseError::NotEnoughShares { .. })
+        ));
+        let bad: Vec<(usize, &[u8])> = vec![(9, data[0].as_slice())];
+        assert!(matches!(
+            codec.decode(&bad),
+            Err(RseError::IndexOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn agrees_with_gf256_codec_on_shared_range() {
+        // Both codecs are systematic MDS; they differ in generator but both
+        // must reconstruct identical data from the same data-share subsets.
+        let (k, h, len) = (5usize, 3usize, 12usize);
+        let data = group(k, len);
+        let wide = WideCodec::new(WideCodeSpec::new(k, h).unwrap()).unwrap();
+        let narrow = crate::RseEncoder::new(crate::CodeSpec::new(k, h).unwrap()).unwrap();
+        let ndec = crate::RseDecoder::from_encoder(&narrow);
+        let wp = wide.encode_all(&data).unwrap();
+        let np = narrow.encode_all(&data).unwrap();
+        // Same loss pattern, each decoded with its own parities.
+        let mk = |par: &[Vec<u8>]| -> Vec<(usize, Vec<u8>)> {
+            let mut v: Vec<(usize, Vec<u8>)> = data
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i != 0 && *i != 3)
+                .map(|(i, d)| (i, d.clone()))
+                .collect();
+            v.push((k, par[0].clone()));
+            v.push((k + 1, par[1].clone()));
+            v
+        };
+        assert_eq!(wide.decode(&mk(&wp)).unwrap(), data);
+        assert_eq!(ndec.decode(&mk(&np)).unwrap(), data);
+    }
+}

@@ -1,0 +1,87 @@
+//! Simulation parameters shared by every scheme.
+
+/// Timing and effort parameters of one simulation run.
+///
+/// Defaults follow Section 4.2 of the paper: packet spacing
+/// `delta = 40 ms` (Bolot's measured 25 packets/s INRIA–UCL path) and
+/// feedback turnaround `T = 300 ms`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimConfig {
+    /// Spacing between consecutive packet transmissions, seconds.
+    pub delta: f64,
+    /// Feedback/retransmission turnaround `T`, seconds: the gap a scheme
+    /// waits between a (re)transmission round and the next.
+    pub feedback_delay: f64,
+    /// Number of independent transmission groups (or packets, for no-FEC)
+    /// to average over.
+    pub trials: usize,
+}
+
+impl SimConfig {
+    /// The paper's Section 4.2 timing with a chosen trial count.
+    ///
+    /// # Panics
+    /// Panics if `trials == 0`.
+    pub fn paper_timing(trials: usize) -> Self {
+        assert!(trials > 0, "need at least one trial");
+        SimConfig {
+            delta: 0.040,
+            feedback_delay: 0.300,
+            trials,
+        }
+    }
+
+    /// Override the packet spacing.
+    ///
+    /// # Panics
+    /// Panics unless `delta > 0`.
+    pub fn with_delta(mut self, delta: f64) -> Self {
+        assert!(delta > 0.0, "delta must be positive");
+        self.delta = delta;
+        self
+    }
+
+    /// Override the feedback turnaround.
+    ///
+    /// # Panics
+    /// Panics if negative.
+    pub fn with_feedback_delay(mut self, t: f64) -> Self {
+        assert!(t >= 0.0, "feedback delay cannot be negative");
+        self.feedback_delay = t;
+        self
+    }
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self::paper_timing(1000)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults() {
+        let c = SimConfig::paper_timing(500);
+        assert_eq!(c.delta, 0.040);
+        assert_eq!(c.feedback_delay, 0.300);
+        assert_eq!(c.trials, 500);
+    }
+
+    #[test]
+    fn builders() {
+        let c = SimConfig::paper_timing(10)
+            .with_delta(0.01)
+            .with_feedback_delay(0.0);
+        assert_eq!(c.delta, 0.01);
+        assert_eq!(c.feedback_delay, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one trial")]
+    fn zero_trials_rejected() {
+        let _ = SimConfig::paper_timing(0);
+    }
+}

@@ -1,0 +1,129 @@
+//! Online statistics and simulation results.
+
+/// Welford online mean/variance accumulator.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RunningStat {
+    n: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl RunningStat {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let d = x - self.mean;
+        self.mean += d / self.n as f64;
+        self.m2 += d * (x - self.mean);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Unbiased sample variance (0 with fewer than two observations).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Standard error of the mean.
+    pub fn stderr(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            (self.variance() / self.n as f64).sqrt()
+        }
+    }
+}
+
+/// Result of one simulated configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimResult {
+    /// Mean transmissions per data packet, `E[M]`.
+    pub mean_transmissions: f64,
+    /// Standard error of `mean_transmissions`.
+    pub stderr: f64,
+    /// Mean transmission rounds per group (1 when the scheme has no round
+    /// structure, e.g. integrated FEC 1).
+    pub mean_rounds: f64,
+    /// Mean *unnecessary receptions* per receiver per transmission group:
+    /// packets received by a receiver that no longer needed them (the
+    /// duplicate-waste metric of the paper's Section 2.1; parity repair
+    /// drives it "nearly to zero").
+    pub mean_unneeded: f64,
+    /// Trials averaged.
+    pub trials: usize,
+}
+
+impl SimResult {
+    /// Assemble from accumulators.
+    pub fn from_stats(m: &RunningStat, rounds: &RunningStat, unneeded: &RunningStat) -> Self {
+        SimResult {
+            mean_transmissions: m.mean(),
+            stderr: m.stderr(),
+            mean_rounds: rounds.mean(),
+            mean_unneeded: unneeded.mean(),
+            trials: m.count() as usize,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_variance() {
+        let mut s = RunningStat::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.push(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        // Population variance 4 => sample variance 32/7.
+        assert!((s.variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert!((s.stderr() - (32.0 / 7.0 / 8.0_f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_cases() {
+        let s = RunningStat::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.stderr(), 0.0);
+        let mut s = RunningStat::new();
+        s.push(3.0);
+        assert_eq!(s.mean(), 3.0);
+        assert_eq!(s.variance(), 0.0);
+    }
+
+    #[test]
+    fn result_assembly() {
+        let mut m = RunningStat::new();
+        let mut r = RunningStat::new();
+        for i in 0..10 {
+            m.push(1.0 + i as f64 * 0.1);
+            r.push(2.0);
+        }
+        let res = SimResult::from_stats(&m, &r, &RunningStat::new());
+        assert_eq!(res.trials, 10);
+        assert!((res.mean_rounds - 2.0).abs() < 1e-12);
+        assert_eq!(res.mean_unneeded, 0.0);
+        assert!(res.stderr > 0.0);
+    }
+}

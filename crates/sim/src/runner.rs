@@ -1,0 +1,234 @@
+//! Scheme dispatch and parameter sweeps.
+
+use pm_loss::{GilbertLoss, IndependentLoss, LossModel, TreeBurstLoss, TreeLoss, TwoClassLoss};
+
+use crate::config::SimConfig;
+use crate::metrics::SimResult;
+use crate::scheme;
+
+/// A recovery scheme with its coding parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scheme {
+    /// Plain ARQ.
+    NoFec,
+    /// Layered FEC with TG size `k` and `h` parities per block.
+    Layered { k: usize, h: usize },
+    /// Integrated FEC 1: parities streamed back-to-back, receivers leave.
+    Integrated1 { k: usize },
+    /// Integrated FEC 2: NP-style rounds, parities on demand.
+    Integrated2 { k: usize },
+}
+
+impl Scheme {
+    /// Short label used in figure output.
+    pub fn label(&self) -> String {
+        match self {
+            Scheme::NoFec => "no-FEC".to_string(),
+            Scheme::Layered { k, h } => format!("layered({k}+{h})"),
+            Scheme::Integrated1 { k } => format!("integrated1(k={k})"),
+            Scheme::Integrated2 { k } => format!("integrated2(k={k})"),
+        }
+    }
+}
+
+/// Run one scheme against one loss model.
+pub fn run<M: LossModel>(cfg: &SimConfig, scheme: Scheme, model: &mut M) -> SimResult {
+    match scheme {
+        Scheme::NoFec => scheme::nofec(cfg, model),
+        Scheme::Layered { k, h } => scheme::layered(cfg, k, h, model),
+        Scheme::Integrated1 { k } => scheme::integrated_1(cfg, k, model),
+        Scheme::Integrated2 { k } => scheme::integrated_2(cfg, k, model),
+    }
+}
+
+/// The loss environments of Section 4, by name.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LossEnv {
+    /// Independent per-receiver loss with probability `p` (receivers only).
+    Independent { p: f64 },
+    /// Full binary tree of height `d` (`R = 2^d`), per-receiver end-to-end
+    /// loss `p` (Section 4.1).
+    FullBinaryTree { p: f64 },
+    /// Two-state Markov burst loss with probability `p` and mean burst
+    /// length `b`, calibrated at the run's `delta` (Section 4.2).
+    Burst { p: f64, mean_burst: f64 },
+    /// Two-class heterogeneous population (Section 3.3): fraction `alpha`
+    /// of receivers at `p_high`, the rest at `p_low`.
+    TwoClass { alpha: f64, p_low: f64, p_high: f64 },
+    /// Shared bursts: Gilbert chains at every FBT node (extension
+    /// combining Sections 4.1 and 4.2).
+    TreeBurst { p: f64, mean_burst: f64 },
+}
+
+/// Run `scheme` in `env` with `receivers` receivers (must be a power of two
+/// for [`LossEnv::FullBinaryTree`]).
+///
+/// # Panics
+/// Panics if `receivers == 0`, or is not a power of two for the FBT
+/// environment.
+pub fn run_env(
+    cfg: &SimConfig,
+    scheme: Scheme,
+    env: LossEnv,
+    receivers: usize,
+    seed: u64,
+) -> SimResult {
+    assert!(receivers > 0, "need at least one receiver");
+    match env {
+        LossEnv::Independent { p } => {
+            let mut m = IndependentLoss::new(receivers, p, seed);
+            run(cfg, scheme, &mut m)
+        }
+        LossEnv::FullBinaryTree { p } => {
+            assert!(
+                receivers.is_power_of_two(),
+                "FBT needs a power-of-two receiver count"
+            );
+            let d = receivers.trailing_zeros();
+            let mut m = TreeLoss::full_binary(d, p, seed);
+            run(cfg, scheme, &mut m)
+        }
+        LossEnv::Burst { p, mean_burst } => {
+            let mut m = GilbertLoss::new(receivers, p, mean_burst, cfg.delta, seed);
+            run(cfg, scheme, &mut m)
+        }
+        LossEnv::TwoClass {
+            alpha,
+            p_low,
+            p_high,
+        } => {
+            let mut m = TwoClassLoss::new(receivers, alpha, p_low, p_high, seed);
+            run(cfg, scheme, &mut m)
+        }
+        LossEnv::TreeBurst { p, mean_burst } => {
+            assert!(
+                receivers.is_power_of_two(),
+                "tree-burst needs a power-of-two receiver count"
+            );
+            let d = receivers.trailing_zeros();
+            let mut m = TreeBurstLoss::new(d, p, mean_burst, cfg.delta, seed);
+            run(cfg, scheme, &mut m)
+        }
+    }
+}
+
+/// Sweep receiver counts `2^0 .. 2^max_exp`, returning `(R, result)` pairs.
+pub fn sweep_receivers(
+    cfg: &SimConfig,
+    scheme: Scheme,
+    env: LossEnv,
+    max_exp: u32,
+    seed: u64,
+) -> Vec<(usize, SimResult)> {
+    (0..=max_exp)
+        .map(|d| {
+            let r = 1usize << d;
+            (r, run_env(cfg, scheme, env, r, seed ^ (d as u64) << 32))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels() {
+        assert_eq!(Scheme::NoFec.label(), "no-FEC");
+        assert_eq!(Scheme::Layered { k: 7, h: 1 }.label(), "layered(7+1)");
+        assert_eq!(Scheme::Integrated2 { k: 20 }.label(), "integrated2(k=20)");
+    }
+
+    #[test]
+    fn dispatch_runs_all_schemes() {
+        let cfg = SimConfig::paper_timing(50);
+        for s in [
+            Scheme::NoFec,
+            Scheme::Layered { k: 3, h: 1 },
+            Scheme::Integrated1 { k: 3 },
+            Scheme::Integrated2 { k: 3 },
+        ] {
+            let res = run_env(&cfg, s, LossEnv::Independent { p: 0.1 }, 4, 1);
+            assert!(res.mean_transmissions >= 1.0, "{s:?}");
+            assert_eq!(
+                res.trials,
+                if matches!(s, Scheme::Layered { .. }) {
+                    150
+                } else {
+                    50
+                }
+            );
+        }
+    }
+
+    #[test]
+    fn environments_construct() {
+        let cfg = SimConfig::paper_timing(30);
+        for env in [
+            LossEnv::Independent { p: 0.05 },
+            LossEnv::FullBinaryTree { p: 0.05 },
+            LossEnv::Burst {
+                p: 0.05,
+                mean_burst: 2.0,
+            },
+            LossEnv::TwoClass {
+                alpha: 0.25,
+                p_low: 0.01,
+                p_high: 0.25,
+            },
+            LossEnv::TreeBurst {
+                p: 0.05,
+                mean_burst: 2.0,
+            },
+        ] {
+            let res = run_env(&cfg, Scheme::NoFec, env, 8, 2);
+            assert!(res.mean_transmissions >= 1.0);
+        }
+    }
+
+    #[test]
+    fn shared_loss_needs_fewer_transmissions() {
+        // Fig. 11/12's core observation: FBT shared loss yields lower E[M]
+        // than independent loss at the same per-receiver p.
+        let cfg = SimConfig::paper_timing(1500);
+        let r = 256;
+        let indep =
+            run_env(&cfg, Scheme::NoFec, LossEnv::Independent { p: 0.05 }, r, 7).mean_transmissions;
+        let shared = run_env(
+            &cfg,
+            Scheme::NoFec,
+            LossEnv::FullBinaryTree { p: 0.05 },
+            r,
+            7,
+        )
+        .mean_transmissions;
+        assert!(
+            shared < indep,
+            "shared loss E[M]={shared} should undercut independent {indep}"
+        );
+    }
+
+    #[test]
+    fn sweep_shapes() {
+        let cfg = SimConfig::paper_timing(60);
+        let pts = sweep_receivers(&cfg, Scheme::NoFec, LossEnv::Independent { p: 0.1 }, 4, 3);
+        assert_eq!(pts.len(), 5);
+        assert_eq!(pts[0].0, 1);
+        assert_eq!(pts[4].0, 16);
+        // Monotone within noise: last >= first.
+        assert!(pts[4].1.mean_transmissions >= pts[0].1.mean_transmissions);
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn fbt_requires_power_of_two() {
+        let cfg = SimConfig::paper_timing(10);
+        let _ = run_env(
+            &cfg,
+            Scheme::NoFec,
+            LossEnv::FullBinaryTree { p: 0.1 },
+            3,
+            0,
+        );
+    }
+}

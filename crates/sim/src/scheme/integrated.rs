@@ -1,0 +1,206 @@
+//! Integrated FEC simulations (Section 4.2's two protocol variants).
+
+use pm_loss::LossModel;
+
+use crate::config::SimConfig;
+use crate::metrics::{RunningStat, SimResult};
+
+/// Safety valve: a single TG may not consume more than this many
+/// transmissions (would indicate a pathological loss model, e.g. p ~ 1).
+const MAX_TX_PER_GROUP: u64 = 1_000_000;
+
+/// **Integrated FEC 1**: parities follow the data back-to-back at rate
+/// `1/delta`; a receiver departs the multicast group the moment it holds
+/// `k` packets, and the sender stops once everyone has departed. No
+/// feedback rounds, no interleaving — under burst loss consecutive parities
+/// fall into the same loss burst.
+///
+/// One trial is one transmission group. `E[M] = (k + L)/k` with `L` the
+/// number of parities streamed.
+///
+/// # Panics
+/// Panics unless `k >= 1`; panics if a trial exceeds the internal
+/// transmission cap (loss model stuck at 100% loss).
+pub fn integrated_1<M: LossModel>(cfg: &SimConfig, k: usize, model: &mut M) -> SimResult {
+    assert!(k >= 1, "k must be at least 1");
+    let r = model.receivers();
+    let mut lost = vec![false; r];
+    let mut m_stat = RunningStat::new();
+    let mut rounds_stat = RunningStat::new();
+    let unneeded_stat = RunningStat::new(); // stays empty: departed receivers hear nothing
+    let mut now = 0.0f64;
+    for _ in 0..cfg.trials {
+        let mut have = vec![0usize; r];
+        let mut remaining = r;
+        let mut tx = 0u64;
+        while remaining > 0 {
+            tx += 1;
+            assert!(tx <= MAX_TX_PER_GROUP, "loss model never delivers packets");
+            model.sample(now, &mut lost);
+            now += cfg.delta;
+            for rc in 0..r {
+                // Departed receivers (have >= k) no longer listen — by
+                // construction integrated FEC 1 has zero unnecessary
+                // receptions (the paper's Section 2.1 bullet 3).
+                if have[rc] < k && !lost[rc] {
+                    have[rc] += 1;
+                    if have[rc] == k {
+                        remaining -= 1;
+                    }
+                }
+            }
+        }
+        m_stat.push(tx as f64 / k as f64);
+        rounds_stat.push(1.0);
+    }
+    SimResult::from_stats(&m_stat, &rounds_stat, &unneeded_stat)
+}
+
+/// **Integrated FEC 2** (protocol NP's transmission schedule): round 1
+/// multicasts the `k` data packets; after a feedback gap of `T` the sender
+/// multicasts exactly `l` parities, where `l` is the maximum number of
+/// packets any receiver still needs; repeat. Parities of one group are
+/// thereby spread over time (implicit interleaving).
+///
+/// One trial is one transmission group. Also records the mean number of
+/// rounds (`E[T]` in the paper's appendix).
+///
+/// # Panics
+/// As for [`integrated_1`].
+pub fn integrated_2<M: LossModel>(cfg: &SimConfig, k: usize, model: &mut M) -> SimResult {
+    assert!(k >= 1, "k must be at least 1");
+    let r = model.receivers();
+    let mut lost = vec![false; r];
+    let mut m_stat = RunningStat::new();
+    let mut rounds_stat = RunningStat::new();
+    let mut unneeded_stat = RunningStat::new();
+    let mut now = 0.0f64;
+    for _ in 0..cfg.trials {
+        let mut have = vec![0usize; r];
+        let mut tx = 0u64;
+        let mut rounds = 0u64;
+        let mut unneeded = 0u64;
+        loop {
+            // How many packets does the worst receiver still need?
+            let need = have.iter().map(|&h| k - h.min(k)).max().unwrap_or(0);
+            if need == 0 {
+                break;
+            }
+            rounds += 1;
+            // Send `k` in round 1 (data), `need` parities afterwards.
+            let burst = if rounds == 1 { k } else { need };
+            for _ in 0..burst {
+                tx += 1;
+                assert!(tx <= MAX_TX_PER_GROUP, "loss model never delivers packets");
+                model.sample(now, &mut lost);
+                now += cfg.delta;
+                for rc in 0..r {
+                    if !lost[rc] {
+                        if have[rc] < k {
+                            have[rc] += 1;
+                        } else {
+                            // Completed receivers still on the group hear
+                            // repair parities they cannot use.
+                            unneeded += 1;
+                        }
+                    }
+                }
+            }
+            now += cfg.feedback_delay;
+        }
+        m_stat.push(tx as f64 / k as f64);
+        rounds_stat.push(rounds as f64);
+        unneeded_stat.push(unneeded as f64 / r as f64);
+    }
+    SimResult::from_stats(&m_stat, &rounds_stat, &unneeded_stat)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pm_analysis::{integrated, rounds, Population};
+    use pm_loss::{GilbertLoss, IndependentLoss};
+
+    #[test]
+    fn lossless_is_one() {
+        let cfg = SimConfig::paper_timing(50);
+        let mut m = IndependentLoss::new(8, 0.0, 1);
+        assert_eq!(integrated_1(&cfg, 7, &mut m).mean_transmissions, 1.0);
+        let mut m = IndependentLoss::new(8, 0.0, 1);
+        let res = integrated_2(&cfg, 7, &mut m);
+        assert_eq!(res.mean_transmissions, 1.0);
+        assert_eq!(res.mean_rounds, 1.0);
+    }
+
+    #[test]
+    fn both_variants_match_lower_bound_under_independent_loss() {
+        // With memoryless loss the two schedules are statistically
+        // identical and equal the Eq. (6) lower bound.
+        let (k, p, r) = (7usize, 0.05, 16usize);
+        let cfg = SimConfig::paper_timing(6000);
+        let analytic = integrated::lower_bound(k, 0, &Population::homogeneous(p, r as u64));
+        let mut m = IndependentLoss::new(r, p, 3);
+        let r1 = integrated_1(&cfg, k, &mut m);
+        assert!(
+            (r1.mean_transmissions - analytic).abs() < 5.0 * r1.stderr.max(0.01),
+            "int1 {} vs analytic {analytic}",
+            r1.mean_transmissions
+        );
+        let mut m = IndependentLoss::new(r, p, 4);
+        let r2 = integrated_2(&cfg, k, &mut m);
+        assert!(
+            (r2.mean_transmissions - analytic).abs() < 5.0 * r2.stderr.max(0.01),
+            "int2 {} vs analytic {analytic}",
+            r2.mean_transmissions
+        );
+    }
+
+    #[test]
+    fn rounds_match_appendix_bound() {
+        // E[T] from the simulation should not exceed the Eq. (17) upper
+        // bound (which assumes per-receiver parity counts) by more than
+        // noise, and should be at least 1.
+        let (k, p, r) = (20usize, 0.05, 8usize);
+        let cfg = SimConfig::paper_timing(4000);
+        let mut m = IndependentLoss::new(r, p, 9);
+        let res = integrated_2(&cfg, k, &mut m);
+        let bound = rounds::expected_rounds(k, &Population::homogeneous(p, r as u64));
+        assert!(res.mean_rounds >= 1.0);
+        assert!(
+            res.mean_rounds <= bound + 0.05,
+            "sim rounds {} exceed bound {bound}",
+            res.mean_rounds
+        );
+    }
+
+    #[test]
+    fn burst_loss_favours_interleaved_variant_at_small_k() {
+        // Fig. 16: at k = 7 under bursty loss, integrated FEC 2 (rounds
+        // spaced by T) beats integrated FEC 1 (parities back-to-back inside
+        // the burst).
+        let cfg = SimConfig::paper_timing(4000);
+        let r = 16;
+        let mut m1 = GilbertLoss::new(r, 0.03, 2.5, cfg.delta, 21);
+        let v1 = integrated_1(&cfg, 7, &mut m1).mean_transmissions;
+        let mut m2 = GilbertLoss::new(r, 0.03, 2.5, cfg.delta, 21);
+        let v2 = integrated_2(&cfg, 7, &mut m2).mean_transmissions;
+        assert!(v2 < v1, "int2 {v2} should beat int1 {v1} under burst loss");
+    }
+
+    #[test]
+    fn large_k_is_burst_resistant() {
+        // Fig. 16's other message: k = 100 needs no interleaving — both
+        // variants land close together and close to 1.
+        let cfg = SimConfig::paper_timing(800);
+        let r = 16;
+        let mut m1 = GilbertLoss::new(r, 0.01, 2.0, cfg.delta, 31);
+        let v1 = integrated_1(&cfg, 100, &mut m1).mean_transmissions;
+        let mut m2 = GilbertLoss::new(r, 0.01, 2.0, cfg.delta, 31);
+        let v2 = integrated_2(&cfg, 100, &mut m2).mean_transmissions;
+        assert!(v1 < 1.2 && v2 < 1.2, "int1={v1} int2={v2}");
+        assert!(
+            (v1 - v2).abs() < 0.05,
+            "variants should nearly coincide: {v1} vs {v2}"
+        );
+    }
+}

@@ -1,0 +1,9 @@
+//! The four recovery schemes (Fig. 13 timing).
+
+mod integrated;
+mod layered;
+mod nofec;
+
+pub use integrated::{integrated_1, integrated_2};
+pub use layered::layered;
+pub use nofec::nofec;

@@ -1,0 +1,90 @@
+//! Plain ARQ simulation.
+
+use pm_loss::LossModel;
+
+use crate::config::SimConfig;
+use crate::metrics::{RunningStat, SimResult};
+
+/// Simulate no-FEC reliable multicast: every packet is multicast and then
+/// retransmitted — spaced `delta + T` per the paper's timing diagram —
+/// until all receivers have it. One trial is one packet; consecutive
+/// packets are `delta` apart, so a time-correlated loss model sees a
+/// realistic schedule.
+pub fn nofec<M: LossModel>(cfg: &SimConfig, model: &mut M) -> SimResult {
+    let r = model.receivers();
+    let mut lost = vec![false; r];
+    let mut has = vec![false; r];
+    let mut m_stat = RunningStat::new();
+    let mut rounds_stat = RunningStat::new();
+    let mut unneeded_stat = RunningStat::new();
+    let mut now = 0.0f64;
+    for _ in 0..cfg.trials {
+        has.fill(false);
+        let mut remaining = r;
+        let mut tx = 0u64;
+        let mut unneeded = 0u64;
+        while remaining > 0 {
+            tx += 1;
+            model.sample(now, &mut lost);
+            for rc in 0..r {
+                if !lost[rc] {
+                    if has[rc] {
+                        // A multicast retransmission reaching a receiver
+                        // that already had the packet: pure waste.
+                        unneeded += 1;
+                    } else {
+                        has[rc] = true;
+                        remaining -= 1;
+                    }
+                }
+            }
+            now += if remaining == 0 {
+                cfg.delta // next packet follows at line rate
+            } else {
+                cfg.delta + cfg.feedback_delay // NAK turnaround
+            };
+        }
+        m_stat.push(tx as f64);
+        rounds_stat.push(tx as f64);
+        unneeded_stat.push(unneeded as f64 / r as f64);
+    }
+    SimResult::from_stats(&m_stat, &rounds_stat, &unneeded_stat)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pm_loss::IndependentLoss;
+
+    #[test]
+    fn lossless_sends_once() {
+        let mut model = IndependentLoss::new(16, 0.0, 1);
+        let res = nofec(&SimConfig::paper_timing(100), &mut model);
+        assert_eq!(res.mean_transmissions, 1.0);
+        assert_eq!(res.stderr, 0.0);
+        assert_eq!(res.trials, 100);
+    }
+
+    #[test]
+    fn single_receiver_geometric_mean() {
+        let p = 0.2;
+        let mut model = IndependentLoss::new(1, p, 7);
+        let res = nofec(&SimConfig::paper_timing(20_000), &mut model);
+        let expect = 1.0 / (1.0 - p);
+        assert!(
+            (res.mean_transmissions - expect).abs() < 4.0 * res.stderr.max(0.005),
+            "sim {} vs analytic {expect}",
+            res.mean_transmissions
+        );
+    }
+
+    #[test]
+    fn more_receivers_cost_more() {
+        let mut small = IndependentLoss::new(2, 0.1, 3);
+        let mut large = IndependentLoss::new(64, 0.1, 3);
+        let cfg = SimConfig::paper_timing(4000);
+        let a = nofec(&cfg, &mut small).mean_transmissions;
+        let b = nofec(&cfg, &mut large).mean_transmissions;
+        assert!(b > a, "R=64 ({b}) should beat R=2 ({a})");
+    }
+}

@@ -1,0 +1,178 @@
+//! Reliable file transfer over **real UDP multicast** with protocol NP.
+//!
+//! One process plays the sender and any number of receivers on the same
+//! multicast group (239.255.42.99:47999 by default), with optional
+//! receive-side fault injection so the parity-repair path actually runs.
+//! Falls back to the in-memory hub when the host has no multicast support.
+//!
+//! ```sh
+//! # generate-and-send 1 MiB to 4 receivers with 15% injected loss
+//! cargo run --example file_multicast -- --size 1048576 --receivers 4 --drop 0.15
+//! # or transfer a real file
+//! cargo run --example file_multicast -- --file /path/to/file --receivers 2
+//! ```
+
+use std::net::{Ipv4Addr, SocketAddrV4};
+use std::time::Duration;
+
+use parity_multicast::net::udp::UdpHub;
+use parity_multicast::net::{FaultConfig, FaultyTransport, MemHub, Transport};
+use parity_multicast::protocol::runtime::{
+    drive_receiver, drive_sender, ReceiverReport, RuntimeConfig,
+};
+use parity_multicast::protocol::{CompletionPolicy, NpConfig, NpReceiver, NpSender};
+
+struct Args {
+    size: usize,
+    file: Option<String>,
+    receivers: u32,
+    drop: f64,
+    k: usize,
+    port: u16,
+    adaptive: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        size: 262_144,
+        file: None,
+        receivers: 3,
+        drop: 0.10,
+        k: 20,
+        port: 47999,
+        adaptive: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut val = || {
+            it.next()
+                .unwrap_or_else(|| panic!("missing value for {flag}"))
+        };
+        match flag.as_str() {
+            "--size" => args.size = val().parse().expect("--size takes bytes"),
+            "--file" => args.file = Some(val()),
+            "--receivers" => args.receivers = val().parse().expect("--receivers takes a count"),
+            "--drop" => args.drop = val().parse().expect("--drop takes a probability"),
+            "--k" => args.k = val().parse().expect("--k takes a group size"),
+            "--port" => args.port = val().parse().expect("--port takes a port"),
+            "--adaptive" => args.adaptive = true,
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    args
+}
+
+/// Transport factory abstracting UDP vs in-memory fallback.
+enum Net {
+    Udp(UdpHub),
+    Mem(MemHub),
+}
+
+impl Net {
+    fn endpoint(&self) -> Box<dyn Transport> {
+        match self {
+            Net::Udp(hub) => Box::new(hub.endpoint().expect("udp endpoint")),
+            Net::Mem(hub) => Box::new(hub.join()),
+        }
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let data = match &args.file {
+        Some(path) => std::fs::read(path).expect("readable input file"),
+        None => {
+            // Deterministic pseudo-file so receivers can be verified.
+            (0..args.size)
+                .map(|i| (i.wrapping_mul(2654435761) >> 7) as u8)
+                .collect()
+        }
+    };
+    println!(
+        "transferring {} bytes to {} receivers (k = {}, injected loss {:.0}%)",
+        data.len(),
+        args.receivers,
+        args.k,
+        args.drop * 100.0
+    );
+
+    let group = SocketAddrV4::new(Ipv4Addr::new(239, 255, 42, 99), args.port);
+    let net = match UdpHub::join(group) {
+        Ok(hub) => {
+            println!("using UDP multicast group {group}");
+            Net::Udp(hub)
+        }
+        Err(e) => {
+            println!("UDP multicast unavailable ({e}); using the in-memory hub");
+            Net::Mem(MemHub::new())
+        }
+    };
+
+    let mut cfg = NpConfig::small(CompletionPolicy::KnownReceivers(args.receivers));
+    cfg.k = args.k;
+    cfg.h = 255 - args.k; // full parity budget: the sender never runs dry
+    cfg.payload_len = 1024;
+    cfg.nak_slot = 0.002;
+    cfg.round_timeout = 0.2;
+    // Extension: learn the proactive parity count from measured round-1
+    // demand (visible when pacing is slow enough for feedback to overlap
+    // transmission).
+    cfg.adaptive_parity = args.adaptive;
+    let rt = RuntimeConfig {
+        packet_spacing: Duration::from_micros(100),
+        stall_timeout: Duration::from_secs(15),
+        complete_linger: Duration::from_millis(300),
+    };
+
+    // Receivers first (multicast has no replay for late joiners).
+    let session = 0xF11E;
+    let receiver_handles: Vec<std::thread::JoinHandle<ReceiverReport>> = (0..args.receivers)
+        .map(|id| {
+            let endpoint = net.endpoint();
+            let drop = args.drop;
+            std::thread::Builder::new()
+                .name(format!("receiver-{id}"))
+                .spawn(move || {
+                    let mut tp = FaultyTransport::new(
+                        endpoint,
+                        FaultConfig::drop_only(drop),
+                        0xBEEF + id as u64,
+                    );
+                    let mut machine = NpReceiver::new(id, session, 0.002, id as u64);
+                    drive_receiver(&mut machine, &mut tp, &rt).expect("receive failed")
+                })
+                .expect("spawn receiver")
+        })
+        .collect();
+
+    let mut sender_tp = net.endpoint();
+    let mut sender = NpSender::new(session, &data, cfg).expect("valid sender config");
+    let report = drive_sender(&mut sender, &mut sender_tp, &rt).expect("send failed");
+
+    let mut ok = true;
+    for (id, h) in receiver_handles.into_iter().enumerate() {
+        let r = h.join().expect("receiver thread");
+        let good = r.data == data;
+        ok &= good;
+        println!(
+            "receiver {id}: {} — {} pkts in, {} repaired by decode, {} unneeded, {:.2}s",
+            if good { "OK" } else { "CORRUPT" },
+            r.counters.packets_received,
+            r.counters.packets_decoded,
+            r.counters.unneeded_receptions,
+            r.elapsed.as_secs_f64(),
+        );
+    }
+    let c = report.counters;
+    let m = (c.data_sent + c.repairs_sent) as f64 / c.data_sent.max(1) as f64;
+    println!(
+        "sender: {} data + {} parities in {:.2}s; E[M] = {m:.3}; {} NAKs, {} parities encoded",
+        c.data_sent,
+        c.repairs_sent,
+        report.elapsed.as_secs_f64(),
+        c.feedback_received,
+        c.parities_encoded,
+    );
+    assert!(ok, "at least one receiver got corrupt data");
+    println!("transfer verified on all receivers");
+}

@@ -1,0 +1,237 @@
+//! Cross-validation: the independent-loss simulator must agree with the
+//! closed-form analysis on a parameter grid, and the paper's qualitative
+//! orderings must hold in both.
+
+use parity_multicast::analysis::{integrated, layered, nofec, Population};
+use parity_multicast::sim::runner::{run_env, LossEnv, Scheme};
+use parity_multicast::sim::SimConfig;
+
+const SEED: u64 = 0xA11CE;
+
+fn close(sim: f64, se: f64, analytic: f64, what: &str) {
+    let tol = (5.0 * se).max(0.02 * analytic).max(0.02);
+    assert!(
+        (sim - analytic).abs() < tol,
+        "{what}: sim {sim:.4} (se {se:.4}) vs analytic {analytic:.4}"
+    );
+}
+
+#[test]
+fn nofec_grid() {
+    let cfg = SimConfig::paper_timing(4000);
+    for &(p, r) in &[(0.01, 8usize), (0.05, 16), (0.25, 4), (0.1, 64)] {
+        let res = run_env(&cfg, Scheme::NoFec, LossEnv::Independent { p }, r, SEED);
+        let analytic = nofec::expected_transmissions(&Population::homogeneous(p, r as u64));
+        close(
+            res.mean_transmissions,
+            res.stderr,
+            analytic,
+            &format!("nofec p={p} R={r}"),
+        );
+    }
+}
+
+#[test]
+fn layered_grid() {
+    let cfg = SimConfig::paper_timing(2500);
+    for &(k, h, p, r) in &[
+        (7usize, 1usize, 0.05, 16usize),
+        (7, 3, 0.1, 8),
+        (20, 2, 0.02, 32),
+    ] {
+        let res = run_env(
+            &cfg,
+            Scheme::Layered { k, h },
+            LossEnv::Independent { p },
+            r,
+            SEED + 1,
+        );
+        let analytic = layered::expected_transmissions(k, h, &Population::homogeneous(p, r as u64));
+        close(
+            res.mean_transmissions,
+            res.stderr,
+            analytic,
+            &format!("layered k={k} h={h} p={p} R={r}"),
+        );
+    }
+}
+
+#[test]
+fn integrated_grid() {
+    let cfg = SimConfig::paper_timing(4000);
+    for &(k, p, r) in &[(7usize, 0.05, 16usize), (20, 0.1, 8), (7, 0.01, 64)] {
+        let bound = integrated::lower_bound(k, 0, &Population::homogeneous(p, r as u64));
+        for scheme in [Scheme::Integrated1 { k }, Scheme::Integrated2 { k }] {
+            let res = run_env(&cfg, scheme, LossEnv::Independent { p }, r, SEED + 2);
+            close(
+                res.mean_transmissions,
+                res.stderr,
+                bound,
+                &format!("{} p={p} R={r}", scheme.label()),
+            );
+        }
+    }
+}
+
+#[test]
+fn scheme_ordering_matches_paper_under_independent_loss() {
+    // integrated <= layered <= no-FEC at scale (Fig. 5), in the simulator.
+    let cfg = SimConfig::paper_timing(1500);
+    let (p, r) = (0.01, 512usize);
+    let env = LossEnv::Independent { p };
+    let arq = run_env(&cfg, Scheme::NoFec, env, r, SEED + 3).mean_transmissions;
+    let lay = run_env(&cfg, Scheme::Layered { k: 7, h: 1 }, env, r, SEED + 3).mean_transmissions;
+    let int = run_env(&cfg, Scheme::Integrated2 { k: 7 }, env, r, SEED + 3).mean_transmissions;
+    assert!(int < lay, "integrated {int} < layered {lay}");
+    assert!(lay < arq, "layered {lay} < no-FEC {arq}");
+}
+
+#[test]
+fn shared_loss_equivalent_population_shrinks() {
+    // Section 4.1: shared loss behaves like a *smaller* independent
+    // population. Verify E[M] under FBT loss at R = 256 is bracketed by
+    // independent-loss E[M] at R = 4 and R = 256.
+    let cfg = SimConfig::paper_timing(2500);
+    let p = 0.05;
+    let shared = run_env(
+        &cfg,
+        Scheme::NoFec,
+        LossEnv::FullBinaryTree { p },
+        256,
+        SEED + 4,
+    )
+    .mean_transmissions;
+    let indep_small = nofec::expected_transmissions(&Population::homogeneous(p, 4));
+    let indep_full = nofec::expected_transmissions(&Population::homogeneous(p, 256));
+    assert!(
+        shared > indep_small && shared < indep_full,
+        "{indep_small} < {shared} < {indep_full}"
+    );
+}
+
+#[test]
+fn burst_loss_breaks_layered_but_not_large_group_integrated() {
+    // Section 4.2's two headline facts in one deterministic run.
+    let cfg = SimConfig::paper_timing(2500);
+    let env = LossEnv::Burst {
+        p: 0.01,
+        mean_burst: 2.0,
+    };
+    let r = 64;
+    let arq = run_env(&cfg, Scheme::NoFec, env, r, SEED + 5).mean_transmissions;
+    let lay = run_env(&cfg, Scheme::Layered { k: 7, h: 1 }, env, r, SEED + 5).mean_transmissions;
+    assert!(
+        lay > arq,
+        "bursts: layered(7+1) {lay} must lose to no-FEC {arq}"
+    );
+    let int100 = run_env(&cfg, Scheme::Integrated2 { k: 100 }, env, r, SEED + 5).mean_transmissions;
+    assert!(
+        int100 < 1.15,
+        "k=100 integrated stays near 1 under bursts: {int100}"
+    );
+}
+
+#[test]
+fn rounds_bounded_by_appendix_formula() {
+    let cfg = SimConfig::paper_timing(3000);
+    let (k, p, r) = (20usize, 0.05, 16usize);
+    let res = run_env(
+        &cfg,
+        Scheme::Integrated2 { k },
+        LossEnv::Independent { p },
+        r,
+        SEED + 6,
+    );
+    let bound = parity_multicast::analysis::rounds::expected_rounds(
+        k,
+        &Population::homogeneous(p, r as u64),
+    );
+    assert!(
+        res.mean_rounds <= bound + 0.05,
+        "sim rounds {} vs bound {bound}",
+        res.mean_rounds
+    );
+    assert!(res.mean_rounds >= 1.0);
+}
+
+#[test]
+fn heterogeneous_simulation_matches_eq8() {
+    // Figs. 9/10 are analytical in the paper; cross-check by simulation.
+    let cfg = SimConfig::paper_timing(3000);
+    let (r, alpha, p_low, p_high) = (32usize, 0.25, 0.01, 0.25);
+    let env = LossEnv::TwoClass {
+        alpha,
+        p_low,
+        p_high,
+    };
+    let pop = Population::two_class(r as u64, alpha, p_low, p_high);
+    let arq = run_env(&cfg, Scheme::NoFec, env, r, SEED + 7);
+    let arq_analytic = nofec::expected_transmissions(&pop);
+    assert!(
+        (arq.mean_transmissions - arq_analytic).abs() < 5.0 * arq.stderr.max(0.02),
+        "hetero no-FEC: sim {} vs Eq. (7) {arq_analytic}",
+        arq.mean_transmissions
+    );
+    let int = run_env(&cfg, Scheme::Integrated2 { k: 7 }, env, r, SEED + 8);
+    let int_analytic = integrated::lower_bound(7, 0, &pop);
+    assert!(
+        (int.mean_transmissions - int_analytic).abs() < 5.0 * int.stderr.max(0.02),
+        "hetero integrated: sim {} vs Eq. (8) {int_analytic}",
+        int.mean_transmissions
+    );
+}
+
+#[test]
+fn shared_bursts_are_the_worst_case_for_layered_fec() {
+    // Extension scenario: Gilbert chains at tree nodes give shared bursts.
+    // Layered FEC (which the paper shows failing under either correlation
+    // alone) fares no better when both combine; integrated with large k
+    // still copes.
+    let cfg = SimConfig::paper_timing(2000);
+    let r = 64;
+    let env = LossEnv::TreeBurst {
+        p: 0.01,
+        mean_burst: 2.0,
+    };
+    let arq = run_env(&cfg, Scheme::NoFec, env, r, SEED + 9).mean_transmissions;
+    let lay = run_env(&cfg, Scheme::Layered { k: 7, h: 1 }, env, r, SEED + 9).mean_transmissions;
+    assert!(
+        lay > arq * 0.98,
+        "layered(7+1) should show no real benefit under shared bursts: {lay} vs {arq}"
+    );
+    let int100 = run_env(&cfg, Scheme::Integrated2 { k: 100 }, env, r, SEED + 9).mean_transmissions;
+    assert!(
+        int100 < arq && int100 < 1.2,
+        "large-k integrated copes: {int100}"
+    );
+}
+
+#[test]
+fn parity_repair_eliminates_unnecessary_receptions() {
+    // Section 2.1, bullet 3: "the number of duplicate packets received due
+    // to retransmissions by any receiver can be reduced nearly to zero
+    // with parity transmission." Measure all three schemes.
+    let cfg = SimConfig::paper_timing(2000);
+    let (p, r) = (0.05, 128usize);
+    let env = LossEnv::Independent { p };
+    let arq = run_env(&cfg, Scheme::NoFec, env, r, SEED + 10);
+    let int2 = run_env(&cfg, Scheme::Integrated2 { k: 20 }, env, r, SEED + 10);
+    let int1 = run_env(&cfg, Scheme::Integrated1 { k: 20 }, env, r, SEED + 10);
+    // ARQ wastes plenty: nearly every retransmission reaches R-1 receivers
+    // that did not need it.
+    assert!(
+        arq.mean_unneeded > 0.5,
+        "ARQ should waste receptions at R=128: {}",
+        arq.mean_unneeded
+    );
+    // Integrated FEC 2: a parity is useful to *any* receiver still
+    // missing packets; per packet the waste is tiny.
+    let int2_per_packet = int2.mean_unneeded / 20.0;
+    assert!(
+        int2_per_packet < arq.mean_unneeded / 5.0,
+        "integrated per-packet waste {int2_per_packet} vs ARQ {}",
+        arq.mean_unneeded
+    );
+    // Integrated FEC 1 (receivers leave when done): exactly zero.
+    assert_eq!(int1.mean_unneeded, 0.0);
+}

@@ -1,0 +1,216 @@
+//! Failure-injection tests: the unhappy paths a production deployment
+//! hits — hostile/corrupt traffic, session collisions, pathological
+//! geometry, and resource bounds.
+
+use std::time::Duration;
+
+use parity_multicast::net::{FaultConfig, FaultyTransport, MemHub, Message, Transport};
+use parity_multicast::protocol::harness::{run_simulation, HarnessConfig};
+use parity_multicast::protocol::runtime::{drive_receiver, drive_sender, RuntimeConfig};
+use parity_multicast::protocol::{
+    CompletionPolicy, NpConfig, NpReceiver, NpSender, ProtocolError,
+};
+
+fn rt() -> RuntimeConfig {
+    RuntimeConfig {
+        packet_spacing: Duration::from_micros(50),
+        stall_timeout: Duration::from_secs(15),
+        complete_linger: Duration::from_millis(200),
+    }
+}
+
+fn config(receivers: u32) -> NpConfig {
+    let mut c = NpConfig::small(CompletionPolicy::KnownReceivers(receivers));
+    c.k = 8;
+    c.h = 40;
+    c.payload_len = 256;
+    c.nak_slot = 0.001;
+    c
+}
+
+fn payload(n: usize) -> Vec<u8> {
+    (0..n).map(|i| (i.wrapping_mul(69069) >> 5) as u8).collect()
+}
+
+#[test]
+fn hostile_garbage_on_the_group_is_ignored() {
+    // A third party blasts unrelated, malformed-adjacent traffic onto the
+    // group while a transfer runs; the session must complete untouched.
+    let hub = MemHub::new();
+    let data = payload(30_000);
+    let session = 0xFA11;
+
+    // The saboteur: floods Done/Nak/Announce messages for OTHER sessions
+    // and self-contradictory packets for this one... on a foreign session.
+    let mut saboteur = hub.join();
+    let sab = std::thread::spawn(move || {
+        for i in 0..2000u32 {
+            let _ = saboteur.send(&Message::Nak {
+                session: session + 1,
+                group: i % 7,
+                needed: 9,
+                round: 1,
+            });
+            let _ = saboteur.send(&Message::Done { session: session + 1, receiver: i });
+            if i % 50 == 0 {
+                std::thread::sleep(Duration::from_micros(200));
+            }
+        }
+    });
+
+    let recv = {
+        let ep = hub.join();
+        std::thread::spawn(move || {
+            let mut tp = FaultyTransport::new(ep, FaultConfig::drop_only(0.05), 3);
+            let mut m = NpReceiver::new(0, session, 0.001, 3);
+            drive_receiver(&mut m, &mut tp, &rt()).expect("receiver failed")
+        })
+    };
+    let mut sender_tp = hub.join();
+    let mut sender = NpSender::new(session, &data, config(1)).expect("config");
+    drive_sender(&mut sender, &mut sender_tp, &rt()).expect("sender failed");
+    assert_eq!(recv.join().unwrap().data, data);
+    sab.join().unwrap();
+}
+
+#[test]
+fn spoofed_done_messages_cannot_fake_completion_everywhere() {
+    // A hostile Done for OUR session can trick KnownReceivers counting —
+    // that is an accepted protocol limitation (no authentication in the
+    // 1997 design) — but the *receiver* must never report completion
+    // without the actual data. Pin the receiver-side guarantee.
+    let session = 0x5EC;
+    let mut rx = NpReceiver::new(0, session, 0.001, 1);
+    for i in 0..50 {
+        rx.handle(&Message::Done { session, receiver: i }, 0.0).unwrap();
+    }
+    assert!(!rx.is_complete());
+    assert!(rx.take_data().is_err());
+}
+
+#[test]
+fn conflicting_announces_abort_cleanly() {
+    let session = 0xBAD;
+    let mut rx = NpReceiver::new(0, session, 0.001, 1);
+    let a1 = Message::Announce {
+        session,
+        groups: 4,
+        k: 8,
+        n: 48,
+        last_k: 8,
+        payload_len: 256,
+        total_bytes: 8192,
+    };
+    let a2 = Message::Announce {
+        session,
+        groups: 9,
+        k: 8,
+        n: 48,
+        last_k: 8,
+        payload_len: 256,
+        total_bytes: 9999,
+    };
+    rx.handle(&a1, 0.0).unwrap();
+    match rx.handle(&a2, 0.1) {
+        Err(ProtocolError::Inconsistent(_)) => {}
+        other => panic!("expected Inconsistent, got {other:?}"),
+    }
+}
+
+#[test]
+fn extreme_loss_eventually_succeeds() {
+    // 50% loss: brutal but recoverable given the full parity budget and
+    // announce-driven recovery. Uses the deterministic harness so the test
+    // is not timing-sensitive.
+    use parity_multicast::loss::IndependentLoss;
+    let data = payload(8 * 256 * 3);
+    let mut sender = NpSender::new(0xE0, &data, config(4)).expect("config");
+    let mut receivers: Vec<NpReceiver> =
+        (0..4).map(|i| NpReceiver::new(i, 0xE0, 0.001, i as u64)).collect();
+    let mut loss = IndependentLoss::new(4, 0.5, 77);
+    let report = run_simulation(
+        &mut sender,
+        &mut receivers,
+        &mut loss,
+        &HarnessConfig { time_cap: 1200.0, ..Default::default() },
+    )
+    .expect("session completes even at 50% loss");
+    assert_eq!(report.completed, 4);
+    for rx in &receivers {
+        assert_eq!(rx.take_data().unwrap(), data);
+    }
+}
+
+#[test]
+fn zero_receiver_population_rejected_by_config() {
+    let c = NpConfig::small(CompletionPolicy::KnownReceivers(0));
+    assert!(NpSender::new(1, &[1, 2, 3], c).is_err());
+}
+
+#[test]
+fn oversized_payload_config_rejected() {
+    let mut c = config(1);
+    c.payload_len = 100_000; // above wire MAX_PAYLOAD
+    assert!(NpSender::new(1, &[0u8; 10], c).is_err());
+}
+
+#[test]
+fn max_geometry_session_works() {
+    // k + h = 255 exactly, multi-group, odd tail.
+    use parity_multicast::loss::IndependentLoss;
+    let mut c = NpConfig::small(CompletionPolicy::KnownReceivers(2));
+    c.k = 200;
+    c.h = 55;
+    c.payload_len = 32;
+    c.nak_slot = 0.001;
+    let data = payload(200 * 32 + 777);
+    let mut sender = NpSender::new(0xED6E, &data, c).expect("config");
+    let mut receivers: Vec<NpReceiver> =
+        (0..2).map(|i| NpReceiver::new(i, 0xED6E, 0.001, i as u64)).collect();
+    let mut loss = IndependentLoss::new(2, 0.1, 5);
+    let report =
+        run_simulation(&mut sender, &mut receivers, &mut loss, &HarnessConfig::default())
+            .expect("completes");
+    assert_eq!(report.completed, 2);
+    for rx in &receivers {
+        assert_eq!(rx.take_data().unwrap(), data);
+    }
+}
+
+#[test]
+fn sender_survives_nak_storm() {
+    // Suppression failure worst case: every receiver NAKs every round.
+    // Round gating + the service quarantine must keep repair traffic
+    // bounded (no amplification beyond one service per storm burst).
+    let data = payload(8 * 256);
+    let mut sender = NpSender::new(0x570, &data, config(1)).expect("config");
+    // Drain the initial schedule.
+    let mut sent = 0u64;
+    loop {
+        match sender.next_step(0.0) {
+            parity_multicast::protocol::SenderStep::Transmit(_) => sent += 1,
+            _ => break,
+        }
+    }
+    assert!(sent > 0);
+    // 100 duplicate NAKs for the same round arrive within a millisecond.
+    for i in 0..100 {
+        sender
+            .handle(
+                &Message::Nak { session: 0x570, group: 0, needed: 3, round: 1 },
+                0.001 + i as f64 * 1e-6,
+            )
+            .unwrap();
+    }
+    let mut repairs = 0u64;
+    loop {
+        match sender.next_step(0.002) {
+            parity_multicast::protocol::SenderStep::Transmit(Message::Packet { .. }) => {
+                repairs += 1
+            }
+            parity_multicast::protocol::SenderStep::Transmit(_) => {}
+            _ => break,
+        }
+    }
+    assert_eq!(repairs, 3, "exactly one service of 3 parities despite 100 NAKs");
+}
