@@ -43,6 +43,44 @@ fn bench_encode(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_encode_kernels(c: &mut Criterion) {
+    // Cached shared-table kernels vs the seed's per-call-row kernel on the
+    // same k=20, h=10, P=1024 encode workload. The "uncached_seed" variant
+    // rebuilds a 256-entry multiplication row on the stack for every
+    // (parity, packet) coefficient application — exactly what the encoder
+    // did before the shared 64 KB table — so the ratio of these two lines
+    // is the cached-vs-uncached speedup quoted in CHANGES.md.
+    use pm_gf::slice::reference::mul_add_slice_uncached;
+
+    let (k, h) = (20usize, 10usize);
+    let enc = RseEncoder::new(CodeSpec::new(k, h).unwrap()).unwrap();
+    let data = group_data(k);
+    let coeffs: Vec<Vec<pm_gf::Gf256>> = (0..h)
+        .map(|j| (0..k).map(|i| enc.parity_coeff(j, i)).collect())
+        .collect();
+
+    let mut g = c.benchmark_group("encode_kernels_k20_h10");
+    g.throughput(Throughput::Bytes((k * PACKET) as u64));
+    g.bench_function("cached", |b| {
+        b.iter(|| enc.encode_all(std::hint::black_box(&data)).unwrap());
+    });
+    g.bench_function("uncached_seed", |b| {
+        b.iter(|| {
+            let data = std::hint::black_box(&data);
+            let mut parities = Vec::with_capacity(h);
+            for row in &coeffs {
+                let mut out = vec![0u8; PACKET];
+                for (cf, d) in row.iter().zip(data) {
+                    mul_add_slice_uncached(*cf, d, &mut out);
+                }
+                parities.push(out);
+            }
+            parities
+        });
+    });
+    g.finish();
+}
+
 fn bench_single_parity(c: &mut Criterion) {
     // Protocol NP's hot path: produce exactly one fresh parity on NAK.
     let mut g = c.benchmark_group("single_parity");
@@ -86,6 +124,33 @@ fn bench_decode(c: &mut Criterion) {
         );
     }
     g.finish();
+}
+
+fn bench_decode_repeat_pattern(c: &mut Criterion) {
+    // A receiver stuck behind one lossy link sees the same loss pattern
+    // group after group: the steady-state cost is this benchmark (inverse
+    // served from the decoder's LRU; only the l x k back-multiply remains).
+    let (k, lost) = (20usize, 5usize);
+    let enc = RseEncoder::new(CodeSpec::new(k, lost).unwrap()).unwrap();
+    let dec = RseDecoder::from_encoder(&enc);
+    let data = group_data(k);
+    let parities = enc.encode_all(&data).unwrap();
+    let shares: Vec<(usize, &[u8])> = data
+        .iter()
+        .enumerate()
+        .skip(lost)
+        .map(|(i, d)| (i, d.as_slice()))
+        .chain(
+            parities
+                .iter()
+                .enumerate()
+                .map(|(j, p)| (k + j, p.as_slice())),
+        )
+        .collect();
+    dec.decode(&shares).unwrap(); // prime the inverse cache
+    c.bench_function("decode_repeat_pattern_k20_lost5", |b| {
+        b.iter(|| dec.decode(std::hint::black_box(&shares)).unwrap());
+    });
 }
 
 fn bench_decode_fast_path(c: &mut Criterion) {
@@ -136,8 +201,10 @@ fn bench_incremental_decode(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_encode,
+    bench_encode_kernels,
     bench_single_parity,
     bench_decode,
+    bench_decode_repeat_pattern,
     bench_decode_fast_path,
     bench_incremental_decode
 );

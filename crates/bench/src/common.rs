@@ -1,7 +1,7 @@
 //! Shared figure plumbing: series containers, output formats, and the
 //! standard parameter grids of the paper's plots.
 
-use serde::Serialize;
+use serde::{Serialize, Value};
 
 /// How much compute to spend. `Quick` keeps every figure under ~1 s for
 //  tests/CI; `Full` uses the paper's grids (R to 10^6 analytical, 2^17
@@ -15,12 +15,23 @@ pub enum Quality {
 }
 
 /// One labelled curve.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Series {
     /// Legend label (matches the paper's legends where possible).
     pub label: String,
     /// `(x, y)` samples.
     pub points: Vec<(f64, f64)>,
+}
+
+// The vendored serde has no derive macro (no proc-macro crates offline),
+// so the JSON tree is built by hand.
+impl Serialize for Series {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("label".into(), self.label.to_value()),
+            ("points".into(), self.points.to_value()),
+        ])
+    }
 }
 
 impl Series {
@@ -59,7 +70,7 @@ impl Series {
 }
 
 /// One reproduced figure.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Figure {
     /// Identifier, e.g. `"fig5"`.
     pub id: String,
@@ -75,6 +86,20 @@ pub struct Figure {
     pub series: Vec<Series>,
     /// Reproduction notes (parameters, substitutions).
     pub notes: Vec<String>,
+}
+
+impl Serialize for Figure {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("id".into(), self.id.to_value()),
+            ("title".into(), self.title.to_value()),
+            ("x_label".into(), self.x_label.to_value()),
+            ("y_label".into(), self.y_label.to_value()),
+            ("log_x".into(), self.log_x.to_value()),
+            ("series".into(), self.series.to_value()),
+            ("notes".into(), self.notes.to_value()),
+        ])
+    }
 }
 
 impl Figure {

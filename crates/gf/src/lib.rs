@@ -11,8 +11,12 @@
 //!   generic field lets the codec support FEC blocks with `n > 255`.
 //! * [`Gf256`] — a zero-cost scalar wrapper specialised to GF(2^8) with
 //!   statically initialised tables, used on the hot encode/decode paths.
+//! * [`mod@mul_table`] — the lazily-built, process-shared 64 KB full
+//!   multiplication table (Rizzo's `gf_mul_table`) whose rows back the bulk
+//!   kernels.
 //! * [`mod@slice`] — bulk operations (`dst ^= c * src`) over byte slices, the
-//!   inner loop of the McAuley/Rizzo-style packet coder.
+//!   inner loop of the McAuley/Rizzo-style packet coder, including the
+//!   batched [`slice::mul_add_multi`] multi-source kernel.
 //! * [`poly`] — polynomials over GF(2^8): Horner evaluation (the paper's
 //!   Eq. 1 encoder computes parities as `p_j = F(alpha^(j-1))`) and Lagrange
 //!   interpolation.
@@ -32,12 +36,14 @@
 pub mod field;
 pub mod gf256;
 pub mod matrix;
+pub mod mul_table;
 pub mod poly;
 pub mod slice;
 
 pub use field::{GfError, GfField};
 pub use gf256::Gf256;
 pub use matrix::Matrix;
+pub use mul_table::MulTable;
 pub use poly::Poly;
 
 #[cfg(test)]

@@ -11,6 +11,19 @@ fn gf() -> impl Strategy<Value = Gf256> {
     any::<u8>().prop_map(Gf256)
 }
 
+/// Deterministic pseudo-random bytes (xorshift) for destination buffers.
+fn bytes_from_seed(len: usize, seed: u64) -> Vec<u8> {
+    let mut s = seed | 1;
+    (0..len)
+        .map(|_| {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s >> 24) as u8
+        })
+        .collect()
+}
+
 proptest! {
     #[test]
     fn add_commutative_associative(a in gf(), b in gf(), c in gf()) {
@@ -110,5 +123,81 @@ proptest! {
         if let Ok(inv) = m.invert() {
             prop_assert_eq!(inv.invert().unwrap(), m);
         }
+    }
+
+    /// Differential: the shared-table kernels are byte-identical to the
+    /// scalar reference (and to the seed's per-call-row kernel) for every
+    /// coefficient, including lengths straddling the 8-byte XOR fast path.
+    #[test]
+    fn table_kernels_match_scalar_reference(
+        c in gf(),
+        src in proptest::collection::vec(any::<u8>(), 0..64),
+        seed in any::<u64>(),
+    ) {
+        let dst0 = bytes_from_seed(src.len(), seed);
+
+        let mut table = dst0.clone();
+        slice::mul_add_slice(c, &src, &mut table);
+        let mut scalar = dst0.clone();
+        slice::reference::mul_add_slice(c, &src, &mut scalar);
+        prop_assert_eq!(&table, &scalar);
+        let mut uncached = dst0.clone();
+        slice::reference::mul_add_slice_uncached(c, &src, &mut uncached);
+        prop_assert_eq!(&table, &uncached);
+
+        let mut table_mul = dst0.clone();
+        slice::mul_slice(c, &src, &mut table_mul);
+        let mut scalar_mul = dst0.clone();
+        slice::reference::mul_slice(c, &src, &mut scalar_mul);
+        prop_assert_eq!(table_mul, scalar_mul);
+
+        let mut table_scale = dst0.clone();
+        slice::scale_slice(c, &mut table_scale);
+        let mut scalar_scale = dst0;
+        slice::reference::scale_slice(c, &mut scalar_scale);
+        prop_assert_eq!(table_scale, scalar_scale);
+    }
+
+    /// Differential: the batched multi-source kernel equals sequential
+    /// scalar-reference accumulation for any batch size (covering every
+    /// unrolled group arm and multi-group batches).
+    #[test]
+    fn mul_add_multi_matches_scalar_reference(
+        coeffs in proptest::collection::vec(any::<u8>(), 0..10),
+        len in 0usize..48,
+        seed in any::<u64>(),
+    ) {
+        let sources: Vec<Vec<u8>> = coeffs
+            .iter()
+            .enumerate()
+            .map(|(i, _)| bytes_from_seed(len, seed ^ (i as u64 + 1)))
+            .collect();
+        let pairs: Vec<(Gf256, &[u8])> = coeffs
+            .iter()
+            .zip(&sources)
+            .map(|(&c, s)| (Gf256(c), s.as_slice()))
+            .collect();
+        let dst0 = bytes_from_seed(len, seed ^ 0xD57);
+
+        let mut batched = dst0.clone();
+        slice::mul_add_multi(&pairs, &mut batched);
+        let mut scalar = dst0;
+        slice::reference::mul_add_multi(&pairs, &mut scalar);
+        prop_assert_eq!(batched, scalar);
+    }
+
+    /// The u64 XOR fast path agrees with bytewise XOR right across the
+    /// 8-byte chunk boundary.
+    #[test]
+    fn xor_fast_path_matches_bytewise(len in 0usize..25, seed in any::<u64>()) {
+        let src = bytes_from_seed(len, seed);
+        let dst0 = bytes_from_seed(len, seed ^ 0xBEEF);
+        let mut fast = dst0.clone();
+        slice::xor_slice(&mut fast, &src);
+        let mut slow = dst0;
+        for (d, s) in slow.iter_mut().zip(&src) {
+            *d ^= s;
+        }
+        prop_assert_eq!(fast, slow);
     }
 }

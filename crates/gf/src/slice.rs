@@ -3,11 +3,19 @@
 //! A packet-level RSE coder spends essentially all of its time computing
 //! `parity ^= coeff * data` over whole packets (Section 2.2 of the paper:
 //! one GF(2^8) operation per byte per matrix coefficient, so encode cost is
-//! proportional to `h * k * packet_len`). These routines use a 256-entry
-//! per-multiplier lookup row (built once per coefficient) and a plain `u64`
-//! XOR fast path when the coefficient is 1.
+//! proportional to `h * k * packet_len`). These routines index precomputed
+//! rows of the shared 64 KB multiplication table ([`crate::mul_table`]) —
+//! no per-call row construction — and take a plain `u64` XOR fast path when
+//! the coefficient is 1. [`mul_add_multi`] additionally batches several
+//! source packets per destination pass so each parity byte is loaded and
+//! stored once per group instead of once per coefficient.
+//!
+//! The seed's scalar kernels are preserved verbatim in [`reference`]; the
+//! differential proptests in this crate pin the table-driven kernels
+//! byte-for-byte against them.
 
-use crate::gf256::{fill_mul_row, Gf256};
+use crate::gf256::Gf256;
+use crate::mul_table::mul_row;
 
 /// `dst ^= src`, element-wise. Both slices must have equal length.
 ///
@@ -43,10 +51,98 @@ pub fn mul_add_slice(c: Gf256, src: &[u8], dst: &mut [u8]) {
         xor_slice(dst, src);
         return;
     }
-    let mut row = [0u8; 256];
-    fill_mul_row(c, &mut row);
+    mul_add_row(mul_row(c), src, dst);
+}
+
+/// `dst ^= c * src` where `row` is `c`'s multiplication row
+/// (`row[x] == c * x`), e.g. a row cached from [`crate::mul_table`].
+///
+/// This is the zero-setup variant used by callers that hold rows across
+/// many packets (the RSE encoder caches one row per matrix coefficient).
+///
+/// # Panics
+/// Panics if the lengths differ.
+#[inline]
+pub fn mul_add_row(row: &[u8; 256], src: &[u8], dst: &mut [u8]) {
+    assert_eq!(dst.len(), src.len(), "mul_add_row length mismatch");
     for (d, s) in dst.iter_mut().zip(src.iter()) {
         *d ^= row[*s as usize];
+    }
+}
+
+/// `dst ^= c1*src1 ^ c2*src2 ^ ...` — batched multiply-accumulate.
+///
+/// Applies up to the whole batch of `(coefficient, source)` pairs in groups
+/// of at most four per destination pass, so each destination byte is read
+/// and written once per group rather than once per source. This is the
+/// encoder's preferred kernel: computing parity `j` over `k` data packets
+/// issues `ceil(k/4)` passes instead of `k`.
+///
+/// Zero coefficients are skipped; unit coefficients still go through the
+/// table row (`row(1)` is the identity row), keeping the inner loop branch
+/// free.
+///
+/// # Panics
+/// Panics if any source length differs from `dst.len()`.
+pub fn mul_add_multi(sources: &[(Gf256, &[u8])], dst: &mut [u8]) {
+    for (_, src) in sources {
+        assert_eq!(dst.len(), src.len(), "mul_add_multi length mismatch");
+    }
+    let live: Vec<(&[u8; 256], &[u8])> = sources
+        .iter()
+        .filter(|(c, _)| !c.is_zero())
+        .map(|(c, src)| (mul_row(*c), *src))
+        .collect();
+    mul_add_multi_rows(&live, dst);
+}
+
+/// Row-based variant of [`mul_add_multi`]: each source comes with its
+/// coefficient's multiplication row (`row[x] == c * x`), e.g. rows cached
+/// per matrix coefficient by the RSE encoder.
+///
+/// An all-zero row (coefficient 0) is applied as-is — callers that want the
+/// skip should filter zero coefficients out, as [`mul_add_multi`] does.
+///
+/// # Panics
+/// Panics if any source length differs from `dst.len()`.
+pub fn mul_add_multi_rows(sources: &[(&[u8; 256], &[u8])], dst: &mut [u8]) {
+    for (_, src) in sources {
+        assert_eq!(dst.len(), src.len(), "mul_add_multi length mismatch");
+    }
+    // Zipped iteration keeps every lane bounds-check free; indexing a
+    // `[u8; 256]` by a `u8` needs no check either.
+    for group in sources.chunks(4) {
+        match group {
+            [(r0, s0)] => {
+                for (d, &a) in dst.iter_mut().zip(s0.iter()) {
+                    *d ^= r0[a as usize];
+                }
+            }
+            [(r0, s0), (r1, s1)] => {
+                for ((d, &a), &b) in dst.iter_mut().zip(s0.iter()).zip(s1.iter()) {
+                    *d ^= r0[a as usize] ^ r1[b as usize];
+                }
+            }
+            [(r0, s0), (r1, s1), (r2, s2)] => {
+                for (((d, &a), &b), &e) in
+                    dst.iter_mut().zip(s0.iter()).zip(s1.iter()).zip(s2.iter())
+                {
+                    *d ^= r0[a as usize] ^ r1[b as usize] ^ r2[e as usize];
+                }
+            }
+            [(r0, s0), (r1, s1), (r2, s2), (r3, s3)] => {
+                for ((((d, &a), &b), &e), &f) in dst
+                    .iter_mut()
+                    .zip(s0.iter())
+                    .zip(s1.iter())
+                    .zip(s2.iter())
+                    .zip(s3.iter())
+                {
+                    *d ^= r0[a as usize] ^ r1[b as usize] ^ r2[e as usize] ^ r3[f as usize];
+                }
+            }
+            _ => unreachable!("chunks(4) yields 1..=4 items"),
+        }
     }
 }
 
@@ -64,8 +160,7 @@ pub fn mul_slice(c: Gf256, src: &[u8], dst: &mut [u8]) {
         dst.copy_from_slice(src);
         return;
     }
-    let mut row = [0u8; 256];
-    fill_mul_row(c, &mut row);
+    let row = mul_row(c);
     for (d, s) in dst.iter_mut().zip(src.iter()) {
         *d = row[*s as usize];
     }
@@ -80,22 +175,85 @@ pub fn scale_slice(c: Gf256, data: &mut [u8]) {
         data.fill(0);
         return;
     }
-    let mut row = [0u8; 256];
-    fill_mul_row(c, &mut row);
+    let row = mul_row(c);
     for d in data.iter_mut() {
         *d = row[*d as usize];
+    }
+}
+
+/// Scalar reference kernels — the definitional per-byte field arithmetic.
+///
+/// These never touch the shared table (each byte is multiplied through the
+/// exp/log scalar path), so they serve as the independent oracle for the
+/// differential property tests and the "uncached" baseline in `pm-bench`.
+pub mod reference {
+    use crate::gf256::{fill_mul_row, Gf256};
+
+    /// Scalar `dst ^= c * src`.
+    ///
+    /// # Panics
+    /// Panics if the lengths differ.
+    pub fn mul_add_slice(c: Gf256, src: &[u8], dst: &mut [u8]) {
+        assert_eq!(dst.len(), src.len(), "mul_add_slice length mismatch");
+        for (d, s) in dst.iter_mut().zip(src.iter()) {
+            *d = (Gf256(*d) + c * Gf256(*s)).0;
+        }
+    }
+
+    /// Scalar `dst = c * src`.
+    ///
+    /// # Panics
+    /// Panics if the lengths differ.
+    pub fn mul_slice(c: Gf256, src: &[u8], dst: &mut [u8]) {
+        assert_eq!(dst.len(), src.len(), "mul_slice length mismatch");
+        for (d, s) in dst.iter_mut().zip(src.iter()) {
+            *d = (c * Gf256(*s)).0;
+        }
+    }
+
+    /// Scalar in-place `data *= c`.
+    pub fn scale_slice(c: Gf256, data: &mut [u8]) {
+        for d in data.iter_mut() {
+            *d = (c * Gf256(*d)).0;
+        }
+    }
+
+    /// Scalar batched multiply-accumulate (sequential applications).
+    ///
+    /// # Panics
+    /// Panics if any source length differs from `dst.len()`.
+    pub fn mul_add_multi(sources: &[(Gf256, &[u8])], dst: &mut [u8]) {
+        for (c, src) in sources {
+            mul_add_slice(*c, src, dst);
+        }
+    }
+
+    /// The seed's per-call-row kernel, kept as the "uncached" benchmark
+    /// baseline: builds the 256-entry multiplication row on the stack on
+    /// every invocation, then applies it.
+    ///
+    /// # Panics
+    /// Panics if the lengths differ.
+    pub fn mul_add_slice_uncached(c: Gf256, src: &[u8], dst: &mut [u8]) {
+        assert_eq!(dst.len(), src.len(), "mul_add_slice length mismatch");
+        if c.is_zero() {
+            return;
+        }
+        if c == Gf256::ONE {
+            super::xor_slice(dst, src);
+            return;
+        }
+        let mut row = [0u8; 256];
+        fill_mul_row(c, &mut row);
+        for (d, s) in dst.iter_mut().zip(src.iter()) {
+            *d ^= row[*s as usize];
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    fn reference_mul_add(c: Gf256, src: &[u8], dst: &mut [u8]) {
-        for (d, s) in dst.iter_mut().zip(src) {
-            *d = (Gf256(*d) + c * Gf256(*s)).0;
-        }
-    }
 
     #[test]
     fn xor_slice_matches_bytewise() {
@@ -118,10 +276,60 @@ mod tests {
         for c in [0u8, 1, 2, 37, 255] {
             let mut dst: Vec<u8> = (0..300).map(|i| (i * 31) as u8).collect();
             let mut expect = dst.clone();
-            reference_mul_add(Gf256(c), &src, &mut expect);
+            reference::mul_add_slice(Gf256(c), &src, &mut expect);
             mul_add_slice(Gf256(c), &src, &mut dst);
             assert_eq!(dst, expect, "c={c}");
         }
+    }
+
+    #[test]
+    fn mul_add_row_matches_mul_add_slice() {
+        let src: Vec<u8> = (0..97).map(|i| (i * 29 + 1) as u8).collect();
+        for c in [2u8, 9, 140, 255] {
+            let mut via_row: Vec<u8> = (0..97).map(|i| (i * 17) as u8).collect();
+            let mut via_slice = via_row.clone();
+            mul_add_row(crate::mul_table::mul_row(Gf256(c)), &src, &mut via_row);
+            mul_add_slice(Gf256(c), &src, &mut via_slice);
+            assert_eq!(via_row, via_slice, "c={c}");
+        }
+    }
+
+    #[test]
+    fn mul_add_multi_matches_sequential() {
+        // Batch sizes exercising every chunk arm (1..=4) plus a second pass.
+        for nsrc in 0..=6usize {
+            let sources: Vec<Vec<u8>> = (0..nsrc)
+                .map(|j| (0..64).map(|i| (i * 7 + j * 41 + 3) as u8).collect())
+                .collect();
+            let coeffs: Vec<Gf256> = (0..nsrc).map(|j| Gf256((j * 61 + 2) as u8)).collect();
+            let pairs: Vec<(Gf256, &[u8])> = coeffs
+                .iter()
+                .zip(&sources)
+                .map(|(c, s)| (*c, s.as_slice()))
+                .collect();
+            let base: Vec<u8> = (0..64).map(|i| (i * 11) as u8).collect();
+
+            let mut batched = base.clone();
+            mul_add_multi(&pairs, &mut batched);
+
+            let mut sequential = base.clone();
+            for (c, s) in &pairs {
+                mul_add_slice(*c, s, &mut sequential);
+            }
+            assert_eq!(batched, sequential, "nsrc={nsrc}");
+        }
+    }
+
+    #[test]
+    fn mul_add_multi_skips_zero_coefficients() {
+        let s1 = [0xffu8; 16];
+        let s2: Vec<u8> = (0..16).map(|i| (i * 3 + 1) as u8).collect();
+        let base = [0xaau8; 16];
+        let mut batched = base;
+        mul_add_multi(&[(Gf256::ZERO, &s1[..]), (Gf256(7), &s2[..])], &mut batched);
+        let mut expect = base;
+        mul_add_slice(Gf256(7), &s2, &mut expect);
+        assert_eq!(batched, expect);
     }
 
     #[test]
@@ -161,9 +369,26 @@ mod tests {
     }
 
     #[test]
+    fn empty_slices_are_no_ops() {
+        let mut dst: Vec<u8> = vec![];
+        mul_add_slice(Gf256(7), &[], &mut dst);
+        mul_slice(Gf256(7), &[], &mut dst);
+        scale_slice(Gf256(7), &mut dst);
+        mul_add_multi(&[(Gf256(7), &[][..])], &mut dst);
+        assert!(dst.is_empty());
+    }
+
+    #[test]
     #[should_panic(expected = "length mismatch")]
     fn mismatched_lengths_panic() {
         let mut dst = vec![0u8; 4];
         mul_add_slice(Gf256::ONE, &[1, 2, 3], &mut dst);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mul_add_multi_mismatched_lengths_panic() {
+        let mut dst = vec![0u8; 4];
+        mul_add_multi(&[(Gf256::ONE, &[1, 2, 3][..])], &mut dst);
     }
 }

@@ -7,20 +7,52 @@
 //! packets are actually computed — so decode cost is proportional to the
 //! number of losses (`l`), matching Section 2.1 of the paper ("the decoding
 //! overhead is proportional to `l`").
+//!
+//! Loss patterns repeat: a receiver behind one lossy link tends to lose the
+//! same packet positions group after group (and the all-parity carousel
+//! case always selects the same rows). The decoder therefore memoises
+//! inverted matrices in a small LRU cache keyed by the *selection bitmask*
+//! (which block indices supplied the `k` equations); a repeat pattern skips
+//! the O(k^3) inversion entirely.
 
 use pm_gf::slice::mul_add_slice;
 use pm_gf::{Gf256, Matrix};
+
+use std::sync::{Arc, Mutex};
 
 use crate::code::CodeSpec;
 use crate::encoder::RseEncoder;
 use crate::error::RseError;
 
+/// Bitmask over the `n <= 255` block indices of the `k` selected shares —
+/// the loss-pattern cache key.
+type PatternKey = [u64; 4];
+
+/// Retained inverse matrices. Each entry is at most `k^2` bytes (≤ 64 KB at
+/// the GF(2^8) block limit); 16 entries cover far more distinct loss
+/// patterns than one receiver sees in practice.
+const INVERSE_CACHE_CAP: usize = 16;
+
 /// A reusable decoder for one [`CodeSpec`].
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct RseDecoder {
     spec: CodeSpec,
     /// Parity rows of the systematic generator, `h x k` (dummy 1 x k if h=0).
     parity_rows: Matrix,
+    /// MRU-first LRU of `(selection bitmask, inverted matrix)`.
+    inverse_cache: Mutex<Vec<(PatternKey, Arc<Matrix>)>>,
+}
+
+impl Clone for RseDecoder {
+    fn clone(&self) -> Self {
+        // Share the cached inverses (they are immutable behind Arc).
+        let entries = self.inverse_cache.lock().expect("cache lock").clone();
+        RseDecoder {
+            spec: self.spec,
+            parity_rows: self.parity_rows.clone(),
+            inverse_cache: Mutex::new(entries),
+        }
+    }
 }
 
 impl RseDecoder {
@@ -44,7 +76,48 @@ impl RseDecoder {
         RseDecoder {
             spec,
             parity_rows: rows,
+            inverse_cache: Mutex::new(Vec::new()),
         }
+    }
+
+    /// Number of loss patterns whose inverse is currently memoised.
+    pub fn cached_inverses(&self) -> usize {
+        self.inverse_cache.lock().expect("cache lock").len()
+    }
+
+    /// The inverse of the selection's generator-row matrix, from the LRU
+    /// cache when this loss pattern has been decoded before.
+    ///
+    /// `selected` must be canonical (sorted), so the same share *set* always
+    /// produces the same row order and the bitmask is a faithful key.
+    fn inverse_for(&self, selected: &[usize]) -> Result<Arc<Matrix>, RseError> {
+        let mut key: PatternKey = [0; 4];
+        for &i in selected {
+            key[i / 64] |= 1 << (i % 64);
+        }
+
+        if let Ok(mut cache) = self.inverse_cache.lock() {
+            if let Some(pos) = cache.iter().position(|(k2, _)| *k2 == key) {
+                let hit = cache.remove(pos);
+                let inv = Arc::clone(&hit.1);
+                cache.insert(0, hit);
+                return Ok(inv);
+            }
+        }
+
+        // Invert outside the lock: O(k^3) work must not serialize decoders
+        // racing on different patterns.
+        let k = self.spec.k();
+        let rows: Vec<Vec<Gf256>> = selected.iter().map(|&i| self.generator_row(i)).collect();
+        let m = Matrix::from_fn(k, k, |r, c| rows[r][c]);
+        let inv = Arc::new(m.invert()?);
+        if let Ok(mut cache) = self.inverse_cache.lock() {
+            if !cache.iter().any(|(k2, _)| *k2 == key) {
+                cache.insert(0, (key, Arc::clone(&inv)));
+                cache.truncate(INVERSE_CACHE_CAP);
+            }
+        }
+        Ok(inv)
     }
 
     /// The code parameters this decoder was built for.
@@ -129,18 +202,22 @@ impl RseDecoder {
         }
 
         // Selected shares: the received data packets plus just enough
-        // parities to reach k.
+        // parities to reach k. The chosen parities keep first-supplied
+        // priority but are sorted afterwards so that the same share *set*
+        // always yields the same canonical selection (and cache key).
         let mut selected: Vec<usize> = (0..k).filter(|&i| slots[i].is_some()).collect();
-        selected.extend(parity_order.iter().take(missing.len()).copied());
+        let mut chosen: Vec<usize> = parity_order.iter().take(missing.len()).copied().collect();
+        chosen.sort_unstable();
+        selected.extend(chosen);
         debug_assert_eq!(
             selected.len(),
             k,
             "share accounting above guarantees k selections"
         );
 
-        // Invert the k x k matrix of their generator rows.
-        let m = Matrix::from_fn(k, self.spec.k(), |r, c| self.generator_row(selected[r])[c]);
-        let inv = m.invert()?;
+        // Invert the k x k matrix of their generator rows (LRU-cached per
+        // loss pattern).
+        let inv = self.inverse_for(&selected)?;
 
         // d_i = sum_j inv[i][j] * y_j, computed only for missing rows.
         for &i in &missing {
@@ -352,6 +429,83 @@ mod tests {
             shares.push((100 + j, &p[..]));
         }
         assert_eq!(dec.decode(&shares).unwrap(), data);
+    }
+
+    #[test]
+    fn zero_length_packets_decode() {
+        // Degenerate payloads: losses are "recovered" as empty packets
+        // without arithmetic; no panic, correct shape.
+        let (_, dec, _, _) = codec(4, 2);
+        let empty: Vec<u8> = vec![];
+        let shares: Vec<(usize, &[u8])> = vec![
+            (0, &empty[..]),
+            (1, &empty[..]),
+            (4, &empty[..]),
+            (5, &empty[..]),
+        ];
+        let out = dec.decode(&shares).unwrap();
+        assert_eq!(out, vec![Vec::<u8>::new(); 4]);
+        let missing = dec.decode_missing(&shares).unwrap();
+        assert_eq!(missing, vec![(2, vec![]), (3, vec![])]);
+    }
+
+    #[test]
+    fn inverse_cache_reused_across_parity_order() {
+        // Same share *set*, different parity arrival order: the canonical
+        // selection must map both onto one cache entry.
+        let (_, dec, data, parities) = codec(5, 3);
+        let fwd: Vec<(usize, &[u8])> = vec![
+            (2, &data[2][..]),
+            (3, &data[3][..]),
+            (4, &data[4][..]),
+            (5, &parities[0][..]),
+            (6, &parities[1][..]),
+        ];
+        let mut rev = fwd.clone();
+        rev.reverse();
+        assert_eq!(dec.decode(&fwd).unwrap(), data);
+        assert_eq!(dec.cached_inverses(), 1);
+        assert_eq!(dec.decode(&rev).unwrap(), data);
+        assert_eq!(dec.cached_inverses(), 1, "reordered shares reuse the entry");
+    }
+
+    #[test]
+    fn inverse_cache_capacity_bounded() {
+        // More distinct single-loss patterns than the cache holds: evicts,
+        // never grows past the cap, and every decode is still correct.
+        let (_, dec, data, parities) = codec(20, 1);
+        for lost in 0..20usize {
+            let mut shares: Vec<(usize, &[u8])> = data
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i != lost)
+                .map(|(i, d)| (i, &d[..]))
+                .collect();
+            shares.push((20, &parities[0][..]));
+            assert_eq!(dec.decode(&shares).unwrap(), data, "lost {lost}");
+        }
+        assert!(dec.cached_inverses() <= 16, "LRU respects its capacity");
+        assert!(dec.cached_inverses() > 0);
+    }
+
+    #[test]
+    fn all_data_fast_path_skips_cache() {
+        let (_, dec, data, _) = codec(6, 2);
+        let shares: Vec<(usize, &[u8])> =
+            data.iter().enumerate().map(|(i, d)| (i, &d[..])).collect();
+        assert_eq!(dec.decode(&shares).unwrap(), data);
+        assert_eq!(dec.cached_inverses(), 0, "no inversion, no cache entry");
+    }
+
+    #[test]
+    fn clone_shares_cached_inverses() {
+        let (_, dec, data, parities) = codec(3, 1);
+        let shares: Vec<(usize, &[u8])> =
+            vec![(0, &data[0][..]), (1, &data[1][..]), (3, &parities[0][..])];
+        dec.decode(&shares).unwrap();
+        let cloned = dec.clone();
+        assert_eq!(cloned.cached_inverses(), 1);
+        assert_eq!(cloned.decode(&shares).unwrap(), data);
     }
 
     #[test]

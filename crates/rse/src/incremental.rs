@@ -15,7 +15,7 @@
 //! (they reduce to a zero row) and reported as
 //! [`AddOutcome::Redundant`] instead of silently wasting buffer space.
 
-use pm_gf::slice::{mul_add_slice, scale_slice};
+use pm_gf::slice::{mul_add_multi, mul_add_slice, scale_slice};
 use pm_gf::Gf256;
 
 use crate::code::CodeSpec;
@@ -188,22 +188,24 @@ impl IncrementalDecoder {
                 need: k,
             });
         }
-        // Eliminate above-diagonal entries from the bottom up. Split the
-        // pivot vector so the borrow checker sees disjoint rows.
-        for col in (0..k).rev() {
-            let (head, tail) = self.pivots.split_at_mut(col);
-            let (prow, ppayload) = tail[0].as_ref().expect("complete");
-            for upper in head.iter_mut() {
-                let (urow, upayload) = upper.as_mut().expect("complete");
-                let factor = urow[col];
-                if factor.is_zero() {
-                    continue;
-                }
-                for c in col..k {
-                    let v = prow[c];
-                    urow[c] += factor * v;
-                }
-                mul_add_slice(factor, ppayload, upayload);
+        // Eliminate above-diagonal entries from the bottom up, row at a
+        // time: once rows `i+1..k` are fully reduced, row `i` clears all its
+        // trailing coefficients in one batched multi-source pass (the
+        // `mul_add_multi` kernel touches `payload_i` once per group of four
+        // pivot payloads instead of once per pivot).
+        for i in (0..k.saturating_sub(1)).rev() {
+            let (head, tail) = self.pivots.split_at_mut(i + 1);
+            let (row_i, payload_i) = head[i].as_mut().expect("complete");
+            let sources: Vec<(Gf256, &[u8])> = (i + 1..k)
+                .filter(|&j| !row_i[j].is_zero())
+                .map(|j| {
+                    let (_, p) = tail[j - (i + 1)].as_ref().expect("complete");
+                    (row_i[j], p.as_slice())
+                })
+                .collect();
+            mul_add_multi(&sources, payload_i);
+            for c in row_i.iter_mut().skip(i + 1) {
+                *c = Gf256::ZERO;
             }
         }
         Ok(self
@@ -348,6 +350,19 @@ mod tests {
             dec.add_share(i, d).unwrap();
         }
         assert_eq!(dec.finish().unwrap(), data);
+    }
+
+    #[test]
+    fn zero_length_payloads_complete() {
+        // Degenerate packets: rank accounting still works on the generator
+        // rows alone; finish returns k empty packets.
+        let (enc, _, _) = setup(3, 2);
+        let mut dec = IncrementalDecoder::from_encoder(&enc);
+        for i in [0usize, 3, 4] {
+            dec.add_share(i, &[]).unwrap();
+        }
+        assert!(dec.is_complete());
+        assert_eq!(dec.finish().unwrap(), vec![Vec::<u8>::new(); 3]);
     }
 
     #[test]

@@ -163,6 +163,50 @@ proptest! {
         prop_assert_eq!(inc.finish().unwrap(), dec.decode(&shares).unwrap());
     }
 
+    /// Differential: the cached-row batched encoder produces byte-identical
+    /// parities to a scalar-reference accumulation over the same generator
+    /// coefficients.
+    #[test]
+    fn encoder_matches_scalar_reference((k, h, len) in spec_strategy(), seed in any::<u64>()) {
+        let spec = CodeSpec::new(k, h).unwrap();
+        let enc = RseEncoder::new(spec).unwrap();
+        let data = make_group(k, len, seed);
+        for j in 0..h {
+            let fast = enc.parity(j, &data).unwrap();
+            let mut scalar = vec![0u8; len];
+            for (i, d) in data.iter().enumerate() {
+                pm_gf::slice::reference::mul_add_slice(enc.parity_coeff(j, i), d, &mut scalar);
+            }
+            prop_assert_eq!(&fast, &scalar, "parity {}", j);
+        }
+    }
+
+    /// Decoding the same loss pattern twice returns identical data and
+    /// reuses the memoised inverse (the cache does not grow on a repeat).
+    #[test]
+    fn decoder_inverse_cache_repeat((k, h, len) in spec_strategy(), seed in any::<u64>()) {
+        prop_assume!(h >= 1);
+        let spec = CodeSpec::new(k, h).unwrap();
+        let enc = RseEncoder::new(spec).unwrap();
+        let dec = RseDecoder::from_encoder(&enc);
+        let data = make_group(k, len, seed);
+        let parities = enc.encode_all(&data).unwrap();
+        let survivors = choose(spec.n(), k, seed ^ 0xCACE);
+        let shares: Vec<(usize, &[u8])> = survivors
+            .iter()
+            .map(|&i| if i < k { (i, &data[i][..]) } else { (i, &parities[i - k][..]) })
+            .collect();
+        let first = dec.decode(&shares).unwrap();
+        let cached_after_first = dec.cached_inverses();
+        let second = dec.decode(&shares).unwrap();
+        prop_assert_eq!(&first, &second);
+        prop_assert_eq!(first, data);
+        prop_assert_eq!(dec.cached_inverses(), cached_after_first);
+        // A cache entry exists iff a data packet actually had to be rebuilt.
+        let missing_data = (0..k).filter(|i| !survivors.contains(i)).count();
+        prop_assert_eq!(cached_after_first, usize::from(missing_data > 0));
+    }
+
     /// GroupDecoder invariants: `needed() + received() == k` until
     /// decodable, insertion order never matters for the reconstruction.
     #[test]

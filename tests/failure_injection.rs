@@ -7,9 +7,7 @@ use std::time::Duration;
 use parity_multicast::net::{FaultConfig, FaultyTransport, MemHub, Message, Transport};
 use parity_multicast::protocol::harness::{run_simulation, HarnessConfig};
 use parity_multicast::protocol::runtime::{drive_receiver, drive_sender, RuntimeConfig};
-use parity_multicast::protocol::{
-    CompletionPolicy, NpConfig, NpReceiver, NpSender, ProtocolError,
-};
+use parity_multicast::protocol::{CompletionPolicy, NpConfig, NpReceiver, NpSender, ProtocolError};
 
 fn rt() -> RuntimeConfig {
     RuntimeConfig {
@@ -51,7 +49,10 @@ fn hostile_garbage_on_the_group_is_ignored() {
                 needed: 9,
                 round: 1,
             });
-            let _ = saboteur.send(&Message::Done { session: session + 1, receiver: i });
+            let _ = saboteur.send(&Message::Done {
+                session: session + 1,
+                receiver: i,
+            });
             if i % 50 == 0 {
                 std::thread::sleep(Duration::from_micros(200));
             }
@@ -82,7 +83,14 @@ fn spoofed_done_messages_cannot_fake_completion_everywhere() {
     let session = 0x5EC;
     let mut rx = NpReceiver::new(0, session, 0.001, 1);
     for i in 0..50 {
-        rx.handle(&Message::Done { session, receiver: i }, 0.0).unwrap();
+        rx.handle(
+            &Message::Done {
+                session,
+                receiver: i,
+            },
+            0.0,
+        )
+        .unwrap();
     }
     assert!(!rx.is_complete());
     assert!(rx.take_data().is_err());
@@ -125,14 +133,18 @@ fn extreme_loss_eventually_succeeds() {
     use parity_multicast::loss::IndependentLoss;
     let data = payload(8 * 256 * 3);
     let mut sender = NpSender::new(0xE0, &data, config(4)).expect("config");
-    let mut receivers: Vec<NpReceiver> =
-        (0..4).map(|i| NpReceiver::new(i, 0xE0, 0.001, i as u64)).collect();
+    let mut receivers: Vec<NpReceiver> = (0..4)
+        .map(|i| NpReceiver::new(i, 0xE0, 0.001, i as u64))
+        .collect();
     let mut loss = IndependentLoss::new(4, 0.5, 77);
     let report = run_simulation(
         &mut sender,
         &mut receivers,
         &mut loss,
-        &HarnessConfig { time_cap: 1200.0, ..Default::default() },
+        &HarnessConfig {
+            time_cap: 1200.0,
+            ..Default::default()
+        },
     )
     .expect("session completes even at 50% loss");
     assert_eq!(report.completed, 4);
@@ -165,12 +177,17 @@ fn max_geometry_session_works() {
     c.nak_slot = 0.001;
     let data = payload(200 * 32 + 777);
     let mut sender = NpSender::new(0xED6E, &data, c).expect("config");
-    let mut receivers: Vec<NpReceiver> =
-        (0..2).map(|i| NpReceiver::new(i, 0xED6E, 0.001, i as u64)).collect();
+    let mut receivers: Vec<NpReceiver> = (0..2)
+        .map(|i| NpReceiver::new(i, 0xED6E, 0.001, i as u64))
+        .collect();
     let mut loss = IndependentLoss::new(2, 0.1, 5);
-    let report =
-        run_simulation(&mut sender, &mut receivers, &mut loss, &HarnessConfig::default())
-            .expect("completes");
+    let report = run_simulation(
+        &mut sender,
+        &mut receivers,
+        &mut loss,
+        &HarnessConfig::default(),
+    )
+    .expect("completes");
     assert_eq!(report.completed, 2);
     for rx in &receivers {
         assert_eq!(rx.take_data().unwrap(), data);
@@ -186,18 +203,20 @@ fn sender_survives_nak_storm() {
     let mut sender = NpSender::new(0x570, &data, config(1)).expect("config");
     // Drain the initial schedule.
     let mut sent = 0u64;
-    loop {
-        match sender.next_step(0.0) {
-            parity_multicast::protocol::SenderStep::Transmit(_) => sent += 1,
-            _ => break,
-        }
+    while let parity_multicast::protocol::SenderStep::Transmit(_) = sender.next_step(0.0) {
+        sent += 1;
     }
     assert!(sent > 0);
     // 100 duplicate NAKs for the same round arrive within a millisecond.
     for i in 0..100 {
         sender
             .handle(
-                &Message::Nak { session: 0x570, group: 0, needed: 3, round: 1 },
+                &Message::Nak {
+                    session: 0x570,
+                    group: 0,
+                    needed: 3,
+                    round: 1,
+                },
                 0.001 + i as f64 * 1e-6,
             )
             .unwrap();
@@ -212,5 +231,8 @@ fn sender_survives_nak_storm() {
             _ => break,
         }
     }
-    assert_eq!(repairs, 3, "exactly one service of 3 parities despite 100 NAKs");
+    assert_eq!(
+        repairs, 3,
+        "exactly one service of 3 parities despite 100 NAKs"
+    );
 }

@@ -1,0 +1,389 @@
+//! Offline vendored subset of the `bytes` crate.
+//!
+//! [`Bytes`] is a cheaply-cloneable, sliceable, immutable byte buffer
+//! (an `Arc<[u8]>` window or a borrowed `&'static` slice); [`BytesMut`]
+//! is a growable builder that freezes into [`Bytes`]. Only the API this
+//! workspace exercises is provided: big-endian `get_*`/`put_*` cursor
+//! operations, `slice`, `split_to`, and the usual conversions.
+
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::ops::{Bound, Deref, RangeBounds};
+use std::sync::Arc;
+
+#[derive(Clone)]
+enum Inner {
+    Static(&'static [u8]),
+    Shared(Arc<Vec<u8>>),
+}
+
+/// Immutable shared byte buffer with O(1) `clone` and `slice`.
+#[derive(Clone)]
+pub struct Bytes {
+    inner: Inner,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    /// Empty buffer.
+    pub const fn new() -> Self {
+        Bytes {
+            inner: Inner::Static(&[]),
+            start: 0,
+            end: 0,
+        }
+    }
+
+    /// Borrow a static slice without copying.
+    pub const fn from_static(s: &'static [u8]) -> Self {
+        Bytes {
+            inner: Inner::Static(s),
+            start: 0,
+            end: s.len(),
+        }
+    }
+
+    /// Copy a slice into a fresh shared buffer.
+    pub fn copy_from_slice(s: &[u8]) -> Self {
+        Bytes::from(s.to_vec())
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    fn backing(&self) -> &[u8] {
+        match &self.inner {
+            Inner::Static(s) => s,
+            Inner::Shared(v) => v.as_slice(),
+        }
+    }
+
+    /// Sub-window sharing the same backing storage.
+    ///
+    /// # Panics
+    /// Panics if the range is out of bounds.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Bytes {
+        let len = self.len();
+        let begin = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let end = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => len,
+        };
+        assert!(begin <= end && end <= len, "slice out of bounds");
+        Bytes {
+            inner: self.inner.clone(),
+            start: self.start + begin,
+            end: self.start + end,
+        }
+    }
+
+    /// Split off and return the first `at` bytes; `self` keeps the rest.
+    ///
+    /// # Panics
+    /// Panics if `at > len`.
+    pub fn split_to(&mut self, at: usize) -> Bytes {
+        assert!(at <= self.len(), "split_to out of bounds");
+        let head = Bytes {
+            inner: self.inner.clone(),
+            start: self.start,
+            end: self.start + at,
+        };
+        self.start += at;
+        head
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Bytes::new()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.backing()[self.start..self.end]
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        let end = v.len();
+        Bytes {
+            inner: Inner::Shared(Arc::new(v)),
+            start: 0,
+            end,
+        }
+    }
+}
+
+impl From<&'static [u8]> for Bytes {
+    fn from(s: &'static [u8]) -> Self {
+        Bytes::from_static(s)
+    }
+}
+
+impl From<&'static str> for Bytes {
+    fn from(s: &'static str) -> Self {
+        Bytes::from_static(s.as_bytes())
+    }
+}
+
+impl FromIterator<u8> for Bytes {
+    fn from_iter<I: IntoIterator<Item = u8>>(iter: I) -> Self {
+        Bytes::from(iter.into_iter().collect::<Vec<u8>>())
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self[..] == other[..]
+    }
+}
+impl Eq for Bytes {}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        &self[..] == other
+    }
+}
+
+impl PartialEq<&[u8]> for Bytes {
+    fn eq(&self, other: &&[u8]) -> bool {
+        &self[..] == *other
+    }
+}
+
+impl PartialEq<Vec<u8>> for Bytes {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self[..] == other[..]
+    }
+}
+
+impl Hash for Bytes {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self[..].hash(state)
+    }
+}
+
+impl PartialOrd for Bytes {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Bytes {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self[..].cmp(&other[..])
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.iter() {
+            for e in std::ascii::escape_default(b) {
+                write!(f, "{}", e as char)?;
+            }
+        }
+        write!(f, "\"")
+    }
+}
+
+/// Read cursor over a byte source (big-endian getters).
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+    /// Current unread window.
+    fn chunk(&self) -> &[u8];
+    /// Discard the next `cnt` bytes.
+    fn advance(&mut self, cnt: usize);
+
+    /// Read one byte.
+    ///
+    /// # Panics
+    /// Panics (like upstream `bytes`) when fewer than the requested bytes
+    /// remain; callers are expected to check [`Buf::remaining`] first.
+    fn get_u8(&mut self) -> u8 {
+        let v = self.chunk()[0];
+        self.advance(1);
+        v
+    }
+    /// Read a big-endian `u16`.
+    fn get_u16(&mut self) -> u16 {
+        let v = u16::from_be_bytes(self.chunk()[..2].try_into().unwrap());
+        self.advance(2);
+        v
+    }
+    /// Read a big-endian `u32`.
+    fn get_u32(&mut self) -> u32 {
+        let v = u32::from_be_bytes(self.chunk()[..4].try_into().unwrap());
+        self.advance(4);
+        v
+    }
+    /// Read a big-endian `u64`.
+    fn get_u64(&mut self) -> u64 {
+        let v = u64::from_be_bytes(self.chunk()[..8].try_into().unwrap());
+        self.advance(8);
+        v
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "advance past end");
+        self.start += cnt;
+    }
+}
+
+/// Write cursor over a growable byte sink (big-endian putters).
+pub trait BufMut {
+    /// Append raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Append one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+    /// Append a big-endian `u16`.
+    fn put_u16(&mut self, v: u16) {
+        self.put_slice(&v.to_be_bytes());
+    }
+    /// Append a big-endian `u32`.
+    fn put_u32(&mut self, v: u32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+    /// Append a big-endian `u64`.
+    fn put_u64(&mut self, v: u64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+}
+
+/// Growable byte buffer that freezes into [`Bytes`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Empty buffer.
+    pub fn new() -> Self {
+        BytesMut { data: Vec::new() }
+    }
+
+    /// Empty buffer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            data: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Append a slice (mirrors `Vec::extend_from_slice`).
+    pub fn extend_from_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+
+    /// Resize to `new_len`, filling with `value` when growing.
+    pub fn resize(&mut self, new_len: usize, value: u8) {
+        self.data.resize(new_len, value);
+    }
+
+    /// Convert into an immutable [`Bytes`] without copying.
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.data)
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_cursor() {
+        let mut b = BytesMut::with_capacity(16);
+        b.put_u16(0xBEEF);
+        b.put_u8(7);
+        b.put_u32(0xDEADBEEF);
+        b.put_u64(42);
+        b.put_slice(b"xyz");
+        let mut bytes = b.freeze();
+        assert_eq!(bytes.remaining(), 2 + 1 + 4 + 8 + 3);
+        assert_eq!(bytes.get_u16(), 0xBEEF);
+        assert_eq!(bytes.get_u8(), 7);
+        assert_eq!(bytes.get_u32(), 0xDEADBEEF);
+        assert_eq!(bytes.get_u64(), 42);
+        assert_eq!(&bytes[..], b"xyz");
+    }
+
+    #[test]
+    fn slice_and_split_share_storage() {
+        let b = Bytes::from(vec![1, 2, 3, 4, 5]);
+        let s = b.slice(1..4);
+        assert_eq!(&s[..], &[2, 3, 4]);
+        let mut c = b.clone();
+        let head = c.split_to(2);
+        assert_eq!(&head[..], &[1, 2]);
+        assert_eq!(&c[..], &[3, 4, 5]);
+        assert_eq!(b.len(), 5, "original untouched");
+    }
+
+    #[test]
+    fn equality_and_statics() {
+        assert_eq!(Bytes::from_static(b"hi"), Bytes::from(b"hi".to_vec()));
+        assert_eq!(Bytes::new().len(), 0);
+        assert!(Bytes::new().is_empty());
+    }
+}

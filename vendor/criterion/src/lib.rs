@@ -1,0 +1,313 @@
+//! Offline vendored benchmark harness, API-compatible with the subset of
+//! `criterion` 0.5 this workspace's benches use.
+//!
+//! Measurement model: each benchmark is calibrated (iteration count grown
+//! until a sample takes >= 10 ms), then timed over several samples sized
+//! to a budget derived from `sample_size`; the minimum per-iteration time
+//! across samples is reported (robust to scheduler noise), along with
+//! throughput when configured. No statistics files are written.
+//!
+//! Passing `--test` (as `cargo test` does for harness-less bench targets)
+//! or setting `CRITERION_QUICK=1` runs every benchmark exactly once for a
+//! smoke check.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Units for reported throughput.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Abstract elements processed per iteration.
+    Elements(u64),
+}
+
+/// Benchmark identifier (`group/function/parameter` path segments).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Just the parameter as the identifier.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Timing handle passed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Run the routine `iters` times and record the elapsed wall clock.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn format_time(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn format_throughput(t: Throughput, ns_per_iter: f64) -> String {
+    match t {
+        Throughput::Bytes(bytes) => {
+            let per_sec = bytes as f64 / (ns_per_iter * 1e-9);
+            if per_sec >= 1024.0 * 1024.0 * 1024.0 {
+                format!("{:.3} GiB/s", per_sec / (1024.0 * 1024.0 * 1024.0))
+            } else if per_sec >= 1024.0 * 1024.0 {
+                format!("{:.3} MiB/s", per_sec / (1024.0 * 1024.0))
+            } else {
+                format!("{:.3} KiB/s", per_sec / 1024.0)
+            }
+        }
+        Throughput::Elements(n) => {
+            let per_sec = n as f64 / (ns_per_iter * 1e-9);
+            format!("{per_sec:.0} elem/s")
+        }
+    }
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    quick: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let quick = std::env::args().any(|a| a == "--test")
+            || std::env::var_os("CRITERION_QUICK").is_some();
+        Criterion { quick }
+    }
+}
+
+impl Criterion {
+    /// Run one standalone benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        run_benchmark(self.quick, &id.id, None, 100, f);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let quick = self.quick;
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            quick,
+            throughput: None,
+            sample_size: 100,
+        }
+    }
+}
+
+/// Group of benchmarks sharing a name prefix, throughput and sample size.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    quick: bool,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the per-iteration throughput used in reports.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Scale the measurement budget (criterion's sample count knob).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(10);
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        let label = format!("{}/{}", self.name, id.id);
+        run_benchmark(self.quick, &label, self.throughput, self.sample_size, f);
+        self
+    }
+
+    /// Run one benchmark with an input value.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Close the group (report separator).
+    pub fn finish(self) {}
+}
+
+fn run_benchmark(
+    quick: bool,
+    label: &str,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+    mut f: impl FnMut(&mut Bencher),
+) {
+    if quick {
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        println!("bench {label:<40} ... ok (quick mode)");
+        return;
+    }
+
+    // Calibrate: grow iteration count until one sample is >= 10 ms.
+    let mut iters: u64 = 1;
+    let mut elapsed;
+    loop {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        elapsed = b.elapsed;
+        if elapsed >= Duration::from_millis(10) || iters >= 1 << 24 {
+            break;
+        }
+        iters = iters.saturating_mul(4);
+    }
+
+    // Measure: several samples whose combined budget tracks sample_size
+    // (default 100 -> ~300 ms of measurement).
+    let per_iter_ns = (elapsed.as_nanos().max(1) as f64 / iters as f64).max(0.1);
+    let budget_ns = 3_000_000.0 * sample_size as f64;
+    let samples: u32 = 5;
+    let sample_iters =
+        ((budget_ns / samples as f64 / per_iter_ns).ceil() as u64).clamp(1, 100_000_000);
+    let mut best_ns_per_iter = f64::INFINITY;
+    for _ in 0..samples {
+        let mut b = Bencher {
+            iters: sample_iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        let ns = b.elapsed.as_nanos() as f64 / sample_iters as f64;
+        if ns < best_ns_per_iter {
+            best_ns_per_iter = ns;
+        }
+    }
+
+    match throughput {
+        Some(t) => println!(
+            "bench {label:<40} time: [{:>12}]  thrpt: [{:>14}]",
+            format_time(best_ns_per_iter),
+            format_throughput(t, best_ns_per_iter)
+        ),
+        None => println!(
+            "bench {label:<40} time: [{:>12}]",
+            format_time(best_ns_per_iter)
+        ),
+    }
+}
+
+/// Bundle benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        $crate::criterion_group!($name, $($target),+);
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_mode_runs_once() {
+        let mut calls = 0u32;
+        run_benchmark(true, "t", None, 100, |b| {
+            b.iter(|| {
+                calls += 1;
+            });
+        });
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn formatting() {
+        assert!(format_time(12.3).contains("ns"));
+        assert!(format_time(12_300.0).contains("µs"));
+        assert!(format_throughput(Throughput::Bytes(1 << 30), 1e9).contains("GiB/s"));
+    }
+
+    #[test]
+    fn ids_compose() {
+        assert_eq!(BenchmarkId::new("k=7", "h=3").id, "k=7/h=3");
+        assert_eq!(BenchmarkId::from_parameter(42).id, "42");
+    }
+}

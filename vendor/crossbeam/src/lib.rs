@@ -1,0 +1,40 @@
+//! Offline vendored `crossbeam` facade.
+//!
+//! Only `crossbeam::channel` is provided, backed by `std::sync::mpsc`
+//! (whose `Sender` has been `Sync + Clone` since Rust 1.72). The error
+//! types are `std`'s, which share the variant names crossbeam exposes
+//! (`Timeout`, `Disconnected`).
+
+/// MPSC channels with crossbeam's module layout.
+pub mod channel {
+    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, Sender, TryRecvError};
+
+    /// Receiving half (std's; not `Clone`, which this workspace never needs).
+    pub use std::sync::mpsc::Receiver;
+
+    /// Unbounded FIFO channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::{unbounded, RecvTimeoutError};
+    use std::time::Duration;
+
+    #[test]
+    fn send_recv_and_timeout() {
+        let (tx, rx) = unbounded();
+        tx.send(7).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(10)).unwrap(), 7);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(5)).unwrap_err(),
+            RecvTimeoutError::Timeout
+        );
+        let tx2 = tx.clone();
+        drop(tx);
+        tx2.send(8).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(10)).unwrap(), 8);
+    }
+}
