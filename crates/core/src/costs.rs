@@ -8,6 +8,7 @@
 //! cross-checks and the protocol benchmarks).
 
 use pm_analysis::CostModel;
+use pm_obs::MetricsRegistry;
 
 /// Event counters for one protocol endpoint (sender or receiver).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -67,6 +68,28 @@ impl CostCounters {
         }
     }
 
+    /// Publish the counters into a [`MetricsRegistry`] under
+    /// `<prefix>.<field>` names (e.g. `sender.data_sent`). Registry
+    /// counters are monotone, so this `add`s the current values — call it
+    /// once per endpoint at session end.
+    pub fn register_into(&self, reg: &MetricsRegistry, prefix: &str) {
+        let fields: [(&str, u64); 10] = [
+            ("data_sent", self.data_sent),
+            ("repairs_sent", self.repairs_sent),
+            ("packets_received", self.packets_received),
+            ("parities_encoded", self.parities_encoded),
+            ("packets_decoded", self.packets_decoded),
+            ("feedback_sent", self.feedback_sent),
+            ("feedback_received", self.feedback_received),
+            ("feedback_suppressed", self.feedback_suppressed),
+            ("timers", self.timers),
+            ("unneeded_receptions", self.unneeded_receptions),
+        ];
+        for (name, value) in fields {
+            reg.counter(&format!("{prefix}.{name}")).add(value);
+        }
+    }
+
     /// Merge another endpoint's counters (e.g. summing across receivers).
     pub fn merge(&mut self, other: &CostCounters) {
         self.data_sent += other.data_sent;
@@ -118,6 +141,22 @@ mod tests {
             c.processing_rate(5, 7, &CostModel::paper_defaults()),
             f64::INFINITY
         );
+    }
+
+    #[test]
+    fn register_into_publishes_all_fields() {
+        let c = CostCounters {
+            data_sent: 10,
+            feedback_suppressed: 3,
+            ..Default::default()
+        };
+        let reg = MetricsRegistry::new();
+        c.register_into(&reg, "sender");
+        assert_eq!(reg.counter("sender.data_sent").get(), 10);
+        assert_eq!(reg.counter("sender.feedback_suppressed").get(), 3);
+        assert_eq!(reg.counter("sender.timers").get(), 0);
+        let text = reg.render_text();
+        assert!(text.contains("sender.data_sent"));
     }
 
     #[test]

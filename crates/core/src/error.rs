@@ -3,6 +3,7 @@
 use std::fmt;
 
 use pm_net::NetError;
+use pm_obs::Event;
 use pm_rse::RseError;
 
 /// Errors surfaced by the NP/N2 state machines and runtime.
@@ -17,8 +18,12 @@ pub enum ProtocolError {
     /// The session ended (FIN received) before the transfer completed.
     SenderGone { groups_missing: usize },
     /// The runtime gave up waiting (no progress within the configured
-    /// patience).
-    Stalled { waited_secs: f64 },
+    /// patience). Carries the last observability event that counted as
+    /// progress, so post-mortems can see *where* the session died.
+    Stalled {
+        waited_secs: f64,
+        last_progress: Option<Event>,
+    },
     /// A message arrived that contradicts session state (e.g. geometry
     /// change mid-session).
     Inconsistent(String),
@@ -36,8 +41,15 @@ impl fmt::Display for ProtocolError {
                     "sender closed the session with {groups_missing} groups undelivered"
                 )
             }
-            ProtocolError::Stalled { waited_secs } => {
-                write!(f, "no session progress for {waited_secs:.1}s")
+            ProtocolError::Stalled {
+                waited_secs,
+                last_progress,
+            } => {
+                write!(f, "no session progress for {waited_secs:.1}s")?;
+                match last_progress {
+                    Some(ev) => write!(f, " (last progress: {})", ev.name()),
+                    None => write!(f, " (no progress was ever made)"),
+                }
             }
             ProtocolError::Inconsistent(msg) => write!(f, "inconsistent session state: {msg}"),
         }
@@ -75,8 +87,19 @@ mod tests {
         let e = ProtocolError::from(RseError::NotEnoughShares { have: 1, need: 3 });
         assert!(e.to_string().contains("erasure"));
         assert!(std::error::Error::source(&e).is_some());
-        let e = ProtocolError::Stalled { waited_secs: 2.5 };
+        let e = ProtocolError::Stalled {
+            waited_secs: 2.5,
+            last_progress: None,
+        };
         assert!(e.to_string().contains("2.5"));
+        assert!(e.to_string().contains("no progress was ever made"));
         assert!(std::error::Error::source(&e).is_none());
+        let e = ProtocolError::Stalled {
+            waited_secs: 1.0,
+            last_progress: Some(Event::NetRecv {
+                kind: pm_obs::MsgKind::Data,
+            }),
+        };
+        assert!(e.to_string().contains("last progress: net_recv"));
     }
 }

@@ -170,6 +170,7 @@ where
         if now > cfg.time_cap {
             return Err(ProtocolError::Stalled {
                 waited_secs: cfg.time_cap,
+                last_progress: None,
             });
         }
         match ev.kind {
@@ -258,6 +259,7 @@ where
         None => {
             return Err(ProtocolError::Stalled {
                 waited_secs: cfg.time_cap,
+                last_progress: None,
             })
         }
     };

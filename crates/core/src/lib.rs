@@ -23,6 +23,11 @@
 //! wall-clock pacing, and [`costs`] counts every packet/NAK/encode/decode
 //! so end-host processing (Section 5's metric) can be attributed with a
 //! [`pm_analysis::CostModel`]-style cost table.
+//!
+//! Every layer optionally emits structured [`pm_obs`] events: construct the
+//! machines with `with_obs` and drive them with
+//! [`runtime::drive_sender_obs`]/[`runtime::drive_receiver_obs`] to get a
+//! full session trace (see `crates/obs`).
 
 pub mod carousel;
 pub mod config;

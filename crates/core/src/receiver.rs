@@ -19,7 +19,8 @@ use bytes::Bytes;
 
 use pm_net::suppression::NakSuppressor;
 use pm_net::Message;
-use pm_rse::{CodeSpec, GroupDecoder, InsertOutcome, RseDecoder};
+use pm_obs::{Event, Histogram, Obs, Role};
+use pm_rse::{CacheStats, CodeSpec, GroupDecoder, InsertOutcome, RseDecoder};
 
 use crate::costs::CostCounters;
 use crate::error::ProtocolError;
@@ -72,6 +73,9 @@ pub struct NpReceiver {
     counters: CostCounters,
     complete_emitted: bool,
     fin_seen: bool,
+    obs: Obs,
+    /// Histogram wired into lazily-created decoders (nanoseconds/decode).
+    decode_timer: Option<Histogram>,
 }
 
 impl NpReceiver {
@@ -97,7 +101,42 @@ impl NpReceiver {
             counters: CostCounters::default(),
             complete_emitted: false,
             fin_seen: false,
+            obs: Obs::null(),
+            decode_timer: None,
         }
+    }
+
+    /// Emit structured events to `obs` (a `session_start` marks the
+    /// attachment point). The NAK suppressor shares the recorder, so
+    /// `nak_scheduled`/`nak_suppressed` land in the same trace.
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.suppressor.set_obs(obs.clone());
+        self.obs = obs;
+        self.obs.emit(0.0, || Event::SessionStart {
+            role: Role::Receiver,
+            session: self.session,
+            groups: 0,
+            bytes: 0,
+        });
+        self
+    }
+
+    /// Record per-call decode latency into `hist` (applies to decoders
+    /// created from here on — call before traffic arrives).
+    pub fn set_decode_timer(&mut self, hist: Histogram) {
+        self.decode_timer = Some(hist);
+    }
+
+    /// Aggregated inverse-cache hit/miss counts across this receiver's
+    /// decoders.
+    pub fn decode_cache_stats(&self) -> CacheStats {
+        let mut total = CacheStats::default();
+        for dec in self.decoders.values() {
+            let s = dec.cache_stats();
+            total.hits += s.hits;
+            total.misses += s.misses;
+        }
+        total
     }
 
     /// The receiver's identity.
@@ -153,15 +192,27 @@ impl NpReceiver {
     fn decoder_for(&mut self, spec: CodeSpec) -> Result<&RseDecoder, ProtocolError> {
         let key = (spec.k() as u16, spec.n() as u16);
         if let std::collections::hash_map::Entry::Vacant(e) = self.decoders.entry(key) {
-            e.insert(RseDecoder::new(spec)?);
+            let mut dec = RseDecoder::new(spec)?;
+            if let Some(hist) = &self.decode_timer {
+                dec.set_timer(hist.clone());
+            }
+            e.insert(dec);
         }
         Ok(&self.decoders[&key])
     }
 
-    fn completion_actions(&mut self, actions: &mut Vec<ReceiverAction>) {
+    fn completion_actions(&mut self, actions: &mut Vec<ReceiverAction>, now: f64) {
         if self.is_complete() && !self.complete_emitted {
             self.complete_emitted = true;
             self.counters.feedback_sent += 1;
+            self.obs.emit(now, || Event::DoneSent {
+                session: self.session,
+                receiver: self.id,
+            });
+            self.obs.emit(now, || Event::TransferComplete {
+                session: self.session,
+                groups: self.plan.map(|p| p.groups).unwrap_or(0),
+            });
             actions.push(ReceiverAction::Send(Message::Done {
                 session: self.session,
                 receiver: self.id,
@@ -194,6 +245,21 @@ impl NpReceiver {
                 ..
             } => {
                 self.counters.packets_received += 1;
+                self.obs.emit(now, || {
+                    if index < k {
+                        Event::DataRecv {
+                            session: self.session,
+                            group: *group,
+                            index: *index,
+                        }
+                    } else {
+                        Event::ParityRecv {
+                            session: self.session,
+                            group: *group,
+                            index: *index,
+                        }
+                    }
+                });
                 self.max_group_seen = Some(self.max_group_seen.unwrap_or(0).max(*group));
                 self.quiet_announces = 0;
                 // First packet of a group defines its geometry; the
@@ -235,26 +301,64 @@ impl NpReceiver {
                     };
                     let spec = *gd.spec();
                     let missing = gd.missing_data().len() as u64;
-                    let decoder = self.decoder_for(spec)?;
-                    let packets = gd.reconstruct(decoder)?;
+                    let (packets, cache_delta) = {
+                        let decoder = self.decoder_for(spec)?;
+                        let before = decoder.cache_stats();
+                        let packets = gd.reconstruct(decoder)?;
+                        let after = decoder.cache_stats();
+                        (
+                            packets,
+                            CacheStats {
+                                hits: after.hits - before.hits,
+                                misses: after.misses - before.misses,
+                            },
+                        )
+                    };
+                    for _ in 0..cache_delta.hits {
+                        self.obs.emit(now, || Event::DecodeCacheHit {
+                            k: spec.k() as u16,
+                            n: spec.n() as u16,
+                        });
+                    }
+                    for _ in 0..cache_delta.misses {
+                        self.obs.emit(now, || Event::DecodeCacheMiss {
+                            k: spec.k() as u16,
+                            n: spec.n() as u16,
+                        });
+                    }
                     self.counters.packets_decoded += missing;
                     self.counters.unneeded_receptions += gd.unneeded_receptions();
                     self.decoded.insert(*group, packets);
                     self.suppressor.cancel(*group);
+                    self.obs.emit(now, || Event::GroupDecoded {
+                        session: self.session,
+                        group: *group,
+                        recovered: missing,
+                    });
                     actions.push(ReceiverAction::GroupDecoded { group: *group });
-                    self.completion_actions(&mut actions);
+                    self.completion_actions(&mut actions, now);
                 }
             }
             Message::Poll {
                 group, sent, round, ..
             } => {
                 self.counters.feedback_received += 1;
+                self.obs.emit(now, || Event::PollRecv {
+                    session: self.session,
+                    group: *group,
+                    sent: *sent,
+                    round: *round,
+                });
                 self.max_group_seen = Some(self.max_group_seen.unwrap_or(0).max(*group));
                 self.quiet_announces = 0;
                 self.saw_poll = true;
                 if self.complete_emitted {
                     // Our Done may have been lost; remind the sender.
                     self.counters.feedback_sent += 1;
+                    self.obs.emit(now, || Event::DoneSent {
+                        session: self.session,
+                        receiver: self.id,
+                    });
                     actions.push(ReceiverAction::Send(Message::Done {
                         session: self.session,
                         receiver: self.id,
@@ -292,7 +396,7 @@ impl NpReceiver {
                     Some(_) => {}
                     None => self.plan = Some(plan),
                 }
-                self.completion_actions(&mut actions);
+                self.completion_actions(&mut actions, now);
                 // An announce while we are incomplete doubles as a
                 // recovery heartbeat: if a whole repair round (parities +
                 // poll) was lost, nothing else would ever re-solicit our
@@ -333,6 +437,9 @@ impl NpReceiver {
                 }
             }
             Message::Fin { .. } => {
+                self.obs.emit(now, || Event::FinRecv {
+                    session: self.session,
+                });
                 self.fin_seen = true;
             }
             // Another receiver finishing, an N2 NAK, or an (unexpected
@@ -348,6 +455,12 @@ impl NpReceiver {
         for due in self.suppressor.take_due(now) {
             self.counters.feedback_sent += 1;
             self.counters.timers += 1;
+            self.obs.emit(now, || Event::NakSent {
+                session: self.session,
+                group: due.group,
+                needed: due.needed,
+                round: due.round,
+            });
             actions.push(ReceiverAction::Send(Message::Nak {
                 session: self.session,
                 group: due.group,

@@ -8,6 +8,7 @@
 use std::time::{Duration, Instant};
 
 use pm_net::{Message, Transport};
+use pm_obs::{Event, Obs, Outcome, Role};
 
 use crate::costs::CostCounters;
 use crate::error::ProtocolError;
@@ -176,6 +177,17 @@ pub struct ReceiverReport {
     pub elapsed: Duration,
 }
 
+/// Last message that counted as session progress, rendered as the event
+/// it corresponds to on the wire (for [`ProtocolError::Stalled`] context).
+fn progress_event(msg: &Message, sent: bool) -> Event {
+    let kind = msg.obs_kind();
+    if sent {
+        Event::NetSent { kind }
+    } else {
+        Event::NetRecv { kind }
+    }
+}
+
 /// Drive a sender machine to completion.
 ///
 /// # Errors
@@ -187,16 +199,37 @@ pub fn drive_sender<S: SenderMachine, T: Transport>(
     transport: &mut T,
     rt: &RuntimeConfig,
 ) -> Result<SenderReport, ProtocolError> {
+    drive_sender_obs(machine, transport, rt, &Obs::null())
+}
+
+/// [`drive_sender`] with runtime lifecycle events (`stall_timeout`,
+/// `session_end`) emitted to `obs`. Per-message events come from the
+/// machine and transport, not the driver.
+///
+/// # Errors
+/// Same as [`drive_sender`]; `Stalled` errors carry the last event that
+/// counted as progress.
+pub fn drive_sender_obs<S: SenderMachine, T: Transport>(
+    machine: &mut S,
+    transport: &mut T,
+    rt: &RuntimeConfig,
+    obs: &Obs,
+) -> Result<SenderReport, ProtocolError> {
     let start = Instant::now();
     let mut last_progress = start;
+    let mut last_event: Option<Event> = None;
     loop {
         let now = start.elapsed().as_secs_f64();
         match machine.next_step(now) {
             SenderStep::Finished => {
+                obs.emit(now, || Event::SessionEnd {
+                    role: Role::Sender,
+                    outcome: Outcome::Completed,
+                });
                 return Ok(SenderReport {
                     counters: *machine.counters(),
                     elapsed: start.elapsed(),
-                })
+                });
             }
             SenderStep::Transmit(msg) => {
                 // Keep-alive re-announces are not progress; without this a
@@ -206,6 +239,7 @@ pub fn drive_sender<S: SenderMachine, T: Transport>(
                 transport.send(&msg)?;
                 if !is_keepalive {
                     last_progress = Instant::now();
+                    last_event = Some(progress_event(&msg, true));
                 }
                 // Pace transmissions while staying responsive to feedback.
                 let pace_deadline = Instant::now() + rt.packet_spacing;
@@ -218,6 +252,7 @@ pub fn drive_sender<S: SenderMachine, T: Transport>(
                         Some(incoming) => {
                             machine.handle(&incoming, start.elapsed().as_secs_f64())?;
                             last_progress = Instant::now();
+                            last_event = Some(progress_event(&incoming, false));
                         }
                         None => break,
                     }
@@ -226,8 +261,18 @@ pub fn drive_sender<S: SenderMachine, T: Transport>(
             SenderStep::WaitUntil(t) => {
                 let now_i = Instant::now();
                 if now_i.duration_since(last_progress) > rt.stall_timeout {
+                    let waited = now_i.duration_since(last_progress).as_secs_f64();
+                    obs.emit(now, || Event::StallTimeout {
+                        role: Role::Sender,
+                        waited_secs: waited,
+                    });
+                    obs.emit(now, || Event::SessionEnd {
+                        role: Role::Sender,
+                        outcome: Outcome::Stalled,
+                    });
                     return Err(ProtocolError::Stalled {
-                        waited_secs: now_i.duration_since(last_progress).as_secs_f64(),
+                        waited_secs: waited,
+                        last_progress: last_event,
                     });
                 }
                 let wait = Duration::from_secs_f64((t - now).max(0.0))
@@ -236,6 +281,7 @@ pub fn drive_sender<S: SenderMachine, T: Transport>(
                 if let Some(incoming) = transport.recv_timeout(wait)? {
                     machine.handle(&incoming, start.elapsed().as_secs_f64())?;
                     last_progress = Instant::now();
+                    last_event = Some(progress_event(&incoming, false));
                 }
             }
         }
@@ -256,8 +302,25 @@ pub fn drive_receiver<R: ReceiverMachine, T: Transport>(
     transport: &mut T,
     rt: &RuntimeConfig,
 ) -> Result<ReceiverReport, ProtocolError> {
+    drive_receiver_obs(machine, transport, rt, &Obs::null())
+}
+
+/// [`drive_receiver`] with runtime lifecycle events (`stall_timeout`,
+/// `linger_expired`, `session_end`) emitted to `obs`. Per-message events
+/// come from the machine and transport, not the driver.
+///
+/// # Errors
+/// Same as [`drive_receiver`]; `Stalled` errors carry the last event that
+/// counted as progress.
+pub fn drive_receiver_obs<R: ReceiverMachine, T: Transport>(
+    machine: &mut R,
+    transport: &mut T,
+    rt: &RuntimeConfig,
+    obs: &Obs,
+) -> Result<ReceiverReport, ProtocolError> {
     let start = Instant::now();
     let mut last_progress = start;
+    let mut last_event: Option<Event> = None;
     let mut outbound: Vec<Message> = Vec::new();
     loop {
         let now = start.elapsed().as_secs_f64();
@@ -271,16 +334,25 @@ pub fn drive_receiver<R: ReceiverMachine, T: Transport>(
         for m in outbound.drain(..) {
             transport.send(&m)?;
             last_progress = Instant::now();
+            last_event = Some(progress_event(&m, true));
         }
 
         if machine.fin_seen() {
             return if machine.is_complete() {
+                obs.emit(now, || Event::SessionEnd {
+                    role: Role::Receiver,
+                    outcome: Outcome::Completed,
+                });
                 Ok(ReceiverReport {
                     data: machine.take_data()?,
                     counters: *machine.counters(),
                     elapsed: start.elapsed(),
                 })
             } else {
+                obs.emit(now, || Event::SessionEnd {
+                    role: Role::Receiver,
+                    outcome: Outcome::SenderGone,
+                });
                 Err(ProtocolError::SenderGone { groups_missing: 1 })
             };
         }
@@ -288,6 +360,13 @@ pub fn drive_receiver<R: ReceiverMachine, T: Transport>(
         let idle = Instant::now().duration_since(last_progress);
         if machine.is_complete() && idle > rt.complete_linger {
             // FIN was lost but the data is whole; stop lingering.
+            obs.emit(now, || Event::LingerExpired {
+                waited_secs: idle.as_secs_f64(),
+            });
+            obs.emit(now, || Event::SessionEnd {
+                role: Role::Receiver,
+                outcome: Outcome::Completed,
+            });
             return Ok(ReceiverReport {
                 data: machine.take_data()?,
                 counters: *machine.counters(),
@@ -295,8 +374,18 @@ pub fn drive_receiver<R: ReceiverMachine, T: Transport>(
             });
         }
         if idle > rt.stall_timeout {
+            let waited = idle.as_secs_f64();
+            obs.emit(now, || Event::StallTimeout {
+                role: Role::Receiver,
+                waited_secs: waited,
+            });
+            obs.emit(now, || Event::SessionEnd {
+                role: Role::Receiver,
+                outcome: Outcome::Stalled,
+            });
             return Err(ProtocolError::Stalled {
-                waited_secs: idle.as_secs_f64(),
+                waited_secs: waited,
+                last_progress: last_event,
             });
         }
 
@@ -314,6 +403,7 @@ pub fn drive_receiver<R: ReceiverMachine, T: Transport>(
                 }
             }
             last_progress = Instant::now();
+            last_event = Some(progress_event(&msg, false));
         }
     }
 }

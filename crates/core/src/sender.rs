@@ -23,6 +23,7 @@ use std::collections::{HashSet, VecDeque};
 use bytes::Bytes;
 
 use pm_net::Message;
+use pm_obs::{Event, Histogram, Obs, Role};
 use pm_rse::{CodeSpec, RseEncoder};
 
 use crate::config::{CompletionPolicy, NpConfig};
@@ -76,6 +77,7 @@ pub struct NpSender {
     last_demand: f64,
     announce_due: f64,
     fin_sent: bool,
+    obs: Obs,
 }
 
 impl NpSender {
@@ -150,9 +152,30 @@ impl NpSender {
             last_demand: 0.0,
             announce_due: 0.0,
             fin_sent: false,
+            obs: Obs::null(),
         };
         sender.counters.feedback_sent += 1; // the announce
         Ok(sender)
+    }
+
+    /// Emit structured events to `obs` (a `session_start` marks the
+    /// attachment point).
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.obs = obs;
+        self.obs.emit(0.0, || Event::SessionStart {
+            role: Role::Sender,
+            session: self.plan.session,
+            groups: self.plan.groups,
+            bytes: self.plan.total_bytes,
+        });
+        self
+    }
+
+    /// Record per-parity encode latency into `hist` (all geometries).
+    pub fn set_encode_timer(&mut self, hist: Histogram) {
+        for (_, enc) in &mut self.encoders {
+            enc.set_timer(hist.clone());
+        }
     }
 
     fn geometry(&self, g: u32) -> (u16, u16) {
@@ -298,20 +321,49 @@ impl NpSender {
         }
         if let Some(msg) = self.queue.pop_front() {
             match &msg {
-                Message::Packet { index, k, .. } => {
+                Message::Packet {
+                    session,
+                    group,
+                    index,
+                    k,
+                    ..
+                } => {
                     if index < k {
                         self.counters.data_sent += 1;
+                        self.obs.emit(now, || Event::DataSent {
+                            session: *session,
+                            group: *group,
+                            index: *index,
+                        });
                     } else {
                         self.counters.repairs_sent += 1;
+                        self.obs.emit(now, || Event::ParitySent {
+                            session: *session,
+                            group: *group,
+                            index: *index,
+                        });
                     }
                 }
-                Message::Poll { .. } => {
+                Message::Poll {
+                    session,
+                    group,
+                    sent,
+                    round,
+                } => {
                     self.counters.feedback_sent += 1;
+                    self.obs.emit(now, || Event::PollSent {
+                        session: *session,
+                        group: *group,
+                        sent: *sent,
+                        round: *round,
+                    });
                 }
-                Message::Announce { .. } => {
+                Message::Announce { session, .. } => {
                     self.counters.feedback_sent += 1;
                     // A transmitted announce resets the keep-alive clock.
                     self.announce_due = now + self.cfg.announce_interval;
+                    self.obs
+                        .emit(now, || Event::AnnounceSent { session: *session });
                 }
                 _ => {}
             }
@@ -319,6 +371,9 @@ impl NpSender {
         }
         if self.completion_reached(now) {
             self.fin_sent = true;
+            self.obs.emit(now, || Event::FinSent {
+                session: self.plan.session,
+            });
             return SenderStep::Transmit(Message::Fin {
                 session: self.plan.session,
             });
@@ -328,6 +383,9 @@ impl NpSender {
         if now >= self.announce_due {
             self.announce_due = now + self.cfg.announce_interval;
             self.counters.feedback_sent += 1;
+            self.obs.emit(now, || Event::AnnounceSent {
+                session: self.plan.session,
+            });
             return SenderStep::Transmit(self.plan.announce());
         }
         let wake = match self.cfg.completion {
@@ -354,6 +412,15 @@ impl NpSender {
             } => {
                 self.counters.feedback_received += 1;
                 let g = *group;
+                let round_mismatch =
+                    g < self.plan.groups && *round != self.progress[g as usize].round;
+                self.obs.emit(now, || Event::NakRecv {
+                    session: self.plan.session,
+                    group: g,
+                    needed: *needed,
+                    round: *round,
+                    stale: round_mismatch,
+                });
                 if g >= self.plan.groups || *needed == 0 {
                     return Ok(());
                 }
@@ -379,6 +446,19 @@ impl NpSender {
                 let next_round = pr.round;
                 let count = (*needed as usize).min(self.plan.group_k(g));
                 let mut repair = self.produce_parities(g, count)?;
+                self.obs.emit(now, || {
+                    let parities = repair
+                        .iter()
+                        .filter(|m| matches!(m, Message::Packet { index, k, .. } if index >= k))
+                        .count() as u16;
+                    Event::RepairRound {
+                        session: self.plan.session,
+                        group: g,
+                        round: next_round,
+                        parities,
+                        originals: count as u16 - parities,
+                    }
+                });
                 repair.push(Message::Poll {
                     session: self.plan.session,
                     group: g,
@@ -392,6 +472,10 @@ impl NpSender {
             }
             Message::Done { receiver, .. } => {
                 self.counters.feedback_received += 1;
+                self.obs.emit(now, || Event::DoneRecv {
+                    session: self.plan.session,
+                    receiver: *receiver,
+                });
                 self.done_receivers.insert(*receiver);
             }
             // Self-delivered traffic on UDP (our own packets/polls) and

@@ -5,6 +5,7 @@
 
 use std::time::Duration;
 
+use pm_obs::{Event, Obs, Stopwatch};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
@@ -83,6 +84,8 @@ pub struct FaultyTransport<T> {
     /// Reordered message awaiting the one that overtakes it.
     held: Option<Message>,
     stats: FaultStats,
+    obs: Obs,
+    clock: Stopwatch,
 }
 
 impl<T: Transport> FaultyTransport<T> {
@@ -99,7 +102,16 @@ impl<T: Transport> FaultyTransport<T> {
             pending_dup: None,
             held: None,
             stats: FaultStats::default(),
+            obs: Obs::null(),
+            clock: Stopwatch::start(),
         }
+    }
+
+    /// Emit `net_dropped`/`net_duplicated`/`net_reordered` events
+    /// (timestamped from transport creation) to `obs`.
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.obs = obs;
+        self
     }
 
     /// Fault counters so far.
@@ -141,15 +153,24 @@ impl<T: Transport> Transport for FaultyTransport<T> {
             };
             if self.rng.random::<f64>() < self.cfg.drop {
                 self.stats.dropped += 1;
+                self.obs.emit(self.clock.now(), || Event::NetDropped {
+                    kind: msg.obs_kind(),
+                });
                 continue;
             }
             if self.rng.random::<f64>() < self.cfg.reorder && self.held.is_none() {
                 self.stats.reordered += 1;
+                self.obs.emit(self.clock.now(), || Event::NetReordered {
+                    kind: msg.obs_kind(),
+                });
                 self.held = Some(msg);
                 continue;
             }
             if self.rng.random::<f64>() < self.cfg.duplicate {
                 self.stats.duplicated += 1;
+                self.obs.emit(self.clock.now(), || Event::NetDuplicated {
+                    kind: msg.obs_kind(),
+                });
                 self.pending_dup = Some(msg.clone());
             }
             // A message passing through releases any held one right after.

@@ -10,6 +10,7 @@ use std::time::Duration;
 
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::Mutex;
+use pm_obs::{Event, Obs, Stopwatch};
 
 use crate::transport::{NetError, Transport};
 use crate::wire::Message;
@@ -42,6 +43,8 @@ impl MemHub {
             id,
             hub: self.state.clone(),
             rx,
+            obs: Obs::null(),
+            clock: Stopwatch::start(),
         }
     }
 
@@ -56,9 +59,18 @@ pub struct MemEndpoint {
     id: usize,
     hub: Arc<Mutex<HubState>>,
     rx: Receiver<bytes::Bytes>,
+    obs: Obs,
+    clock: Stopwatch,
 }
 
 impl MemEndpoint {
+    /// Emit `net_sent`/`net_recv` events (timestamped from endpoint
+    /// creation) to `obs`.
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.obs = obs;
+        self
+    }
+
     /// Leave the group (subsequent sends by others skip this endpoint).
     /// Dropping the endpoint leaves implicitly.
     pub fn leave(&self) {
@@ -74,6 +86,9 @@ impl Drop for MemEndpoint {
 
 impl Transport for MemEndpoint {
     fn send(&mut self, msg: &Message) -> Result<(), NetError> {
+        self.obs.emit(self.clock.now(), || Event::NetSent {
+            kind: msg.obs_kind(),
+        });
         let encoded = msg.encode();
         let state = self.hub.lock();
         for (id, sink) in &state.sinks {
@@ -92,7 +107,12 @@ impl Transport for MemEndpoint {
             let remaining = deadline.saturating_duration_since(std::time::Instant::now());
             match self.rx.recv_timeout(remaining) {
                 Ok(raw) => match Message::decode(raw) {
-                    Ok(msg) => return Ok(Some(msg)),
+                    Ok(msg) => {
+                        self.obs.emit(self.clock.now(), || Event::NetRecv {
+                            kind: msg.obs_kind(),
+                        });
+                        return Ok(Some(msg));
+                    }
                     Err(_) => continue, // skip malformed, keep waiting
                 },
                 Err(RecvTimeoutError::Timeout) => return Ok(None),

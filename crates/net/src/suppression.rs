@@ -16,6 +16,7 @@
 
 use std::collections::HashMap;
 
+use pm_obs::{Event, Obs};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
@@ -44,6 +45,10 @@ pub struct NakSuppressor {
     slot: f64,
     rng: ChaCha8Rng,
     pending: HashMap<u32, PendingNak>,
+    obs: Obs,
+    /// High-water mark of the caller-supplied clock, used to timestamp
+    /// `nak_suppressed` events (overhearing has no `now` of its own).
+    last_seen: f64,
 }
 
 impl NakSuppressor {
@@ -58,7 +63,14 @@ impl NakSuppressor {
             slot,
             rng: ChaCha8Rng::seed_from_u64(seed),
             pending: HashMap::new(),
+            obs: Obs::null(),
+            last_seen: 0.0,
         }
+    }
+
+    /// Emit `nak_scheduled`/`nak_suppressed` events to `obs`.
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.obs = obs;
     }
 
     /// Handle `POLL(group, sent)` for a group where this receiver still
@@ -66,18 +78,26 @@ impl NakSuppressor {
     /// decoded since the last poll). Re-polling a group replaces its
     /// schedule (the paper's "timer is reset" footnote).
     pub fn on_poll(&mut self, group: u32, round: u16, sent: u16, needed: u16, now: f64) {
+        self.last_seen = self.last_seen.max(now);
         if needed == 0 {
             self.pending.remove(&group);
             return;
         }
         let slot_index = sent.saturating_sub(needed) as f64;
         let offset = (slot_index + self.rng.random::<f64>()) * self.slot;
+        let deadline = now + offset;
+        self.obs.emit(now, || Event::NakScheduled {
+            group,
+            needed,
+            round,
+            deadline,
+        });
         self.pending.insert(
             group,
             PendingNak {
                 needed,
                 round,
-                deadline: now + offset,
+                deadline,
             },
         );
     }
@@ -87,6 +107,12 @@ impl NakSuppressor {
     pub fn on_nak_heard(&mut self, group: u32, m: u16) {
         if let Some(p) = self.pending.get(&group) {
             if m >= p.needed {
+                let needed = p.needed;
+                self.obs.emit(self.last_seen, || Event::NakSuppressed {
+                    group,
+                    needed,
+                    covered_by: m,
+                });
                 self.pending.remove(&group);
             }
         }
@@ -108,6 +134,7 @@ impl NakSuppressor {
     /// Pop every NAK whose deadline has passed; each is returned once
     /// (send it now). Deterministic order (by group id).
     pub fn take_due(&mut self, now: f64) -> Vec<DueNak> {
+        self.last_seen = self.last_seen.max(now);
         let mut due: Vec<DueNak> = self
             .pending
             .iter()
@@ -272,5 +299,35 @@ mod tests {
     #[should_panic(expected = "slot width")]
     fn zero_slot_rejected() {
         let _ = NakSuppressor::new(0.0, 0);
+    }
+
+    #[test]
+    fn schedule_and_suppress_events_emitted() {
+        use std::sync::Arc;
+        let ring = Arc::new(pm_obs::RingRecorder::new(16));
+        let mut s = NakSuppressor::new(0.01, 8);
+        s.set_obs(Obs::new(ring.clone()));
+        s.on_poll(3, 1, 7, 2, 1.0);
+        s.on_nak_heard(3, 5);
+        let events = ring.events();
+        assert_eq!(events.len(), 2);
+        assert!(matches!(
+            events[0].1,
+            Event::NakScheduled {
+                group: 3,
+                needed: 2,
+                round: 1,
+                ..
+            }
+        ));
+        assert_eq!(
+            events[1].1,
+            Event::NakSuppressed {
+                group: 3,
+                needed: 2,
+                covered_by: 5
+            }
+        );
+        assert_eq!(events[1].0, 1.0, "suppression stamped with last seen now");
     }
 }

@@ -22,6 +22,7 @@ use std::time::Duration;
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::Mutex;
+use pm_obs::{Event, Obs, Stopwatch};
 
 use crate::transport::{NetError, Transport};
 use crate::wire::Message;
@@ -113,6 +114,8 @@ impl UdpHub {
             group: self.group,
             send_socket,
             rx,
+            obs: Obs::null(),
+            clock: Stopwatch::start(),
         })
     }
 }
@@ -131,10 +134,24 @@ pub struct UdpEndpoint {
     group: SocketAddrV4,
     send_socket: UdpSocket,
     rx: Receiver<Bytes>,
+    obs: Obs,
+    clock: Stopwatch,
+}
+
+impl UdpEndpoint {
+    /// Emit `net_sent`/`net_recv` events (timestamped from endpoint
+    /// creation) to `obs`.
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.obs = obs;
+        self
+    }
 }
 
 impl Transport for UdpEndpoint {
     fn send(&mut self, msg: &Message) -> Result<(), NetError> {
+        self.obs.emit(self.clock.now(), || Event::NetSent {
+            kind: msg.obs_kind(),
+        });
         let encoded = msg.encode();
         self.send_socket.send_to(&encoded, self.group)?;
         Ok(())
@@ -146,7 +163,12 @@ impl Transport for UdpEndpoint {
             let remaining = deadline.saturating_duration_since(std::time::Instant::now());
             match self.rx.recv_timeout(remaining) {
                 Ok(raw) => match Message::decode(raw) {
-                    Ok(msg) => return Ok(Some(msg)),
+                    Ok(msg) => {
+                        self.obs.emit(self.clock.now(), || Event::NetRecv {
+                            kind: msg.obs_kind(),
+                        });
+                        return Ok(Some(msg));
+                    }
                     Err(_) => continue, // foreign datagram on the group
                 },
                 Err(RecvTimeoutError::Timeout) => return Ok(None),

@@ -139,6 +139,28 @@ impl Message {
         }
     }
 
+    /// Observability classification of this message. `Packet` splits into
+    /// data vs parity by FEC-block index, like the protocol does.
+    pub fn obs_kind(&self) -> pm_obs::MsgKind {
+        use pm_obs::MsgKind;
+        match self {
+            Message::Packet { index, k, .. } => {
+                if index < k {
+                    MsgKind::Data
+                } else {
+                    MsgKind::Parity
+                }
+            }
+            Message::Poll { .. } => MsgKind::Poll,
+            Message::Nak { .. } => MsgKind::Nak,
+            Message::NakPacket { .. } => MsgKind::NakPacket,
+            Message::Announce { .. } => MsgKind::Announce,
+            Message::Done { .. } => MsgKind::Done,
+            Message::Fin { .. } => MsgKind::Fin,
+            Message::FecFrame { .. } => MsgKind::FecFrame,
+        }
+    }
+
     /// Encode into a fresh buffer.
     pub fn encode(&self) -> Bytes {
         let mut b = BytesMut::with_capacity(64);

@@ -1,0 +1,69 @@
+//! `obs-check` — validate a JSONL trace produced by `--trace`.
+//!
+//! Usage: `obs-check <trace.jsonl>`
+//!
+//! Checks that the file is non-empty, every line parses as a JSON object,
+//! and each object carries a numeric `"t"` and a non-empty string
+//! `"type"`. Prints a per-type event census on success; exits 1 with a
+//! line-numbered diagnostic on the first failure.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+fn check(path: &str) -> Result<BTreeMap<String, u64>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let mut census: BTreeMap<String, u64> = BTreeMap::new();
+    let mut lines = 0usize;
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        lines += 1;
+        let lineno = i + 1;
+        let v = serde_json::from_str(line)
+            .map_err(|e| format!("line {lineno}: not valid JSON: {e:?}"))?;
+        let t = v
+            .get("t")
+            .ok_or_else(|| format!("line {lineno}: missing \"t\" field"))?;
+        let t = t
+            .as_f64()
+            .ok_or_else(|| format!("line {lineno}: \"t\" is not a number"))?;
+        if !t.is_finite() || t < 0.0 {
+            return Err(format!("line {lineno}: \"t\" = {t} is not a finite time"));
+        }
+        let ty = v
+            .get("type")
+            .and_then(|ty| ty.as_str().map(str::to_string))
+            .ok_or_else(|| format!("line {lineno}: missing string \"type\" field"))?;
+        if ty.is_empty() {
+            return Err(format!("line {lineno}: empty \"type\""));
+        }
+        *census.entry(ty).or_insert(0) += 1;
+    }
+    if lines == 0 {
+        return Err(format!("{path}: trace is empty"));
+    }
+    Ok(census)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let Some(path) = args.get(1) else {
+        eprintln!("usage: obs-check <trace.jsonl>");
+        return ExitCode::from(2);
+    };
+    match check(path) {
+        Ok(census) => {
+            let total: u64 = census.values().sum();
+            println!("{path}: OK — {total} events, {} types", census.len());
+            for (ty, n) in &census {
+                println!("  {n:>8}  {ty}");
+            }
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("obs-check: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,737 @@
+//! The shared event vocabulary.
+//!
+//! One typed [`Event`] enum covers every layer of the stack — protocol
+//! machines (`pm-core`), transports and NAK suppression (`pm-net`), the
+//! codec cache (`pm-rse`), and the scheme simulator (`pm-sim`) — so a
+//! single JSONL trace tells the whole story of a run. Events are plain
+//! data: construction is cheap, and with the null recorder they are never
+//! constructed at all (see [`crate::Obs::emit`]).
+
+use serde::Value;
+
+/// Which side of the protocol an event belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// The multicast sender.
+    Sender,
+    /// A multicast receiver.
+    Receiver,
+}
+
+impl Role {
+    /// Stable lowercase name used in traces.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Role::Sender => "sender",
+            Role::Receiver => "receiver",
+        }
+    }
+}
+
+/// How a driven session ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// Transfer completed normally.
+    Completed,
+    /// The runtime gave up waiting for progress.
+    Stalled,
+    /// FIN arrived before the transfer completed.
+    SenderGone,
+    /// Any other protocol/transport failure.
+    Failed,
+}
+
+impl Outcome {
+    /// Stable lowercase name used in traces.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Outcome::Completed => "completed",
+            Outcome::Stalled => "stalled",
+            Outcome::SenderGone => "sender_gone",
+            Outcome::Failed => "failed",
+        }
+    }
+}
+
+/// Wire-message classification for transport-level events. `Data` and
+/// `Parity` split `Message::Packet` by FEC-block index (`index < k` is
+/// data), mirroring how the protocol itself treats packets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MsgKind {
+    /// Session announcement.
+    Announce,
+    /// Data packet (`index < k`).
+    Data,
+    /// Parity packet (`index >= k`).
+    Parity,
+    /// Sender poll.
+    Poll,
+    /// NP per-group NAK.
+    Nak,
+    /// N2 per-packet NAK.
+    NakPacket,
+    /// Receiver completion report.
+    Done,
+    /// Session close.
+    Fin,
+    /// Layered-FEC transport frame.
+    FecFrame,
+}
+
+impl MsgKind {
+    /// Stable lowercase name used in traces.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            MsgKind::Announce => "announce",
+            MsgKind::Data => "data",
+            MsgKind::Parity => "parity",
+            MsgKind::Poll => "poll",
+            MsgKind::Nak => "nak",
+            MsgKind::NakPacket => "nak_packet",
+            MsgKind::Done => "done",
+            MsgKind::Fin => "fin",
+            MsgKind::FecFrame => "fec_frame",
+        }
+    }
+}
+
+/// One structured observability event.
+///
+/// Timestamps are *not* part of the event: the emitting site supplies the
+/// session-relative time `t` (seconds) to [`crate::Obs::emit`], and
+/// recorders pair the two. This keeps events constructible in sans-io code
+/// that has no clock of its own.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    // ---- session lifecycle (pm-core machines + runtime) ----
+    /// A protocol machine was constructed for a session.
+    SessionStart {
+        /// Sender or receiver side.
+        role: Role,
+        /// Session identifier.
+        session: u32,
+        /// Transmission groups planned (0 until a receiver learns a plan).
+        groups: u32,
+        /// Transfer size in bytes (0 until known).
+        bytes: u64,
+    },
+    /// A driven session ended.
+    SessionEnd {
+        /// Sender or receiver side.
+        role: Role,
+        /// How it ended.
+        outcome: Outcome,
+    },
+    /// The runtime aborted for lack of progress.
+    StallTimeout {
+        /// Which driver stalled.
+        role: Role,
+        /// Seconds since the last progress event.
+        waited_secs: f64,
+    },
+    /// A complete receiver stopped lingering for a lost FIN.
+    LingerExpired {
+        /// Seconds the receiver lingered.
+        waited_secs: f64,
+    },
+
+    // ---- sender side (pm-core) ----
+    /// Announce multicast (initial or keep-alive).
+    AnnounceSent {
+        /// Session identifier.
+        session: u32,
+    },
+    /// Data packet multicast.
+    DataSent {
+        /// Session identifier.
+        session: u32,
+        /// Transmission group.
+        group: u32,
+        /// FEC-block index (`< k`).
+        index: u16,
+    },
+    /// Parity (or fallback original retransmission) multicast as repair.
+    ParitySent {
+        /// Session identifier.
+        session: u32,
+        /// Transmission group.
+        group: u32,
+        /// FEC-block index (`>= k` for true parities).
+        index: u16,
+    },
+    /// Poll multicast after a round.
+    PollSent {
+        /// Session identifier.
+        session: u32,
+        /// Transmission group.
+        group: u32,
+        /// Packets sent in the round (NAK slotting parameter `s`).
+        sent: u16,
+        /// Round number.
+        round: u16,
+    },
+    /// FIN multicast; the session is closing.
+    FinSent {
+        /// Session identifier.
+        session: u32,
+    },
+    /// A NAK reached the sender.
+    NakRecv {
+        /// Session identifier.
+        session: u32,
+        /// Transmission group.
+        group: u32,
+        /// Packets the receiver still needs.
+        needed: u16,
+        /// Round the NAK answers.
+        round: u16,
+        /// True if round gating discarded it (duplicate of a serviced
+        /// round).
+        stale: bool,
+    },
+    /// The sender queued one repair round for a group.
+    RepairRound {
+        /// Session identifier.
+        session: u32,
+        /// Transmission group.
+        group: u32,
+        /// The new round number.
+        round: u16,
+        /// Fresh parities queued.
+        parities: u16,
+        /// Original data packets re-queued (parity budget exhausted).
+        originals: u16,
+    },
+    /// A receiver reported completion.
+    DoneRecv {
+        /// Session identifier.
+        session: u32,
+        /// Reporting receiver.
+        receiver: u32,
+    },
+
+    // ---- receiver side (pm-core) ----
+    /// Data packet received.
+    DataRecv {
+        /// Session identifier.
+        session: u32,
+        /// Transmission group.
+        group: u32,
+        /// FEC-block index (`< k`).
+        index: u16,
+    },
+    /// Parity packet received.
+    ParityRecv {
+        /// Session identifier.
+        session: u32,
+        /// Transmission group.
+        group: u32,
+        /// FEC-block index (`>= k`).
+        index: u16,
+    },
+    /// Poll received.
+    PollRecv {
+        /// Session identifier.
+        session: u32,
+        /// Transmission group.
+        group: u32,
+        /// Packets sent in the round.
+        sent: u16,
+        /// Round number.
+        round: u16,
+    },
+    /// A transmission group was fully decoded.
+    GroupDecoded {
+        /// Session identifier.
+        session: u32,
+        /// Transmission group.
+        group: u32,
+        /// Data packets reconstructed by the codec (0 on the systematic
+        /// fast path).
+        recovered: u64,
+    },
+    /// The decoder's inverse-matrix cache served a repeated loss pattern.
+    DecodeCacheHit {
+        /// Group size of the code.
+        k: u16,
+        /// Block size of the code.
+        n: u16,
+    },
+    /// A fresh loss pattern forced an O(k^3) matrix inversion.
+    DecodeCacheMiss {
+        /// Group size of the code.
+        k: u16,
+        /// Block size of the code.
+        n: u16,
+    },
+    /// A NAK timer fired and the NAK was multicast.
+    NakSent {
+        /// Session identifier.
+        session: u32,
+        /// Transmission group.
+        group: u32,
+        /// Packets still needed.
+        needed: u16,
+        /// Round being answered.
+        round: u16,
+    },
+    /// This receiver reported completion.
+    DoneSent {
+        /// Session identifier.
+        session: u32,
+        /// The reporting receiver.
+        receiver: u32,
+    },
+    /// FIN received.
+    FinRecv {
+        /// Session identifier.
+        session: u32,
+    },
+    /// Every group decoded; the transfer is whole.
+    TransferComplete {
+        /// Session identifier.
+        session: u32,
+        /// Groups decoded.
+        groups: u32,
+    },
+
+    // ---- NAK suppression (pm-net) ----
+    /// A NAK was scheduled into its slot.
+    NakScheduled {
+        /// Transmission group.
+        group: u32,
+        /// Packets still needed.
+        needed: u16,
+        /// Round being answered.
+        round: u16,
+        /// Absolute deadline (session clock, seconds).
+        deadline: f64,
+    },
+    /// An overheard NAK damped the scheduled one.
+    NakSuppressed {
+        /// Transmission group.
+        group: u32,
+        /// Packets this receiver still needed.
+        needed: u16,
+        /// Demand of the overheard NAK that covered it.
+        covered_by: u16,
+    },
+
+    // ---- transports (pm-net) ----
+    /// A message left through a transport.
+    NetSent {
+        /// Message classification.
+        kind: MsgKind,
+    },
+    /// A message was delivered by a transport.
+    NetRecv {
+        /// Message classification.
+        kind: MsgKind,
+    },
+    /// The fault injector dropped a message.
+    NetDropped {
+        /// Message classification.
+        kind: MsgKind,
+    },
+    /// The fault injector duplicated a message.
+    NetDuplicated {
+        /// Message classification.
+        kind: MsgKind,
+    },
+    /// The fault injector held a message back (one-packet reorder).
+    NetReordered {
+        /// Message classification.
+        kind: MsgKind,
+    },
+
+    // ---- simulator (pm-sim) ----
+    /// One scheme/environment simulation finished.
+    SimRun {
+        /// Scheme label (e.g. `integrated2(k=7)`).
+        scheme: String,
+        /// Receiver population.
+        receivers: u64,
+        /// Trials averaged.
+        trials: u64,
+        /// Mean transmissions per data packet, `E[M]`.
+        mean_m: f64,
+        /// Half-width of the 95% confidence interval on `mean_m`.
+        ci95: f64,
+        /// Mean rounds per transmission group.
+        mean_rounds: f64,
+    },
+}
+
+impl Event {
+    /// Stable snake_case type name (the `type` field of a JSONL line).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Event::SessionStart { .. } => "session_start",
+            Event::SessionEnd { .. } => "session_end",
+            Event::StallTimeout { .. } => "stall_timeout",
+            Event::LingerExpired { .. } => "linger_expired",
+            Event::AnnounceSent { .. } => "announce_sent",
+            Event::DataSent { .. } => "data_sent",
+            Event::ParitySent { .. } => "parity_sent",
+            Event::PollSent { .. } => "poll_sent",
+            Event::FinSent { .. } => "fin_sent",
+            Event::NakRecv { .. } => "nak_recv",
+            Event::RepairRound { .. } => "repair_round",
+            Event::DoneRecv { .. } => "done_recv",
+            Event::DataRecv { .. } => "data_recv",
+            Event::ParityRecv { .. } => "parity_recv",
+            Event::PollRecv { .. } => "poll_recv",
+            Event::GroupDecoded { .. } => "group_decoded",
+            Event::DecodeCacheHit { .. } => "decode_cache_hit",
+            Event::DecodeCacheMiss { .. } => "decode_cache_miss",
+            Event::NakSent { .. } => "nak_sent",
+            Event::DoneSent { .. } => "done_sent",
+            Event::FinRecv { .. } => "fin_recv",
+            Event::TransferComplete { .. } => "transfer_complete",
+            Event::NakScheduled { .. } => "nak_scheduled",
+            Event::NakSuppressed { .. } => "nak_suppressed",
+            Event::NetSent { .. } => "net_sent",
+            Event::NetRecv { .. } => "net_recv",
+            Event::NetDropped { .. } => "net_dropped",
+            Event::NetDuplicated { .. } => "net_duplicated",
+            Event::NetReordered { .. } => "net_reordered",
+            Event::SimRun { .. } => "sim_run",
+        }
+    }
+
+    /// Render as one JSON object with the timestamp `t` and the `type`
+    /// name first, then the variant's fields.
+    pub fn to_json(&self, t: f64) -> Value {
+        let mut m: Vec<(String, Value)> = vec![
+            ("t".into(), Value::Number(t)),
+            ("type".into(), Value::String(self.name().into())),
+        ];
+        macro_rules! num {
+            ($k:expr, $v:expr) => {
+                m.push(($k.into(), Value::Number($v)))
+            };
+        }
+        match self {
+            Event::SessionStart {
+                role,
+                session,
+                groups,
+                bytes,
+            } => {
+                m.push(("role".into(), Value::String(role.as_str().into())));
+                num!("session", *session as f64);
+                num!("groups", *groups as f64);
+                num!("bytes", *bytes as f64);
+            }
+            Event::SessionEnd { role, outcome } => {
+                m.push(("role".into(), Value::String(role.as_str().into())));
+                m.push(("outcome".into(), Value::String(outcome.as_str().into())));
+            }
+            Event::StallTimeout { role, waited_secs } => {
+                m.push(("role".into(), Value::String(role.as_str().into())));
+                num!("waited_secs", *waited_secs);
+            }
+            Event::LingerExpired { waited_secs } => num!("waited_secs", *waited_secs),
+            Event::AnnounceSent { session }
+            | Event::FinSent { session }
+            | Event::FinRecv { session } => num!("session", *session as f64),
+            Event::DataSent {
+                session,
+                group,
+                index,
+            }
+            | Event::ParitySent {
+                session,
+                group,
+                index,
+            }
+            | Event::DataRecv {
+                session,
+                group,
+                index,
+            }
+            | Event::ParityRecv {
+                session,
+                group,
+                index,
+            } => {
+                num!("session", *session as f64);
+                num!("group", *group as f64);
+                num!("index", *index as f64);
+            }
+            Event::PollSent {
+                session,
+                group,
+                sent,
+                round,
+            }
+            | Event::PollRecv {
+                session,
+                group,
+                sent,
+                round,
+            } => {
+                num!("session", *session as f64);
+                num!("group", *group as f64);
+                num!("sent", *sent as f64);
+                num!("round", *round as f64);
+            }
+            Event::NakRecv {
+                session,
+                group,
+                needed,
+                round,
+                stale,
+            } => {
+                num!("session", *session as f64);
+                num!("group", *group as f64);
+                num!("needed", *needed as f64);
+                num!("round", *round as f64);
+                m.push(("stale".into(), Value::Bool(*stale)));
+            }
+            Event::RepairRound {
+                session,
+                group,
+                round,
+                parities,
+                originals,
+            } => {
+                num!("session", *session as f64);
+                num!("group", *group as f64);
+                num!("round", *round as f64);
+                num!("parities", *parities as f64);
+                num!("originals", *originals as f64);
+            }
+            Event::DoneRecv { session, receiver } | Event::DoneSent { session, receiver } => {
+                num!("session", *session as f64);
+                num!("receiver", *receiver as f64);
+            }
+            Event::GroupDecoded {
+                session,
+                group,
+                recovered,
+            } => {
+                num!("session", *session as f64);
+                num!("group", *group as f64);
+                num!("recovered", *recovered as f64);
+            }
+            Event::DecodeCacheHit { k, n } | Event::DecodeCacheMiss { k, n } => {
+                num!("k", *k as f64);
+                num!("n", *n as f64);
+            }
+            Event::NakSent {
+                session,
+                group,
+                needed,
+                round,
+            } => {
+                num!("session", *session as f64);
+                num!("group", *group as f64);
+                num!("needed", *needed as f64);
+                num!("round", *round as f64);
+            }
+            Event::TransferComplete { session, groups } => {
+                num!("session", *session as f64);
+                num!("groups", *groups as f64);
+            }
+            Event::NakScheduled {
+                group,
+                needed,
+                round,
+                deadline,
+            } => {
+                num!("group", *group as f64);
+                num!("needed", *needed as f64);
+                num!("round", *round as f64);
+                num!("deadline", *deadline);
+            }
+            Event::NakSuppressed {
+                group,
+                needed,
+                covered_by,
+            } => {
+                num!("group", *group as f64);
+                num!("needed", *needed as f64);
+                num!("covered_by", *covered_by as f64);
+            }
+            Event::NetSent { kind }
+            | Event::NetRecv { kind }
+            | Event::NetDropped { kind }
+            | Event::NetDuplicated { kind }
+            | Event::NetReordered { kind } => {
+                m.push(("kind".into(), Value::String(kind.as_str().into())));
+            }
+            Event::SimRun {
+                scheme,
+                receivers,
+                trials,
+                mean_m,
+                ci95,
+                mean_rounds,
+            } => {
+                m.push(("scheme".into(), Value::String(scheme.clone())));
+                num!("receivers", *receivers as f64);
+                num!("trials", *trials as f64);
+                num!("mean_m", *mean_m);
+                num!("ci95", *ci95);
+                num!("mean_rounds", *mean_rounds);
+            }
+        }
+        Value::Object(m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_carries_t_and_type() {
+        let ev = Event::DataSent {
+            session: 7,
+            group: 2,
+            index: 5,
+        };
+        let v = ev.to_json(1.25);
+        assert_eq!(v["t"], 1.25);
+        assert_eq!(v["type"], "data_sent");
+        assert_eq!(v["group"], 2);
+        assert_eq!(v["index"], 5);
+    }
+
+    #[test]
+    fn every_variant_names_and_serializes() {
+        let samples = vec![
+            Event::SessionStart {
+                role: Role::Sender,
+                session: 1,
+                groups: 3,
+                bytes: 4096,
+            },
+            Event::SessionEnd {
+                role: Role::Receiver,
+                outcome: Outcome::Completed,
+            },
+            Event::StallTimeout {
+                role: Role::Sender,
+                waited_secs: 1.5,
+            },
+            Event::LingerExpired { waited_secs: 0.3 },
+            Event::AnnounceSent { session: 1 },
+            Event::DataSent {
+                session: 1,
+                group: 0,
+                index: 0,
+            },
+            Event::ParitySent {
+                session: 1,
+                group: 0,
+                index: 9,
+            },
+            Event::PollSent {
+                session: 1,
+                group: 0,
+                sent: 8,
+                round: 1,
+            },
+            Event::FinSent { session: 1 },
+            Event::NakRecv {
+                session: 1,
+                group: 0,
+                needed: 2,
+                round: 1,
+                stale: false,
+            },
+            Event::RepairRound {
+                session: 1,
+                group: 0,
+                round: 2,
+                parities: 2,
+                originals: 0,
+            },
+            Event::DoneRecv {
+                session: 1,
+                receiver: 4,
+            },
+            Event::DataRecv {
+                session: 1,
+                group: 0,
+                index: 0,
+            },
+            Event::ParityRecv {
+                session: 1,
+                group: 0,
+                index: 9,
+            },
+            Event::PollRecv {
+                session: 1,
+                group: 0,
+                sent: 8,
+                round: 1,
+            },
+            Event::GroupDecoded {
+                session: 1,
+                group: 0,
+                recovered: 2,
+            },
+            Event::DecodeCacheHit { k: 8, n: 48 },
+            Event::DecodeCacheMiss { k: 8, n: 48 },
+            Event::NakSent {
+                session: 1,
+                group: 0,
+                needed: 2,
+                round: 1,
+            },
+            Event::DoneSent {
+                session: 1,
+                receiver: 4,
+            },
+            Event::FinRecv { session: 1 },
+            Event::TransferComplete {
+                session: 1,
+                groups: 3,
+            },
+            Event::NakScheduled {
+                group: 0,
+                needed: 2,
+                round: 1,
+                deadline: 0.015,
+            },
+            Event::NakSuppressed {
+                group: 0,
+                needed: 2,
+                covered_by: 3,
+            },
+            Event::NetSent {
+                kind: MsgKind::Data,
+            },
+            Event::NetRecv {
+                kind: MsgKind::Poll,
+            },
+            Event::NetDropped {
+                kind: MsgKind::Parity,
+            },
+            Event::NetDuplicated { kind: MsgKind::Nak },
+            Event::NetReordered {
+                kind: MsgKind::Announce,
+            },
+            Event::SimRun {
+                scheme: "no-FEC".into(),
+                receivers: 16,
+                trials: 100,
+                mean_m: 1.2,
+                ci95: 0.01,
+                mean_rounds: 2.0,
+            },
+        ];
+        let mut names = std::collections::HashSet::new();
+        for ev in &samples {
+            assert!(names.insert(ev.name()), "duplicate name {}", ev.name());
+            let line = serde_json::to_string(&ev.to_json(0.5)).unwrap();
+            let back = serde_json::from_str(&line).unwrap();
+            assert_eq!(back["type"].as_str(), Some(ev.name()));
+            assert_eq!(back["t"].as_f64(), Some(0.5));
+        }
+        assert_eq!(names.len(), 30, "vocabulary size pinned");
+    }
+}

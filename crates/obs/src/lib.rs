@@ -1,0 +1,47 @@
+//! # pm-obs — zero-dependency observability for the parity-multicast stack
+//!
+//! One coherent, typed event vocabulary plus lock-cheap metrics, threaded
+//! through every layer of the repo:
+//!
+//! - **Events** ([`event`]): the [`Event`] enum names everything the
+//!   protocol, transports, codec, and simulator can report — session
+//!   lifecycle, per-round NAK/repair traffic, suppression decisions,
+//!   network faults, decode-cache behaviour. [`Event::to_json`] renders a
+//!   flat `{"t": .., "type": .., ..}` object for JSONL traces.
+//! - **Recorders** ([`recorder`]): the [`Recorder`] trait with three
+//!   implementations — [`NullRecorder`] (the default; [`Obs::emit`] is a
+//!   single branch and never constructs the event), [`JsonlRecorder`]
+//!   (one JSON object per line to any writer), and [`RingRecorder`]
+//!   (bounded in-memory buffer for tests). Instrumented types hold an
+//!   [`Obs`] handle, defaulting to [`Obs::null`].
+//! - **Metrics** ([`metrics`]): atomic [`Counter`]s and [`Gauge`]s, a
+//!   fixed-bucket log2 [`Histogram`] with p50/p90/p99/max, RAII
+//!   [`SpanTimer`]s, and a [`MetricsRegistry`] with text/JSON snapshots.
+//! - **Stats** ([`stats`]): the Welford [`RunningStat`] shared with
+//!   `pm-sim`, with `NaN`-honest variance and a [`RunningStat::ci95`]
+//!   confidence-interval helper.
+//!
+//! The crate deliberately depends only on the vendored `serde`/
+//! `serde_json` already in-tree — no external registry crates.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use pm_obs::{Event, Obs, RingRecorder};
+//!
+//! let ring = Arc::new(RingRecorder::new(16));
+//! let obs = Obs::new(ring.clone());
+//! obs.emit(0.25, || Event::DataSent { session: 7, group: 0, index: 3 });
+//! assert_eq!(ring.events()[0].1.name(), "data_sent");
+//! ```
+
+pub mod event;
+pub mod metrics;
+pub mod recorder;
+pub mod stats;
+
+pub use event::{Event, MsgKind, Outcome, Role};
+pub use metrics::{
+    Counter, Gauge, Histogram, HistogramSnapshot, Metric, MetricsRegistry, SpanTimer,
+};
+pub use recorder::{JsonlRecorder, NullRecorder, Obs, Recorder, RingRecorder, Stopwatch};
+pub use stats::RunningStat;

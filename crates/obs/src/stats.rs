@@ -1,0 +1,107 @@
+//! Online statistics shared by the metrics layer and the simulator.
+//!
+//! This is the home of [`RunningStat`]; `pm-sim` re-exports it so existing
+//! `pm_sim::RunningStat` call sites keep working.
+
+/// Welford online mean/variance accumulator.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RunningStat {
+    n: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl RunningStat {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let d = x - self.mean;
+        self.mean += d / self.n as f64;
+        self.m2 += d * (x - self.mean);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Unbiased sample variance. `NaN` with fewer than two observations —
+    /// the variance is genuinely undefined there, and a silent 0 made
+    /// single-trial runs look infinitely precise.
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            f64::NAN
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Standard error of the mean (`NaN` with fewer than two
+    /// observations).
+    pub fn stderr(&self) -> f64 {
+        if self.n < 2 {
+            f64::NAN
+        } else {
+            (self.variance() / self.n as f64).sqrt()
+        }
+    }
+
+    /// Half-width of the normal-approximation 95% confidence interval,
+    /// `1.96 × stderr` (`NaN` with fewer than two observations).
+    pub fn ci95(&self) -> f64 {
+        1.96 * self.stderr()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_variance() {
+        let mut s = RunningStat::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.push(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        // Population variance 4 => sample variance 32/7.
+        assert!((s.variance() - 32.0 / 7.0).abs() < 1e-12);
+        let se = (32.0 / 7.0 / 8.0_f64).sqrt();
+        assert!((s.stderr() - se).abs() < 1e-12);
+        assert!((s.ci95() - 1.96 * se).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_cases_are_nan_not_zero() {
+        let s = RunningStat::new();
+        assert_eq!(s.mean(), 0.0);
+        assert!(s.variance().is_nan());
+        assert!(s.stderr().is_nan());
+        assert!(s.ci95().is_nan());
+        let mut s = RunningStat::new();
+        s.push(3.0);
+        assert_eq!(s.mean(), 3.0);
+        assert!(s.variance().is_nan(), "n=1 variance is undefined, not 0");
+        assert!(s.stderr().is_nan());
+    }
+
+    #[test]
+    fn two_observations_are_defined() {
+        let mut s = RunningStat::new();
+        s.push(1.0);
+        s.push(3.0);
+        assert!((s.variance() - 2.0).abs() < 1e-12);
+        assert!(s.stderr().is_finite());
+    }
+}

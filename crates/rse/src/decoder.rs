@@ -17,6 +17,7 @@
 
 use pm_gf::slice::mul_add_slice;
 use pm_gf::{Gf256, Matrix};
+use pm_obs::{Counter, Histogram, SpanTimer};
 
 use std::sync::{Arc, Mutex};
 
@@ -33,6 +34,15 @@ type PatternKey = [u64; 4];
 /// patterns than one receiver sees in practice.
 const INVERSE_CACHE_CAP: usize = 16;
 
+/// Point-in-time view of the inverse-cache effectiveness counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Decodes served by a memoised inverse.
+    pub hits: u64,
+    /// Decodes that had to invert a fresh matrix.
+    pub misses: u64,
+}
+
 /// A reusable decoder for one [`CodeSpec`].
 #[derive(Debug)]
 pub struct RseDecoder {
@@ -41,6 +51,12 @@ pub struct RseDecoder {
     parity_rows: Matrix,
     /// MRU-first LRU of `(selection bitmask, inverted matrix)`.
     inverse_cache: Mutex<Vec<(PatternKey, Arc<Matrix>)>>,
+    /// Lifetime cache-hit count, shared across clones.
+    cache_hits: Counter,
+    /// Lifetime cache-miss (fresh inversion) count, shared across clones.
+    cache_misses: Counter,
+    /// Optional decode-latency histogram (nanoseconds per decode call).
+    timer: Option<Histogram>,
 }
 
 impl Clone for RseDecoder {
@@ -51,6 +67,9 @@ impl Clone for RseDecoder {
             spec: self.spec,
             parity_rows: self.parity_rows.clone(),
             inverse_cache: Mutex::new(entries),
+            cache_hits: self.cache_hits.clone(),
+            cache_misses: self.cache_misses.clone(),
+            timer: self.timer.clone(),
         }
     }
 }
@@ -77,12 +96,30 @@ impl RseDecoder {
             spec,
             parity_rows: rows,
             inverse_cache: Mutex::new(Vec::new()),
+            cache_hits: Counter::new(),
+            cache_misses: Counter::new(),
+            timer: None,
         }
     }
 
     /// Number of loss patterns whose inverse is currently memoised.
     pub fn cached_inverses(&self) -> usize {
         self.inverse_cache.lock().expect("cache lock").len()
+    }
+
+    /// Lifetime inverse-cache hit/miss counts (shared across clones; the
+    /// systematic no-loss fast path touches neither).
+    pub fn cache_stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.cache_hits.get(),
+            misses: self.cache_misses.get(),
+        }
+    }
+
+    /// Record per-call decode latency (nanoseconds) into `hist`. Off by
+    /// default so the uninstrumented hot path pays nothing.
+    pub fn set_timer(&mut self, hist: Histogram) {
+        self.timer = Some(hist);
     }
 
     /// The inverse of the selection's generator-row matrix, from the LRU
@@ -101,9 +138,11 @@ impl RseDecoder {
                 let hit = cache.remove(pos);
                 let inv = Arc::clone(&hit.1);
                 cache.insert(0, hit);
+                self.cache_hits.inc();
                 return Ok(inv);
             }
         }
+        self.cache_misses.inc();
 
         // Invert outside the lock: O(k^3) work must not serialize decoders
         // racing on different patterns.
@@ -148,6 +187,7 @@ impl RseDecoder {
     /// [`RseError::NotEnoughShares`] with fewer than `k` distinct shares,
     /// plus the usual validation errors.
     pub fn decode<P: AsRef<[u8]>>(&self, shares: &[(usize, P)]) -> Result<Vec<Vec<u8>>, RseError> {
+        let _span = self.timer.as_ref().map(SpanTimer::start);
         let k = self.spec.k();
         let n = self.spec.n();
 
@@ -467,6 +507,7 @@ mod tests {
         assert_eq!(dec.cached_inverses(), 1);
         assert_eq!(dec.decode(&rev).unwrap(), data);
         assert_eq!(dec.cached_inverses(), 1, "reordered shares reuse the entry");
+        assert_eq!(dec.cache_stats(), CacheStats { hits: 1, misses: 1 });
     }
 
     #[test]
@@ -495,6 +536,7 @@ mod tests {
             data.iter().enumerate().map(|(i, d)| (i, &d[..])).collect();
         assert_eq!(dec.decode(&shares).unwrap(), data);
         assert_eq!(dec.cached_inverses(), 0, "no inversion, no cache entry");
+        assert_eq!(dec.cache_stats(), CacheStats::default());
     }
 
     #[test]
@@ -506,6 +548,9 @@ mod tests {
         let cloned = dec.clone();
         assert_eq!(cloned.cached_inverses(), 1);
         assert_eq!(cloned.decode(&shares).unwrap(), data);
+        // Hit/miss counters are one shared cell across clones.
+        assert_eq!(dec.cache_stats(), CacheStats { hits: 1, misses: 1 });
+        assert_eq!(cloned.cache_stats(), dec.cache_stats());
     }
 
     #[test]

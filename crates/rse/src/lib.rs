@@ -58,7 +58,7 @@ pub mod wide;
 
 pub use block::{GroupDecoder, InsertOutcome};
 pub use code::CodeSpec;
-pub use decoder::RseDecoder;
+pub use decoder::{CacheStats, RseDecoder};
 pub use encoder::RseEncoder;
 pub use error::RseError;
 pub use incremental::{AddOutcome, IncrementalDecoder};

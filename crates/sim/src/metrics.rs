@@ -1,63 +1,22 @@
-//! Online statistics and simulation results.
+//! Simulation results.
+//!
+//! The Welford accumulator lives in `pm-obs` ([`pm_obs::RunningStat`]) so
+//! the observability layer and the simulator share one implementation; it
+//! is re-exported here for existing `pm_sim::RunningStat` call sites.
 
-/// Welford online mean/variance accumulator.
-#[derive(Debug, Clone, Copy, Default, PartialEq)]
-pub struct RunningStat {
-    n: u64,
-    mean: f64,
-    m2: f64,
-}
-
-impl RunningStat {
-    /// Empty accumulator.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Add one observation.
-    pub fn push(&mut self, x: f64) {
-        self.n += 1;
-        let d = x - self.mean;
-        self.mean += d / self.n as f64;
-        self.m2 += d * (x - self.mean);
-    }
-
-    /// Number of observations.
-    pub fn count(&self) -> u64 {
-        self.n
-    }
-
-    /// Sample mean (0 when empty).
-    pub fn mean(&self) -> f64 {
-        self.mean
-    }
-
-    /// Unbiased sample variance (0 with fewer than two observations).
-    pub fn variance(&self) -> f64 {
-        if self.n < 2 {
-            0.0
-        } else {
-            self.m2 / (self.n - 1) as f64
-        }
-    }
-
-    /// Standard error of the mean.
-    pub fn stderr(&self) -> f64 {
-        if self.n < 2 {
-            0.0
-        } else {
-            (self.variance() / self.n as f64).sqrt()
-        }
-    }
-}
+pub use pm_obs::RunningStat;
 
 /// Result of one simulated configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SimResult {
     /// Mean transmissions per data packet, `E[M]`.
     pub mean_transmissions: f64,
-    /// Standard error of `mean_transmissions`.
+    /// Standard error of `mean_transmissions` (`NaN` with fewer than two
+    /// trials — undefined, not zero).
     pub stderr: f64,
+    /// Half-width of the 95% confidence interval on `mean_transmissions`
+    /// (`1.96 × stderr`; `NaN` with fewer than two trials).
+    pub ci95: f64,
     /// Mean transmission rounds per group (1 when the scheme has no round
     /// structure, e.g. integrated FEC 1).
     pub mean_rounds: f64,
@@ -76,6 +35,7 @@ impl SimResult {
         SimResult {
             mean_transmissions: m.mean(),
             stderr: m.stderr(),
+            ci95: m.ci95(),
             mean_rounds: rounds.mean(),
             mean_unneeded: unneeded.mean(),
             trials: m.count() as usize,
@@ -86,31 +46,6 @@ impl SimResult {
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn mean_and_variance() {
-        let mut s = RunningStat::new();
-        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
-            s.push(x);
-        }
-        assert_eq!(s.count(), 8);
-        assert!((s.mean() - 5.0).abs() < 1e-12);
-        // Population variance 4 => sample variance 32/7.
-        assert!((s.variance() - 32.0 / 7.0).abs() < 1e-12);
-        assert!((s.stderr() - (32.0 / 7.0 / 8.0_f64).sqrt()).abs() < 1e-12);
-    }
-
-    #[test]
-    fn degenerate_cases() {
-        let s = RunningStat::new();
-        assert_eq!(s.mean(), 0.0);
-        assert_eq!(s.variance(), 0.0);
-        assert_eq!(s.stderr(), 0.0);
-        let mut s = RunningStat::new();
-        s.push(3.0);
-        assert_eq!(s.mean(), 3.0);
-        assert_eq!(s.variance(), 0.0);
-    }
 
     #[test]
     fn result_assembly() {
@@ -125,5 +60,17 @@ mod tests {
         assert!((res.mean_rounds - 2.0).abs() < 1e-12);
         assert_eq!(res.mean_unneeded, 0.0);
         assert!(res.stderr > 0.0);
+        assert!((res.ci95 - 1.96 * res.stderr).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_trial_interval_is_nan() {
+        let mut m = RunningStat::new();
+        m.push(3.0);
+        let res = SimResult::from_stats(&m, &m, &m);
+        assert_eq!(res.trials, 1);
+        assert_eq!(res.mean_transmissions, 3.0);
+        assert!(res.stderr.is_nan(), "n=1 stderr must be NaN, not 0");
+        assert!(res.ci95.is_nan());
     }
 }

@@ -1,6 +1,7 @@
 //! Scheme dispatch and parameter sweeps.
 
 use pm_loss::{GilbertLoss, IndependentLoss, LossModel, TreeBurstLoss, TreeLoss, TwoClassLoss};
+use pm_obs::{Event, Obs};
 
 use crate::config::SimConfig;
 use crate::metrics::SimResult;
@@ -112,6 +113,32 @@ pub fn run_env(
     }
 }
 
+/// [`run_env`] with a `sim_run` summary event emitted to `obs` at
+/// timestamp `now` once the run finishes.
+///
+/// # Panics
+/// Same conditions as [`run_env`].
+pub fn run_env_traced(
+    cfg: &SimConfig,
+    scheme: Scheme,
+    env: LossEnv,
+    receivers: usize,
+    seed: u64,
+    obs: &Obs,
+    now: f64,
+) -> SimResult {
+    let res = run_env(cfg, scheme, env, receivers, seed);
+    obs.emit(now, || Event::SimRun {
+        scheme: scheme.label(),
+        receivers: receivers as u64,
+        trials: res.trials as u64,
+        mean_m: res.mean_transmissions,
+        ci95: res.ci95,
+        mean_rounds: res.mean_rounds,
+    });
+    res
+}
+
 /// Sweep receiver counts `2^0 .. 2^max_exp`, returning `(R, result)` pairs.
 pub fn sweep_receivers(
     cfg: &SimConfig,
@@ -217,6 +244,41 @@ mod tests {
         assert_eq!(pts[4].0, 16);
         // Monotone within noise: last >= first.
         assert!(pts[4].1.mean_transmissions >= pts[0].1.mean_transmissions);
+    }
+
+    #[test]
+    fn traced_run_emits_summary() {
+        use std::sync::Arc;
+        let ring = Arc::new(pm_obs::RingRecorder::new(4));
+        let obs = Obs::new(ring.clone());
+        let cfg = SimConfig::paper_timing(40);
+        let res = run_env_traced(
+            &cfg,
+            Scheme::Integrated2 { k: 3 },
+            LossEnv::Independent { p: 0.1 },
+            4,
+            1,
+            &obs,
+            2.5,
+        );
+        let events = ring.events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].0, 2.5);
+        match &events[0].1 {
+            Event::SimRun {
+                scheme,
+                receivers,
+                trials,
+                mean_m,
+                ..
+            } => {
+                assert_eq!(scheme, "integrated2(k=3)");
+                assert_eq!(*receivers, 4);
+                assert_eq!(*trials as usize, res.trials);
+                assert_eq!(*mean_m, res.mean_transmissions);
+            }
+            other => panic!("expected SimRun, got {other:?}"),
+        }
     }
 
     #[test]

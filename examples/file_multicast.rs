@@ -10,17 +10,22 @@
 //! cargo run --example file_multicast -- --size 1048576 --receivers 4 --drop 0.15
 //! # or transfer a real file
 //! cargo run --example file_multicast -- --file /path/to/file --receivers 2
+//! # with a JSONL event trace and a metrics dump
+//! cargo run --example file_multicast -- --trace transfer.jsonl --metrics
 //! ```
 
 use std::net::{Ipv4Addr, SocketAddrV4};
+use std::sync::Arc;
 use std::time::Duration;
 
 use parity_multicast::net::udp::UdpHub;
 use parity_multicast::net::{FaultConfig, FaultyTransport, MemHub, Transport};
+use parity_multicast::obs::{JsonlRecorder, MetricsRegistry, Obs};
 use parity_multicast::protocol::runtime::{
-    drive_receiver, drive_sender, ReceiverReport, RuntimeConfig,
+    drive_receiver_obs, drive_sender_obs, ReceiverReport, RuntimeConfig,
 };
 use parity_multicast::protocol::{CompletionPolicy, NpConfig, NpReceiver, NpSender};
+use parity_multicast::rse::CacheStats;
 
 struct Args {
     size: usize,
@@ -30,6 +35,8 @@ struct Args {
     k: usize,
     port: u16,
     adaptive: bool,
+    trace: Option<String>,
+    metrics: bool,
 }
 
 fn parse_args() -> Args {
@@ -41,6 +48,8 @@ fn parse_args() -> Args {
         k: 20,
         port: 47999,
         adaptive: false,
+        trace: None,
+        metrics: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -56,6 +65,8 @@ fn parse_args() -> Args {
             "--k" => args.k = val().parse().expect("--k takes a group size"),
             "--port" => args.port = val().parse().expect("--port takes a port"),
             "--adaptive" => args.adaptive = true,
+            "--trace" => args.trace = Some(val()),
+            "--metrics" => args.metrics = true,
             other => panic!("unknown flag {other}"),
         }
     }
@@ -69,16 +80,27 @@ enum Net {
 }
 
 impl Net {
-    fn endpoint(&self) -> Box<dyn Transport> {
+    fn endpoint(&self, obs: Obs) -> Box<dyn Transport> {
         match self {
-            Net::Udp(hub) => Box::new(hub.endpoint().expect("udp endpoint")),
-            Net::Mem(hub) => Box::new(hub.join()),
+            Net::Udp(hub) => Box::new(hub.endpoint().expect("udp endpoint").with_obs(obs)),
+            Net::Mem(hub) => Box::new(hub.join().with_obs(obs)),
         }
     }
 }
 
 fn main() {
     let args = parse_args();
+    let trace_rec = args
+        .trace
+        .as_deref()
+        .map(|path| Arc::new(JsonlRecorder::create(path).expect("cannot open trace file")));
+    let obs = match &trace_rec {
+        Some(rec) => Obs::new(rec.clone()),
+        None => Obs::null(),
+    };
+    let registry = MetricsRegistry::new();
+    let encode_ns = registry.histogram("rse.encode_ns");
+    let decode_ns = registry.histogram("rse.decode_ns");
     let data = match &args.file {
         Some(path) => std::fs::read(path).expect("readable input file"),
         None => {
@@ -126,10 +148,13 @@ fn main() {
 
     // Receivers first (multicast has no replay for late joiners).
     let session = 0xF11E;
-    let receiver_handles: Vec<std::thread::JoinHandle<ReceiverReport>> = (0..args.receivers)
+    let receiver_handles: Vec<std::thread::JoinHandle<(ReceiverReport, CacheStats)>> = (0..args
+        .receivers)
         .map(|id| {
-            let endpoint = net.endpoint();
+            let endpoint = net.endpoint(obs.clone());
             let drop = args.drop;
+            let obs = obs.clone();
+            let decode_ns = decode_ns.clone();
             std::thread::Builder::new()
                 .name(format!("receiver-{id}"))
                 .spawn(move || {
@@ -137,21 +162,34 @@ fn main() {
                         endpoint,
                         FaultConfig::drop_only(drop),
                         0xBEEF + id as u64,
-                    );
-                    let mut machine = NpReceiver::new(id, session, 0.002, id as u64);
-                    drive_receiver(&mut machine, &mut tp, &rt).expect("receive failed")
+                    )
+                    .with_obs(obs.clone());
+                    let mut machine =
+                        NpReceiver::new(id, session, 0.002, id as u64).with_obs(obs.clone());
+                    machine.set_decode_timer(decode_ns);
+                    let report = drive_receiver_obs(&mut machine, &mut tp, &rt, &obs)
+                        .expect("receive failed");
+                    (report, machine.decode_cache_stats())
                 })
                 .expect("spawn receiver")
         })
         .collect();
 
-    let mut sender_tp = net.endpoint();
-    let mut sender = NpSender::new(session, &data, cfg).expect("valid sender config");
-    let report = drive_sender(&mut sender, &mut sender_tp, &rt).expect("send failed");
+    let mut sender_tp = net.endpoint(obs.clone());
+    let mut sender = NpSender::new(session, &data, cfg)
+        .expect("valid sender config")
+        .with_obs(obs.clone());
+    sender.set_encode_timer(encode_ns);
+    let report = drive_sender_obs(&mut sender, &mut sender_tp, &rt, &obs).expect("send failed");
 
     let mut ok = true;
+    let mut merged = parity_multicast::protocol::CostCounters::default();
+    let mut cache = CacheStats::default();
     for (id, h) in receiver_handles.into_iter().enumerate() {
-        let r = h.join().expect("receiver thread");
+        let (r, rc) = h.join().expect("receiver thread");
+        merged.merge(&r.counters);
+        cache.hits += rc.hits;
+        cache.misses += rc.misses;
         let good = r.data == data;
         ok &= good;
         println!(
@@ -175,4 +213,18 @@ fn main() {
     );
     assert!(ok, "at least one receiver got corrupt data");
     println!("transfer verified on all receivers");
+
+    if args.metrics {
+        report.counters.register_into(&registry, "sender");
+        merged.register_into(&registry, "receiver");
+        registry.counter("rse.decode_cache_hits").add(cache.hits);
+        registry
+            .counter("rse.decode_cache_misses")
+            .add(cache.misses);
+        eprintln!("\n{}", registry.render_text());
+    }
+    if let Some(rec) = &trace_rec {
+        rec.flush();
+        eprintln!("trace written to {}", args.trace.as_deref().unwrap());
+    }
 }

@@ -4,32 +4,69 @@
 //! For each environment (independent, shared full-binary-tree, Markov
 //! burst) the example simulates no-FEC ARQ, layered FEC, and both
 //! integrated FEC variants across receiver populations, printing E[M] —
-//! the expected transmissions per data packet — plus the analytical values
-//! where the paper has closed forms.
+//! the expected transmissions per data packet with its 95% confidence
+//! half-width — plus the analytical values where the paper has closed
+//! forms.
 //!
 //! ```sh
 //! cargo run --release --example loss_recovery_sim [-- --trials 2000]
+//!     [--trace runs.jsonl]   # one sim_run JSONL event per simulation
+//!     [--metrics]            # dump the run census to stderr at exit
 //! ```
 
+use std::sync::Arc;
+
 use parity_multicast::analysis::{integrated, layered, nofec, Population};
-use parity_multicast::sim::runner::{run_env, LossEnv, Scheme};
+use parity_multicast::obs::{JsonlRecorder, MetricsRegistry, Obs, Stopwatch};
+use parity_multicast::sim::runner::{run_env_traced, LossEnv, Scheme};
 use parity_multicast::sim::SimConfig;
 
-fn parse_trials() -> usize {
+struct Options {
+    trials: usize,
+    trace: Option<String>,
+    metrics: bool,
+}
+
+fn parse_options() -> Options {
+    let mut opts = Options {
+        trials: 1500,
+        trace: None,
+        metrics: false,
+    };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
-        if flag == "--trials" {
-            return it
-                .next()
-                .and_then(|v| v.parse().ok())
-                .expect("--trials takes a positive integer");
+        match flag.as_str() {
+            "--trials" => {
+                opts.trials = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--trials takes a positive integer");
+            }
+            "--trace" => {
+                opts.trace = Some(it.next().expect("--trace takes a file path"));
+            }
+            "--metrics" => opts.metrics = true,
+            other => panic!("unknown flag {other:?} (try --trials/--trace/--metrics)"),
         }
     }
-    1500
+    opts
 }
 
 fn main() {
-    let trials = parse_trials();
+    let opts = parse_options();
+    let trace_rec = opts
+        .trace
+        .as_deref()
+        .map(|path| Arc::new(JsonlRecorder::create(path).expect("cannot open trace file")));
+    let obs = match &trace_rec {
+        Some(rec) => Obs::new(rec.clone()),
+        None => Obs::null(),
+    };
+    let clock = Stopwatch::start();
+    let registry = MetricsRegistry::new();
+    let runs = registry.counter("sim.runs");
+
+    let trials = opts.trials;
     let cfg = SimConfig::paper_timing(trials);
     let p = 0.01;
     let k = 7;
@@ -62,8 +99,17 @@ fn main() {
         for &r in &populations {
             print!("{r:>8}");
             for (i, &s) in schemes.iter().enumerate() {
-                let res = run_env(&cfg, s, env, r, 0xC0FFEE ^ (i as u64) << 8);
-                print!("{:>16.3} ±{:.3}", res.mean_transmissions, res.stderr);
+                let res = run_env_traced(
+                    &cfg,
+                    s,
+                    env,
+                    r,
+                    0xC0FFEE ^ (i as u64) << 8,
+                    &obs,
+                    clock.now(),
+                );
+                runs.inc();
+                print!("{:>16.3} ±{:.3}", res.mean_transmissions, res.ci95);
             }
             println!();
         }
@@ -90,4 +136,12 @@ fn main() {
         " * shared loss: every scheme needs fewer transmissions; FEC's edge shrinks (Figs. 11-12)"
     );
     println!(" * burst loss: layered(7+1) is WORSE than no-FEC; integrated2 beats integrated1 (Figs. 15-16)");
+
+    if opts.metrics {
+        eprintln!("\n{}", registry.render_text());
+    }
+    if let Some(rec) = &trace_rec {
+        rec.flush();
+        eprintln!("trace written to {}", opts.trace.as_deref().unwrap());
+    }
 }

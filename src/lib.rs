@@ -19,6 +19,7 @@
 //! | [`sim`] | `pm-sim` | scheme simulations (no-FEC, layered, integrated 1/2) |
 //! | [`net`] | `pm-net` | wire format, UDP multicast + in-memory transports, NAK suppression |
 //! | [`protocol`] | `pm-core` | protocol NP and baseline N2 (sans-io + runtime) |
+//! | [`obs`] | `pm-obs` | structured trace events, counters/histograms, JSONL recorders |
 //!
 //! ## Quickstart
 //!
@@ -88,5 +89,6 @@ pub use pm_core as protocol;
 pub use pm_gf as gf;
 pub use pm_loss as loss;
 pub use pm_net as net;
+pub use pm_obs as obs;
 pub use pm_rse as rse;
 pub use pm_sim as sim;

@@ -195,6 +195,54 @@ fn max_geometry_session_works() {
 }
 
 #[test]
+fn stalled_errors_carry_last_progress_context() {
+    use parity_multicast::obs::{Event, MsgKind};
+
+    let fast = RuntimeConfig {
+        packet_spacing: Duration::from_micros(50),
+        stall_timeout: Duration::from_millis(150),
+        complete_linger: Duration::from_millis(300),
+    };
+
+    // A sender with no receivers transmits its whole schedule, then stalls
+    // waiting for feedback: the error must remember the last transmission.
+    let hub = MemHub::new();
+    let mut tp = hub.join();
+    let mut s = NpSender::new(3, &payload(500), config(1)).expect("config");
+    match drive_sender(&mut s, &mut tp, &fast) {
+        Err(ProtocolError::Stalled {
+            last_progress: Some(ev),
+            ..
+        }) => {
+            assert!(
+                matches!(ev, Event::NetSent { .. }),
+                "sender progress is its own transmissions, got {ev:?}"
+            );
+        }
+        other => panic!("expected stall with context, got {other:?}"),
+    }
+
+    // A receiver that never hears anything has no progress to report.
+    let hub = MemHub::new();
+    let mut tp = hub.join();
+    let mut r = NpReceiver::new(1, 1, 0.001, 5);
+    match drive_receiver(&mut r, &mut tp, &fast) {
+        Err(ProtocolError::Stalled {
+            last_progress: None,
+            waited_secs,
+        }) => assert!(waited_secs >= 0.15),
+        other => panic!("expected bare stall, got {other:?}"),
+    }
+
+    // The Display form surfaces the event name for post-mortems.
+    let e = ProtocolError::Stalled {
+        waited_secs: 1.5,
+        last_progress: Some(Event::NetRecv { kind: MsgKind::Nak }),
+    };
+    assert!(e.to_string().contains("last progress: net_recv"));
+}
+
+#[test]
 fn sender_survives_nak_storm() {
     // Suppression failure worst case: every receiver NAKs every round.
     // Round gating + the service quarantine must keep repair traffic

@@ -1,0 +1,233 @@
+//! End-to-end observability: run real NP sessions with every layer wired
+//! to one shared recorder and check the trace against ground truth —
+//! causality (sends precede receives), reconciliation (event counts match
+//! the transports' and machines' own counters), and decode-cache reuse
+//! under a repeating loss pattern.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use parity_multicast::loss::LossModel;
+use parity_multicast::net::{FaultConfig, FaultyTransport, MemHub};
+use parity_multicast::obs::{Event, Obs, RingRecorder};
+use parity_multicast::protocol::harness::{run_simulation, HarnessConfig};
+use parity_multicast::protocol::runtime::{
+    drive_receiver_obs, drive_sender_obs, ReceiverReport, RuntimeConfig,
+};
+use parity_multicast::protocol::{CompletionPolicy, NpConfig, NpReceiver, NpSender};
+
+fn payload(n: usize) -> Vec<u8> {
+    (0..n).map(|i| (i.wrapping_mul(40503) >> 3) as u8).collect()
+}
+
+#[test]
+fn threaded_session_trace_reconciles_with_counters() {
+    const RECEIVERS: u32 = 3;
+    let ring = Arc::new(RingRecorder::new(1 << 16));
+    let obs = Obs::new(ring.clone());
+
+    let hub = MemHub::new();
+    let data = payload(40_000);
+    let session = 0x0B5;
+    let mut cfg = NpConfig::small(CompletionPolicy::KnownReceivers(RECEIVERS));
+    cfg.k = 8;
+    cfg.h = 40;
+    cfg.payload_len = 256;
+    cfg.nak_slot = 0.002;
+    let rt = RuntimeConfig {
+        packet_spacing: Duration::from_micros(100),
+        stall_timeout: Duration::from_secs(15),
+        complete_linger: Duration::from_millis(300),
+    };
+
+    let handles: Vec<std::thread::JoinHandle<(ReceiverReport, u64)>> = (0..RECEIVERS)
+        .map(|id| {
+            let ep = hub.join();
+            let obs = obs.clone();
+            std::thread::spawn(move || {
+                let mut tp =
+                    FaultyTransport::new(ep, FaultConfig::drop_only(0.08), 0xD0 + id as u64)
+                        .with_obs(obs.clone());
+                let mut m = NpReceiver::new(id, session, 0.002, id as u64).with_obs(obs.clone());
+                let report = drive_receiver_obs(&mut m, &mut tp, &rt, &obs).expect("receive");
+                (report, tp.stats().dropped)
+            })
+        })
+        .collect();
+
+    let mut sender_tp = hub.join().with_obs(obs.clone());
+    let mut sender = NpSender::new(session, &data, cfg)
+        .expect("config")
+        .with_obs(obs.clone());
+    drive_sender_obs(&mut sender, &mut sender_tp, &rt, &obs).expect("send");
+
+    let mut injected_drops = 0u64;
+    let mut suppressed_counted = 0u64;
+    for h in handles {
+        let (report, dropped) = h.join().expect("receiver thread");
+        assert_eq!(report.data, data);
+        injected_drops += dropped;
+        suppressed_counted += report.counters.feedback_suppressed;
+    }
+
+    assert_eq!(ring.evicted(), 0, "ring must hold the complete trace");
+    let events = ring.events();
+
+    // Causality: every data/parity reception was transmitted first.
+    let mut sent: std::collections::HashSet<(u32, u32, u16, bool)> = Default::default();
+    for (_, ev) in &events {
+        match *ev {
+            Event::DataSent {
+                session: s,
+                group,
+                index,
+            } => {
+                sent.insert((s, group, index, true));
+            }
+            Event::ParitySent {
+                session: s,
+                group,
+                index,
+            } => {
+                sent.insert((s, group, index, false));
+            }
+            Event::DataRecv {
+                session: s,
+                group,
+                index,
+            } => {
+                assert!(
+                    sent.contains(&(s, group, index, true)),
+                    "data_recv {s}/{group}/{index} before any data_sent"
+                );
+            }
+            Event::ParityRecv {
+                session: s,
+                group,
+                index,
+            } => {
+                assert!(
+                    sent.contains(&(s, group, index, false)),
+                    "parity_recv {s}/{group}/{index} before any parity_sent"
+                );
+            }
+            _ => {}
+        }
+    }
+
+    // Reconciliation: fault-injector drops and damped NAKs match 1:1.
+    let count =
+        |pred: &dyn Fn(&Event) -> bool| events.iter().filter(|(_, e)| pred(e)).count() as u64;
+    assert_eq!(
+        count(&|e| matches!(e, Event::NetDropped { .. })),
+        injected_drops,
+        "net_dropped events must equal the injector's drop count"
+    );
+    assert_eq!(
+        count(&|e| matches!(e, Event::NakSuppressed { .. })),
+        suppressed_counted,
+        "nak_suppressed events must equal the feedback_suppressed counters"
+    );
+
+    // Lifecycle: one session_start per endpoint, everyone ends Completed.
+    assert_eq!(
+        count(&|e| matches!(e, Event::SessionStart { .. })),
+        RECEIVERS as u64 + 1
+    );
+    assert_eq!(
+        count(&|e| matches!(
+            e,
+            Event::SessionEnd {
+                outcome: parity_multicast::obs::Outcome::Completed,
+                ..
+            }
+        )),
+        RECEIVERS as u64 + 1
+    );
+    assert_eq!(count(&|e| matches!(e, Event::StallTimeout { .. })), 0);
+}
+
+/// Drops exactly the second data packet of every round-1 group: the first
+/// `groups * k` sampled transmissions are round-1 data (repairs only start
+/// after the round-trip), so `count % k == 1` hits data index 1 each group.
+struct SecondPacketOfEachGroup {
+    k: usize,
+    round1: usize,
+    count: usize,
+}
+
+impl LossModel for SecondPacketOfEachGroup {
+    fn receivers(&self) -> usize {
+        1
+    }
+    fn sample(&mut self, _time: f64, lost: &mut [bool]) {
+        lost[0] = self.count < self.round1 && self.count % self.k == 1;
+        self.count += 1;
+    }
+}
+
+#[test]
+fn repeating_loss_pattern_hits_the_inverse_cache() {
+    const K: usize = 4;
+    const GROUPS: usize = 4;
+    let ring = Arc::new(RingRecorder::new(1 << 12));
+    let obs = Obs::new(ring.clone());
+
+    let mut cfg = NpConfig::small(CompletionPolicy::KnownReceivers(1));
+    cfg.k = K;
+    cfg.h = 8;
+    cfg.payload_len = 64;
+    cfg.nak_slot = 0.001;
+    let data = payload(GROUPS * K * 64); // exact multiple: every group same spec
+
+    let mut sender = NpSender::new(0xCAC, &data, cfg).expect("config");
+    let mut receivers = vec![NpReceiver::new(0, 0xCAC, 0.001, 9).with_obs(obs)];
+    let mut loss = SecondPacketOfEachGroup {
+        k: K,
+        round1: GROUPS * K,
+        count: 0,
+    };
+    // Latency far above the round-1 transmission time, so repairs cannot
+    // interleave with (and shift the count of) first-round data.
+    let report = run_simulation(
+        &mut sender,
+        &mut receivers,
+        &mut loss,
+        &HarnessConfig {
+            delta: 0.001,
+            latency: 0.05,
+            lossy_control: false,
+            time_cap: 600.0,
+        },
+    )
+    .expect("session completes");
+    assert_eq!(report.completed, 1);
+    assert_eq!(receivers[0].take_data().unwrap(), data);
+
+    let events = ring.events();
+    let hits = events
+        .iter()
+        .filter(|(_, e)| matches!(e, Event::DecodeCacheHit { .. }))
+        .count();
+    let misses = events
+        .iter()
+        .filter(|(_, e)| matches!(e, Event::DecodeCacheMiss { .. }))
+        .count();
+    assert_eq!(
+        misses, 1,
+        "one erasure pattern means one matrix inversion total"
+    );
+    assert_eq!(hits, GROUPS - 1, "remaining groups reuse the inverse");
+
+    let decoded: Vec<_> = events
+        .iter()
+        .filter_map(|(_, e)| match e {
+            Event::GroupDecoded {
+                group, recovered, ..
+            } => Some((*group, *recovered)),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(decoded.len(), GROUPS);
+    assert!(decoded.iter().all(|&(_, rec)| rec == 1));
+}
