@@ -19,6 +19,12 @@
 //! | Eqs. (10)–(16) N2/NP processing rates | [`endhost`] |
 //! | Fig. 1 coding-rate model | [`coding`] |
 //!
+//! Each stochastic model also has a parallel Monte Carlo estimator in
+//! [`montecarlo`] that simulates the model's *definition* (not the
+//! formula) across a [`pm_par::Pool`], with results bit-identical at any
+//! worker count — the crate's own tests cross-check every closed form
+//! against them.
+//!
 //! Receiver heterogeneity is expressed through [`Population`]: a list of
 //! `(loss probability, receiver count)` classes. The homogeneous case is a
 //! single class; the paper's Figs. 9–10 use two. Per-class grouping keeps
@@ -38,6 +44,7 @@ pub mod endhost;
 pub mod integrated;
 pub mod latency;
 pub mod layered;
+pub mod montecarlo;
 pub mod nofec;
 pub mod numerics;
 pub mod population;
@@ -49,6 +56,3 @@ pub use population::Population;
 
 #[cfg(test)]
 mod proptests;
-
-#[cfg(test)]
-mod montecarlo;

@@ -360,6 +360,20 @@ pub enum Event {
         /// Mean rounds per transmission group.
         mean_rounds: f64,
     },
+    /// One simulated trial (one transmission group, or one packet for
+    /// no-FEC) finished. Emitted by the parallel scheme runner at trial
+    /// boundaries; `t` is the trial's *simulated* end time, not wall
+    /// clock.
+    SimTrial {
+        /// Scheme label (e.g. `integrated2(k=7)`).
+        scheme: String,
+        /// Trial index within the run (also the RNG sub-seed index).
+        trial: u64,
+        /// Transmissions per data packet this trial contributed, `M`.
+        m: f64,
+        /// Rounds the trial took.
+        rounds: f64,
+    },
 }
 
 impl Event {
@@ -396,6 +410,7 @@ impl Event {
             Event::NetDuplicated { .. } => "net_duplicated",
             Event::NetReordered { .. } => "net_reordered",
             Event::SimRun { .. } => "sim_run",
+            Event::SimTrial { .. } => "sim_trial",
         }
     }
 
@@ -576,6 +591,17 @@ impl Event {
                 num!("ci95", *ci95);
                 num!("mean_rounds", *mean_rounds);
             }
+            Event::SimTrial {
+                scheme,
+                trial,
+                m: m_value,
+                rounds,
+            } => {
+                m.push(("scheme".into(), Value::String(scheme.clone())));
+                num!("trial", *trial as f64);
+                num!("m", *m_value);
+                num!("rounds", *rounds);
+            }
         }
         Value::Object(m)
     }
@@ -723,6 +749,12 @@ mod tests {
                 ci95: 0.01,
                 mean_rounds: 2.0,
             },
+            Event::SimTrial {
+                scheme: "no-FEC".into(),
+                trial: 3,
+                m: 1.5,
+                rounds: 2.0,
+            },
         ];
         let mut names = std::collections::HashSet::new();
         for ev in &samples {
@@ -732,6 +764,6 @@ mod tests {
             assert_eq!(back["type"].as_str(), Some(ev.name()));
             assert_eq!(back["t"].as_f64(), Some(0.5));
         }
-        assert_eq!(names.len(), 30, "vocabulary size pinned");
+        assert_eq!(names.len(), 31, "vocabulary size pinned");
     }
 }

@@ -13,7 +13,10 @@
 //!   single branch and never constructs the event), [`JsonlRecorder`]
 //!   (one JSON object per line to any writer), and [`RingRecorder`]
 //!   (bounded in-memory buffer for tests). Instrumented types hold an
-//!   [`Obs`] handle, defaulting to [`Obs::null`].
+//!   [`Obs`] handle, defaulting to [`Obs::null`]. Parallel producers
+//!   stage events in a thread-local [`EventBuffer`] and flush whole
+//!   trials at a time, so multi-threaded traces never interleave
+//!   mid-trial.
 //! - **Metrics** ([`metrics`]): atomic [`Counter`]s and [`Gauge`]s, a
 //!   fixed-bucket log2 [`Histogram`] with p50/p90/p99/max, RAII
 //!   [`SpanTimer`]s, and a [`MetricsRegistry`] with text/JSON snapshots.
@@ -43,5 +46,7 @@ pub use event::{Event, MsgKind, Outcome, Role};
 pub use metrics::{
     Counter, Gauge, Histogram, HistogramSnapshot, Metric, MetricsRegistry, SpanTimer,
 };
-pub use recorder::{JsonlRecorder, NullRecorder, Obs, Recorder, RingRecorder, Stopwatch};
+pub use recorder::{
+    EventBuffer, JsonlRecorder, NullRecorder, Obs, Recorder, RingRecorder, Stopwatch,
+};
 pub use stats::RunningStat;

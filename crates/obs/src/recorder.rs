@@ -89,6 +89,76 @@ impl Default for Obs {
     }
 }
 
+/// A thread-local staging buffer for events produced off the recording
+/// thread.
+///
+/// Shared recorders serialize every [`Recorder::record`] call (the JSONL
+/// and ring recorders take a mutex). A parallel simulation emitting from
+/// many workers would contend on that lock and interleave events from
+/// unrelated trials. An `EventBuffer` fixes both: workers stage events
+/// locally with [`EventBuffer::emit`] (same closure fast-path contract as
+/// [`Obs::emit`] — nothing is built when the target is disabled) and call
+/// [`EventBuffer::flush_to`] at a *trial boundary*, which replays the
+/// batch into the shared recorder back-to-back. Traces therefore
+/// interleave at trial granularity, never mid-trial, which is the
+/// invariant `obs-check`ed multi-threaded traces rely on.
+///
+/// ```
+/// use std::sync::Arc;
+/// use pm_obs::{Event, EventBuffer, Obs, RingRecorder};
+/// let ring = Arc::new(RingRecorder::new(8));
+/// let obs = Obs::new(ring.clone());
+/// let mut buf = EventBuffer::for_obs(&obs);
+/// buf.emit(0.1, || Event::FinSent { session: 1 });
+/// assert!(ring.is_empty()); // staged, not yet recorded
+/// buf.flush_to(&obs);
+/// assert_eq!(ring.len(), 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct EventBuffer {
+    enabled: bool,
+    buf: Vec<(f64, Event)>,
+}
+
+impl EventBuffer {
+    /// A buffer gated on `obs`'s enabled flag: when `obs` is the null
+    /// handle, [`EventBuffer::emit`] never constructs events, so hot
+    /// loops cost one branch exactly as with [`Obs::emit`].
+    pub fn for_obs(obs: &Obs) -> Self {
+        EventBuffer {
+            enabled: obs.enabled(),
+            buf: Vec::new(),
+        }
+    }
+
+    /// Stage one event at time `t`. The closure runs only when the buffer
+    /// was created for an enabled recorder.
+    #[inline]
+    pub fn emit(&mut self, t: f64, make: impl FnOnce() -> Event) {
+        if self.enabled {
+            self.buf.push((t, make()));
+        }
+    }
+
+    /// Events currently staged.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing is staged.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Replay every staged event into `obs` in emission order and clear
+    /// the buffer (its capacity is kept for the next trial).
+    pub fn flush_to(&mut self, obs: &Obs) {
+        for (t, ev) in self.buf.drain(..) {
+            obs.emit(t, || ev);
+        }
+    }
+}
+
 impl fmt::Debug for Obs {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Obs")
@@ -281,6 +351,51 @@ mod tests {
         let v1 = serde_json::from_str(lines[1]).unwrap();
         assert_eq!(v1["type"], "fin_sent");
         assert_eq!(v1["session"], 9);
+    }
+
+    #[test]
+    fn buffer_stages_then_flushes_in_order() {
+        let ring = Arc::new(RingRecorder::new(8));
+        let obs = Obs::new(ring.clone());
+        let mut buf = EventBuffer::for_obs(&obs);
+        for i in 0..4 {
+            buf.emit(i as f64, || ev(i));
+        }
+        assert_eq!(buf.len(), 4);
+        assert!(ring.is_empty(), "nothing recorded before the flush");
+        buf.flush_to(&obs);
+        assert!(buf.is_empty());
+        let events = ring.events();
+        assert_eq!(events.len(), 4);
+        for (i, (t, e)) in events.iter().enumerate() {
+            assert_eq!(*t, i as f64);
+            assert_eq!(*e, ev(i as u16));
+        }
+    }
+
+    #[test]
+    fn buffer_for_null_obs_never_builds() {
+        let mut buf = EventBuffer::for_obs(&Obs::null());
+        let mut built = false;
+        buf.emit(0.0, || {
+            built = true;
+            ev(0)
+        });
+        assert!(!built, "closure must not run for a disabled target");
+        assert!(buf.is_empty());
+        buf.flush_to(&Obs::null()); // no-op, must not panic
+    }
+
+    #[test]
+    fn buffer_is_reusable_across_flushes() {
+        let ring = Arc::new(RingRecorder::new(8));
+        let obs = Obs::new(ring.clone());
+        let mut buf = EventBuffer::for_obs(&obs);
+        buf.emit(1.0, || ev(1));
+        buf.flush_to(&obs);
+        buf.emit(2.0, || ev(2));
+        buf.flush_to(&obs);
+        assert_eq!(ring.len(), 2);
     }
 
     #[test]

@@ -25,6 +25,32 @@ impl RunningStat {
         self.m2 += d * (x - self.mean);
     }
 
+    /// Absorb another accumulator, as if every observation pushed into
+    /// `other` had been pushed into `self` — the parallel variance
+    /// combine of Chan, Golub & LeVeque (1979). This is what lets
+    /// per-thread accumulators from a parallel sweep collapse into one
+    /// result; merging is exact in `n` and agrees with single-pass
+    /// accumulation to floating-point reassociation error.
+    ///
+    /// Merging is associative up to that same reassociation error, and an
+    /// empty accumulator is an identity on both sides (bit-exactly).
+    pub fn merge(&mut self, other: &RunningStat) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let n = n1 + n2;
+        let delta = other.mean - self.mean;
+        self.mean += delta * (n2 / n);
+        self.m2 += other.m2 + delta * delta * (n1 * n2 / n);
+        self.n += other.n;
+    }
+
     /// Number of observations.
     pub fn count(&self) -> u64 {
         self.n
@@ -103,5 +129,104 @@ mod tests {
         s.push(3.0);
         assert!((s.variance() - 2.0).abs() < 1e-12);
         assert!(s.stderr().is_finite());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity_both_ways() {
+        let mut a = RunningStat::new();
+        for x in [1.0, 2.5, -3.0] {
+            a.push(x);
+        }
+        let before = a;
+        a.merge(&RunningStat::new());
+        assert_eq!(a, before, "right identity");
+        let mut b = RunningStat::new();
+        b.merge(&before);
+        assert_eq!(b, before, "left identity");
+    }
+
+    #[test]
+    fn merge_of_halves_matches_single_pass() {
+        let xs: Vec<f64> = (0..101).map(|i| (i as f64 * 0.37).sin() * 5.0).collect();
+        let mut whole = RunningStat::new();
+        for &x in &xs {
+            whole.push(x);
+        }
+        let (lo, hi) = xs.split_at(40);
+        let mut a = RunningStat::new();
+        let mut b = RunningStat::new();
+        lo.iter().for_each(|&x| a.push(x));
+        hi.iter().for_each(|&x| b.push(x));
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean() - whole.mean()).abs() < 1e-12);
+        assert!((a.variance() - whole.variance()).abs() < 1e-12);
+        assert!((a.stderr() - whole.stderr()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_counts_are_exact() {
+        let mut a = RunningStat::new();
+        let mut b = RunningStat::new();
+        (0..7).for_each(|i| a.push(i as f64));
+        (0..11).for_each(|i| b.push(i as f64));
+        a.merge(&b);
+        assert_eq!(a.count(), 18);
+    }
+}
+
+#[cfg(test)]
+mod merge_properties {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn close(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() <= tol * (1.0 + a.abs().max(b.abs()))
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Chan-merge of an arbitrary split equals single-pass Welford
+        /// within 1e-12 relative error, for mean, variance and stderr.
+        #[test]
+        fn split_merge_matches_single_pass(
+            xs in proptest::collection::vec(-1e3f64..1e3, 2..200),
+            cut_frac in 0.0f64..1.0,
+        ) {
+            let cut = ((xs.len() as f64 * cut_frac) as usize).min(xs.len());
+            let mut whole = RunningStat::new();
+            xs.iter().for_each(|&x| whole.push(x));
+            let mut left = RunningStat::new();
+            let mut right = RunningStat::new();
+            xs[..cut].iter().for_each(|&x| left.push(x));
+            xs[cut..].iter().for_each(|&x| right.push(x));
+            left.merge(&right);
+            prop_assert_eq!(left.count(), whole.count());
+            prop_assert!(close(left.mean(), whole.mean(), 1e-12));
+            prop_assert!(close(left.variance(), whole.variance(), 1e-9),
+                "variance {} vs {}", left.variance(), whole.variance());
+            prop_assert!(close(left.stderr(), whole.stderr(), 1e-9));
+        }
+
+        /// Merging many chunk accumulators in order (the pm-par reduction
+        /// shape) also agrees with one pass.
+        #[test]
+        fn chunked_merge_matches_single_pass(
+            xs in proptest::collection::vec(-50f64..50.0, 2..300),
+            chunk in 1usize..32,
+        ) {
+            let mut whole = RunningStat::new();
+            xs.iter().for_each(|&x| whole.push(x));
+            let mut merged = RunningStat::new();
+            for c in xs.chunks(chunk) {
+                let mut part = RunningStat::new();
+                c.iter().for_each(|&x| part.push(x));
+                merged.merge(&part);
+            }
+            prop_assert_eq!(merged.count(), whole.count());
+            prop_assert!(close(merged.mean(), whole.mean(), 1e-12));
+            prop_assert!(close(merged.variance(), whole.variance(), 1e-9));
+        }
     }
 }

@@ -23,6 +23,13 @@
 //! runs under independent, shared-tree (FBT) and Markov burst loss. All
 //! simulations are deterministic given the model's seed.
 //!
+//! The [`runner`] entry points seed each trial independently via
+//! `pm_par::mix_seed(seed, trial_index)`, which makes trials order-free:
+//! [`runner::run_env_par`] and [`runner::sweep_receivers_par`] fan them
+//! across a [`pm_par::Pool`] and return results **bit-identical** to the
+//! serial [`runner::run_env`] / [`runner::sweep_receivers`] at any worker
+//! count.
+//!
 //! The headline metric matches the paper: **E\[M\]**, the expected number of
 //! packet transmissions per data packet delivered reliably to every
 //! receiver, reported with its standard error ([`metrics::SimResult`]).

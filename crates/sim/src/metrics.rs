@@ -43,6 +43,85 @@ impl SimResult {
     }
 }
 
+/// Raw outputs of one simulated trial — one transmission group (one packet
+/// for no-FEC), produced by the per-trial scheme functions and folded into
+/// [`SchemeStats`] by the runner. Keeping the trial→accumulator step
+/// explicit is what lets serial and parallel drivers share one
+/// numerically identical aggregation path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrialOut {
+    /// Per-packet `E[M]` samples this trial contributes, in slot order —
+    /// `k` values for layered FEC (one per data slot), a single value for
+    /// the other schemes.
+    pub m_values: Vec<f64>,
+    /// Rounds the trial took (1 for schemes without round structure).
+    pub rounds: f64,
+    /// Unnecessary receptions per receiver, `None` for schemes that by
+    /// construction produce none (integrated FEC 1, where completed
+    /// receivers leave the group).
+    pub unneeded: Option<f64>,
+}
+
+impl TrialOut {
+    /// Mean of this trial's `m_values` — the per-trial `M` sample reported
+    /// in `sim_trial` trace events.
+    pub fn mean_m(&self) -> f64 {
+        if self.m_values.is_empty() {
+            return 0.0;
+        }
+        self.m_values.iter().sum::<f64>() / self.m_values.len() as f64
+    }
+}
+
+/// The three per-run accumulators every scheme feeds, with a Chan-et-al
+/// merge so per-chunk instances from a parallel run collapse into one
+/// result. Both the serial and the parallel driver accumulate through
+/// this type with the *same chunk layout and merge order*, which is what
+/// makes their `SimResult`s bit-identical.
+#[derive(Debug, Clone, Default)]
+pub struct SchemeStats {
+    m: RunningStat,
+    rounds: RunningStat,
+    unneeded: RunningStat,
+}
+
+impl SchemeStats {
+    /// Empty accumulators.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fold one trial's outputs in, in the same push order the legacy
+    /// single-stream runners used.
+    pub fn push_trial(&mut self, out: &TrialOut) {
+        for &m in &out.m_values {
+            self.m.push(m);
+        }
+        self.rounds.push(out.rounds);
+        if let Some(u) = out.unneeded {
+            self.unneeded.push(u);
+        }
+    }
+
+    /// Absorb another accumulator (parallel variance combine on all three
+    /// statistics).
+    pub fn merge(&mut self, other: &SchemeStats) {
+        self.m.merge(&other.m);
+        self.rounds.merge(&other.rounds);
+        self.unneeded.merge(&other.unneeded);
+    }
+
+    /// Number of `E[M]` samples accumulated so far.
+    pub fn count(&self) -> u64 {
+        self.m.count()
+    }
+
+    /// Finish into a [`SimResult`].
+    pub fn result(&self) -> SimResult {
+        SimResult::from_stats(&self.m, &self.rounds, &self.unneeded)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

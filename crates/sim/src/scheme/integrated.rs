@@ -3,11 +3,52 @@
 use pm_loss::LossModel;
 
 use crate::config::SimConfig;
-use crate::metrics::{RunningStat, SimResult};
+use crate::metrics::{SchemeStats, SimResult, TrialOut};
 
 /// Safety valve: a single TG may not consume more than this many
 /// transmissions (would indicate a pathological loss model, e.g. p ~ 1).
 const MAX_TX_PER_GROUP: u64 = 1_000_000;
+
+/// One integrated-FEC-1 trial: parities stream back-to-back behind the
+/// data at rate `1/delta` until every receiver holds `k` packets.
+///
+/// # Panics
+/// Panics if the trial exceeds the internal transmission cap (loss model
+/// stuck at 100% loss).
+pub(crate) fn integrated_1_trial<M: LossModel>(
+    cfg: &SimConfig,
+    k: usize,
+    model: &mut M,
+    now: &mut f64,
+) -> TrialOut {
+    let r = model.receivers();
+    let mut lost = vec![false; r];
+    let mut have = vec![0usize; r];
+    let mut remaining = r;
+    let mut tx = 0u64;
+    while remaining > 0 {
+        tx += 1;
+        assert!(tx <= MAX_TX_PER_GROUP, "loss model never delivers packets");
+        model.sample(*now, &mut lost);
+        *now += cfg.delta;
+        for rc in 0..r {
+            // Departed receivers (have >= k) no longer listen — by
+            // construction integrated FEC 1 has zero unnecessary
+            // receptions (the paper's Section 2.1 bullet 3).
+            if have[rc] < k && !lost[rc] {
+                have[rc] += 1;
+                if have[rc] == k {
+                    remaining -= 1;
+                }
+            }
+        }
+    }
+    TrialOut {
+        m_values: vec![tx as f64 / k as f64],
+        rounds: 1.0,
+        unneeded: None, // departed receivers hear nothing
+    }
+}
 
 /// **Integrated FEC 1**: parities follow the data back-to-back at rate
 /// `1/delta`; a receiver departs the multicast group the moment it holds
@@ -16,44 +57,74 @@ const MAX_TX_PER_GROUP: u64 = 1_000_000;
 /// fall into the same loss burst.
 ///
 /// One trial is one transmission group. `E[M] = (k + L)/k` with `L` the
-/// number of parities streamed.
+/// number of parities streamed. Runs `cfg.trials` groups on `model`'s
+/// single loss stream; prefer [`crate::runner::run_env`], which reseeds
+/// per trial and therefore parallelizes.
 ///
 /// # Panics
 /// Panics unless `k >= 1`; panics if a trial exceeds the internal
 /// transmission cap (loss model stuck at 100% loss).
 pub fn integrated_1<M: LossModel>(cfg: &SimConfig, k: usize, model: &mut M) -> SimResult {
     assert!(k >= 1, "k must be at least 1");
-    let r = model.receivers();
-    let mut lost = vec![false; r];
-    let mut m_stat = RunningStat::new();
-    let mut rounds_stat = RunningStat::new();
-    let unneeded_stat = RunningStat::new(); // stays empty: departed receivers hear nothing
+    let mut stats = SchemeStats::new();
     let mut now = 0.0f64;
     for _ in 0..cfg.trials {
-        let mut have = vec![0usize; r];
-        let mut remaining = r;
-        let mut tx = 0u64;
-        while remaining > 0 {
+        stats.push_trial(&integrated_1_trial(cfg, k, model, &mut now));
+    }
+    stats.result()
+}
+
+/// One integrated-FEC-2 trial (protocol NP's schedule): round 1 multicasts
+/// the `k` data packets; after a feedback gap of `T` the sender multicasts
+/// exactly as many parities as the worst receiver still needs; repeat.
+///
+/// # Panics
+/// As for [`integrated_1_trial`].
+pub(crate) fn integrated_2_trial<M: LossModel>(
+    cfg: &SimConfig,
+    k: usize,
+    model: &mut M,
+    now: &mut f64,
+) -> TrialOut {
+    let r = model.receivers();
+    let mut lost = vec![false; r];
+    let mut have = vec![0usize; r];
+    let mut tx = 0u64;
+    let mut rounds = 0u64;
+    let mut unneeded = 0u64;
+    loop {
+        // How many packets does the worst receiver still need?
+        let need = have.iter().map(|&h| k - h.min(k)).max().unwrap_or(0);
+        if need == 0 {
+            break;
+        }
+        rounds += 1;
+        // Send `k` in round 1 (data), `need` parities afterwards.
+        let burst = if rounds == 1 { k } else { need };
+        for _ in 0..burst {
             tx += 1;
             assert!(tx <= MAX_TX_PER_GROUP, "loss model never delivers packets");
-            model.sample(now, &mut lost);
-            now += cfg.delta;
+            model.sample(*now, &mut lost);
+            *now += cfg.delta;
             for rc in 0..r {
-                // Departed receivers (have >= k) no longer listen — by
-                // construction integrated FEC 1 has zero unnecessary
-                // receptions (the paper's Section 2.1 bullet 3).
-                if have[rc] < k && !lost[rc] {
-                    have[rc] += 1;
-                    if have[rc] == k {
-                        remaining -= 1;
+                if !lost[rc] {
+                    if have[rc] < k {
+                        have[rc] += 1;
+                    } else {
+                        // Completed receivers still on the group hear
+                        // repair parities they cannot use.
+                        unneeded += 1;
                     }
                 }
             }
         }
-        m_stat.push(tx as f64 / k as f64);
-        rounds_stat.push(1.0);
+        *now += cfg.feedback_delay;
     }
-    SimResult::from_stats(&m_stat, &rounds_stat, &unneeded_stat)
+    TrialOut {
+        m_values: vec![tx as f64 / k as f64],
+        rounds: rounds as f64,
+        unneeded: Some(unneeded as f64 / r as f64),
+    }
 }
 
 /// **Integrated FEC 2** (protocol NP's transmission schedule): round 1
@@ -63,56 +134,20 @@ pub fn integrated_1<M: LossModel>(cfg: &SimConfig, k: usize, model: &mut M) -> S
 /// thereby spread over time (implicit interleaving).
 ///
 /// One trial is one transmission group. Also records the mean number of
-/// rounds (`E[T]` in the paper's appendix).
+/// rounds (`E[T]` in the paper's appendix). Runs `cfg.trials` groups on
+/// `model`'s single loss stream; prefer [`crate::runner::run_env`], which
+/// reseeds per trial and therefore parallelizes.
 ///
 /// # Panics
 /// As for [`integrated_1`].
 pub fn integrated_2<M: LossModel>(cfg: &SimConfig, k: usize, model: &mut M) -> SimResult {
     assert!(k >= 1, "k must be at least 1");
-    let r = model.receivers();
-    let mut lost = vec![false; r];
-    let mut m_stat = RunningStat::new();
-    let mut rounds_stat = RunningStat::new();
-    let mut unneeded_stat = RunningStat::new();
+    let mut stats = SchemeStats::new();
     let mut now = 0.0f64;
     for _ in 0..cfg.trials {
-        let mut have = vec![0usize; r];
-        let mut tx = 0u64;
-        let mut rounds = 0u64;
-        let mut unneeded = 0u64;
-        loop {
-            // How many packets does the worst receiver still need?
-            let need = have.iter().map(|&h| k - h.min(k)).max().unwrap_or(0);
-            if need == 0 {
-                break;
-            }
-            rounds += 1;
-            // Send `k` in round 1 (data), `need` parities afterwards.
-            let burst = if rounds == 1 { k } else { need };
-            for _ in 0..burst {
-                tx += 1;
-                assert!(tx <= MAX_TX_PER_GROUP, "loss model never delivers packets");
-                model.sample(now, &mut lost);
-                now += cfg.delta;
-                for rc in 0..r {
-                    if !lost[rc] {
-                        if have[rc] < k {
-                            have[rc] += 1;
-                        } else {
-                            // Completed receivers still on the group hear
-                            // repair parities they cannot use.
-                            unneeded += 1;
-                        }
-                    }
-                }
-            }
-            now += cfg.feedback_delay;
-        }
-        m_stat.push(tx as f64 / k as f64);
-        rounds_stat.push(rounds as f64);
-        unneeded_stat.push(unneeded as f64 / r as f64);
+        stats.push_trial(&integrated_2_trial(cfg, k, model, &mut now));
     }
-    SimResult::from_stats(&m_stat, &rounds_stat, &unneeded_stat)
+    stats.result()
 }
 
 #[cfg(test)]
@@ -202,5 +237,14 @@ mod tests {
             (v1 - v2).abs() < 0.05,
             "variants should nearly coincide: {v1} vs {v2}"
         );
+    }
+
+    #[test]
+    fn int1_trial_reports_no_unneeded() {
+        let mut m = IndependentLoss::new(4, 0.0, 1);
+        let mut now = 0.0;
+        let out = integrated_1_trial(&SimConfig::paper_timing(1), 7, &mut m, &mut now);
+        assert_eq!(out.m_values, vec![1.0]);
+        assert_eq!(out.unneeded, None, "int1 cannot waste receptions");
     }
 }

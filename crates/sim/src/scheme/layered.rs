@@ -11,88 +11,103 @@
 use pm_loss::LossModel;
 
 use crate::config::SimConfig;
-use crate::metrics::{RunningStat, SimResult};
+use crate::metrics::{SchemeStats, SimResult, TrialOut};
 
-/// Simulate layered FEC with TG size `k` and `h` parities per block. One
-/// trial is one transmission group (`k` data packets tracked jointly so
-/// burst loss correlates them exactly as on the wire).
+/// One layered-FEC trial: one transmission group of `k` data packets
+/// (tracked jointly so burst loss correlates them exactly as on the
+/// wire), driven to completion. Contributes `k` per-slot `E[M]` samples.
+pub(crate) fn layered_trial<M: LossModel>(
+    cfg: &SimConfig,
+    k: usize,
+    h: usize,
+    model: &mut M,
+    now: &mut f64,
+) -> TrialOut {
+    let n = k + h;
+    let r = model.receivers();
+    let mut lost = vec![false; r];
+    // pending[slot] = receivers still missing the data packet in
+    // `slot`. Parity slots need no tracking: they are regenerated for
+    // whatever group they ride in.
+    let mut pending: Vec<Vec<usize>> = (0..k).map(|_| (0..r).collect()).collect();
+    // Per-slot count of rounds the slot participated in.
+    let mut slot_rounds = vec![0u64; k];
+    let mut group_rounds = 0u64;
+    let mut unneeded = 0u64;
+    while pending.iter().any(|p| !p.is_empty()) {
+        group_rounds += 1;
+        // Any data slot already complete that rides in this block is a
+        // potential unnecessary reception for receivers that hold it.
+        let complete_slots: Vec<usize> = (0..k)
+            .filter(|&s| group_rounds > 1 && pending[s].is_empty())
+            .collect();
+        // One block: n packets at delta spacing. Sample the loss
+        // pattern of every receiver at every packet slot.
+        // received[rc][slot] for slots 0..n.
+        let mut receive_counts = vec![0usize; r];
+        let mut got: Vec<Vec<bool>> = vec![vec![false; n]; r];
+        #[allow(clippy::needless_range_loop)] // slot is also the semantic block index
+        for slot in 0..n {
+            model.sample(*now, &mut lost);
+            for rc in 0..r {
+                if !lost[rc] {
+                    receive_counts[rc] += 1;
+                    got[rc][slot] = true;
+                }
+            }
+            *now += cfg.delta;
+        }
+        for &slot in &complete_slots {
+            // Every receiver already holds a complete slot; receiving
+            // its retransmission again is waste.
+            unneeded += got.iter().filter(|g| g[slot]).count() as u64;
+        }
+        for (slot, pend) in pending.iter_mut().enumerate() {
+            if pend.is_empty() {
+                continue;
+            }
+            slot_rounds[slot] += 1;
+            // Receivers NOT pending on this slot that still received it
+            // were already served earlier: unnecessary reception.
+            if group_rounds > 1 {
+                let pend_set: std::collections::HashSet<usize> = pend.iter().copied().collect();
+                unneeded += got
+                    .iter()
+                    .enumerate()
+                    .filter(|(rc, g)| !pend_set.contains(rc) && g[slot])
+                    .count() as u64;
+            }
+            pend.retain(|&rc| !(got[rc][slot] || receive_counts[rc] >= k));
+        }
+        *now += cfg.feedback_delay; // gap to the next block is delta + T
+    }
+    TrialOut {
+        // Each round the packet rides in costs n/k transmissions in
+        // the per-packet accounting (Eq. (3)'s n/k factor).
+        m_values: slot_rounds
+            .iter()
+            .map(|&sr| sr as f64 * n as f64 / k as f64)
+            .collect(),
+        rounds: group_rounds as f64,
+        unneeded: Some(unneeded as f64 / r as f64),
+    }
+}
+
+/// Simulate layered FEC with TG size `k` and `h` parities per block over
+/// `cfg.trials` consecutive groups drawn from `model`'s single loss
+/// stream. Prefer [`crate::runner::run_env`], which reseeds the model per
+/// trial and therefore parallelizes.
 ///
 /// # Panics
 /// Panics unless `k >= 1`.
 pub fn layered<M: LossModel>(cfg: &SimConfig, k: usize, h: usize, model: &mut M) -> SimResult {
     assert!(k >= 1, "k must be at least 1");
-    let n = k + h;
-    let r = model.receivers();
-    let mut lost = vec![false; r];
-    let mut m_stat = RunningStat::new();
-    let mut rounds_stat = RunningStat::new();
-    let mut unneeded_stat = RunningStat::new();
+    let mut stats = SchemeStats::new();
     let mut now = 0.0f64;
     for _ in 0..cfg.trials {
-        // pending[slot] = receivers still missing the data packet in
-        // `slot`. Parity slots need no tracking: they are regenerated for
-        // whatever group they ride in.
-        let mut pending: Vec<Vec<usize>> = (0..k).map(|_| (0..r).collect()).collect();
-        // Per-slot count of rounds the slot participated in.
-        let mut slot_rounds = vec![0u64; k];
-        let mut group_rounds = 0u64;
-        let mut unneeded = 0u64;
-        while pending.iter().any(|p| !p.is_empty()) {
-            group_rounds += 1;
-            // Any data slot already complete that rides in this block is a
-            // potential unnecessary reception for receivers that hold it.
-            let complete_slots: Vec<usize> = (0..k)
-                .filter(|&s| group_rounds > 1 && pending[s].is_empty())
-                .collect();
-            // One block: n packets at delta spacing. Sample the loss
-            // pattern of every receiver at every packet slot.
-            // received[rc][slot] for slots 0..n.
-            let mut receive_counts = vec![0usize; r];
-            let mut got: Vec<Vec<bool>> = vec![vec![false; n]; r];
-            #[allow(clippy::needless_range_loop)] // slot is also the semantic block index
-            for slot in 0..n {
-                model.sample(now, &mut lost);
-                for rc in 0..r {
-                    if !lost[rc] {
-                        receive_counts[rc] += 1;
-                        got[rc][slot] = true;
-                    }
-                }
-                now += cfg.delta;
-            }
-            for &slot in &complete_slots {
-                // Every receiver already holds a complete slot; receiving
-                // its retransmission again is waste.
-                unneeded += got.iter().filter(|g| g[slot]).count() as u64;
-            }
-            for (slot, pend) in pending.iter_mut().enumerate() {
-                if pend.is_empty() {
-                    continue;
-                }
-                slot_rounds[slot] += 1;
-                // Receivers NOT pending on this slot that still received it
-                // were already served earlier: unnecessary reception.
-                if group_rounds > 1 {
-                    let pend_set: std::collections::HashSet<usize> = pend.iter().copied().collect();
-                    unneeded += got
-                        .iter()
-                        .enumerate()
-                        .filter(|(rc, g)| !pend_set.contains(rc) && g[slot])
-                        .count() as u64;
-                }
-                pend.retain(|&rc| !(got[rc][slot] || receive_counts[rc] >= k));
-            }
-            now += cfg.feedback_delay; // gap to the next block is delta + T
-        }
-        unneeded_stat.push(unneeded as f64 / r as f64);
-        for &sr in &slot_rounds {
-            // Each round the packet rides in costs n/k transmissions in
-            // the per-packet accounting (Eq. (3)'s n/k factor).
-            m_stat.push(sr as f64 * n as f64 / k as f64);
-        }
-        rounds_stat.push(group_rounds as f64);
+        stats.push_trial(&layered_trial(cfg, k, h, model, &mut now));
     }
-    SimResult::from_stats(&m_stat, &rounds_stat, &unneeded_stat)
+    stats.result()
 }
 
 #[cfg(test)]
@@ -156,5 +171,15 @@ mod tests {
             with.mean_rounds,
             without.mean_rounds
         );
+    }
+
+    #[test]
+    fn trial_contributes_k_samples() {
+        let mut model = IndependentLoss::new(8, 0.0, 1);
+        let mut now = 0.0;
+        let out = layered_trial(&SimConfig::paper_timing(1), 7, 2, &mut model, &mut now);
+        assert_eq!(out.m_values.len(), 7, "one E[M] sample per data slot");
+        assert!(out.m_values.iter().all(|&m| (m - 9.0 / 7.0).abs() < 1e-12));
+        assert_eq!(out.rounds, 1.0);
     }
 }

@@ -1,8 +1,22 @@
 //! The four recovery schemes (Fig. 13 timing).
+//!
+//! Each scheme exposes two layers:
+//!
+//! * a crate-private `*_trial` function simulating **one** transmission
+//!   group (one packet for no-FEC) against a caller-supplied model and
+//!   clock, returning the raw [`crate::metrics::TrialOut`] — the unit the
+//!   parallel runner fans across threads with a fresh per-trial RNG; and
+//! * the public legacy driver (`nofec`, `layered`, `integrated_1`,
+//!   `integrated_2`) looping `cfg.trials` trials over one shared loss
+//!   stream, for callers that bring their own stateful model.
 
 mod integrated;
 mod layered;
 mod nofec;
+
+pub(crate) use integrated::{integrated_1_trial, integrated_2_trial};
+pub(crate) use layered::layered_trial;
+pub(crate) use nofec::nofec_trial;
 
 pub use integrated::{integrated_1, integrated_2};
 pub use layered::layered;

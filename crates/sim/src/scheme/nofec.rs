@@ -3,52 +3,59 @@
 use pm_loss::LossModel;
 
 use crate::config::SimConfig;
-use crate::metrics::{RunningStat, SimResult};
+use crate::metrics::{SchemeStats, SimResult, TrialOut};
 
-/// Simulate no-FEC reliable multicast: every packet is multicast and then
-/// retransmitted — spaced `delta + T` per the paper's timing diagram —
-/// until all receivers have it. One trial is one packet; consecutive
-/// packets are `delta` apart, so a time-correlated loss model sees a
-/// realistic schedule.
-pub fn nofec<M: LossModel>(cfg: &SimConfig, model: &mut M) -> SimResult {
+/// One no-FEC trial: multicast one packet and retransmit — spaced
+/// `delta + T` per the paper's timing diagram — until all receivers have
+/// it. `now` is advanced past the packet so a time-correlated model sees
+/// the real schedule; the trailing gap to the next packet is `delta`.
+pub(crate) fn nofec_trial<M: LossModel>(cfg: &SimConfig, model: &mut M, now: &mut f64) -> TrialOut {
     let r = model.receivers();
     let mut lost = vec![false; r];
     let mut has = vec![false; r];
-    let mut m_stat = RunningStat::new();
-    let mut rounds_stat = RunningStat::new();
-    let mut unneeded_stat = RunningStat::new();
-    let mut now = 0.0f64;
-    for _ in 0..cfg.trials {
-        has.fill(false);
-        let mut remaining = r;
-        let mut tx = 0u64;
-        let mut unneeded = 0u64;
-        while remaining > 0 {
-            tx += 1;
-            model.sample(now, &mut lost);
-            for rc in 0..r {
-                if !lost[rc] {
-                    if has[rc] {
-                        // A multicast retransmission reaching a receiver
-                        // that already had the packet: pure waste.
-                        unneeded += 1;
-                    } else {
-                        has[rc] = true;
-                        remaining -= 1;
-                    }
+    let mut remaining = r;
+    let mut tx = 0u64;
+    let mut unneeded = 0u64;
+    while remaining > 0 {
+        tx += 1;
+        model.sample(*now, &mut lost);
+        for rc in 0..r {
+            if !lost[rc] {
+                if has[rc] {
+                    // A multicast retransmission reaching a receiver
+                    // that already had the packet: pure waste.
+                    unneeded += 1;
+                } else {
+                    has[rc] = true;
+                    remaining -= 1;
                 }
             }
-            now += if remaining == 0 {
-                cfg.delta // next packet follows at line rate
-            } else {
-                cfg.delta + cfg.feedback_delay // NAK turnaround
-            };
         }
-        m_stat.push(tx as f64);
-        rounds_stat.push(tx as f64);
-        unneeded_stat.push(unneeded as f64 / r as f64);
+        *now += if remaining == 0 {
+            cfg.delta // next packet follows at line rate
+        } else {
+            cfg.delta + cfg.feedback_delay // NAK turnaround
+        };
     }
-    SimResult::from_stats(&m_stat, &rounds_stat, &unneeded_stat)
+    TrialOut {
+        m_values: vec![tx as f64],
+        rounds: tx as f64,
+        unneeded: Some(unneeded as f64 / r as f64),
+    }
+}
+
+/// Simulate no-FEC reliable multicast over `cfg.trials` consecutive
+/// packets drawn from `model`'s single loss stream (one trial is one
+/// packet). Prefer [`crate::runner::run_env`], which reseeds the model
+/// per trial and therefore parallelizes; this entry point remains for
+/// callers that bring their own stateful model.
+pub fn nofec<M: LossModel>(cfg: &SimConfig, model: &mut M) -> SimResult {
+    let mut stats = SchemeStats::new();
+    let mut now = 0.0f64;
+    for _ in 0..cfg.trials {
+        stats.push_trial(&nofec_trial(cfg, model, &mut now));
+    }
+    stats.result()
 }
 
 #[cfg(test)]
@@ -86,5 +93,16 @@ mod tests {
         let a = nofec(&cfg, &mut small).mean_transmissions;
         let b = nofec(&cfg, &mut large).mean_transmissions;
         assert!(b > a, "R=64 ({b}) should beat R=2 ({a})");
+    }
+
+    #[test]
+    fn trial_reports_raw_outputs() {
+        let mut model = IndependentLoss::new(4, 0.0, 1);
+        let mut now = 0.0;
+        let out = nofec_trial(&SimConfig::paper_timing(1), &mut model, &mut now);
+        assert_eq!(out.m_values, vec![1.0]);
+        assert_eq!(out.rounds, 1.0);
+        assert_eq!(out.unneeded, Some(0.0));
+        assert!(now > 0.0, "trial must advance simulated time");
     }
 }

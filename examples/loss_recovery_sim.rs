@@ -8,21 +8,31 @@
 //! half-width — plus the analytical values where the paper has closed
 //! forms.
 //!
+//! Trials fan out across a worker pool by default (results are
+//! bit-identical to a serial run at any worker count); each environment
+//! sweep reports its wall-clock time.
+//!
 //! ```sh
 //! cargo run --release --example loss_recovery_sim [-- --trials 2000]
+//!     [--jobs 4]             # worker threads (default: all cores)
+//!     [--serial]             # force single-threaded execution
 //!     [--trace runs.jsonl]   # one sim_run JSONL event per simulation
 //!     [--metrics]            # dump the run census to stderr at exit
 //! ```
 
 use std::sync::Arc;
+use std::time::Instant;
 
 use parity_multicast::analysis::{integrated, layered, nofec, Population};
 use parity_multicast::obs::{JsonlRecorder, MetricsRegistry, Obs, Stopwatch};
-use parity_multicast::sim::runner::{run_env_traced, LossEnv, Scheme};
+use parity_multicast::par::Pool;
+use parity_multicast::sim::runner::{run_env_par_traced, LossEnv, Scheme};
 use parity_multicast::sim::SimConfig;
 
 struct Options {
     trials: usize,
+    jobs: Option<usize>,
+    serial: bool,
     trace: Option<String>,
     metrics: bool,
 }
@@ -30,6 +40,8 @@ struct Options {
 fn parse_options() -> Options {
     let mut opts = Options {
         trials: 1500,
+        jobs: None,
+        serial: false,
         trace: None,
         metrics: false,
     };
@@ -42,11 +54,22 @@ fn parse_options() -> Options {
                     .and_then(|v| v.parse().ok())
                     .expect("--trials takes a positive integer");
             }
+            "--jobs" => {
+                opts.jobs = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&n| n > 0)
+                        .expect("--jobs takes a positive integer"),
+                );
+            }
+            "--serial" => opts.serial = true,
             "--trace" => {
                 opts.trace = Some(it.next().expect("--trace takes a file path"));
             }
             "--metrics" => opts.metrics = true,
-            other => panic!("unknown flag {other:?} (try --trials/--trace/--metrics)"),
+            other => {
+                panic!("unknown flag {other:?} (try --trials/--jobs/--serial/--trace/--metrics)")
+            }
         }
     }
     opts
@@ -54,6 +77,14 @@ fn parse_options() -> Options {
 
 fn main() {
     let opts = parse_options();
+    let pool = if opts.serial {
+        Pool::serial()
+    } else {
+        match opts.jobs {
+            Some(n) => Pool::new(n),
+            None => Pool::auto(),
+        }
+    };
     let trace_rec = opts
         .trace
         .as_deref()
@@ -89,7 +120,13 @@ fn main() {
     ];
     let populations = [1usize, 16, 256, 4096];
 
+    println!(
+        "worker pool: {} thread{}",
+        pool.workers(),
+        if pool.workers() == 1 { "" } else { "s" }
+    );
     for (name, env) in envs {
+        let sweep_start = Instant::now();
         println!("\n=== {name}, p = {p}, k = {k}, {trials} trials");
         print!("{:>8}", "R");
         for s in &schemes {
@@ -99,12 +136,13 @@ fn main() {
         for &r in &populations {
             print!("{r:>8}");
             for (i, &s) in schemes.iter().enumerate() {
-                let res = run_env_traced(
+                let res = run_env_par_traced(
                     &cfg,
                     s,
                     env,
                     r,
                     0xC0FFEE ^ (i as u64) << 8,
+                    &pool,
                     &obs,
                     clock.now(),
                 );
@@ -113,6 +151,10 @@ fn main() {
             }
             println!();
         }
+        println!(
+            "  sweep wall-clock: {:.2}s",
+            sweep_start.elapsed().as_secs_f64()
+        );
         if matches!(env, LossEnv::Independent { .. }) {
             println!("  analytical checks at R = 4096:");
             let pop = Population::homogeneous(p, 4096);

@@ -20,6 +20,7 @@
 //! | [`net`] | `pm-net` | wire format, UDP multicast + in-memory transports, NAK suppression |
 //! | [`protocol`] | `pm-core` | protocol NP and baseline N2 (sans-io + runtime) |
 //! | [`obs`] | `pm-obs` | structured trace events, counters/histograms, JSONL recorders |
+//! | [`par`] | `pm-par` | scoped thread pool: deterministic `par_map` / `par_map_reduce` |
 //!
 //! ## Quickstart
 //!
@@ -90,5 +91,6 @@ pub use pm_gf as gf;
 pub use pm_loss as loss;
 pub use pm_net as net;
 pub use pm_obs as obs;
+pub use pm_par as par;
 pub use pm_rse as rse;
 pub use pm_sim as sim;
