@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Analytical models from *Parity-Based Loss Recovery for Reliable
 //! Multicast Transmission* (Nonnenmacher, Biersack, Towsley, SIGCOMM '97).
 //!

@@ -1,0 +1,371 @@
+//! The ratchet baseline: committed per-rule, per-crate violation counts.
+//!
+//! `audit-baseline.json` maps rule name → crate name → count. The gate
+//! fails when any (rule, crate) pair *exceeds* its baseline entry (a
+//! missing entry means zero), and reports shrunken counts so a cleanup PR
+//! can tighten the file — the ratchet only ever moves down.
+//!
+//! The crate is zero-dependency, so the tiny JSON subset the baseline
+//! needs (objects of objects of integers) is parsed and printed by hand.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::rules::{Rule, Violation};
+
+/// rule name → crate name → violation count.
+pub type Counts = BTreeMap<String, BTreeMap<String, u64>>;
+
+/// Aggregate raw violations into baseline-shaped counts.
+pub fn tally(violations: &[Violation]) -> Counts {
+    let mut counts: Counts = BTreeMap::new();
+    for v in violations {
+        *counts
+            .entry(v.rule.name().to_string())
+            .or_default()
+            .entry(v.crate_name.clone())
+            .or_default() += 1;
+    }
+    counts
+}
+
+/// One (rule, crate) pair whose current count differs from the baseline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Delta {
+    /// Rule name.
+    pub rule: String,
+    /// Crate name.
+    pub crate_name: String,
+    /// Committed baseline count.
+    pub baseline: u64,
+    /// Count found in this run.
+    pub current: u64,
+}
+
+/// Compare current counts against the baseline. Returns
+/// `(regressions, improvements)`: regressions fail the gate, improvements
+/// are invitations to shrink the baseline.
+pub fn compare(current: &Counts, baseline: &Counts) -> (Vec<Delta>, Vec<Delta>) {
+    let mut regressions = Vec::new();
+    let mut improvements = Vec::new();
+    let zero = BTreeMap::new();
+    let mut keys: Vec<(&String, &String)> = Vec::new();
+    for (rule, crates) in current.iter().chain(baseline.iter()) {
+        for crate_name in crates.keys() {
+            if !keys.contains(&(rule, crate_name)) {
+                keys.push((rule, crate_name));
+            }
+        }
+    }
+    keys.sort();
+    for (rule, crate_name) in keys {
+        let cur = *current
+            .get(rule)
+            .unwrap_or(&zero)
+            .get(crate_name)
+            .unwrap_or(&0);
+        let base = *baseline
+            .get(rule)
+            .unwrap_or(&zero)
+            .get(crate_name)
+            .unwrap_or(&0);
+        let delta = Delta {
+            rule: rule.clone(),
+            crate_name: crate_name.clone(),
+            baseline: base,
+            current: cur,
+        };
+        if cur > base {
+            regressions.push(delta);
+        } else if cur < base {
+            improvements.push(delta);
+        }
+    }
+    (regressions, improvements)
+}
+
+/// Render counts as deterministic, human-diffable JSON.
+pub fn to_json(counts: &Counts) -> String {
+    let mut s = String::from("{\n");
+    let rules: Vec<_> = counts.iter().filter(|(_, c)| !c.is_empty()).collect();
+    for (ri, (rule, crates)) in rules.iter().enumerate() {
+        let _ = writeln!(s, "  {}: {{", json_string(rule));
+        for (ci, (crate_name, count)) in crates.iter().enumerate() {
+            let comma = if ci + 1 < crates.len() { "," } else { "" };
+            let _ = writeln!(s, "    {}: {count}{comma}", json_string(crate_name));
+        }
+        let comma = if ri + 1 < rules.len() { "," } else { "" };
+        let _ = writeln!(s, "  }}{comma}");
+    }
+    s.push_str("}\n");
+    s
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Parse a baseline file. Accepts exactly the shape [`to_json`] writes
+/// (an object of objects of non-negative integers), with arbitrary
+/// whitespace. Unknown rule names are rejected so a typo cannot silently
+/// allowlist anything.
+///
+/// # Errors
+/// A human-readable description of the first syntax or schema problem.
+pub fn parse(text: &str) -> Result<Counts, String> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let mut counts = Counts::new();
+    p.object(
+        |p, rule, counts: &mut Counts| {
+            if Rule::from_name(&rule).is_none() {
+                return Err(format!("unknown rule {rule:?} in baseline"));
+            }
+            let mut crates = BTreeMap::new();
+            p.object(
+                |p, crate_name, crates: &mut BTreeMap<String, u64>| {
+                    let n = p.integer()?;
+                    crates.insert(crate_name, n);
+                    Ok(())
+                },
+                &mut crates,
+            )?;
+            counts.insert(rule, crates);
+            Ok(())
+        },
+        &mut counts,
+    )?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing content at byte {}", p.pos));
+    }
+    Ok(counts)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .map(|b| b.is_ascii_whitespace())
+            .unwrap_or(false)
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected {:?} at byte {}, found {:?}",
+                b as char,
+                self.pos,
+                self.bytes.get(self.pos).map(|&c| c as char)
+            ))
+        }
+    }
+
+    /// Parse `{ "key": <value>, … }`, calling `field` per key.
+    fn object<T>(
+        &mut self,
+        mut field: impl FnMut(&mut Self, String, &mut T) -> Result<(), String>,
+        acc: &mut T,
+    ) -> Result<(), String> {
+        self.expect(b'{')?;
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b'}') {
+            self.pos += 1;
+            return Ok(());
+        }
+        loop {
+            let key = self.string()?;
+            self.expect(b':')?;
+            field(self, key, acc)?;
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b',') => {
+                    self.pos += 1;
+                    self.skip_ws();
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                other => {
+                    return Err(format!(
+                        "expected ',' or '}}' at byte {}, found {:?}",
+                        self.pos,
+                        other.map(|&c| c as char)
+                    ))
+                }
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                None => return Err("unterminated string in baseline".into()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        other => {
+                            return Err(format!(
+                                "unsupported escape {:?} at byte {}",
+                                other.map(|&c| c as char),
+                                self.pos
+                            ))
+                        }
+                    }
+                    self.pos += 1;
+                }
+                Some(&b) => {
+                    // Baselines hold ASCII names; pass other bytes through.
+                    out.push(b as char);
+                    self.pos += 1;
+                }
+            }
+        }
+    }
+
+    fn integer(&mut self) -> Result<u64, String> {
+        self.skip_ws();
+        let start = self.pos;
+        while self
+            .bytes
+            .get(self.pos)
+            .map(u8::is_ascii_digit)
+            .unwrap_or(false)
+        {
+            self.pos += 1;
+        }
+        if start == self.pos {
+            return Err(format!("expected a count at byte {start}"));
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| format!("bad count at byte {start}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counts(entries: &[(&str, &str, u64)]) -> Counts {
+        let mut c = Counts::new();
+        for &(rule, krate, n) in entries {
+            c.entry(rule.into()).or_default().insert(krate.into(), n);
+        }
+        c
+    }
+
+    #[test]
+    fn json_roundtrip_is_identity() {
+        let c = counts(&[
+            ("panic-surface", "pm-gf", 12),
+            ("panic-surface", "pm-rse", 3),
+            ("unsafe-code", "pm-core", 0),
+        ]);
+        let parsed = parse(&to_json(&c)).unwrap();
+        assert_eq!(parsed, c);
+    }
+
+    #[test]
+    fn empty_baseline_parses() {
+        assert_eq!(parse("{}").unwrap(), Counts::new());
+        assert_eq!(parse(" {\n} ").unwrap(), Counts::new());
+    }
+
+    #[test]
+    fn unknown_rule_rejected() {
+        let err = parse(r#"{"no-such-rule": {"pm-gf": 1}}"#).unwrap_err();
+        assert!(err.contains("unknown rule"), "{err}");
+    }
+
+    #[test]
+    fn syntax_errors_are_diagnosed() {
+        for bad in [
+            "",
+            "{",
+            r#"{"panic-surface""#,
+            r#"{"panic-surface": {"x": }}"#,
+        ] {
+            assert!(parse(bad).is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn compare_classifies_deltas() {
+        let base = counts(&[("panic-surface", "pm-gf", 5), ("unsafe-code", "pm-rse", 2)]);
+        let cur = counts(&[("panic-surface", "pm-gf", 7), ("rng-entropy", "pm-sim", 1)]);
+        let (regressions, improvements) = compare(&cur, &base);
+        assert_eq!(
+            regressions,
+            vec![
+                Delta {
+                    rule: "panic-surface".into(),
+                    crate_name: "pm-gf".into(),
+                    baseline: 5,
+                    current: 7,
+                },
+                Delta {
+                    rule: "rng-entropy".into(),
+                    crate_name: "pm-sim".into(),
+                    baseline: 0,
+                    current: 1,
+                },
+            ]
+        );
+        assert_eq!(improvements.len(), 1);
+        assert_eq!(improvements[0].rule, "unsafe-code");
+        assert_eq!(improvements[0].current, 0);
+    }
+
+    #[test]
+    fn equal_counts_pass() {
+        let c = counts(&[("panic-surface", "pm-gf", 5)]);
+        let (regressions, improvements) = compare(&c, &c);
+        assert!(regressions.is_empty() && improvements.is_empty());
+    }
+}

@@ -1,0 +1,415 @@
+//! A small hand-rolled Rust lexer, just rich enough for static auditing.
+//!
+//! The rule engine must never fire on text inside comments, string
+//! literals, raw strings, byte strings or char literals — `"Instant::now"`
+//! in a doc comment is not a determinism hazard. This lexer classifies
+//! exactly those regions and hands the rule engine a token stream in which
+//! comments and literals are opaque single tokens. It does **not** attempt
+//! full Rust grammar: everything that is not whitespace, a comment, a
+//! literal, an identifier or a number is a one-character punctuation
+//! token, which is all the pattern matchers need.
+//!
+//! Invariants (property-tested in `tests/lexer_props.rs`):
+//!
+//! * lexing never panics and always terminates, on arbitrary input;
+//! * token spans are strictly increasing and non-overlapping, and every
+//!   non-whitespace byte of the input is covered by exactly one token;
+//! * hazard keywords embedded in comments/strings produce `Comment`/`Str`
+//!   tokens, never `Ident` tokens.
+
+/// Classification of one lexed region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword.
+    Ident,
+    /// Integer or float literal (including suffixed forms).
+    Number,
+    /// String-ish literal: `"…"`, `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`,
+    /// `c"…"` — contents are opaque to the rule engine.
+    Str,
+    /// Char or byte-char literal: `'x'`, `b'\n'`.
+    Char,
+    /// Lifetime such as `'a` or `'static`.
+    Lifetime,
+    /// `// …` line comment (doc comments included).
+    LineComment,
+    /// `/* … */` block comment, nesting-aware.
+    BlockComment,
+    /// Any other single character.
+    Punct,
+}
+
+/// One token: kind, source text and position.
+#[derive(Debug, Clone, Copy)]
+pub struct Token<'a> {
+    /// What the region is.
+    pub kind: TokenKind,
+    /// The exact source text of the token.
+    pub text: &'a str,
+    /// Byte offset of the token start.
+    pub start: usize,
+    /// 1-based line number of the token start.
+    pub line: u32,
+}
+
+impl<'a> Token<'a> {
+    /// True for tokens the pattern matchers should consider (identifiers
+    /// and punctuation); comments and literals are opaque.
+    pub fn is_significant(&self) -> bool {
+        matches!(
+            self.kind,
+            TokenKind::Ident | TokenKind::Punct | TokenKind::Number
+        )
+    }
+}
+
+/// Lex `src` completely. Unterminated literals/comments extend to the end
+/// of input (the lexer is total: it never fails, it only classifies).
+pub fn lex(src: &str) -> Vec<Token<'_>> {
+    Lexer {
+        src,
+        bytes: src.as_bytes(),
+        pos: 0,
+        line: 1,
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+}
+
+impl<'a> Lexer<'a> {
+    fn run(mut self) -> Vec<Token<'a>> {
+        let mut out = Vec::new();
+        while self.pos < self.bytes.len() {
+            let start = self.pos;
+            let line = self.line;
+            let b = self.bytes[self.pos];
+            let kind = match b {
+                b' ' | b'\t' | b'\r' | b'\n' => {
+                    self.bump();
+                    continue;
+                }
+                b'/' if self.peek(1) == Some(b'/') => self.line_comment(),
+                b'/' if self.peek(1) == Some(b'*') => self.block_comment(),
+                b'"' => self.string(),
+                b'\'' => self.char_or_lifetime(),
+                b'0'..=b'9' => self.number(),
+                _ if is_ident_start(b) => self.ident_or_prefixed_literal(),
+                _ => {
+                    self.bump();
+                    TokenKind::Punct
+                }
+            };
+            debug_assert!(self.pos > start, "lexer must always make progress");
+            out.push(Token {
+                kind,
+                text: &self.src[start..self.pos],
+                start,
+                line,
+            });
+        }
+        out
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) {
+        if self.bytes[self.pos] == b'\n' {
+            self.line += 1;
+        }
+        self.pos += 1;
+    }
+
+    fn line_comment(&mut self) -> TokenKind {
+        while self.pos < self.bytes.len() && self.bytes[self.pos] != b'\n' {
+            self.pos += 1;
+        }
+        TokenKind::LineComment
+    }
+
+    fn block_comment(&mut self) -> TokenKind {
+        // Consume "/*", then match nested pairs until depth returns to 0.
+        self.pos += 2;
+        let mut depth = 1usize;
+        while self.pos < self.bytes.len() && depth > 0 {
+            if self.bytes[self.pos] == b'/' && self.peek(1) == Some(b'*') {
+                depth += 1;
+                self.pos += 2;
+            } else if self.bytes[self.pos] == b'*' && self.peek(1) == Some(b'/') {
+                depth -= 1;
+                self.pos += 2;
+            } else {
+                self.bump();
+            }
+        }
+        TokenKind::BlockComment
+    }
+
+    /// Ordinary (escaped) string literal, starting at `"`.
+    fn string(&mut self) -> TokenKind {
+        self.bump(); // opening quote
+        while self.pos < self.bytes.len() {
+            match self.bytes[self.pos] {
+                b'\\' => {
+                    self.bump();
+                    if self.pos < self.bytes.len() {
+                        self.bump(); // the escaped character (covers \" and \\)
+                    }
+                }
+                b'"' => {
+                    self.bump();
+                    break;
+                }
+                _ => self.bump(),
+            }
+        }
+        TokenKind::Str
+    }
+
+    /// Raw string starting at `r` (or after a `b`/`c` prefix): zero or
+    /// more `#`, then `"`, terminated by `"` plus the same number of `#`.
+    /// Returns false (and rewinds nothing — caller guards) if the text at
+    /// `self.pos` is not actually a raw-string opener.
+    fn raw_string(&mut self) -> TokenKind {
+        let mut hashes = 0usize;
+        while self.peek(0) == Some(b'#') {
+            hashes += 1;
+            self.pos += 1;
+        }
+        if self.peek(0) == Some(b'"') {
+            self.bump();
+            'outer: while self.pos < self.bytes.len() {
+                if self.bytes[self.pos] == b'"' {
+                    self.bump();
+                    for _ in 0..hashes {
+                        if self.peek(0) == Some(b'#') {
+                            self.pos += 1;
+                        } else {
+                            continue 'outer;
+                        }
+                    }
+                    break;
+                } else {
+                    self.bump();
+                }
+            }
+        }
+        TokenKind::Str
+    }
+
+    /// `'x'`, `'\n'` → Char; `'a`, `'static` → Lifetime.
+    fn char_or_lifetime(&mut self) -> TokenKind {
+        self.bump(); // the quote
+        match self.peek(0) {
+            Some(b'\\') => {
+                // Escaped char literal: consume escape then scan to quote.
+                self.bump();
+                if self.pos < self.bytes.len() {
+                    self.bump();
+                }
+                while self.pos < self.bytes.len() && self.bytes[self.pos] != b'\'' {
+                    self.bump();
+                }
+                if self.peek(0) == Some(b'\'') {
+                    self.bump();
+                }
+                TokenKind::Char
+            }
+            Some(c) if is_ident_start(c) => {
+                // `'a'` is a char; `'a` / `'abc` without a closing quote on
+                // the next byte is a lifetime.
+                if self.peek(1) == Some(b'\'') {
+                    self.pos += 2;
+                    TokenKind::Char
+                } else {
+                    while self
+                        .peek(0)
+                        .map(|c| is_ident_start(c) || c.is_ascii_digit())
+                        .unwrap_or(false)
+                    {
+                        self.pos += 1;
+                    }
+                    TokenKind::Lifetime
+                }
+            }
+            Some(_) => {
+                // Non-identifier char like `'+'` or unicode: scan to the
+                // closing quote on this line.
+                while self.pos < self.bytes.len()
+                    && self.bytes[self.pos] != b'\''
+                    && self.bytes[self.pos] != b'\n'
+                {
+                    self.bump();
+                }
+                if self.peek(0) == Some(b'\'') {
+                    self.bump();
+                }
+                TokenKind::Char
+            }
+            None => TokenKind::Char,
+        }
+    }
+
+    fn number(&mut self) -> TokenKind {
+        // Digits, underscores, hex/bin/oct bodies and type suffixes; a dot
+        // joins only when followed by a digit (so `0.iter()` still splits).
+        while self
+            .peek(0)
+            .map(|c| c.is_ascii_alphanumeric() || c == b'_')
+            .unwrap_or(false)
+        {
+            self.pos += 1;
+        }
+        if self.peek(0) == Some(b'.') && self.peek(1).map(|c| c.is_ascii_digit()).unwrap_or(false) {
+            self.pos += 1;
+            while self
+                .peek(0)
+                .map(|c| c.is_ascii_alphanumeric() || c == b'_')
+                .unwrap_or(false)
+            {
+                self.pos += 1;
+            }
+        }
+        TokenKind::Number
+    }
+
+    fn ident_or_prefixed_literal(&mut self) -> TokenKind {
+        let start = self.pos;
+        while self
+            .peek(0)
+            .map(|c| is_ident_start(c) || c.is_ascii_digit())
+            .unwrap_or(false)
+        {
+            self.pos += 1;
+        }
+        let word = &self.src[start..self.pos];
+        // Literal prefixes: r"", r#""#, b"", br"", rb is invalid, c"", cr"".
+        match word {
+            "r" | "br" | "cr" => {
+                // `r"…"` / `r#"…"#` are raw strings; `r#ident` is a raw
+                // identifier, which stays an Ident.
+                let raw_ident = word == "r"
+                    && self.peek(0) == Some(b'#')
+                    && self.peek(1).map(is_ident_start).unwrap_or(false);
+                if raw_ident {
+                    self.pos += 1;
+                    while self
+                        .peek(0)
+                        .map(|c| is_ident_start(c) || c.is_ascii_digit())
+                        .unwrap_or(false)
+                    {
+                        self.pos += 1;
+                    }
+                    return TokenKind::Ident;
+                }
+                if matches!(self.peek(0), Some(b'"') | Some(b'#')) {
+                    return self.raw_string();
+                }
+            }
+            "b" | "c" => {
+                if self.peek(0) == Some(b'"') {
+                    return self.string();
+                }
+                if word == "b" && self.peek(0) == Some(b'\'') {
+                    return self.char_or_lifetime();
+                }
+            }
+            _ => {}
+        }
+        TokenKind::Ident
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, &str)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn comments_are_opaque() {
+        let toks = kinds("x // Instant::now() here\ny");
+        assert_eq!(toks[0], (TokenKind::Ident, "x"));
+        assert_eq!(toks[1].0, TokenKind::LineComment);
+        assert_eq!(toks[2], (TokenKind::Ident, "y"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = kinds("a /* outer /* unsafe */ still comment */ b");
+        assert_eq!(toks.len(), 3);
+        assert_eq!(toks[1].0, TokenKind::BlockComment);
+        assert!(toks[1].1.contains("unsafe"));
+    }
+
+    #[test]
+    fn strings_and_escapes() {
+        let toks = kinds(r#"let s = "he said \"unwrap()\"";"#);
+        let strs: Vec<_> = toks.iter().filter(|t| t.0 == TokenKind::Str).collect();
+        assert_eq!(strs.len(), 1);
+        assert!(strs[0].1.contains("unwrap"));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let toks = kinds(r###"let s = r#"contains "quotes" and unsafe"#; x"###);
+        let strs: Vec<_> = toks.iter().filter(|t| t.0 == TokenKind::Str).collect();
+        assert_eq!(strs.len(), 1);
+        assert!(strs[0].1.contains("unsafe"));
+        assert_eq!(toks.last().unwrap(), &(TokenKind::Ident, "x"));
+    }
+
+    #[test]
+    fn byte_and_c_strings() {
+        for src in [r#"b"bytes SystemTime""#, r#"c"cstr""#, r##"br#"raw"#"##] {
+            let toks = kinds(src);
+            assert_eq!(toks.len(), 1, "{src}: {toks:?}");
+            assert_eq!(toks[0].0, TokenKind::Str);
+        }
+    }
+
+    #[test]
+    fn lifetimes_vs_chars() {
+        let toks = kinds("fn f<'a>(x: &'a u8) { let c = 'x'; let n = '\\n'; }");
+        let lifetimes = toks.iter().filter(|t| t.0 == TokenKind::Lifetime).count();
+        let chars = toks.iter().filter(|t| t.0 == TokenKind::Char).count();
+        assert_eq!(lifetimes, 2);
+        assert_eq!(chars, 2);
+    }
+
+    #[test]
+    fn line_numbers_advance() {
+        let toks = lex("a\nb\n\nc");
+        let lines: Vec<u32> = toks.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn unterminated_inputs_are_total() {
+        for src in ["\"never closed", "/* never closed", "r#\"never", "'x"] {
+            let toks = lex(src);
+            assert!(!toks.is_empty(), "{src}");
+        }
+    }
+
+    #[test]
+    fn numbers_do_not_eat_method_calls() {
+        let toks = kinds("1.5f64 + 0.max(2) + 0xff_u32");
+        assert!(toks.contains(&(TokenKind::Ident, "max")));
+        assert_eq!(toks[0], (TokenKind::Number, "1.5f64"));
+        assert_eq!(toks.last().unwrap().0, TokenKind::Number);
+    }
+}

@@ -1,0 +1,295 @@
+#![forbid(unsafe_code)]
+//! # pm-audit — workspace invariant auditor
+//!
+//! A zero-dependency static-analysis pass over every workspace `src/`
+//! file, enforcing the contracts the rest of the stack only states in
+//! prose:
+//!
+//! | rule | invariant |
+//! |---|---|
+//! | `determinism-time` | no wall-clock reads outside the allowlisted runtime/stopwatch/bench domains |
+//! | `determinism-hash-iter` | no `HashMap`/`HashSet` in pm-core/pm-sim/pm-loss deterministic state |
+//! | `rng-entropy` | every RNG is explicitly seeded — no `thread_rng`/`from_entropy`/`rand::random` |
+//! | `panic-surface` | `unwrap`/`expect`/panicking macros/indexing in pm-gf/pm-rse/pm-core are ratcheted down |
+//! | `unsafe-code` | no `unsafe` anywhere |
+//! | `event-vocabulary` | pm-obs `Event::name` and `EVENT_NAMES` (used by obs-check) cannot drift |
+//!
+//! Violations are counted per (rule, crate) and compared against the
+//! committed `audit-baseline.json`: any increase fails the gate (exit 1),
+//! any decrease is reported so the baseline can be shrunk. Individual
+//! lines are waived with `// pm-audit: allow(<rule>): <why>` pragmas; the
+//! lexer ([`lexer`]) is comment/string/raw-string aware, so hazards
+//! spelled in documentation or literals never fire.
+//!
+//! Vendored stand-ins under `vendor/` model *external* crates and are out
+//! of contract, so they are not scanned.
+
+pub mod baseline;
+pub mod lexer;
+pub mod rules;
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+use baseline::{Counts, Delta};
+use rules::Violation;
+
+/// Everything one audit run produced.
+#[derive(Debug)]
+pub struct AuditReport {
+    /// Every unsuppressed violation, in deterministic (path, line) order.
+    pub violations: Vec<Violation>,
+    /// Per-rule, per-crate tallies of `violations`.
+    pub counts: Counts,
+    /// Files scanned (workspace-relative), for the report footer.
+    pub files_scanned: usize,
+}
+
+/// Outcome of gating an [`AuditReport`] against a baseline.
+#[derive(Debug)]
+pub struct GateOutcome {
+    /// (rule, crate) pairs over baseline — any entry fails the gate.
+    pub regressions: Vec<Delta>,
+    /// (rule, crate) pairs under baseline — shrink the baseline.
+    pub improvements: Vec<Delta>,
+}
+
+impl GateOutcome {
+    /// True when no count exceeds its baseline.
+    pub fn passed(&self) -> bool {
+        self.regressions.is_empty()
+    }
+}
+
+/// Scan the workspace rooted at `root`: `<root>/src` plus every
+/// `<root>/crates/*/src`, in sorted order.
+///
+/// # Errors
+/// I/O problems walking or reading the tree.
+pub fn audit_workspace(root: &Path) -> Result<AuditReport, String> {
+    let mut files: Vec<(String, PathBuf)> = Vec::new(); // (crate name, dir)
+    let root_src = root.join("src");
+    if root_src.is_dir() {
+        files.push((package_name(root), root_src));
+    }
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        let mut entries: Vec<PathBuf> = std::fs::read_dir(&crates_dir)
+            .map_err(|e| format!("cannot read {}: {e}", crates_dir.display()))?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.join("src").is_dir())
+            .collect();
+        entries.sort();
+        for dir in entries {
+            files.push((package_name(&dir), dir.join("src")));
+        }
+    }
+    if files.is_empty() {
+        return Err(format!(
+            "{}: no src/ or crates/*/src directories found",
+            root.display()
+        ));
+    }
+
+    let mut violations = Vec::new();
+    let mut files_scanned = 0usize;
+    for (crate_name, src_dir) in files {
+        let mut rs_files = Vec::new();
+        collect_rs_files(&src_dir, &mut rs_files)?;
+        rs_files.sort();
+        for path in rs_files {
+            let text = std::fs::read_to_string(&path)
+                .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            files_scanned += 1;
+            violations.extend(rules::scan_file(&crate_name, &rel, &text));
+            if rel.ends_with("obs/src/event.rs") {
+                violations.extend(rules::check_event_vocabulary(&crate_name, &rel, &text));
+            }
+        }
+    }
+    violations.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    let counts = baseline::tally(&violations);
+    Ok(AuditReport {
+        violations,
+        counts,
+        files_scanned,
+    })
+}
+
+/// Gate a report against baseline counts.
+pub fn gate(report: &AuditReport, baseline_counts: &Counts) -> GateOutcome {
+    let (regressions, improvements) = baseline::compare(&report.counts, baseline_counts);
+    GateOutcome {
+        regressions,
+        improvements,
+    }
+}
+
+/// Best-effort `name = "…"` from a crate dir's Cargo.toml; falls back to
+/// `pm-<dirname>`.
+fn package_name(dir: &Path) -> String {
+    if let Ok(manifest) = std::fs::read_to_string(dir.join("Cargo.toml")) {
+        for line in manifest.lines() {
+            let line = line.trim();
+            if let Some(rest) = line.strip_prefix("name") {
+                let rest = rest.trim_start();
+                if let Some(rest) = rest.strip_prefix('=') {
+                    let v = rest.trim().trim_matches('"');
+                    if !v.is_empty() {
+                        return v.to_string();
+                    }
+                }
+            }
+        }
+    }
+    let dirname = dir
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "unknown".into());
+    format!("pm-{dirname}")
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let entries =
+        std::fs::read_dir(dir).map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+    for entry in entries {
+        let path = entry.map_err(|e| e.to_string())?.path();
+        if path.is_dir() {
+            collect_rs_files(&path, out)?;
+        } else if path.extension().map(|e| e == "rs").unwrap_or(false) {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Human-readable report: violations, per-rule summary, gate verdict.
+pub fn render_text(report: &AuditReport, outcome: &GateOutcome) -> String {
+    let mut s = String::new();
+    for v in &report.violations {
+        let _ = writeln!(s, "{}:{}: {}: {}", v.file, v.line, v.rule.name(), v.message);
+    }
+    if !report.violations.is_empty() {
+        s.push('\n');
+    }
+    let _ = writeln!(
+        s,
+        "pm-audit: {} files scanned, {} violations",
+        report.files_scanned,
+        report.violations.len()
+    );
+    for (rule, crates) in &report.counts {
+        let total: u64 = crates.values().sum();
+        let per_crate: Vec<String> = crates.iter().map(|(c, n)| format!("{c}: {n}")).collect();
+        let _ = writeln!(s, "  {rule}: {total} ({})", per_crate.join(", "));
+    }
+    for d in &outcome.improvements {
+        let _ = writeln!(
+            s,
+            "improvable: {} in {} is {} but baseline allows {} — shrink the baseline",
+            d.rule, d.crate_name, d.current, d.baseline
+        );
+    }
+    for d in &outcome.regressions {
+        let _ = writeln!(
+            s,
+            "REGRESSION: {} in {}: {} > baseline {}",
+            d.rule, d.crate_name, d.current, d.baseline
+        );
+    }
+    let _ = writeln!(
+        s,
+        "gate: {}",
+        if outcome.passed() { "PASS" } else { "FAIL" }
+    );
+    s
+}
+
+/// Machine-readable report (one JSON object).
+pub fn render_json(report: &AuditReport, outcome: &GateOutcome) -> String {
+    let mut s = String::from("{\n  \"violations\": [\n");
+    for (i, v) in report.violations.iter().enumerate() {
+        let comma = if i + 1 < report.violations.len() {
+            ","
+        } else {
+            ""
+        };
+        let _ = writeln!(
+            s,
+            "    {{\"file\": {}, \"line\": {}, \"rule\": {}, \"crate\": {}, \"message\": {}}}{comma}",
+            json_str(&v.file),
+            v.line,
+            json_str(v.rule.name()),
+            json_str(&v.crate_name),
+            json_str(&v.message)
+        );
+    }
+    s.push_str("  ],\n  \"counts\": ");
+    let counts_json = baseline::to_json(&report.counts);
+    s.push_str(&indent_tail(counts_json.trim_end(), "  "));
+    let _ = writeln!(s, ",\n  \"files_scanned\": {},", report.files_scanned);
+    let _ = writeln!(
+        s,
+        "  \"regressions\": {},",
+        deltas_json(&outcome.regressions)
+    );
+    let _ = writeln!(
+        s,
+        "  \"improvements\": {},",
+        deltas_json(&outcome.improvements)
+    );
+    let _ = writeln!(s, "  \"pass\": {}", outcome.passed());
+    s.push_str("}\n");
+    s
+}
+
+fn deltas_json(deltas: &[Delta]) -> String {
+    let items: Vec<String> = deltas
+        .iter()
+        .map(|d| {
+            format!(
+                "{{\"rule\": {}, \"crate\": {}, \"baseline\": {}, \"current\": {}}}",
+                json_str(&d.rule),
+                json_str(&d.crate_name),
+                d.baseline,
+                d.current
+            )
+        })
+        .collect();
+    format!("[{}]", items.join(", "))
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn indent_tail(block: &str, pad: &str) -> String {
+    let mut lines = block.lines();
+    let first = lines.next().unwrap_or("");
+    let mut out = String::from(first);
+    for line in lines {
+        out.push('\n');
+        out.push_str(pad);
+        out.push_str(line);
+    }
+    out
+}

@@ -1,0 +1,693 @@
+//! The audit rules and the per-file scanner.
+//!
+//! Every rule works on the token stream produced by [`crate::lexer`], so a
+//! hazard spelled inside a comment, string or raw string can never fire.
+//! Rules are scoped per crate (a wall-clock read is fine in `pm-bench`,
+//! fatal in `pm-sim`) and individual lines can be waived with a pragma:
+//!
+//! ```text
+//! // pm-audit: allow(panic-surface): guarded by is_complete() above
+//! let row = self.pivots[i].as_ref().expect("complete");
+//! ```
+//!
+//! A pragma suppresses the named rule(s) on its own line and on the line
+//! directly below it, so both trailing and line-above styles work.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::lexer::{lex, Token, TokenKind};
+
+/// Every rule the auditor knows, in reporting order.
+pub const ALL_RULES: &[Rule] = &[
+    Rule::DeterminismTime,
+    Rule::DeterminismHashIter,
+    Rule::RngEntropy,
+    Rule::PanicSurface,
+    Rule::UnsafeCode,
+    Rule::EventVocabulary,
+];
+
+/// One audit rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// Wall-clock reads (`Instant::now`, `SystemTime`) outside the
+    /// allowlisted wall-clock domains (pm-core runtime, pm-obs stopwatch,
+    /// pm-bench). Simulated time is the only clock deterministic code may
+    /// read.
+    DeterminismTime,
+    /// `HashMap`/`HashSet` in deterministic protocol/simulation state
+    /// (pm-core, pm-sim, pm-loss): iteration order is randomized per
+    /// process, so replay and the parallel==serial contract break. Use
+    /// `BTreeMap`/`BTreeSet`.
+    DeterminismHashIter,
+    /// Entropy-seeded randomness (`thread_rng`, `from_entropy`, `OsRng`,
+    /// `rand::random`): every RNG must derive from an explicit seed.
+    RngEntropy,
+    /// Panic paths in codec/protocol hot code (pm-gf, pm-rse, pm-core):
+    /// `unwrap`/`expect`, panicking macros and direct indexing.
+    PanicSurface,
+    /// Any `unsafe` token anywhere in the workspace.
+    UnsafeCode,
+    /// The pm-obs `Event::name` match and the `EVENT_NAMES` vocabulary
+    /// const must list the same number of events (obs-check validates
+    /// traces against `EVENT_NAMES`, so a drift would let unvalidated
+    /// event types through).
+    EventVocabulary,
+}
+
+impl Rule {
+    /// Stable kebab-case name used in reports, baselines and pragmas.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Rule::DeterminismTime => "determinism-time",
+            Rule::DeterminismHashIter => "determinism-hash-iter",
+            Rule::RngEntropy => "rng-entropy",
+            Rule::PanicSurface => "panic-surface",
+            Rule::UnsafeCode => "unsafe-code",
+            Rule::EventVocabulary => "event-vocabulary",
+        }
+    }
+
+    /// Parse a pragma/baseline rule name.
+    pub fn from_name(name: &str) -> Option<Rule> {
+        ALL_RULES.iter().copied().find(|r| r.name() == name)
+    }
+
+    /// Crates the rule applies to (`None` = every scanned crate).
+    fn crates(&self) -> Option<&'static [&'static str]> {
+        match self {
+            Rule::DeterminismHashIter => Some(&["pm-core", "pm-sim", "pm-loss"]),
+            Rule::PanicSurface => Some(&["pm-gf", "pm-rse", "pm-core"]),
+            _ => None,
+        }
+    }
+
+    /// Crates exempt from the rule even when `crates()` is `None`.
+    fn exempt_crates(&self) -> &'static [&'static str] {
+        match self {
+            // Benchmarks measure wall-clock time by design, and the
+            // auditor itself never runs inside a simulation.
+            Rule::DeterminismTime => &["pm-bench", "pm-audit"],
+            _ => &[],
+        }
+    }
+
+    /// File-path suffixes exempt from the rule: the explicitly allowlisted
+    /// wall-clock domains.
+    fn exempt_files(&self) -> &'static [&'static str] {
+        match self {
+            Rule::DeterminismTime => &[
+                // The threaded protocol runtime paces real packets.
+                "core/src/runtime.rs",
+                // The pm-obs stopwatch/span-timer machinery is the one
+                // sanctioned wall-clock source for instrumentation.
+                "obs/src/metrics.rs",
+                "obs/src/recorder.rs",
+            ],
+            _ => &[],
+        }
+    }
+
+    /// Does the rule apply to `crate_name` / `rel_path`?
+    pub fn applies(&self, crate_name: &str, rel_path: &str) -> bool {
+        if let Some(crates) = self.crates() {
+            if !crates.contains(&crate_name) {
+                return false;
+            }
+        }
+        if self.exempt_crates().contains(&crate_name) {
+            return false;
+        }
+        let unix_path = rel_path.replace('\\', "/");
+        !self
+            .exempt_files()
+            .iter()
+            .any(|suffix| unix_path.ends_with(suffix))
+    }
+}
+
+/// One rule hit at one source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Which rule fired.
+    pub rule: Rule,
+    /// Cargo package name of the containing crate.
+    pub crate_name: String,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line number.
+    pub line: u32,
+    /// Human-readable description of the hit.
+    pub message: String,
+}
+
+/// Files compiled only under `#[cfg(test)]` at their inclusion site, so
+/// the in-file scanner cannot see the gate.
+const TEST_ONLY_FILE_SUFFIXES: &[&str] = &["src/proptests.rs"];
+
+/// Scan one source file and return every unsuppressed violation.
+pub fn scan_file(crate_name: &str, rel_path: &str, src: &str) -> Vec<Violation> {
+    let unix_path = rel_path.replace('\\', "/");
+    if TEST_ONLY_FILE_SUFFIXES
+        .iter()
+        .any(|s| unix_path.ends_with(s))
+    {
+        return Vec::new();
+    }
+    let tokens = lex(src);
+    let suppressed = collect_pragmas(&tokens);
+    let code = non_test_significant_tokens(&tokens);
+
+    let mut out = Vec::new();
+    let mut push = |rule: Rule, line: u32, message: String| {
+        if !rule.applies(crate_name, rel_path) {
+            return;
+        }
+        if let Some(lines) = suppressed.get(&rule) {
+            if lines.contains(&line) {
+                return;
+            }
+        }
+        out.push(Violation {
+            rule,
+            crate_name: crate_name.to_string(),
+            file: rel_path.to_string(),
+            line,
+            message,
+        });
+    };
+
+    for (i, tok) in code.iter().enumerate() {
+        let prev = i.checked_sub(1).map(|j| code[j]);
+        let next = code.get(i + 1).copied();
+        let next2 = code.get(i + 2).copied();
+        match (tok.kind, tok.text) {
+            (TokenKind::Ident, "Instant")
+                if is_punct(next, ":")
+                    && is_punct(next2, ":")
+                    && matches!(code.get(i + 3), Some(t) if t.text == "now") =>
+            {
+                push(
+                    Rule::DeterminismTime,
+                    tok.line,
+                    "wall-clock read: Instant::now()".into(),
+                );
+            }
+            (TokenKind::Ident, "SystemTime") => {
+                push(
+                    Rule::DeterminismTime,
+                    tok.line,
+                    "wall-clock type: SystemTime".into(),
+                );
+            }
+            (TokenKind::Ident, "HashMap" | "HashSet" | "hash_map" | "hash_set") => {
+                push(
+                    Rule::DeterminismHashIter,
+                    tok.line,
+                    format!(
+                        "{} in deterministic state (iteration order is per-process random); \
+                         use BTreeMap/BTreeSet",
+                        tok.text
+                    ),
+                );
+            }
+            (TokenKind::Ident, "thread_rng" | "from_entropy" | "ThreadRng" | "OsRng") => {
+                push(
+                    Rule::RngEntropy,
+                    tok.line,
+                    format!("entropy-seeded randomness: {}", tok.text),
+                );
+            }
+            (TokenKind::Ident, "random")
+                if is_punct(prev, ":")
+                    && i >= 3
+                    && code[i - 2].text == ":"
+                    && code[i - 3].text == "rand" =>
+            {
+                push(
+                    Rule::RngEntropy,
+                    tok.line,
+                    "entropy-seeded randomness: rand::random".into(),
+                );
+            }
+            (TokenKind::Ident, "unwrap" | "expect" | "unwrap_err" | "expect_err")
+                if is_punct(prev, ".") =>
+            {
+                push(
+                    Rule::PanicSurface,
+                    tok.line,
+                    format!(".{}() panics on the error path", tok.text),
+                );
+            }
+            (TokenKind::Ident, "panic" | "unreachable" | "todo" | "unimplemented")
+                if is_punct(next, "!") =>
+            {
+                push(
+                    Rule::PanicSurface,
+                    tok.line,
+                    format!("panicking macro: {}!", tok.text),
+                );
+            }
+            (TokenKind::Punct, "[") if indexing_context(prev) => {
+                push(
+                    Rule::PanicSurface,
+                    tok.line,
+                    "direct indexing/slicing can panic on out-of-range".into(),
+                );
+            }
+            (TokenKind::Ident, "unsafe") => {
+                push(Rule::UnsafeCode, tok.line, "unsafe code".into());
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// `expr[` is indexing when the previous significant token ends an
+/// expression: an identifier (that is not a keyword), a closing bracket or
+/// a literal. `#[attr]`, `![inner]`, types like `[u8; 4]` and macro calls
+/// like `vec![…]` all have non-expression predecessors.
+fn indexing_context(prev: Option<Token<'_>>) -> bool {
+    const KEYWORDS: &[&str] = &[
+        "as", "break", "const", "continue", "crate", "dyn", "else", "enum", "extern", "fn", "for",
+        "if", "impl", "in", "let", "loop", "match", "mod", "move", "mut", "pub", "ref", "return",
+        "static", "struct", "trait", "type", "unsafe", "use", "where", "while", "box", "await",
+        "yield",
+    ];
+    match prev {
+        Some(t) => match t.kind {
+            TokenKind::Ident => !KEYWORDS.contains(&t.text),
+            TokenKind::Punct => matches!(t.text, ")" | "]"),
+            TokenKind::Number => true,
+            _ => false,
+        },
+        None => false,
+    }
+}
+
+fn is_punct(tok: Option<Token<'_>>, text: &str) -> bool {
+    matches!(tok, Some(t) if t.kind == TokenKind::Punct && t.text == text)
+}
+
+/// Lines waived per rule. A `// pm-audit: allow(rule-a, rule-b): why`
+/// comment suppresses the named rules on the pragma's own line and on the
+/// following line.
+fn collect_pragmas<'a>(tokens: &[Token<'a>]) -> BTreeMap<Rule, BTreeSet<u32>> {
+    let mut out: BTreeMap<Rule, BTreeSet<u32>> = BTreeMap::new();
+    for tok in tokens {
+        if !matches!(tok.kind, TokenKind::LineComment | TokenKind::BlockComment) {
+            continue;
+        }
+        let Some(idx) = tok.text.find("pm-audit:") else {
+            continue;
+        };
+        let rest = &tok.text[idx + "pm-audit:".len()..];
+        let Some(open) = rest.find("allow(") else {
+            continue;
+        };
+        let Some(close) = rest[open..].find(')') else {
+            continue;
+        };
+        for name in rest[open + "allow(".len()..open + close].split(',') {
+            if let Some(rule) = Rule::from_name(name.trim()) {
+                let lines = out.entry(rule).or_default();
+                lines.insert(tok.line);
+                lines.insert(tok.line + 1);
+            }
+        }
+    }
+    out
+}
+
+/// Strip test-only regions and return only the significant tokens.
+///
+/// Recognized gates: a file-level `#![cfg(test)]` (whole file is test
+/// code) and item-level `#[cfg(test)]` / `#[test]` attributes (the
+/// attributed item — through its closing brace or terminating semicolon —
+/// is skipped, including any stacked attributes in between).
+fn non_test_significant_tokens<'a>(tokens: &'a [Token<'a>]) -> Vec<Token<'a>> {
+    let sig: Vec<Token<'a>> = tokens
+        .iter()
+        .copied()
+        .filter(Token::is_significant)
+        .collect();
+    let mut out = Vec::with_capacity(sig.len());
+    let mut i = 0;
+    while i < sig.len() {
+        if is_punct(sig.get(i).copied(), "#") {
+            let inner = is_punct(sig.get(i + 1).copied(), "!");
+            let attr_start = if inner { i + 2 } else { i + 1 };
+            if is_punct(sig.get(attr_start).copied(), "[") {
+                let (is_test_gate, attr_end) = parse_attribute(&sig, attr_start);
+                if is_test_gate {
+                    if inner {
+                        // `#![cfg(test)]`: the whole remaining file is
+                        // test-only.
+                        return out;
+                    }
+                    i = skip_attributed_item(&sig, attr_end);
+                    continue;
+                }
+                // Non-test attribute: emit nothing for it, move past.
+                i = attr_end;
+                continue;
+            }
+        }
+        out.push(sig[i]);
+        i += 1;
+    }
+    out
+}
+
+/// Parse the attribute starting at the `[` at `open`. Returns whether it
+/// gates test code and the index just past the matching `]`.
+fn parse_attribute<'a>(sig: &[Token<'a>], open: usize) -> (bool, usize) {
+    let mut depth = 0usize;
+    let mut saw_cfg = false;
+    let mut saw_test = false;
+    let mut i = open;
+    while i < sig.len() {
+        let t = sig[i];
+        match (t.kind, t.text) {
+            (TokenKind::Punct, "[") => depth += 1,
+            (TokenKind::Punct, "]") => {
+                depth -= 1;
+                if depth == 0 {
+                    i += 1;
+                    break;
+                }
+            }
+            (TokenKind::Ident, "cfg") => saw_cfg = true,
+            (TokenKind::Ident, "test") => saw_test = true,
+            _ => {}
+        }
+        i += 1;
+    }
+    // `#[test]` (bare) or `#[cfg(test)]` / `#[cfg(any(test, …))]`.
+    let bare_test = saw_test && !saw_cfg && i == open + 3;
+    (bare_test || (saw_cfg && saw_test), i)
+}
+
+/// Skip the item following a test attribute: any further attributes, then
+/// tokens until the first top-level `;` or the close of the first brace
+/// block.
+fn skip_attributed_item<'a>(sig: &[Token<'a>], mut i: usize) -> usize {
+    // Stacked attributes after the test gate.
+    while is_punct(sig.get(i).copied(), "#") {
+        let attr_start = if is_punct(sig.get(i + 1).copied(), "!") {
+            i + 2
+        } else {
+            i + 1
+        };
+        if !is_punct(sig.get(attr_start).copied(), "[") {
+            break;
+        }
+        let (_, end) = parse_attribute(sig, attr_start);
+        i = end;
+    }
+    let mut depth = 0usize;
+    while i < sig.len() {
+        match (sig[i].kind, sig[i].text) {
+            (TokenKind::Punct, "{") => depth += 1,
+            (TokenKind::Punct, "}") => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    return i + 1;
+                }
+            }
+            (TokenKind::Punct, ";") if depth == 0 => return i + 1,
+            _ => {}
+        }
+        i += 1;
+    }
+    i
+}
+
+/// The event-vocabulary cross-check, run against `crates/obs/src/event.rs`.
+///
+/// Counts the string literals returned by the `Event::name` match arms and
+/// the string literals in the `EVENT_NAMES` const initializer; the two
+/// must agree (obs-check validates traces against `EVENT_NAMES`, so a
+/// missing entry would make a freshly added event fail validation — or,
+/// worse, an over-long list would accept a name no event produces).
+pub fn check_event_vocabulary(crate_name: &str, rel_path: &str, src: &str) -> Vec<Violation> {
+    let tokens = lex(src);
+    let sig: Vec<Token<'_>> = tokens
+        .iter()
+        .copied()
+        .filter(|t| t.is_significant() || t.kind == TokenKind::Str)
+        .collect();
+
+    let name_arms = count_name_match_arms(&sig);
+    let vocab = count_event_names_const(&sig);
+    let mut out = Vec::new();
+    let mut fail = |line: u32, message: String| {
+        out.push(Violation {
+            rule: Rule::EventVocabulary,
+            crate_name: crate_name.to_string(),
+            file: rel_path.to_string(),
+            line,
+            message,
+        });
+    };
+    match (name_arms, vocab) {
+        (None, _) => fail(1, "Event::name match arms not found".into()),
+        (_, None) => fail(1, "EVENT_NAMES const not found".into()),
+        (Some((arms, line)), Some((names, _))) if arms != names => fail(
+            line,
+            format!(
+                "event vocabulary drift: Event::name has {arms} arms but EVENT_NAMES lists \
+                 {names} names"
+            ),
+        ),
+        _ => {}
+    }
+    out
+}
+
+/// Find `fn name` and count `=> "…"` arms inside its first match block.
+fn count_name_match_arms<'a>(sig: &[Token<'a>]) -> Option<(usize, u32)> {
+    let mut i = 0;
+    // Locate `fn name` followed (eventually) by `match`.
+    loop {
+        while i < sig.len()
+            && !(sig[i].text == "fn" && sig.get(i + 1).map(|t| t.text) == Some("name"))
+        {
+            i += 1;
+        }
+        if i >= sig.len() {
+            return None;
+        }
+        let fn_line = sig[i].line;
+        // Scan forward to the `match` keyword within this fn.
+        let mut j = i + 2;
+        while j < sig.len() && sig[j].text != "match" && sig[j].text != "fn" {
+            j += 1;
+        }
+        if j >= sig.len() || sig[j].text == "fn" {
+            i = j;
+            continue;
+        }
+        // Enter the match block and count `=> "…"` pairs at any depth.
+        let mut depth = 0usize;
+        let mut entered = false;
+        let mut arms = 0usize;
+        let mut k = j;
+        while k < sig.len() {
+            match (sig[k].kind, sig[k].text) {
+                (TokenKind::Punct, "{") => {
+                    depth += 1;
+                    entered = true;
+                }
+                (TokenKind::Punct, "}") => {
+                    depth = depth.saturating_sub(1);
+                    if entered && depth == 0 {
+                        break;
+                    }
+                }
+                (TokenKind::Str, _)
+                    if k >= 2 && sig[k - 1].text == ">" && sig[k - 2].text == "=" =>
+                {
+                    arms += 1;
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+        return Some((arms, fn_line));
+    }
+}
+
+/// Find `EVENT_NAMES` and count the string literals in its initializer
+/// (between the `=` and the terminating `;` — the type annotation
+/// `[&str; N]` holds a `;` of its own, so counting starts at the `=`).
+fn count_event_names_const<'a>(sig: &[Token<'a>]) -> Option<(usize, u32)> {
+    let i = sig.iter().position(|t| t.text == "EVENT_NAMES")?;
+    let line = sig[i].line;
+    let eq = i + sig[i..].iter().position(|t| t.text == "=")?;
+    let mut names = 0usize;
+    for t in &sig[eq..] {
+        match (t.kind, t.text) {
+            (TokenKind::Str, _) => names += 1,
+            (TokenKind::Punct, ";") => break,
+            _ => {}
+        }
+    }
+    Some((names, line))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scan(src: &str) -> Vec<Violation> {
+        scan_file("pm-core", "crates/core/src/x.rs", src)
+    }
+
+    fn rules_of(vs: &[Violation]) -> Vec<Rule> {
+        vs.iter().map(|v| v.rule).collect()
+    }
+
+    #[test]
+    fn hazards_in_comments_and_strings_never_fire() {
+        let src = r###"
+            // Instant::now() HashMap unwrap() unsafe thread_rng
+            /* SystemTime /* nested unsafe */ still */
+            fn f() {
+                let s = "Instant::now() unsafe HashMap";
+                let r = r#"thread_rng() .unwrap() panic!"#;
+            }
+        "###;
+        assert!(scan(src).is_empty(), "{:?}", scan(src));
+    }
+
+    #[test]
+    fn determinism_time_fires_in_code() {
+        let vs = scan("fn f() { let t = Instant::now(); }");
+        assert_eq!(rules_of(&vs), vec![Rule::DeterminismTime]);
+        let vs = scan("use std::time::SystemTime;");
+        assert_eq!(rules_of(&vs), vec![Rule::DeterminismTime]);
+    }
+
+    #[test]
+    fn hash_iter_scoped_to_deterministic_crates() {
+        let src = "use std::collections::HashMap;";
+        assert_eq!(scan(src).len(), 1);
+        assert!(scan_file("pm-net", "crates/net/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn rng_entropy_fires() {
+        let vs = scan("fn f() { let mut r = thread_rng(); let x: u8 = rand::random(); }");
+        assert_eq!(vs.len(), 2);
+        // Seeded RNG calls named `random` on a bound rng are fine.
+        assert!(scan("fn f(r: &mut R) { let x: f64 = r.random(); }").is_empty());
+    }
+
+    #[test]
+    fn panic_surface_unwrap_expect_macros_indexing() {
+        let vs = scan("fn f(v: Vec<u8>) { v.last().unwrap(); v.first().expect(\"x\"); }");
+        assert_eq!(vs.len(), 2);
+        let vs = scan("fn f() { panic!(\"boom\"); unreachable!(); }");
+        assert_eq!(vs.len(), 2);
+        let vs = scan("fn f(v: &[u8], i: usize) -> u8 { v[i] }");
+        assert_eq!(rules_of(&vs), vec![Rule::PanicSurface]);
+        // unwrap_or is not a panic path; attributes and types are not
+        // indexing.
+        assert!(scan("fn f(v: Vec<u8>) { v.first().copied().unwrap_or(0); }").is_empty());
+        assert!(scan("#[derive(Debug)] struct S { b: [u8; 4] }").is_empty());
+        assert!(scan("fn f() { let v = vec![1, 2]; }").is_empty());
+    }
+
+    #[test]
+    fn panic_surface_scoped_out_of_sim() {
+        let src = "fn f(v: &[u8]) -> u8 { v[0] }";
+        assert!(scan_file("pm-sim", "crates/sim/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unsafe_fires_everywhere() {
+        let src = "unsafe fn f() {}";
+        for (krate, path) in [("pm-obs", "crates/obs/src/x.rs"), ("pm-sim", "s.rs")] {
+            let vs = scan_file(krate, path, src);
+            assert_eq!(rules_of(&vs), vec![Rule::UnsafeCode], "{krate}");
+        }
+    }
+
+    #[test]
+    fn pragma_suppresses_same_and_next_line() {
+        let trailing = "fn f(v: Vec<u8>) { v.last().unwrap(); } // pm-audit: allow(panic-surface)";
+        assert!(scan(trailing).is_empty());
+        let above = "fn f(v: Vec<u8>) {\n    // pm-audit: allow(panic-surface): invariant\n    v.last().unwrap();\n}";
+        assert!(scan(above).is_empty());
+        // The pragma names only one rule; others still fire.
+        let other = "// pm-audit: allow(unsafe-code)\nfn f(v: Vec<u8>) { v.last().unwrap(); }";
+        assert_eq!(scan(other).len(), 1);
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let src = r#"
+            fn prod(v: Vec<u8>) -> usize { v.len() }
+            #[cfg(test)]
+            mod tests {
+                #[test]
+                fn t() { Vec::<u8>::new().last().unwrap(); }
+            }
+        "#;
+        assert!(scan(src).is_empty());
+        let gated_fn = "#[cfg(test)]\nfn helper(v: Vec<u8>) { v.last().unwrap(); }";
+        assert!(scan(gated_fn).is_empty());
+        let whole_file = "#![cfg(test)]\nfn f(v: Vec<u8>) { v.last().unwrap(); }";
+        assert!(scan(whole_file).is_empty());
+    }
+
+    #[test]
+    fn non_test_attributes_do_not_hide_code() {
+        let src = "#[derive(Debug)]\nstruct S;\nfn f(v: Vec<u8>) { v.last().unwrap(); }";
+        assert_eq!(scan(src).len(), 1);
+        let cfg_feature = "#[cfg(feature = \"x\")]\nfn f(v: Vec<u8>) { v.last().unwrap(); }";
+        assert_eq!(scan(cfg_feature).len(), 1);
+    }
+
+    #[test]
+    fn allowlisted_files_are_exempt() {
+        let src = "fn f() { let t = Instant::now(); }";
+        assert!(scan_file("pm-core", "crates/core/src/runtime.rs", src).is_empty());
+        assert!(scan_file("pm-obs", "crates/obs/src/metrics.rs", src).is_empty());
+        assert!(scan_file("pm-bench", "crates/bench/src/fig01.rs", src).is_empty());
+        assert_eq!(scan_file("pm-net", "crates/net/src/udp.rs", src).len(), 1);
+    }
+
+    #[test]
+    fn event_vocabulary_detects_drift() {
+        let ok = r#"
+            pub const EVENT_NAMES: [&str; 2] = ["a", "b"];
+            impl Event {
+                pub fn name(&self) -> &'static str {
+                    match self {
+                        Event::A { .. } => "a",
+                        Event::B { .. } => "b",
+                    }
+                }
+            }
+        "#;
+        assert!(check_event_vocabulary("pm-obs", "e.rs", ok).is_empty());
+        let drifted = ok.replace(r#"["a", "b"]"#, r#"["a", "b", "c"]"#);
+        let vs = check_event_vocabulary("pm-obs", "e.rs", &drifted);
+        assert_eq!(rules_of(&vs), vec![Rule::EventVocabulary]);
+        let missing = "fn other() {}";
+        assert_eq!(check_event_vocabulary("pm-obs", "e.rs", missing).len(), 1);
+    }
+
+    #[test]
+    fn proptests_files_are_skipped() {
+        let vs = scan_file(
+            "pm-gf",
+            "crates/gf/src/proptests.rs",
+            "fn f(v: Vec<u8>) { v.last().unwrap(); }",
+        );
+        assert!(vs.is_empty());
+    }
+}

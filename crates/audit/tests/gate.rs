@@ -1,0 +1,162 @@
+//! End-to-end gate tests for pm-audit.
+//!
+//! The load-bearing one is the *negative* self-test: a workspace seeded
+//! with a fresh violation must FAIL the gate against a baseline that does
+//! not allow it — proving the CI job is a real tripwire, not a no-op.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use pm_audit::baseline::{self, Counts};
+use pm_audit::{audit_workspace, gate};
+
+/// A unique scratch workspace under the system temp dir. Uses the process
+/// id plus a caller tag for uniqueness — no wall clock involved.
+struct ScratchWorkspace {
+    root: PathBuf,
+}
+
+impl ScratchWorkspace {
+    fn new(tag: &str, lib_rs: &str) -> Self {
+        let root = std::env::temp_dir().join(format!("pm-audit-gate-{}-{tag}", std::process::id()));
+        let _ = fs::remove_dir_all(&root);
+        fs::create_dir_all(root.join("src")).unwrap();
+        fs::write(
+            root.join("Cargo.toml"),
+            "[package]\nname = \"seeded\"\nversion = \"0.0.0\"\n",
+        )
+        .unwrap();
+        fs::write(root.join("src/lib.rs"), lib_rs).unwrap();
+        ScratchWorkspace { root }
+    }
+}
+
+impl Drop for ScratchWorkspace {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.root);
+    }
+}
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+#[test]
+fn seeded_violation_fails_the_gate() {
+    let ws = ScratchWorkspace::new(
+        "seeded",
+        "pub fn f() -> std::time::Instant { std::time::Instant::now() }\n",
+    );
+    let report = audit_workspace(&ws.root).unwrap();
+    assert_eq!(report.violations.len(), 1, "{:?}", report.violations);
+    assert_eq!(report.violations[0].rule.name(), "determinism-time");
+    let outcome = gate(&report, &Counts::new());
+    assert!(
+        !outcome.passed(),
+        "seeded violation must fail an empty baseline"
+    );
+    assert_eq!(outcome.regressions.len(), 1);
+    assert_eq!(outcome.regressions[0].current, 1);
+    assert_eq!(outcome.regressions[0].baseline, 0);
+}
+
+#[test]
+fn seeded_violation_fails_via_the_binary_exit_code() {
+    let ws = ScratchWorkspace::new(
+        "binary",
+        "pub fn f() -> std::time::Instant { std::time::Instant::now() }\n",
+    );
+    let empty_baseline = ws.root.join("baseline.json");
+    fs::write(&empty_baseline, "{\n}\n").unwrap();
+    let out = Command::new(env!("CARGO_BIN_EXE_pm-audit"))
+        .args(["--root"])
+        .arg(&ws.root)
+        .args(["--baseline"])
+        .arg(&empty_baseline)
+        .output()
+        .unwrap();
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "stdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("REGRESSION"), "{stdout}");
+    assert!(stdout.contains("gate: FAIL"), "{stdout}");
+}
+
+#[test]
+fn baselined_violation_passes_and_fixing_it_reports_improvement() {
+    let ws = ScratchWorkspace::new(
+        "ratchet",
+        "pub fn f() -> std::time::Instant { std::time::Instant::now() }\n",
+    );
+    let report = audit_workspace(&ws.root).unwrap();
+    // Commit today's count as the baseline: the gate passes.
+    let allowed = report.counts.clone();
+    assert!(gate(&report, &allowed).passed());
+    // Fix the violation: the gate still passes and reports the headroom.
+    fs::write(ws.root.join("src/lib.rs"), "pub fn f() {}\n").unwrap();
+    let fixed = audit_workspace(&ws.root).unwrap();
+    let outcome = gate(&fixed, &allowed);
+    assert!(outcome.passed());
+    assert_eq!(outcome.improvements.len(), 1);
+    assert_eq!(outcome.improvements[0].current, 0);
+    assert_eq!(outcome.improvements[0].baseline, 1);
+}
+
+#[test]
+fn suppression_pragma_waives_the_seeded_violation() {
+    let ws = ScratchWorkspace::new(
+        "pragma",
+        "// pm-audit: allow(determinism-time): gate test fixture\n\
+         pub fn f() -> std::time::Instant { std::time::Instant::now() }\n",
+    );
+    let report = audit_workspace(&ws.root).unwrap();
+    assert!(report.violations.is_empty(), "{:?}", report.violations);
+    assert!(gate(&report, &Counts::new()).passed());
+}
+
+#[test]
+fn baseline_json_roundtrips_through_the_writer_and_parser() {
+    let ws = ScratchWorkspace::new(
+        "roundtrip",
+        "pub fn f() -> std::time::Instant { std::time::Instant::now() }\n",
+    );
+    let report = audit_workspace(&ws.root).unwrap();
+    let json = baseline::to_json(&report.counts);
+    let parsed = baseline::parse(&json).unwrap();
+    assert_eq!(parsed, report.counts);
+}
+
+#[test]
+fn workspace_self_audit_respects_the_committed_baseline() {
+    let root = repo_root();
+    let baseline_path = root.join("audit-baseline.json");
+    let text = fs::read_to_string(&baseline_path).unwrap_or_else(|e| {
+        panic!(
+            "audit-baseline.json must be committed at the workspace root \
+             ({}): {e}",
+            baseline_path.display()
+        )
+    });
+    let allowed = baseline::parse(&text).unwrap();
+    let report = audit_workspace(&root).unwrap();
+    let outcome = gate(&report, &allowed);
+    assert!(
+        outcome.passed(),
+        "workspace regressed its audit baseline:\n{}",
+        outcome
+            .regressions
+            .iter()
+            .map(|d| format!(
+                "  {} in {}: {} > baseline {}",
+                d.rule, d.crate_name, d.current, d.baseline
+            ))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

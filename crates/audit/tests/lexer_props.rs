@@ -1,0 +1,206 @@
+//! Property tests for the pm-audit lexer and its contract with the rule
+//! engine: hazard spellings inside comments, string literals and raw
+//! strings must never produce violations; the same spelling in code
+//! position must. The lexer is also total (never panics) and partitions
+//! the input into monotonically ordered, in-bounds spans.
+
+use proptest::prelude::*;
+
+use pm_audit::lexer::{lex, TokenKind};
+use pm_audit::rules::scan_file;
+
+/// Hazard spellings, one per rule family, all of which fire when placed in
+/// code position inside a scanned crate.
+const HAZARDS: &[&str] = &[
+    "Instant::now()",
+    "SystemTime::now()",
+    "HashMap::new()",
+    "thread_rng()",
+    "x.unwrap()",
+    "panic!(\"boom\")",
+    "unsafe { }",
+];
+
+/// A strategy over identifier-ish filler text that cannot itself contain a
+/// hazard or any quote/comment delimiter.
+fn filler() -> impl Strategy<Value = String> {
+    proptest::collection::vec(
+        prop_oneof![
+            Just("alpha"),
+            Just("beta_2"),
+            Just("let x = 1;"),
+            Just("fn f() {}"),
+            Just("// plain note"),
+            Just("gamma"),
+        ],
+        0..4,
+    )
+    .prop_map(|parts| parts.join("\n"))
+}
+
+fn hazard() -> impl Strategy<Value = &'static str> {
+    (0..HAZARDS.len()).prop_map(|i| HAZARDS[i])
+}
+
+/// Arbitrary unicode text built char-by-char (the vendored proptest has no
+/// regex strategies): surrogate-free code points below U+D800, which still
+/// covers quotes, backslashes, newlines, NULs and non-ASCII.
+fn arb_text() -> impl Strategy<Value = String> {
+    proptest::collection::vec(any::<char>(), 0..200).prop_map(|cs| cs.into_iter().collect())
+}
+
+/// Wrap a hazard so it is lexically quoted: the rule engine must not see it.
+fn quoted_contexts(h: &str) -> Vec<String> {
+    vec![
+        format!("// hazard in a line comment: {h}"),
+        format!("/* hazard in a block comment: {h} */"),
+        format!("/* nested /* {h} */ still comment */"),
+        format!(
+            "let s = \"{}\";",
+            h.replace('\\', "\\\\").replace('"', "\\\"")
+        ),
+        format!("let s = r\"{}\";", h.replace('"', "'")),
+        format!("let s = r#\"{h}\"#;"),
+        format!("let s = b\"{}\";", h.replace('"', "'")),
+        format!("//! doc comment: {h}"),
+        format!("/// outer doc: {h}"),
+    ]
+}
+
+proptest! {
+    /// Hazards spelled inside comments or string literals never fire,
+    /// regardless of surrounding code.
+    #[test]
+    fn quoted_hazards_never_fire(pre in filler(), post in filler(), h in hazard()) {
+        for ctx in quoted_contexts(h) {
+            let src = format!("{pre}\n{ctx}\n{post}\n");
+            // pm-core is in scope for every rule family used by HAZARDS.
+            let violations = scan_file("pm-core", "crates/core/src/x.rs", &src);
+            prop_assert!(
+                violations.is_empty(),
+                "quoted hazard fired: {:?} -> {:?}", ctx, violations
+            );
+        }
+    }
+
+    /// The same hazard in code position does fire — the quoting above is
+    /// what suppresses it, not the rule being dead.
+    #[test]
+    fn code_position_hazards_fire(pre in filler(), h in hazard()) {
+        let src = format!("{pre}\nfn g() {{ {h}; }}\n");
+        let violations = scan_file("pm-core", "crates/core/src/x.rs", &src);
+        prop_assert!(
+            !violations.is_empty(),
+            "code-position hazard did not fire: {:?}", h
+        );
+    }
+
+    /// Totality: the lexer returns on arbitrary input, including
+    /// unterminated strings, lone quotes, stray backslashes and non-ASCII.
+    #[test]
+    fn lexer_total_on_arbitrary_input(src in arb_text()) {
+        let _ = lex(&src);
+        let _ = scan_file("pm-core", "crates/core/src/x.rs", &src);
+    }
+
+    /// Totality on byte soup decoded lossily (exercises invalid-UTF-8
+    /// replacement characters and control bytes).
+    #[test]
+    fn lexer_total_on_byte_soup(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let src = String::from_utf8_lossy(&bytes).into_owned();
+        let _ = lex(&src);
+    }
+
+    /// Span invariants: token spans are in-bounds, non-empty, strictly
+    /// ordered, and `text` matches the span it claims.
+    #[test]
+    fn spans_are_ordered_and_in_bounds(src in arb_text()) {
+        let tokens = lex(&src);
+        let mut prev_end = 0usize;
+        for t in &tokens {
+            prop_assert!(t.start >= prev_end, "overlapping spans");
+            prop_assert!(!t.text.is_empty(), "empty token");
+            prop_assert!(t.start + t.text.len() <= src.len(), "span out of bounds");
+            prop_assert_eq!(&src[t.start..t.start + t.text.len()], t.text);
+            prev_end = t.start + t.text.len();
+        }
+    }
+
+    /// Line numbers are non-decreasing and consistent with the newlines
+    /// preceding each token's start offset.
+    #[test]
+    fn line_numbers_match_newline_count(src in arb_text()) {
+        let tokens = lex(&src);
+        for t in &tokens {
+            let expected = 1 + src[..t.start].matches('\n').count() as u32;
+            prop_assert_eq!(t.line, expected, "line number drifted");
+        }
+    }
+
+    /// Reconstructing the input from token spans plus the gaps between
+    /// them yields the original source: nothing is dropped or duplicated.
+    #[test]
+    fn tokens_partition_the_source(src in arb_text()) {
+        let tokens = lex(&src);
+        let mut rebuilt = String::new();
+        let mut pos = 0usize;
+        for t in &tokens {
+            rebuilt.push_str(&src[pos..t.start]);
+            rebuilt.push_str(t.text);
+            pos = t.start + t.text.len();
+        }
+        rebuilt.push_str(&src[pos..]);
+        prop_assert_eq!(rebuilt, src);
+    }
+
+    /// Gaps between tokens contain only whitespace — every non-whitespace
+    /// character lands inside exactly one token.
+    #[test]
+    fn gaps_are_whitespace_only(src in arb_text()) {
+        let tokens = lex(&src);
+        let mut pos = 0usize;
+        for t in &tokens {
+            prop_assert!(
+                src[pos..t.start].chars().all(char::is_whitespace),
+                "non-whitespace between tokens"
+            );
+            pos = t.start + t.text.len();
+        }
+        prop_assert!(src[pos..].chars().all(char::is_whitespace));
+    }
+}
+
+#[test]
+fn suppression_pragma_silences_only_named_rule() {
+    let src = "\
+// pm-audit: allow(determinism-time): test fixture
+fn f() { let _ = Instant::now(); }
+";
+    assert!(scan_file("pm-core", "crates/core/src/x.rs", src).is_empty());
+    // The same pragma does not silence a different rule.
+    let src2 = "\
+// pm-audit: allow(determinism-time): wrong rule named
+fn f() { let _ = x.unwrap(); }
+";
+    let v = scan_file("pm-core", "crates/core/src/x.rs", src2);
+    assert_eq!(v.len(), 1);
+    assert_eq!(v[0].rule.name(), "panic-surface");
+}
+
+#[test]
+fn comment_kinds_are_classified() {
+    let tokens = lex("// line\n/* block */ ident \"str\" 'c' 'life 42");
+    let kinds: Vec<TokenKind> = tokens.iter().map(|t| t.kind).collect();
+    assert_eq!(
+        kinds,
+        vec![
+            TokenKind::LineComment,
+            TokenKind::BlockComment,
+            TokenKind::Ident,
+            TokenKind::Str,
+            TokenKind::Char,
+            TokenKind::Lifetime,
+            TokenKind::Number,
+        ]
+    );
+}

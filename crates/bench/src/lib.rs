@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Figure-regeneration harness.
 //!
 //! One module per measured figure of the paper; each builds a [`Figure`]

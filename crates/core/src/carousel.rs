@@ -102,7 +102,7 @@ pub struct CarouselSender {
     cursor: usize,
     cycles_done: u32,
     since_announce: usize,
-    done_receivers: std::collections::HashSet<u32>,
+    done_receivers: std::collections::BTreeSet<u32>,
     counters: CostCounters,
     fin_sent: bool,
 }
@@ -159,7 +159,7 @@ impl CarouselSender {
             cursor: 0,
             cycles_done: 0,
             since_announce: 0,
-            done_receivers: std::collections::HashSet::new(),
+            done_receivers: std::collections::BTreeSet::new(),
             counters,
             fin_sent: false,
         })

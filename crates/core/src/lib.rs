@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! **Protocol NP** — reliable multicast with integrated FEC (hybrid ARQ),
 //! the system contribution of *Parity-Based Loss Recovery for Reliable
 //! Multicast Transmission* (Nonnenmacher, Biersack, Towsley, SIGCOMM '97)

@@ -16,7 +16,7 @@
 //! comparison isolates the parity-vs-original and per-group-vs-per-packet
 //! effects.
 
-use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use bytes::Bytes;
 
@@ -39,10 +39,13 @@ pub struct N2Sender {
     groups: Vec<Vec<Bytes>>,
     queue: VecDeque<Message>,
     /// Packets already retransmitted since the last poll of their group
-    /// (suppresses NAK-storm duplicates within one round).
-    serviced: HashMap<u32, HashSet<u16>>,
+    /// (suppresses NAK-storm duplicates within one round). Ordered maps
+    /// keep servicing order independent of hasher state, so two runs with
+    /// the same seed produce byte-identical transcripts (pinned by
+    /// `transcripts_identical_across_runs`).
+    serviced: BTreeMap<u32, BTreeSet<u16>>,
     rounds: Vec<u16>,
-    done_receivers: HashSet<u32>,
+    done_receivers: BTreeSet<u32>,
     counters: CostCounters,
     last_demand: f64,
     announce_due: f64,
@@ -67,9 +70,9 @@ impl N2Sender {
             plan,
             groups,
             queue,
-            serviced: HashMap::new(),
+            serviced: BTreeMap::new(),
             rounds: Vec::new(),
-            done_receivers: HashSet::new(),
+            done_receivers: BTreeSet::new(),
             counters: CostCounters::default(),
             last_demand: 0.0,
             announce_due: 0.0,
@@ -246,12 +249,14 @@ pub struct N2Receiver {
     session: u32,
     nak_slot: f64,
     plan: Option<SessionPlan>,
-    /// Received data packets per group.
-    have: HashMap<u32, BTreeMap<u16, Bytes>>,
+    /// Received data packets per group. Every collection here is ordered:
+    /// NAK scheduling iterates these maps, and servicing order must be a
+    /// pure function of the seed, not of per-process hasher state.
+    have: BTreeMap<u32, BTreeMap<u16, Bytes>>,
     /// Expected packet count per group (from packet headers).
-    group_k: HashMap<u32, u16>,
+    group_k: BTreeMap<u32, u16>,
     decoded: BTreeMap<u32, Vec<Bytes>>,
-    pending: HashMap<(u32, u16), PendingNak>,
+    pending: BTreeMap<(u32, u16), PendingNak>,
     max_group_seen: Option<u32>,
     quiet_announces: u32,
     rng: ChaCha8Rng,
@@ -273,10 +278,10 @@ impl N2Receiver {
             session,
             nak_slot,
             plan: None,
-            have: HashMap::new(),
-            group_k: HashMap::new(),
+            have: BTreeMap::new(),
+            group_k: BTreeMap::new(),
             decoded: BTreeMap::new(),
-            pending: HashMap::new(),
+            pending: BTreeMap::new(),
             max_group_seen: None,
             quiet_announces: 0,
             rng: ChaCha8Rng::seed_from_u64(seed ^ (id as u64) << 13),
@@ -718,6 +723,72 @@ mod tests {
         }
         assert!(complete);
         assert_eq!(rx.take_data().unwrap(), bytes);
+    }
+
+    /// Determinism contract: the full N2 message transcript (sender and
+    /// receiver sides, including the order retransmissions are serviced
+    /// in) must be a pure function of the seed. This is the regression
+    /// test for the `determinism-hash-iter` hazard pm-audit flags —
+    /// `pending`/`serviced` lived in `HashMap`s whose iteration order
+    /// varies with per-process hasher state.
+    fn lossy_transcript(seed: u64) -> Vec<Message> {
+        let bytes = data(300);
+        let mut cfg = config();
+        cfg.k = 4;
+        let mut tx = N2Sender::new(SESSION, &bytes, cfg).unwrap();
+        let mut rx = N2Receiver::new(1, SESSION, 0.001, seed);
+        let mut transcript = Vec::new();
+        let mut to_sender: Vec<Message> = Vec::new();
+        let mut now = 0.0;
+        let mut first_pass = true;
+        for _ in 0..400 {
+            for m in drain(&mut tx, now) {
+                transcript.push(m.clone());
+                // First transmission: drop a deterministic packet subset so
+                // several NAKs race; repairs always arrive.
+                let drop = first_pass
+                    && matches!(
+                        &m,
+                        Message::Packet { group, index, .. }
+                            if (*group as usize + *index as usize) % 3 == 1
+                    );
+                if !drop {
+                    for a in rx.handle(&m, now).unwrap() {
+                        if let ReceiverAction::Send(r) = a {
+                            transcript.push(r.clone());
+                            to_sender.push(r);
+                        }
+                    }
+                }
+            }
+            first_pass = false;
+            for a in rx.on_timer(now) {
+                if let ReceiverAction::Send(r) = a {
+                    transcript.push(r.clone());
+                    to_sender.push(r);
+                }
+            }
+            for m in std::mem::take(&mut to_sender) {
+                tx.handle(&m, now).unwrap();
+            }
+            if tx.is_finished() {
+                break;
+            }
+            now += 0.01;
+        }
+        assert!(tx.is_finished(), "exchange must converge");
+        assert_eq!(rx.take_data().unwrap(), bytes);
+        transcript
+    }
+
+    #[test]
+    fn transcripts_identical_across_runs() {
+        let a = lossy_transcript(42);
+        let b = lossy_transcript(42);
+        assert_eq!(a, b, "N2 servicing order must be seed-deterministic");
+        // And the transcript actually contains serviced retransmissions,
+        // so the equality above exercises the ordering path.
+        assert!(a.iter().any(|m| matches!(m, Message::NakPacket { .. })));
     }
 
     #[test]

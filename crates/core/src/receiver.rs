@@ -13,7 +13,7 @@
 //! still missing — per-group feedback rather than per-packet, one of NP's
 //! two key reductions over N2.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
 use bytes::Bytes;
 
@@ -54,12 +54,12 @@ pub struct NpReceiver {
     id: u32,
     session: u32,
     plan: Option<SessionPlan>,
-    groups: HashMap<u32, GroupState>,
+    groups: BTreeMap<u32, GroupState>,
     decoded: BTreeMap<u32, Vec<Bytes>>,
-    decoders: HashMap<(u16, u16), RseDecoder>,
+    decoders: BTreeMap<(u16, u16), RseDecoder>,
     suppressor: NakSuppressor,
     /// Last poll round seen per group (recovery NAKs echo it).
-    poll_rounds: HashMap<u32, u16>,
+    poll_rounds: BTreeMap<u32, u16>,
     /// Highest group id observed in a packet or poll (groups beyond it
     /// have presumably not been transmitted yet).
     max_group_seen: Option<u32>,
@@ -90,11 +90,11 @@ impl NpReceiver {
             id,
             session,
             plan: None,
-            groups: HashMap::new(),
+            groups: BTreeMap::new(),
             decoded: BTreeMap::new(),
-            decoders: HashMap::new(),
+            decoders: BTreeMap::new(),
             suppressor: NakSuppressor::new(nak_slot, seed ^ (id as u64) << 17),
-            poll_rounds: HashMap::new(),
+            poll_rounds: BTreeMap::new(),
             max_group_seen: None,
             quiet_announces: 0,
             saw_poll: false,
@@ -191,7 +191,7 @@ impl NpReceiver {
 
     fn decoder_for(&mut self, spec: CodeSpec) -> Result<&RseDecoder, ProtocolError> {
         let key = (spec.k() as u16, spec.n() as u16);
-        if let std::collections::hash_map::Entry::Vacant(e) = self.decoders.entry(key) {
+        if let std::collections::btree_map::Entry::Vacant(e) = self.decoders.entry(key) {
             let mut dec = RseDecoder::new(spec)?;
             if let Some(hist) = &self.decode_timer {
                 dec.set_timer(hist.clone());

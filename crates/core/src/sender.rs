@@ -18,7 +18,7 @@
 //! paper's "place the packets into a new TG" — the receiver needs at most
 //! `k` specific packets at that point, and originals always help).
 
-use std::collections::{HashSet, VecDeque};
+use std::collections::{BTreeSet, VecDeque};
 
 use bytes::Bytes;
 
@@ -71,7 +71,7 @@ pub struct NpSender {
     next_group: u32,
     /// Observed round-1 NAK demand per group (0 until a NAK arrives).
     round1_demand: Vec<u16>,
-    done_receivers: HashSet<u32>,
+    done_receivers: BTreeSet<u32>,
     counters: CostCounters,
     /// Time of the last NAK (or start) for quiescence detection.
     last_demand: f64,
@@ -147,7 +147,7 @@ impl NpSender {
             queue,
             next_group: 0,
             round1_demand: vec![0; group_count],
-            done_receivers: HashSet::new(),
+            done_receivers: BTreeSet::new(),
             counters,
             last_demand: 0.0,
             announce_due: 0.0,

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Galois-field arithmetic for Reed–Solomon erasure coding.
 //!
 //! This crate is the arithmetic substrate for the packet-level FEC codec used

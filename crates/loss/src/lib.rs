@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Packet-loss models for reliable-multicast studies.
 //!
 //! The paper evaluates FEC/ARQ recovery under four loss environments

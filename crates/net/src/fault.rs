@@ -136,8 +136,10 @@ impl<T: Transport> Transport for FaultyTransport<T> {
             self.stats.delivered += 1;
             return Ok(Some(dup));
         }
+        // pm-audit: allow(determinism-time): blocking-IO recv deadline on a real transport, wall-clock by design
         let deadline = std::time::Instant::now() + timeout;
         loop {
+            // pm-audit: allow(determinism-time): blocking-IO recv deadline on a real transport, wall-clock by design
             let remaining = deadline.saturating_duration_since(std::time::Instant::now());
             let msg = match self.inner.recv_timeout(remaining)? {
                 Some(m) => m,

@@ -302,6 +302,7 @@ impl<T: Transport> Transport for FecTransport<T> {
     fn send(&mut self, msg: &Message) -> Result<(), NetError> {
         self.pending.push(msg.encode());
         if self.pending_since.is_none() {
+            // pm-audit: allow(determinism-time): repair-timer deadline over a real transport, wall-clock by design
             self.pending_since = Some(Instant::now());
         }
         if self.pending.len() >= self.cfg.k {
@@ -311,6 +312,7 @@ impl<T: Transport> Transport for FecTransport<T> {
     }
 
     fn recv_timeout(&mut self, timeout: Duration) -> Result<Option<Message>, NetError> {
+        // pm-audit: allow(determinism-time): repair-timer deadline over a real transport, wall-clock by design
         let deadline = Instant::now() + timeout;
         loop {
             if let Some(ready) = self.deliver_queue.pop_front() {
@@ -323,6 +325,7 @@ impl<T: Transport> Transport for FecTransport<T> {
                 }
             }
             let budget = deadline
+                // pm-audit: allow(determinism-time): repair-timer deadline over a real transport, wall-clock by design
                 .saturating_duration_since(Instant::now())
                 .min(self.cfg.max_delay);
             match self.inner.recv_timeout(budget)? {
@@ -339,6 +342,7 @@ impl<T: Transport> Transport for FecTransport<T> {
                 }
                 Some(other) => return Ok(Some(other)), // un-layered traffic passes through
                 None => {
+                    // pm-audit: allow(determinism-time): repair-timer deadline over a real transport, wall-clock by design
                     if Instant::now() >= deadline {
                         return Ok(None);
                     }

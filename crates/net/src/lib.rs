@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Network substrate for the NP reliable-multicast protocol.
 //!
 //! This crate supplies everything `pm-core` needs to run over a real or

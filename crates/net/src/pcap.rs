@@ -51,6 +51,7 @@ impl<W: Write> PcapWriter<W> {
         out.write_all(&LINKTYPE_ETHERNET.to_le_bytes())?;
         Ok(PcapWriter {
             out,
+            // pm-audit: allow(determinism-time): capture timestamps are wall-clock by definition
             start: Instant::now(),
         })
     }

@@ -1,50 +1,17 @@
+#![forbid(unsafe_code)]
 //! `obs-check` — validate a JSONL trace produced by `--trace`.
 //!
 //! Usage: `obs-check <trace.jsonl>`
 //!
-//! Checks that the file is non-empty, every line parses as a JSON object,
-//! and each object carries a numeric `"t"` and a non-empty string
-//! `"type"`. Prints a per-type event census on success; exits 1 with a
-//! line-numbered diagnostic on the first failure.
+//! Thin CLI over [`pm_obs::validate_trace`]: the file must be non-empty,
+//! every line must parse as a JSON object with a finite non-negative
+//! numeric `"t"`, and every `"type"` must come from the pinned
+//! [`pm_obs::EVENT_NAMES`] vocabulary (the `event-vocabulary` rule of
+//! `pm-audit` keeps that list in lock-step with the `Event` enum). Prints
+//! a per-type event census on success; exits 1 with a line-numbered
+//! diagnostic on the first failure.
 
-use std::collections::BTreeMap;
 use std::process::ExitCode;
-
-fn check(path: &str) -> Result<BTreeMap<String, u64>, String> {
-    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    let mut census: BTreeMap<String, u64> = BTreeMap::new();
-    let mut lines = 0usize;
-    for (i, line) in text.lines().enumerate() {
-        if line.trim().is_empty() {
-            continue;
-        }
-        lines += 1;
-        let lineno = i + 1;
-        let v = serde_json::from_str(line)
-            .map_err(|e| format!("line {lineno}: not valid JSON: {e:?}"))?;
-        let t = v
-            .get("t")
-            .ok_or_else(|| format!("line {lineno}: missing \"t\" field"))?;
-        let t = t
-            .as_f64()
-            .ok_or_else(|| format!("line {lineno}: \"t\" is not a number"))?;
-        if !t.is_finite() || t < 0.0 {
-            return Err(format!("line {lineno}: \"t\" = {t} is not a finite time"));
-        }
-        let ty = v
-            .get("type")
-            .and_then(|ty| ty.as_str().map(str::to_string))
-            .ok_or_else(|| format!("line {lineno}: missing string \"type\" field"))?;
-        if ty.is_empty() {
-            return Err(format!("line {lineno}: empty \"type\""));
-        }
-        *census.entry(ty).or_insert(0) += 1;
-    }
-    if lines == 0 {
-        return Err(format!("{path}: trace is empty"));
-    }
-    Ok(census)
-}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().collect();
@@ -52,7 +19,14 @@ fn main() -> ExitCode {
         eprintln!("usage: obs-check <trace.jsonl>");
         return ExitCode::from(2);
     };
-    match check(path) {
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("obs-check: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match pm_obs::validate_trace(&text) {
         Ok(census) => {
             let total: u64 = census.values().sum();
             println!("{path}: OK — {total} events, {} types", census.len());
@@ -61,8 +35,8 @@ fn main() -> ExitCode {
             }
             ExitCode::SUCCESS
         }
-        Err(msg) => {
-            eprintln!("obs-check: {msg}");
+        Err(err) => {
+            eprintln!("obs-check: {path}: {err}");
             ExitCode::FAILURE
         }
     }

@@ -1,0 +1,136 @@
+//! Trace validation — the library behind the `obs-check` binary.
+//!
+//! [`validate_trace`] checks a JSONL trace line by line: every line must
+//! parse as a JSON object carrying a finite, non-negative numeric `"t"`
+//! and a `"type"` drawn from [`crate::event::EVENT_NAMES`]. Hostile input
+//! — malformed JSON, truncated final lines, unknown event names, empty
+//! files — produces a line-numbered [`TraceError`], never a panic.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::event::EVENT_NAMES;
+
+/// Per-event-type line counts of a valid trace.
+pub type Census = BTreeMap<String, u64>;
+
+/// Why a trace failed validation. Carries the 1-based line number where
+/// applicable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceError {
+    /// The trace has no non-blank lines.
+    Empty,
+    /// A line did not parse as JSON (also the shape a truncated final
+    /// line takes).
+    BadJson {
+        /// 1-based line number.
+        line: usize,
+        /// Parser diagnostic.
+        detail: String,
+    },
+    /// A line is valid JSON but lacks a required field or has the wrong
+    /// type for it.
+    BadField {
+        /// 1-based line number.
+        line: usize,
+        /// What is wrong.
+        detail: String,
+    },
+    /// The `type` field names an event outside the pinned vocabulary.
+    UnknownEvent {
+        /// 1-based line number.
+        line: usize,
+        /// The offending name.
+        name: String,
+    },
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::Empty => write!(f, "trace is empty"),
+            TraceError::BadJson { line, detail } => {
+                write!(f, "line {line}: not valid JSON: {detail}")
+            }
+            TraceError::BadField { line, detail } => write!(f, "line {line}: {detail}"),
+            TraceError::UnknownEvent { line, name } => write!(
+                f,
+                "line {line}: unknown event type {name:?} (not in the {}-name vocabulary)",
+                EVENT_NAMES.len()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+/// Validate the text of a JSONL trace.
+///
+/// # Errors
+/// The first [`TraceError`] encountered, with its line number.
+pub fn validate_trace(text: &str) -> Result<Census, TraceError> {
+    let mut census: Census = BTreeMap::new();
+    let mut lines = 0usize;
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        lines += 1;
+        let lineno = i + 1;
+        let v = serde_json::from_str(line).map_err(|e| TraceError::BadJson {
+            line: lineno,
+            detail: format!("{e:?}"),
+        })?;
+        let t = v.get("t").ok_or_else(|| TraceError::BadField {
+            line: lineno,
+            detail: "missing \"t\" field".into(),
+        })?;
+        let t = t.as_f64().ok_or_else(|| TraceError::BadField {
+            line: lineno,
+            detail: "\"t\" is not a number".into(),
+        })?;
+        if !t.is_finite() || t < 0.0 {
+            return Err(TraceError::BadField {
+                line: lineno,
+                detail: format!("\"t\" = {t} is not a finite non-negative time"),
+            });
+        }
+        let ty = v
+            .get("type")
+            .and_then(|ty| ty.as_str().map(str::to_string))
+            .ok_or_else(|| TraceError::BadField {
+                line: lineno,
+                detail: "missing string \"type\" field".into(),
+            })?;
+        if !EVENT_NAMES.contains(&ty.as_str()) {
+            return Err(TraceError::UnknownEvent {
+                line: lineno,
+                name: ty,
+            });
+        }
+        *census.entry(ty).or_insert(0) += 1;
+    }
+    if lines == 0 {
+        return Err(TraceError::Empty);
+    }
+    Ok(census)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_trace_produces_census() {
+        let text = "{\"t\": 0.0, \"type\": \"data_sent\"}\n\n{\"t\": 1.5, \"type\": \"data_sent\"}\n{\"t\": 2.0, \"type\": \"fin_sent\"}\n";
+        let census = validate_trace(text).unwrap();
+        assert_eq!(census["data_sent"], 2);
+        assert_eq!(census["fin_sent"], 1);
+    }
+
+    #[test]
+    fn empty_trace_is_an_error() {
+        assert_eq!(validate_trace(""), Err(TraceError::Empty));
+        assert_eq!(validate_trace("\n  \n"), Err(TraceError::Empty));
+    }
+}

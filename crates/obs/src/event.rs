@@ -376,6 +376,48 @@ pub enum Event {
     },
 }
 
+/// Every stable event type name, in `Event` declaration order — the
+/// complete trace vocabulary.
+///
+/// `obs-check` validates the `type` field of every trace line against
+/// this list, and the `event-vocabulary` rule of `pm-audit` statically
+/// cross-checks its length against the [`Event::name`] match (so adding a
+/// variant without extending this list — which would make the new event
+/// fail trace validation — is caught at audit time, not in production).
+pub const EVENT_NAMES: [&str; 31] = [
+    "session_start",
+    "session_end",
+    "stall_timeout",
+    "linger_expired",
+    "announce_sent",
+    "data_sent",
+    "parity_sent",
+    "poll_sent",
+    "fin_sent",
+    "nak_recv",
+    "repair_round",
+    "done_recv",
+    "data_recv",
+    "parity_recv",
+    "poll_recv",
+    "group_decoded",
+    "decode_cache_hit",
+    "decode_cache_miss",
+    "nak_sent",
+    "done_sent",
+    "fin_recv",
+    "transfer_complete",
+    "nak_scheduled",
+    "nak_suppressed",
+    "net_sent",
+    "net_recv",
+    "net_dropped",
+    "net_duplicated",
+    "net_reordered",
+    "sim_run",
+    "sim_trial",
+];
+
 impl Event {
     /// Stable snake_case type name (the `type` field of a JSONL line).
     pub fn name(&self) -> &'static str {
@@ -765,5 +807,17 @@ mod tests {
             assert_eq!(back["t"].as_f64(), Some(0.5));
         }
         assert_eq!(names.len(), 31, "vocabulary size pinned");
+        // EVENT_NAMES is the trace-validation vocabulary: it must list
+        // exactly the names the variants produce.
+        assert_eq!(EVENT_NAMES.len(), names.len());
+        for name in EVENT_NAMES {
+            assert!(names.contains(name), "EVENT_NAMES lists unknown {name}");
+        }
+        for name in &names {
+            assert!(
+                EVENT_NAMES.contains(name),
+                "{name} missing from EVENT_NAMES"
+            );
+        }
     }
 }

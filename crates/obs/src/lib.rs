@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # pm-obs — zero-dependency observability for the parity-multicast stack
 //!
 //! One coherent, typed event vocabulary plus lock-cheap metrics, threaded
@@ -37,12 +38,14 @@
 //! assert_eq!(ring.events()[0].1.name(), "data_sent");
 //! ```
 
+pub mod check;
 pub mod event;
 pub mod metrics;
 pub mod recorder;
 pub mod stats;
 
-pub use event::{Event, MsgKind, Outcome, Role};
+pub use check::{validate_trace, Census, TraceError};
+pub use event::{Event, MsgKind, Outcome, Role, EVENT_NAMES};
 pub use metrics::{
     Counter, Gauge, Histogram, HistogramSnapshot, Metric, MetricsRegistry, SpanTimer,
 };

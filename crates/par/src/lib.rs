@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # pm-par — zero-dependency data parallelism for simulation sweeps
 //!
 //! The Monte Carlo workloads in this workspace (`pm-sim` scheme runs,

@@ -71,13 +71,16 @@ impl GroupDecoder {
 
     /// True if all `k` *data* packets arrived (no decoding work required).
     pub fn all_data_received(&self) -> bool {
-        self.slots[..self.spec.k()].iter().all(Option::is_some)
+        self.slots.iter().take(self.spec.k()).all(Option::is_some)
     }
 
     /// Indices of data packets that have not arrived.
     pub fn missing_data(&self) -> Vec<usize> {
-        (0..self.spec.k())
-            .filter(|&i| self.slots[i].is_none())
+        self.slots
+            .iter()
+            .take(self.spec.k())
+            .enumerate()
+            .filter_map(|(i, s)| s.is_none().then_some(i))
             .collect()
     }
 
@@ -107,16 +110,20 @@ impl GroupDecoder {
                 });
             }
         }
-        match &self.slots[index] {
-            Some(existing) if existing == &payload => return Ok(InsertOutcome::Duplicate),
-            Some(_) => return Err(RseError::DuplicateShare { index }),
-            None => {}
+        match self.slots.get(index) {
+            Some(Some(existing)) if existing == &payload => return Ok(InsertOutcome::Duplicate),
+            Some(Some(_)) => return Err(RseError::DuplicateShare { index }),
+            Some(None) => {}
+            None => return Err(RseError::Internal("index < n implies a slot exists")),
         }
         if self.is_decodable() {
             self.unneeded += 1;
             return Ok(InsertOutcome::Unneeded);
         }
-        self.slots[index] = Some(payload);
+        *self
+            .slots
+            .get_mut(index)
+            .ok_or(RseError::Internal("index < n implies a slot exists"))? = Some(payload);
         self.received += 1;
         Ok(if self.is_decodable() {
             InsertOutcome::Decodable
@@ -138,10 +145,15 @@ impl GroupDecoder {
         }
         if self.all_data_received() {
             // Systematic fast path: no field arithmetic at all.
-            return Ok(self.slots[..self.spec.k()]
+            return self
+                .slots
                 .iter()
-                .map(|s| s.clone().expect("all data present"))
-                .collect());
+                .take(self.spec.k())
+                .map(|s| {
+                    s.clone()
+                        .ok_or(RseError::Internal("all_data_received implies k data slots"))
+                })
+                .collect();
         }
         let shares: Vec<(usize, &[u8])> = self
             .slots

@@ -28,6 +28,10 @@ pub enum RseError {
     /// Underlying field/matrix failure (not reachable with validated specs;
     /// surfaced rather than panicking).
     Gf(GfError),
+    /// An internal invariant of this crate was violated — a bug, surfaced
+    /// as a typed error instead of a panic so the public decode APIs stay
+    /// total even when the impossible happens.
+    Internal(&'static str),
 }
 
 impl fmt::Display for RseError {
@@ -58,6 +62,9 @@ impl fmt::Display for RseError {
                 write!(f, "encoder expects {expected} data packets, got {got}")
             }
             RseError::Gf(e) => write!(f, "field arithmetic error: {e}"),
+            RseError::Internal(what) => {
+                write!(f, "internal invariant violated (bug in pm-rse): {what}")
+            }
         }
     }
 }

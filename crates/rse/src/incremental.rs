@@ -100,14 +100,17 @@ impl IncrementalDecoder {
         self.payload_len = None;
     }
 
-    fn generator_row(&self, index: usize) -> Vec<Gf256> {
+    fn generator_row(&self, index: usize) -> Result<Vec<Gf256>, RseError> {
         let k = self.spec.k();
         if index < k {
-            let mut row = vec![Gf256::ZERO; k];
-            row[index] = Gf256::ONE;
-            row
+            Ok((0..k)
+                .map(|i| if i == index { Gf256::ONE } else { Gf256::ZERO })
+                .collect())
         } else {
-            self.parity_rows[index - k].clone()
+            self.parity_rows
+                .get(index - k)
+                .cloned()
+                .ok_or(RseError::Internal("index < n implies a parity row"))
         }
     }
 
@@ -136,30 +139,36 @@ impl IncrementalDecoder {
             return Ok(AddOutcome::Redundant);
         }
 
-        let mut row = self.generator_row(index);
+        let mut row = self.generator_row(index)?;
         let mut data = payload.to_vec();
         // Forward-reduce against existing pivots.
         for col in 0..k {
-            if row[col].is_zero() {
+            let factor = *row
+                .get(col)
+                .ok_or(RseError::Internal("generator rows have k columns"))?;
+            if factor.is_zero() {
                 continue;
             }
-            match &self.pivots[col] {
-                Some((prow, ppayload)) => {
-                    let factor = row[col];
-                    for c in col..k {
-                        let v = prow[c];
-                        row[c] += factor * v;
+            match self.pivots.get(col) {
+                Some(Some((prow, ppayload))) => {
+                    for (rc, &pv) in row.iter_mut().zip(prow.iter()).skip(col) {
+                        *rc += factor * pv;
                     }
                     mul_add_slice(factor, ppayload, &mut data);
                 }
-                None => {
+                Some(None) => {
                     // New pivot: normalize to a leading 1 and store.
-                    let inv = row[col].checked_inv().expect("leading entry non-zero");
+                    let inv = factor
+                        .checked_inv()
+                        .ok_or(RseError::Internal("leading entry is non-zero"))?;
                     for c in row.iter_mut().skip(col) {
                         *c *= inv;
                     }
                     scale_slice(inv, &mut data);
-                    self.pivots[col] = Some((row, data));
+                    *self
+                        .pivots
+                        .get_mut(col)
+                        .ok_or(RseError::Internal("pivot column within k"))? = Some((row, data));
                     self.rank += 1;
                     return Ok(if self.is_complete() {
                         AddOutcome::Complete
@@ -169,6 +178,7 @@ impl IncrementalDecoder {
                         }
                     });
                 }
+                None => return Err(RseError::Internal("pivot column within k")),
             }
         }
         // Reduced to zero: linearly dependent on what we already have.
@@ -195,24 +205,32 @@ impl IncrementalDecoder {
         // pivot payloads instead of once per pivot).
         for i in (0..k.saturating_sub(1)).rev() {
             let (head, tail) = self.pivots.split_at_mut(i + 1);
-            let (row_i, payload_i) = head[i].as_mut().expect("complete");
-            let sources: Vec<(Gf256, &[u8])> = (i + 1..k)
-                .filter(|&j| !row_i[j].is_zero())
-                .map(|j| {
-                    let (_, p) = tail[j - (i + 1)].as_ref().expect("complete");
-                    (row_i[j], p.as_slice())
-                })
-                .collect();
+            let (row_i, payload_i) = head
+                .last_mut()
+                .and_then(Option::as_mut)
+                .ok_or(RseError::Internal("rank k implies every pivot present"))?;
+            let mut sources: Vec<(Gf256, &[u8])> = Vec::new();
+            for (&coeff, pivot) in row_i.iter().skip(i + 1).zip(tail.iter()) {
+                if coeff.is_zero() {
+                    continue;
+                }
+                let (_, p) = pivot
+                    .as_ref()
+                    .ok_or(RseError::Internal("rank k implies every pivot present"))?;
+                sources.push((coeff, p.as_slice()));
+            }
             mul_add_multi(&sources, payload_i);
             for c in row_i.iter_mut().skip(i + 1) {
                 *c = Gf256::ZERO;
             }
         }
-        Ok(self
-            .pivots
+        self.pivots
             .into_iter()
-            .map(|p| p.expect("complete").1)
-            .collect())
+            .map(|p| {
+                p.map(|(_, payload)| payload)
+                    .ok_or(RseError::Internal("rank k implies every pivot present"))
+            })
+            .collect()
     }
 }
 

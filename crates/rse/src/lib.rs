@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Reed–Solomon erasure (RSE) coding over packets.
 //!
 //! This crate implements the packet-level erasure codec of Section 2 of

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Simulation of reliable-multicast loss recovery — the tool behind the
 //! paper's Figs. 11, 12, 15 and 16 (the scenarios where closed forms are
 //! unavailable: shared tree loss and temporally correlated burst loss).

@@ -70,6 +70,7 @@ pub(crate) fn layered_trial<M: LossModel>(
             // Receivers NOT pending on this slot that still received it
             // were already served earlier: unnecessary reception.
             if group_rounds > 1 {
+                // pm-audit: allow(determinism-hash-iter): membership probe only, never iterated
                 let pend_set: std::collections::HashSet<usize> = pend.iter().copied().collect();
                 unneeded += got
                     .iter()

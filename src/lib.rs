@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # parity-multicast
 //!
 //! A faithful, production-quality reproduction of *Parity-Based Loss
