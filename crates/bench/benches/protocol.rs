@@ -26,6 +26,7 @@ fn rt() -> RuntimeConfig {
         packet_spacing: Duration::from_micros(5),
         stall_timeout: Duration::from_secs(10),
         complete_linger: Duration::from_millis(300),
+        ..RuntimeConfig::default()
     }
 }
 

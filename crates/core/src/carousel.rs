@@ -263,6 +263,23 @@ impl crate::runtime::SenderMachine for CarouselSender {
     fn counters(&self) -> &CostCounters {
         CarouselSender::counters(self)
     }
+    fn done_ids(&self) -> Vec<u32> {
+        self.done_receivers.iter().copied().collect()
+    }
+    fn outstanding(&self) -> u32 {
+        match self.cfg.stop {
+            CarouselStop::AllDone(r) => r.saturating_sub(self.done_receivers.len() as u32),
+            // Cycle-bounded carousels owe nobody anything.
+            CarouselStop::Cycles(_) => 0,
+        }
+    }
+    fn evict_outstanding(&mut self) -> u32 {
+        let evicted = crate::runtime::SenderMachine::outstanding(self);
+        if evicted > 0 {
+            self.cfg.stop = CarouselStop::AllDone(self.done_receivers.len() as u32);
+        }
+        evicted
+    }
 }
 
 #[cfg(test)]

@@ -27,6 +27,11 @@ pub enum ProtocolError {
     /// A message arrived that contradicts session state (e.g. geometry
     /// change mid-session).
     Inconsistent(String),
+    /// Too many corrupt datagrams: the endpoint dropped-and-counted
+    /// recoverable decode failures until the
+    /// [`ResiliencePolicy`](crate::runtime::ResiliencePolicy) quarantine
+    /// threshold tripped. The link is hostile beyond repair.
+    Quarantined { corrupt_dropped: u64 },
 }
 
 impl fmt::Display for ProtocolError {
@@ -52,6 +57,12 @@ impl fmt::Display for ProtocolError {
                 }
             }
             ProtocolError::Inconsistent(msg) => write!(f, "inconsistent session state: {msg}"),
+            ProtocolError::Quarantined { corrupt_dropped } => {
+                write!(
+                    f,
+                    "link quarantined after {corrupt_dropped} corrupt datagrams"
+                )
+            }
         }
     }
 }
@@ -101,5 +112,11 @@ mod tests {
             }),
         };
         assert!(e.to_string().contains("last progress: net_recv"));
+        let e = ProtocolError::Quarantined {
+            corrupt_dropped: 10_000,
+        };
+        assert!(e.to_string().contains("quarantined"));
+        assert!(e.to_string().contains("10000"));
+        assert!(std::error::Error::source(&e).is_none());
     }
 }

@@ -117,6 +117,34 @@ impl N2Sender {
         self.done_receivers.len()
     }
 
+    /// Identities of the receivers that reported completion, ascending.
+    pub fn done_ids(&self) -> Vec<u32> {
+        self.done_receivers.iter().copied().collect()
+    }
+
+    /// Receivers still outstanding under
+    /// [`CompletionPolicy::KnownReceivers`] (0 under quiescence).
+    pub fn outstanding(&self) -> u32 {
+        match self.cfg.completion {
+            CompletionPolicy::KnownReceivers(r) => {
+                r.saturating_sub(self.done_receivers.len() as u32)
+            }
+            CompletionPolicy::Quiescence(_) => 0,
+        }
+    }
+
+    /// Give up on receivers that never reported `Done`: lower the
+    /// known-receivers completion target to the responsive population and
+    /// return how many were evicted.
+    pub fn evict_outstanding(&mut self) -> u32 {
+        let evicted = self.outstanding();
+        if evicted > 0 {
+            self.cfg.completion =
+                CompletionPolicy::KnownReceivers(self.done_receivers.len() as u32);
+        }
+        evicted
+    }
+
     /// True once FIN has been handed to the transport.
     pub fn is_finished(&self) -> bool {
         self.fin_sent

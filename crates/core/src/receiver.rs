@@ -396,7 +396,22 @@ impl NpReceiver {
                     Some(_) => {}
                     None => self.plan = Some(plan),
                 }
+                let was_complete = self.complete_emitted;
                 self.completion_actions(&mut actions, now);
+                if was_complete {
+                    // A keep-alive announce after we finished means the
+                    // sender is still waiting on someone — possibly us,
+                    // if our Done was lost or corrupted. Remind it.
+                    self.counters.feedback_sent += 1;
+                    self.obs.emit(now, || Event::DoneSent {
+                        session: self.session,
+                        receiver: self.id,
+                    });
+                    actions.push(ReceiverAction::Send(Message::Done {
+                        session: self.session,
+                        receiver: self.id,
+                    }));
+                }
                 // An announce while we are incomplete doubles as a
                 // recovery heartbeat: if a whole repair round (parities +
                 // poll) was lost, nothing else would ever re-solicit our
@@ -683,6 +698,30 @@ mod tests {
             vec![ReceiverAction::Send(Message::Done {
                 session: SESSION,
                 receiver: 9
+            })]
+        );
+    }
+
+    #[test]
+    fn done_resent_on_announce_after_completion() {
+        let (plan, _, groups, _) = setup(32, 2, 1);
+        let mut rx = NpReceiver::new(4, SESSION, 0.01, 13);
+        rx.handle(&plan.announce(), 0.0).unwrap();
+        for (g, packets) in groups.iter().enumerate() {
+            for (i, p) in packets.iter().enumerate() {
+                rx.handle(&packet(&plan, g as u32, i, p.clone()), 0.0)
+                    .unwrap();
+            }
+        }
+        assert!(rx.is_complete());
+        // A keep-alive announce after completion re-solicits our Done
+        // (the first one may have been lost or corrupted in flight).
+        let actions = rx.handle(&plan.announce(), 5.0).unwrap();
+        assert_eq!(
+            actions,
+            vec![ReceiverAction::Send(Message::Done {
+                session: SESSION,
+                receiver: 4
             })]
         );
     }

@@ -7,7 +7,7 @@
 
 use std::time::{Duration, Instant};
 
-use pm_net::{Message, Transport};
+use pm_net::{Message, NetError, Transport};
 use pm_obs::{Event, Obs, Outcome, Role};
 
 use crate::costs::CostCounters;
@@ -15,6 +15,7 @@ use crate::error::ProtocolError;
 use crate::n2::{N2Receiver, N2Sender};
 use crate::receiver::{NpReceiver, ReceiverAction};
 use crate::sender::{NpSender, SenderStep};
+pub use crate::session::SessionReport;
 
 /// Timing knobs of the drivers.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -28,6 +29,9 @@ pub struct RuntimeConfig {
     /// concluding the sender's FIN was lost and returning anyway. Should
     /// exceed a few announce intervals; much shorter than `stall_timeout`.
     pub complete_linger: Duration,
+    /// Hostile-network posture: corruption tolerance, send retries and
+    /// receiver eviction.
+    pub resilience: ResiliencePolicy,
 }
 
 impl Default for RuntimeConfig {
@@ -36,6 +40,149 @@ impl Default for RuntimeConfig {
             packet_spacing: Duration::from_micros(200),
             stall_timeout: Duration::from_secs(10),
             complete_linger: Duration::from_millis(500),
+            resilience: ResiliencePolicy::default(),
+        }
+    }
+}
+
+/// Hostile-network posture of the drivers: how much datagram damage to
+/// absorb, how hard to retry transient send failures, and when the sender
+/// gives up on silent receivers.
+///
+/// The defaults absorb corruption essentially forever, retry sends a few
+/// times, and never evict — byte damage alone cannot abort a session.
+/// Eviction is opt-in because it trades completeness for liveness: with a
+/// deadline set, a session facing a dead receiver finishes *degraded*
+/// (see [`SessionReport::is_degraded`]) instead of stalling out.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResiliencePolicy {
+    /// Corrupt/undecodable datagrams tolerated — counted, reported and
+    /// dropped — before the driver aborts with
+    /// [`ProtocolError::Quarantined`].
+    pub corrupt_quarantine: u64,
+    /// Transient I/O send failures retried per message before the error
+    /// becomes fatal.
+    pub send_retries: u32,
+    /// Backoff before the first send retry; doubles per attempt.
+    pub retry_backoff: Duration,
+    /// Upper bound on the per-attempt backoff.
+    pub retry_backoff_cap: Duration,
+    /// Sender only: once at least one receiver finished and *nothing* has
+    /// been heard for this long, evict the receivers still outstanding and
+    /// complete the session for the responsive population. `None` (the
+    /// default) never evicts. Should comfortably exceed a few announce
+    /// intervals and stay below `stall_timeout`, which remains the
+    /// backstop when *no* receiver ever finishes.
+    pub eviction_timeout: Option<Duration>,
+    /// Seed of the deterministic retry-backoff jitter.
+    pub retry_seed: u64,
+}
+
+impl Default for ResiliencePolicy {
+    fn default() -> Self {
+        ResiliencePolicy {
+            corrupt_quarantine: 10_000,
+            send_retries: 3,
+            retry_backoff: Duration::from_millis(1),
+            retry_backoff_cap: Duration::from_millis(20),
+            eviction_timeout: None,
+            retry_seed: 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+}
+
+/// splitmix64: the standard 64-bit seed mixer (drives retry jitter).
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Driver-side resilience bookkeeping: damage counters plus the jitter
+/// RNG, wrapped around every transport call the drivers make.
+struct ResilienceState {
+    policy: ResiliencePolicy,
+    corrupt_dropped: u64,
+    send_retries: u64,
+    rng: u64,
+}
+
+impl ResilienceState {
+    fn new(policy: ResiliencePolicy) -> Self {
+        ResilienceState {
+            policy,
+            corrupt_dropped: 0,
+            send_retries: 0,
+            rng: splitmix64(policy.retry_seed),
+        }
+    }
+
+    /// `recv_timeout` with damage absorption: a recoverable error (decode
+    /// failure or checksum mismatch) kills one datagram, not the session —
+    /// count it, report it, and treat the interval as quiet. Past the
+    /// quarantine threshold the link is hostile beyond use and the session
+    /// aborts with a typed error.
+    fn recv<T: Transport>(
+        &mut self,
+        transport: &mut T,
+        timeout: Duration,
+        now: f64,
+        obs: &Obs,
+    ) -> Result<Option<Message>, ProtocolError> {
+        match transport.recv_timeout(timeout) {
+            Ok(msg) => Ok(msg),
+            Err(e) if e.is_recoverable() => {
+                self.corrupt_dropped += 1;
+                let total = self.corrupt_dropped;
+                obs.emit(now, || Event::CorruptDropped { total });
+                if total >= self.policy.corrupt_quarantine {
+                    Err(ProtocolError::Quarantined {
+                        corrupt_dropped: total,
+                    })
+                } else {
+                    Ok(None)
+                }
+            }
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// `send` with bounded retries: transient I/O failures back off
+    /// exponentially (capped, deterministically jittered) and try again;
+    /// anything else — or exhaustion — is fatal.
+    fn send<T: Transport>(
+        &mut self,
+        transport: &mut T,
+        msg: &Message,
+        now: f64,
+        obs: &Obs,
+    ) -> Result<(), ProtocolError> {
+        let mut attempt = 0u32;
+        loop {
+            match transport.send(msg) {
+                Ok(()) => return Ok(()),
+                Err(NetError::Io(_)) if attempt < self.policy.send_retries => {
+                    attempt += 1;
+                    self.send_retries += 1;
+                    obs.emit(now, || Event::SendRetry { attempt });
+                    let exp = attempt.saturating_sub(1).min(16);
+                    let base = self
+                        .policy
+                        .retry_backoff
+                        .saturating_mul(1u32 << exp)
+                        .min(self.policy.retry_backoff_cap);
+                    self.rng = splitmix64(self.rng);
+                    let half_span = (base.as_nanos() / 2) as u64;
+                    let jitter = if half_span == 0 {
+                        0
+                    } else {
+                        self.rng % (half_span + 1)
+                    };
+                    std::thread::sleep(base + Duration::from_nanos(jitter));
+                }
+                Err(e) => return Err(e.into()),
+            }
         }
     }
 }
@@ -53,6 +200,13 @@ pub trait SenderMachine: Send {
     fn is_finished(&self) -> bool;
     /// Work counters.
     fn counters(&self) -> &CostCounters;
+    /// Identities of receivers that reported completion, ascending.
+    fn done_ids(&self) -> Vec<u32>;
+    /// Receivers still outstanding under known-receivers completion.
+    fn outstanding(&self) -> u32;
+    /// Give up on outstanding receivers (lower the completion target to
+    /// the responsive population); returns how many were evicted.
+    fn evict_outstanding(&mut self) -> u32;
 }
 
 /// Receiver-side protocol machine, abstracted over NP/N2.
@@ -92,6 +246,15 @@ impl SenderMachine for NpSender {
     fn counters(&self) -> &CostCounters {
         NpSender::counters(self)
     }
+    fn done_ids(&self) -> Vec<u32> {
+        NpSender::done_ids(self)
+    }
+    fn outstanding(&self) -> u32 {
+        NpSender::outstanding(self)
+    }
+    fn evict_outstanding(&mut self) -> u32 {
+        NpSender::evict_outstanding(self)
+    }
 }
 
 impl SenderMachine for N2Sender {
@@ -106,6 +269,15 @@ impl SenderMachine for N2Sender {
     }
     fn counters(&self) -> &CostCounters {
         N2Sender::counters(self)
+    }
+    fn done_ids(&self) -> Vec<u32> {
+        N2Sender::done_ids(self)
+    }
+    fn outstanding(&self) -> u32 {
+        N2Sender::outstanding(self)
+    }
+    fn evict_outstanding(&mut self) -> u32 {
+        N2Sender::evict_outstanding(self)
     }
 }
 
@@ -157,15 +329,6 @@ impl ReceiverMachine for N2Receiver {
     }
 }
 
-/// Result of a completed sender run.
-#[derive(Debug, Clone, Copy)]
-pub struct SenderReport {
-    /// Work counters at session end.
-    pub counters: CostCounters,
-    /// Wall-clock duration of the session.
-    pub elapsed: Duration,
-}
-
 /// Result of a completed receiver run.
 #[derive(Debug, Clone)]
 pub struct ReceiverReport {
@@ -175,6 +338,8 @@ pub struct ReceiverReport {
     pub counters: CostCounters,
     /// Wall-clock duration until completion.
     pub elapsed: Duration,
+    /// Corrupt datagrams counted-and-dropped by the driver.
+    pub corrupt_dropped: u64,
 }
 
 /// Last message that counted as session progress, rendered as the event
@@ -191,20 +356,21 @@ fn progress_event(msg: &Message, sent: bool) -> Event {
 /// Drive a sender machine to completion.
 ///
 /// # Errors
-/// Protocol errors from the machine, transport failures, or
-/// [`ProtocolError::Stalled`] when nothing happens for the configured
-/// stall timeout.
+/// Protocol errors from the machine, fatal transport failures,
+/// [`ProtocolError::Quarantined`] when corruption exceeds the resilience
+/// policy's tolerance, or [`ProtocolError::Stalled`] when nothing happens
+/// for the configured stall timeout.
 pub fn drive_sender<S: SenderMachine, T: Transport>(
     machine: &mut S,
     transport: &mut T,
     rt: &RuntimeConfig,
-) -> Result<SenderReport, ProtocolError> {
+) -> Result<SessionReport, ProtocolError> {
     drive_sender_obs(machine, transport, rt, &Obs::null())
 }
 
 /// [`drive_sender`] with runtime lifecycle events (`stall_timeout`,
-/// `session_end`) emitted to `obs`. Per-message events come from the
-/// machine and transport, not the driver.
+/// `receiver_evicted`, `session_end`) emitted to `obs`. Per-message
+/// events come from the machine and transport, not the driver.
 ///
 /// # Errors
 /// Same as [`drive_sender`]; `Stalled` errors carry the last event that
@@ -214,21 +380,38 @@ pub fn drive_sender_obs<S: SenderMachine, T: Transport>(
     transport: &mut T,
     rt: &RuntimeConfig,
     obs: &Obs,
-) -> Result<SenderReport, ProtocolError> {
+) -> Result<SessionReport, ProtocolError> {
     let start = Instant::now();
     let mut last_progress = start;
+    // The eviction clock is stricter than the stall clock: it resets only
+    // on *receiver liveness* (a NAK, or a Done that grows the done set)
+    // and on our own data transmissions — never on duplicate Dones or
+    // announce echoes, which would let one chatty receiver postpone
+    // eviction of a dead one forever.
+    let mut last_liveness = start;
     let mut last_event: Option<Event> = None;
+    let mut res = ResilienceState::new(rt.resilience);
+    let mut evicted_total: u32 = 0;
     loop {
         let now = start.elapsed().as_secs_f64();
         match machine.next_step(now) {
             SenderStep::Finished => {
+                let outcome = if evicted_total > 0 {
+                    Outcome::Degraded
+                } else {
+                    Outcome::Completed
+                };
                 obs.emit(now, || Event::SessionEnd {
                     role: Role::Sender,
-                    outcome: Outcome::Completed,
+                    outcome,
                 });
-                return Ok(SenderReport {
+                return Ok(SessionReport {
                     counters: *machine.counters(),
                     elapsed: start.elapsed(),
+                    completed: machine.done_ids(),
+                    evicted: evicted_total,
+                    corrupt_dropped: res.corrupt_dropped,
+                    send_retries: res.send_retries,
                 });
             }
             SenderStep::Transmit(msg) => {
@@ -236,9 +419,10 @@ pub fn drive_sender_obs<S: SenderMachine, T: Transport>(
                 // sender with zero receivers would re-announce forever
                 // instead of stalling out.
                 let is_keepalive = matches!(msg, Message::Announce { .. });
-                transport.send(&msg)?;
+                res.send(transport, &msg, now, obs)?;
                 if !is_keepalive {
                     last_progress = Instant::now();
+                    last_liveness = Instant::now();
                     last_event = Some(progress_event(&msg, true));
                 }
                 // Pace transmissions while staying responsive to feedback.
@@ -248,10 +432,15 @@ pub fn drive_sender_obs<S: SenderMachine, T: Transport>(
                     if left.is_zero() {
                         break;
                     }
-                    match transport.recv_timeout(left)? {
+                    let now = start.elapsed().as_secs_f64();
+                    match res.recv(transport, left, now, obs)? {
                         Some(incoming) => {
+                            let outstanding_before = machine.outstanding();
                             machine.handle(&incoming, start.elapsed().as_secs_f64())?;
                             last_progress = Instant::now();
+                            if receiver_liveness(&incoming, outstanding_before, machine) {
+                                last_liveness = Instant::now();
+                            }
                             last_event = Some(progress_event(&incoming, false));
                         }
                         None => break,
@@ -259,9 +448,29 @@ pub fn drive_sender_obs<S: SenderMachine, T: Transport>(
                 }
             }
             SenderStep::WaitUntil(t) => {
-                let now_i = Instant::now();
-                if now_i.duration_since(last_progress) > rt.stall_timeout {
-                    let waited = now_i.duration_since(last_progress).as_secs_f64();
+                let idle = Instant::now().duration_since(last_progress);
+                // Graceful degradation: once part of the population has
+                // finished and the rest stay silent past the eviction
+                // deadline, complete for the responsive receivers rather
+                // than stalling the whole session.
+                if let Some(deadline) = rt.resilience.eviction_timeout {
+                    let quiet = Instant::now().duration_since(last_liveness);
+                    if quiet > deadline
+                        && machine.outstanding() > 0
+                        && !machine.done_ids().is_empty()
+                    {
+                        let evicted = machine.evict_outstanding();
+                        if evicted > 0 {
+                            evicted_total += evicted;
+                            let completed = machine.done_ids().len() as u32;
+                            obs.emit(now, || Event::ReceiverEvicted { evicted, completed });
+                            last_progress = Instant::now();
+                            continue;
+                        }
+                    }
+                }
+                if idle > rt.stall_timeout {
+                    let waited = idle.as_secs_f64();
                     obs.emit(now, || Event::StallTimeout {
                         role: Role::Sender,
                         waited_secs: waited,
@@ -278,13 +487,34 @@ pub fn drive_sender_obs<S: SenderMachine, T: Transport>(
                 let wait = Duration::from_secs_f64((t - now).max(0.0))
                     .min(Duration::from_millis(50))
                     .max(Duration::from_micros(100));
-                if let Some(incoming) = transport.recv_timeout(wait)? {
+                if let Some(incoming) = res.recv(transport, wait, now, obs)? {
+                    let outstanding_before = machine.outstanding();
                     machine.handle(&incoming, start.elapsed().as_secs_f64())?;
                     last_progress = Instant::now();
+                    if receiver_liveness(&incoming, outstanding_before, machine) {
+                        last_liveness = Instant::now();
+                    }
                     last_event = Some(progress_event(&incoming, false));
                 }
             }
         }
+    }
+}
+
+/// Whether an incoming message proves an *unfinished* receiver is still
+/// out there working: a NAK (repair demand), or a Done that grew the done
+/// set. Duplicate Dones, announce/data echoes (self-delivered multicast on
+/// UDP) and foreign traffic don't count — they must not postpone eviction
+/// of a receiver that has actually died.
+fn receiver_liveness<S: SenderMachine>(
+    msg: &Message,
+    outstanding_before: u32,
+    machine: &S,
+) -> bool {
+    match msg {
+        Message::Nak { .. } | Message::NakPacket { .. } => true,
+        Message::Done { .. } => machine.outstanding() < outstanding_before,
+        _ => false,
     }
 }
 
@@ -321,6 +551,7 @@ pub fn drive_receiver_obs<R: ReceiverMachine, T: Transport>(
     let start = Instant::now();
     let mut last_progress = start;
     let mut last_event: Option<Event> = None;
+    let mut res = ResilienceState::new(rt.resilience);
     let mut outbound: Vec<Message> = Vec::new();
     loop {
         let now = start.elapsed().as_secs_f64();
@@ -332,7 +563,7 @@ pub fn drive_receiver_obs<R: ReceiverMachine, T: Transport>(
             }
         }
         for m in outbound.drain(..) {
-            transport.send(&m)?;
+            res.send(transport, &m, now, obs)?;
             last_progress = Instant::now();
             last_event = Some(progress_event(&m, true));
         }
@@ -347,6 +578,7 @@ pub fn drive_receiver_obs<R: ReceiverMachine, T: Transport>(
                     data: machine.take_data()?,
                     counters: *machine.counters(),
                     elapsed: start.elapsed(),
+                    corrupt_dropped: res.corrupt_dropped,
                 })
             } else {
                 obs.emit(now, || Event::SessionEnd {
@@ -371,6 +603,7 @@ pub fn drive_receiver_obs<R: ReceiverMachine, T: Transport>(
                 data: machine.take_data()?,
                 counters: *machine.counters(),
                 elapsed: start.elapsed(),
+                corrupt_dropped: res.corrupt_dropped,
             });
         }
         if idle > rt.stall_timeout {
@@ -395,7 +628,7 @@ pub fn drive_receiver_obs<R: ReceiverMachine, T: Transport>(
             None => Duration::from_millis(20),
         }
         .max(Duration::from_micros(100));
-        if let Some(msg) = transport.recv_timeout(timeout)? {
+        if let Some(msg) = res.recv(transport, timeout, now, obs)? {
             let now = start.elapsed().as_secs_f64();
             for action in machine.handle(&msg, now)? {
                 if let ReceiverAction::Send(m) = action {
@@ -428,6 +661,7 @@ mod tests {
             packet_spacing: Duration::from_micros(50),
             stall_timeout: Duration::from_secs(5),
             complete_linger: Duration::from_millis(300),
+            ..RuntimeConfig::default()
         }
     }
 
@@ -483,11 +717,70 @@ mod tests {
             packet_spacing: Duration::from_micros(50),
             stall_timeout: Duration::from_millis(100),
             complete_linger: Duration::from_millis(300),
+            ..RuntimeConfig::default()
         };
         match drive_receiver(&mut r, &mut tp, &fast) {
             Err(ProtocolError::Stalled { .. }) => {}
             other => panic!("expected stall, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn quarantine_trips_on_relentless_corruption() {
+        // A hub where every datagram the receiver-side driver pulls is
+        // corrupt: after `corrupt_quarantine` drops the session aborts
+        // with the typed error instead of spinning forever.
+        let hub = MemHub::new();
+        let feeder = hub.join();
+        let mut tp = hub.join();
+        let mut r = NpReceiver::new(1, 1, 0.001, 5);
+        let mut cfg = rt();
+        cfg.stall_timeout = Duration::from_secs(30);
+        cfg.resilience.corrupt_quarantine = 5;
+        let driver = std::thread::spawn(move || drive_receiver(&mut r, &mut tp, &cfg));
+        // Keep injecting damaged-but-ours datagrams until the driver quits.
+        let mut raw = Message::Fin { session: 1 }.encode().to_vec();
+        let last = raw.len() - 1;
+        raw[last] ^= 0xFF;
+        let raw = bytes::Bytes::from(raw);
+        let verdict = loop {
+            feeder.send_raw(raw.clone());
+            if driver.is_finished() {
+                break driver.join().expect("driver must not panic");
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        };
+        match verdict {
+            Err(ProtocolError::Quarantined { corrupt_dropped }) => {
+                assert_eq!(corrupt_dropped, 5);
+            }
+            other => panic!("expected quarantine, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sender_evicts_silent_receiver_and_degrades() {
+        // Two receivers announced, one alive: with an eviction deadline
+        // the sender completes for the responsive one and reports the
+        // straggler instead of stalling out.
+        let hub = MemHub::new();
+        let bytes = payload(1500);
+        let mut sender_tp = hub.join();
+        let mut recv_tp = hub.join();
+        let data = bytes.clone();
+        let sender = std::thread::spawn(move || {
+            let mut s = NpSender::new(5, &data, config(2)).unwrap();
+            let mut cfg = rt();
+            cfg.resilience.eviction_timeout = Some(Duration::from_millis(250));
+            drive_sender(&mut s, &mut sender_tp, &cfg).unwrap()
+        });
+        let mut r = NpReceiver::new(7, 5, 0.001, 3);
+        let report = drive_receiver(&mut r, &mut recv_tp, &rt()).unwrap();
+        let session = sender.join().unwrap();
+        assert_eq!(report.data, bytes);
+        assert!(session.is_degraded());
+        assert_eq!(session.evicted, 1);
+        assert_eq!(session.completed, vec![7]);
     }
 
     #[test]
@@ -499,6 +792,7 @@ mod tests {
             packet_spacing: Duration::from_micros(50),
             stall_timeout: Duration::from_millis(150),
             complete_linger: Duration::from_millis(300),
+            ..RuntimeConfig::default()
         };
         match drive_sender(&mut s, &mut tp, &fast) {
             Err(ProtocolError::Stalled { .. }) => {}

@@ -1,13 +1,48 @@
-//! Session geometry: chunking a byte stream into transmission groups and
-//! reassembling it.
+//! Session geometry — chunking a byte stream into transmission groups and
+//! reassembling it — plus the typed end-of-session outcome
+//! ([`SessionReport`]).
 
 use std::collections::BTreeMap;
+use std::time::Duration;
 
 use bytes::Bytes;
 
 use pm_net::Message;
 
+use crate::costs::CostCounters;
 use crate::error::ProtocolError;
+
+/// Typed outcome of a sender session: who finished, who was given up on,
+/// and how much network hostility the driver absorbed along the way.
+///
+/// Returned by [`drive_sender`](crate::runtime::drive_sender). A session
+/// that runs under a [`ResiliencePolicy`](crate::runtime::ResiliencePolicy)
+/// with an eviction deadline can end *degraded*: complete for the
+/// responsive population with the silent stragglers evicted and counted
+/// here rather than stalling the whole transfer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionReport {
+    /// Work counters at session end.
+    pub counters: CostCounters,
+    /// Wall-clock duration of the session.
+    pub elapsed: Duration,
+    /// Identities of the receivers that reported `Done`, ascending.
+    pub completed: Vec<u32>,
+    /// Receivers evicted for staying silent past the eviction deadline.
+    pub evicted: u32,
+    /// Corrupt datagrams counted-and-dropped by the driver.
+    pub corrupt_dropped: u64,
+    /// Transient send failures absorbed by retrying.
+    pub send_retries: u64,
+}
+
+impl SessionReport {
+    /// True when the session completed for only part of the announced
+    /// population (at least one receiver was evicted).
+    pub fn is_degraded(&self) -> bool {
+        self.evicted > 0
+    }
+}
 
 /// Immutable description of one transfer's layout.
 ///

@@ -19,11 +19,17 @@
 //!   DESIGN.md).
 //! * [`fault`] — a transport decorator that drops / duplicates / reorders
 //!   received packets with configured probabilities (the smoltcp-style
-//!   fault-injection idiom), seedable for reproducibility.
+//!   fault-injection idiom), seedable for reproducibility — plus
+//!   datagram-level faults: bit-flip corruption, truncation, garbage
+//!   injection, send-path loss, and scheduled blackout windows.
+//! * [`chaos`] — named fault presets (light/heavy/blackout) and the
+//!   seeded {corruption × blackout × churn × receiver-death} scenario
+//!   grid behind the chaos tests.
 //! * [`suppression`] — NAK slotting-and-damping: the timer discipline from
 //!   the paper's Section 5.1 (receivers needing more packets answer in
 //!   earlier slots; hearing an equal-or-better NAK cancels yours).
 
+pub mod chaos;
 pub mod fault;
 pub mod fec_layer;
 pub mod mem;
@@ -33,7 +39,8 @@ pub mod transport;
 pub mod udp;
 pub mod wire;
 
-pub use fault::{FaultConfig, FaultyTransport};
+pub use chaos::{scenario_grid, ChaosPreset, ChaosScenario};
+pub use fault::{FaultConfig, FaultStats, FaultyTransport};
 pub use fec_layer::{FecLayerConfig, FecTransport};
 pub use mem::MemHub;
 pub use pcap::{PcapTransport, PcapWriter};

@@ -76,6 +76,20 @@ impl MemEndpoint {
     pub fn leave(&self) {
         self.hub.lock().sinks.retain(|(id, _)| *id != self.id);
     }
+
+    /// Inject raw datagram bytes into every *other* endpoint's queue,
+    /// bypassing the encoder. A chaos/test hook: lets a saboteur place
+    /// corrupted or garbage bytes on the wire exactly as a damaged UDP
+    /// datagram would arrive.
+    pub fn send_raw(&self, raw: bytes::Bytes) {
+        let state = self.hub.lock();
+        for (id, sink) in &state.sinks {
+            if *id == self.id {
+                continue; // no self-delivery
+            }
+            let _ = sink.send(raw.clone());
+        }
+    }
 }
 
 impl Drop for MemEndpoint {
@@ -115,7 +129,11 @@ impl Transport for MemEndpoint {
                         });
                         return Ok(Some(msg));
                     }
-                    Err(_) => continue, // skip malformed, keep waiting
+                    // Damaged own-traffic surfaces (recoverable) so the
+                    // driver can count and drop it; foreign datagrams
+                    // (bad magic/short header) stay a silent skip.
+                    Err(e @ NetError::Corrupt(_)) => return Err(e),
+                    Err(_) => continue,
                 },
                 Err(RecvTimeoutError::Timeout) => return Ok(None),
                 Err(RecvTimeoutError::Disconnected) => return Err(NetError::Closed),
@@ -197,6 +215,30 @@ mod tests {
                 Some(Message::Fin { session: s })
             );
         }
+    }
+
+    #[test]
+    fn corrupt_datagram_surfaces_foreign_skipped() {
+        let hub = MemHub::new();
+        let a = hub.join();
+        let mut b = hub.join();
+        // Foreign garbage (wrong magic): silently skipped.
+        a.send_raw(bytes::Bytes::from_static(b"\x00\x00not ours at all"));
+        assert_eq!(b.recv_timeout(Duration::from_millis(10)).unwrap(), None);
+        // Our traffic, damaged in flight: surfaces as recoverable Corrupt.
+        let mut raw = Message::Fin { session: 3 }.encode().to_vec();
+        raw[10] ^= 0x40;
+        a.send_raw(bytes::Bytes::from(raw));
+        match b.recv_timeout(TICK) {
+            Err(e) => assert!(e.is_recoverable(), "expected recoverable, got {e}"),
+            other => panic!("expected Corrupt error, got {other:?}"),
+        }
+        // The endpoint keeps working afterwards.
+        a.send_raw(Message::Fin { session: 4 }.encode());
+        assert_eq!(
+            b.recv_timeout(TICK).unwrap(),
+            Some(Message::Fin { session: 4 })
+        );
     }
 
     #[test]

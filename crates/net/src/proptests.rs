@@ -87,6 +87,43 @@ proptest! {
         }
     }
 
+    /// encode → corrupt(0 flips) → decode is the exact identity: an
+    /// undamaged datagram always passes the integrity check and
+    /// round-trips byte-for-byte.
+    #[test]
+    fn zero_flip_roundtrip_exact(msg in message_strategy()) {
+        let raw = msg.encode();
+        let reencoded = Message::decode(raw.clone()).unwrap().encode();
+        prop_assert_eq!(&reencoded[..], &raw[..]);
+    }
+
+    /// The FNV-1a wire checksum detects every single-bit flip: damage
+    /// confined to one byte (any position, including the checksum field
+    /// itself) never mis-parses into a valid Message.
+    #[test]
+    fn checksum_detects_single_bit_flip(
+        msg in message_strategy(),
+        pos in any::<usize>(),
+        bit in 0u8..8,
+    ) {
+        let mut raw = msg.encode().to_vec();
+        let pos = pos % raw.len();
+        raw[pos] ^= 1 << bit;
+        match Message::decode(Bytes::from(raw)) {
+            Ok(m) => prop_assert!(false, "single-bit flip at {} mis-parsed as {:?}", pos, m),
+            Err(e) => prop_assert!(e.is_recoverable(), "flip must stay recoverable: {}", e),
+        }
+    }
+
+    /// Truncating an encoded datagram anywhere short of its full length
+    /// never yields a valid Message.
+    #[test]
+    fn truncation_never_misparses(msg in message_strategy(), cut in any::<usize>()) {
+        let raw = msg.encode();
+        let cut = cut % raw.len();
+        prop_assert!(Message::decode(raw.slice(0..cut)).is_err());
+    }
+
     /// Suppression: deadlines always fall inside the scheduled slot, and a
     /// heard NAK with m >= l always cancels.
     #[test]

@@ -12,8 +12,21 @@ pub enum NetError {
     Io(std::io::Error),
     /// Malformed datagram.
     Decode(String),
+    /// A datagram that carried our magic but failed its integrity
+    /// checksum: bytes were damaged in flight. Always recoverable — drop
+    /// the datagram and keep receiving.
+    Corrupt(String),
     /// The hub/socket behind this endpoint has shut down.
     Closed,
+}
+
+impl NetError {
+    /// Whether a driver may safely drop the offending datagram and keep
+    /// the session alive. Decode failures and checksum mismatches damage
+    /// one datagram, not the transport; I/O errors and closure are fatal.
+    pub fn is_recoverable(&self) -> bool {
+        matches!(self, NetError::Decode(_) | NetError::Corrupt(_))
+    }
 }
 
 impl fmt::Display for NetError {
@@ -21,6 +34,7 @@ impl fmt::Display for NetError {
         match self {
             NetError::Io(e) => write!(f, "transport I/O error: {e}"),
             NetError::Decode(msg) => write!(f, "malformed datagram: {msg}"),
+            NetError::Corrupt(msg) => write!(f, "corrupt datagram: {msg}"),
             NetError::Closed => write!(f, "transport closed"),
         }
     }
@@ -46,6 +60,7 @@ impl PartialEq for NetError {
         match (self, other) {
             (NetError::Io(a), NetError::Io(b)) => a.kind() == b.kind(),
             (NetError::Decode(a), NetError::Decode(b)) => a == b,
+            (NetError::Corrupt(a), NetError::Corrupt(b)) => a == b,
             (NetError::Closed, NetError::Closed) => true,
             _ => false,
         }
@@ -65,8 +80,13 @@ pub trait Transport: Send {
     /// Receive the next message, waiting up to `timeout`. Returns
     /// `Ok(None)` on timeout.
     ///
-    /// Malformed foreign datagrams are skipped silently (they consume
-    /// budget from `timeout` but never surface as errors).
+    /// Malformed *foreign* datagrams (wrong magic, short header) are
+    /// skipped silently (they consume budget from `timeout` but never
+    /// surface as errors). Datagrams carrying our magic that fail the
+    /// integrity checksum or structural validation surface as a
+    /// *recoverable* [`NetError::Corrupt`] / [`NetError::Decode`] so the
+    /// caller can count and drop them (see
+    /// [`NetError::is_recoverable`]).
     ///
     /// # Errors
     /// [`NetError::Closed`] when the group is gone.
@@ -100,5 +120,16 @@ mod tests {
     fn error_equality() {
         assert_eq!(NetError::Closed, NetError::Closed);
         assert_ne!(NetError::Closed, NetError::Decode("x".into()));
+        assert_eq!(NetError::Corrupt("c".into()), NetError::Corrupt("c".into()));
+        assert_ne!(NetError::Corrupt("c".into()), NetError::Decode("c".into()));
+    }
+
+    #[test]
+    fn recoverability_classification() {
+        assert!(NetError::Decode("bad".into()).is_recoverable());
+        assert!(NetError::Corrupt("flip".into()).is_recoverable());
+        assert!(!NetError::Closed.is_recoverable());
+        let io = NetError::from(std::io::Error::new(std::io::ErrorKind::TimedOut, "t"));
+        assert!(!io.is_recoverable());
     }
 }

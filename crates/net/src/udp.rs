@@ -171,7 +171,12 @@ impl Transport for UdpEndpoint {
                         });
                         return Ok(Some(msg));
                     }
-                    Err(_) => continue, // foreign datagram on the group
+                    // Our magic but a failed checksum: damaged in
+                    // flight, surfaced (recoverable) for the driver to
+                    // count and drop. Anything else is a foreign
+                    // datagram on the group — silent skip.
+                    Err(e @ NetError::Corrupt(_)) => return Err(e),
+                    Err(_) => continue,
                 },
                 Err(RecvTimeoutError::Timeout) => return Ok(None),
                 Err(RecvTimeoutError::Disconnected) => return Err(NetError::Closed),
@@ -242,6 +247,33 @@ mod tests {
         };
         a.send(&msg).unwrap();
         assert_eq!(b.recv_timeout(Duration::from_secs(2)).unwrap(), Some(msg));
+    }
+
+    #[test]
+    fn corrupt_datagram_surfaces_garbage_skipped() {
+        let Some(hub) = try_hub(41883) else { return };
+        let mut a = hub.endpoint().unwrap();
+        let tx = UdpSocket::bind(SocketAddrV4::new(Ipv4Addr::UNSPECIFIED, 0)).unwrap();
+        tx.set_multicast_loop_v4(true).unwrap();
+        // Pure garbage (wrong magic) is skipped silently.
+        tx.send_to(b"\x00\x00definitely not ours", hub.group())
+            .unwrap();
+        assert_eq!(a.recv_timeout(Duration::from_millis(200)).unwrap(), None);
+        // A damaged own-format datagram surfaces as recoverable Corrupt.
+        let mut raw = Message::Fin { session: 5 }.encode().to_vec();
+        raw[9] ^= 0x08;
+        tx.send_to(&raw, hub.group()).unwrap();
+        match a.recv_timeout(Duration::from_secs(2)) {
+            Err(e) => assert!(e.is_recoverable(), "expected recoverable, got {e}"),
+            other => panic!("expected Corrupt error, got {other:?}"),
+        }
+        // The endpoint keeps working afterwards.
+        tx.send_to(&Message::Fin { session: 6 }.encode(), hub.group())
+            .unwrap();
+        assert_eq!(
+            a.recv_timeout(Duration::from_secs(2)).unwrap(),
+            Some(Message::Fin { session: 6 })
+        );
     }
 
     #[test]

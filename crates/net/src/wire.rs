@@ -1,13 +1,13 @@
-//! Wire format.
+//! Wire format (version 2).
 //!
 //! Every datagram carries one [`Message`]. Layout (all integers
 //! big-endian):
 //!
 //! ```text
-//!     0      2      3      4          8
-//!     +------+------+------+----------+---------------- ... ----+
-//!     | MAGIC| VER  | TYPE | SESSION  |  type-specific body     |
-//!     +------+------+------+----------+---------------- ... ----+
+//!     0      2      3      4          8          12
+//!     +------+------+------+----------+----------+------ ... ----+
+//!     | MAGIC| VER  | TYPE | CKSUM    | SESSION  |  type body    |
+//!     +------+------+------+----------+----------+------ ... ----+
 //! ```
 //!
 //! `Packet` unifies data and parity: an FEC-block index `< k` is a data
@@ -15,9 +15,23 @@
 //! whole point of parity repair. Block geometry `(k, n)` rides in every
 //! packet so receivers are stateless per group.
 //!
-//! Integrity relies on the UDP checksum (and the in-memory transport is
-//! lossless-but-faulty by construction); the header magic/version guards
-//! against foreign datagrams on the group.
+//! ## Integrity (new in wire v2)
+//!
+//! `CKSUM` is an FNV-1a 32-bit digest of the *entire* datagram with the
+//! checksum field itself zeroed. UDP's 16-bit ones-complement checksum is
+//! optional (and absent on many paths); relying on it left bit-flipped
+//! datagrams free to mis-parse into valid-looking `Message`s. FNV-1a's
+//! per-byte step `h = (h ^ b) * PRIME` is invertible in `h`, so two
+//! buffers that differ only within a single byte can never collide — any
+//! corruption confined to one byte (including flips inside the checksum
+//! field) is detected with certainty, and wider damage is caught with
+//! probability `1 - 2^-32`. A checksum mismatch surfaces as the
+//! *recoverable* [`NetError::Corrupt`]; the header magic guards against
+//! foreign datagrams on the group, which stay a silent skip.
+//!
+//! Version 1 (no checksum; `SESSION` at offset 4) is not accepted:
+//! corruption detection is load-bearing for the hostile-network
+//! guarantees, so the version byte was bumped rather than negotiated.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
@@ -25,11 +39,51 @@ use crate::transport::NetError;
 
 /// Wire magic: "PM".
 pub const MAGIC: u16 = 0x504D;
-/// Current protocol version.
-pub const VERSION: u8 = 1;
+/// Current protocol version. Bumped 1 → 2 when the integrity checksum
+/// was inserted at offset 4 (v1 peers would mis-read every field after
+/// the type byte, so the formats are deliberately incompatible).
+pub const VERSION: u8 = 2;
+/// Fixed header bytes before the type-specific body:
+/// magic(2) + version(1) + type(1) + checksum(4) + session(4).
+pub const HEADER_LEN: usize = 12;
 /// Maximum payload bytes carried by one packet (fits a UDP datagram with
 /// ample headroom).
 pub const MAX_PAYLOAD: usize = 60_000;
+
+/// FNV-1a 32-bit over a sequence of byte slices (one logical buffer).
+fn fnv1a(chunks: &[&[u8]]) -> u32 {
+    let mut h: u32 = 0x811C_9DC5;
+    for chunk in chunks {
+        for &b in *chunk {
+            h = (h ^ u32::from(b)).wrapping_mul(0x0100_0193);
+        }
+    }
+    h
+}
+
+/// Integrity digest of a full datagram: FNV-1a 32 with the checksum
+/// field (bytes `4..8`) treated as zero. Returns `None` for buffers too
+/// short to carry the fixed header.
+pub fn checksum_of(datagram: &[u8]) -> Option<u32> {
+    if datagram.len() < HEADER_LEN {
+        return None;
+    }
+    let (head, rest) = datagram.split_at(4);
+    let (_, tail) = rest.split_at(4);
+    Some(fnv1a(&[head, &[0u8; 4], tail]))
+}
+
+/// Recompute and install the checksum of a raw datagram in place.
+///
+/// A test/chaos utility: after hand-patching bytes of an encoded
+/// datagram (to probe structural validation *past* the integrity layer),
+/// call this to re-seal it. Buffers shorter than the fixed header are
+/// left untouched.
+pub fn reseal(datagram: &mut [u8]) {
+    if let Some(sum) = checksum_of(datagram) {
+        datagram[4..8].copy_from_slice(&sum.to_be_bytes());
+    }
+}
 
 const TYPE_PACKET: u8 = 1;
 const TYPE_POLL: u8 = 2;
@@ -161,22 +215,36 @@ impl Message {
         }
     }
 
-    /// Encode into a fresh buffer.
+    fn type_byte(&self) -> u8 {
+        match self {
+            Message::Packet { .. } => TYPE_PACKET,
+            Message::Poll { .. } => TYPE_POLL,
+            Message::Nak { .. } => TYPE_NAK,
+            Message::NakPacket { .. } => TYPE_NAK_PACKET,
+            Message::Announce { .. } => TYPE_ANNOUNCE,
+            Message::Done { .. } => TYPE_DONE,
+            Message::Fin { .. } => TYPE_FIN,
+            Message::FecFrame { .. } => TYPE_FEC_FRAME,
+        }
+    }
+
+    /// Encode into a fresh buffer, sealed with the integrity checksum.
     pub fn encode(&self) -> Bytes {
         let mut b = BytesMut::with_capacity(64);
         b.put_u16(MAGIC);
         b.put_u8(VERSION);
+        b.put_u8(self.type_byte());
+        b.put_u32(0); // checksum placeholder, sealed below
+        b.put_u32(self.session());
         match self {
             Message::Packet {
-                session,
                 group,
                 index,
                 k,
                 n,
                 payload,
+                ..
             } => {
-                b.put_u8(TYPE_PACKET);
-                b.put_u32(*session);
                 b.put_u32(*group);
                 b.put_u16(*index);
                 b.put_u16(*k);
@@ -185,50 +253,35 @@ impl Message {
                 b.extend_from_slice(payload);
             }
             Message::Poll {
-                session,
-                group,
-                sent,
-                round,
+                group, sent, round, ..
             } => {
-                b.put_u8(TYPE_POLL);
-                b.put_u32(*session);
                 b.put_u32(*group);
                 b.put_u16(*sent);
                 b.put_u16(*round);
             }
             Message::Nak {
-                session,
                 group,
                 needed,
                 round,
+                ..
             } => {
-                b.put_u8(TYPE_NAK);
-                b.put_u32(*session);
                 b.put_u32(*group);
                 b.put_u16(*needed);
                 b.put_u16(*round);
             }
-            Message::NakPacket {
-                session,
-                group,
-                index,
-            } => {
-                b.put_u8(TYPE_NAK_PACKET);
-                b.put_u32(*session);
+            Message::NakPacket { group, index, .. } => {
                 b.put_u32(*group);
                 b.put_u16(*index);
             }
             Message::Announce {
-                session,
                 groups,
                 k,
                 n,
                 last_k,
                 payload_len,
                 total_bytes,
+                ..
             } => {
-                b.put_u8(TYPE_ANNOUNCE);
-                b.put_u32(*session);
                 b.put_u32(*groups);
                 b.put_u16(*k);
                 b.put_u16(*n);
@@ -236,25 +289,18 @@ impl Message {
                 b.put_u32(*payload_len);
                 b.put_u64(*total_bytes);
             }
-            Message::Done { session, receiver } => {
-                b.put_u8(TYPE_DONE);
-                b.put_u32(*session);
+            Message::Done { receiver, .. } => {
                 b.put_u32(*receiver);
             }
-            Message::Fin { session } => {
-                b.put_u8(TYPE_FIN);
-                b.put_u32(*session);
-            }
+            Message::Fin { .. } => {}
             Message::FecFrame {
-                session,
                 block,
                 index,
                 k,
                 n,
                 payload,
+                ..
             } => {
-                b.put_u8(TYPE_FEC_FRAME);
-                b.put_u32(*session);
                 b.put_u32(*block);
                 b.put_u16(*index);
                 b.put_u16(*k);
@@ -263,14 +309,18 @@ impl Message {
                 b.extend_from_slice(payload);
             }
         }
+        reseal(&mut b);
         b.freeze()
     }
 
-    /// Decode one datagram.
+    /// Decode one datagram. Total: never panics on arbitrary bytes.
     ///
     /// # Errors
     /// [`NetError::Decode`] on bad magic/version/type, truncation, or an
-    /// over-size payload.
+    /// over-size payload; [`NetError::Corrupt`] when the header carries
+    /// our magic but the integrity checksum does not match (damaged in
+    /// flight). Both are recoverable
+    /// ([`NetError::is_recoverable`]).
     pub fn decode(mut buf: Bytes) -> Result<Message, NetError> {
         fn need(buf: &Bytes, n: usize, what: &'static str) -> Result<(), NetError> {
             if buf.remaining() < n {
@@ -279,17 +329,31 @@ impl Message {
                 Ok(())
             }
         }
-        need(&buf, 8, "header")?;
+        need(&buf, HEADER_LEN, "header")?;
         let magic = buf.get_u16();
         if magic != MAGIC {
             return Err(NetError::Decode(format!("bad magic {magic:#06x}")));
         }
+        // Integrity comes before any other field: a flipped version/type
+        // byte must read as corruption, not as a foreign datagram.
         let version = buf.get_u8();
+        let ty = buf.get_u8();
+        let stored = buf.get_u32();
+        let session = buf.get_u32();
+        let computed = fnv1a(&[
+            &MAGIC.to_be_bytes(),
+            &[version, ty, 0, 0, 0, 0],
+            &session.to_be_bytes(),
+            &buf,
+        ]);
+        if stored != computed {
+            return Err(NetError::Corrupt(format!(
+                "checksum mismatch: stored {stored:#010x}, computed {computed:#010x}"
+            )));
+        }
         if version != VERSION {
             return Err(NetError::Decode(format!("unsupported version {version}")));
         }
-        let ty = buf.get_u8();
-        let session = buf.get_u32();
         match ty {
             TYPE_PACKET => {
                 need(&buf, 14, "packet header")?;
@@ -482,12 +546,17 @@ mod tests {
             payload: Bytes::new(),
         }
         .encode();
-        // Patch index beyond n (index lives right after block).
+        // Patch index beyond n (index lives right after block), then
+        // re-seal so the structural check is what rejects it.
         let mut raw = good.to_vec();
-        // header(8) + block(4) => index at offset 12.
-        raw[12] = 0xFF;
-        raw[13] = 0xFF;
-        assert!(Message::decode(Bytes::from(raw)).is_err());
+        // header(12) + block(4) => index at offset 16.
+        raw[16] = 0xFF;
+        raw[17] = 0xFF;
+        reseal(&mut raw);
+        assert!(matches!(
+            Message::decode(Bytes::from(raw)),
+            Err(NetError::Decode(_))
+        ));
     }
 
     #[test]
@@ -512,16 +581,74 @@ mod tests {
             Message::decode(Bytes::from_static(b"\x00\x00\x01\x01\x00\x00\x00\x00")),
             Err(NetError::Decode(_))
         ));
-        // Right magic, wrong version.
+        // Right magic, wrong version, valid checksum: rejected as a
+        // foreign (incompatible) datagram, not corruption.
         let mut bad = BytesMut::new();
         bad.put_u16(MAGIC);
         bad.put_u8(99);
         bad.put_u8(TYPE_FIN);
-        bad.put_u32(0);
+        bad.put_u32(0); // checksum placeholder
+        bad.put_u32(0); // session
+        reseal(&mut bad);
         assert!(matches!(
             Message::decode(bad.freeze()),
             Err(NetError::Decode(_))
         ));
+    }
+
+    #[test]
+    fn single_byte_damage_is_always_caught() {
+        let full = Message::Packet {
+            session: 7,
+            group: 3,
+            index: 2,
+            k: 4,
+            n: 6,
+            payload: Bytes::from_static(b"integrity matters"),
+        }
+        .encode();
+        for pos in 0..full.len() {
+            for mask in [0x01u8, 0x80, 0xFF] {
+                let mut raw = full.to_vec();
+                raw[pos] ^= mask;
+                let got = Message::decode(Bytes::from(raw));
+                match got {
+                    Err(e) => assert!(e.is_recoverable(), "flip at {pos}: {e}"),
+                    Ok(m) => panic!("flip at {pos} mask {mask:#04x} mis-parsed as {m:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn damage_outside_magic_reads_as_corrupt() {
+        let full = Message::Fin { session: 9 }.encode();
+        // Any flip past the magic bytes must surface as Corrupt, so the
+        // drivers can tell damaged own-traffic from foreign datagrams.
+        for pos in 2..full.len() {
+            let mut raw = full.to_vec();
+            raw[pos] ^= 0x10;
+            assert!(
+                matches!(Message::decode(Bytes::from(raw)), Err(NetError::Corrupt(_))),
+                "flip at {pos} should be Corrupt"
+            );
+        }
+    }
+
+    #[test]
+    fn reseal_restores_decodability() {
+        let full = Message::Done {
+            session: 11,
+            receiver: 4,
+        }
+        .encode();
+        let mut raw = full.to_vec();
+        let last = raw.len() - 1;
+        raw[last] ^= 0xAA; // damage the receiver id
+        assert!(Message::decode(Bytes::from(raw.clone())).is_err());
+        reseal(&mut raw);
+        let reparsed = Message::decode(Bytes::from(raw)).unwrap();
+        assert!(matches!(reparsed, Message::Done { .. }));
     }
 
     #[test]
@@ -552,26 +679,42 @@ mod tests {
         b.put_u16(MAGIC);
         b.put_u8(VERSION);
         b.put_u8(TYPE_PACKET);
+        b.put_u32(0); // checksum placeholder
         b.put_u32(0); // session
         b.put_u32(0); // group
         b.put_u16(9); // index
         b.put_u16(3); // k
         b.put_u16(5); // n
         b.put_u32(0); // payload len
+        reseal(&mut b);
         assert!(Message::decode(b.freeze()).is_err());
         // k > n in announce
         let mut b = BytesMut::new();
         b.put_u16(MAGIC);
         b.put_u8(VERSION);
         b.put_u8(TYPE_ANNOUNCE);
-        b.put_u32(0);
+        b.put_u32(0); // checksum placeholder
+        b.put_u32(0); // session
         b.put_u32(1); // groups
         b.put_u16(9); // k
         b.put_u16(5); // n
         b.put_u16(1); // last_k
         b.put_u32(16);
         b.put_u64(16);
+        reseal(&mut b);
         assert!(Message::decode(b.freeze()).is_err());
+    }
+
+    #[test]
+    fn checksum_helpers() {
+        assert_eq!(checksum_of(&[0u8; 4]), None);
+        let enc = Message::Fin { session: 1 }.encode();
+        let stored = u32::from_be_bytes([enc[4], enc[5], enc[6], enc[7]]);
+        assert_eq!(checksum_of(&enc), Some(stored));
+        // Resealing an already-sealed datagram is a no-op.
+        let mut raw = enc.to_vec();
+        reseal(&mut raw);
+        assert_eq!(&raw[..], &enc[..]);
     }
 
     #[test]

@@ -33,6 +33,9 @@ impl Role {
 pub enum Outcome {
     /// Transfer completed normally.
     Completed,
+    /// Transfer completed for the responsive receivers, with silent
+    /// stragglers evicted (graceful degradation).
+    Degraded,
     /// The runtime gave up waiting for progress.
     Stalled,
     /// FIN arrived before the transfer completed.
@@ -46,6 +49,7 @@ impl Outcome {
     pub fn as_str(&self) -> &'static str {
         match self {
             Outcome::Completed => "completed",
+            Outcome::Degraded => "degraded",
             Outcome::Stalled => "stalled",
             Outcome::SenderGone => "sender_gone",
             Outcome::Failed => "failed",
@@ -343,6 +347,49 @@ pub enum Event {
         /// Message classification.
         kind: MsgKind,
     },
+    /// The fault injector flipped bits inside a datagram's bytes.
+    NetCorrupted {
+        /// Classification of the damaged message.
+        kind: MsgKind,
+    },
+    /// The fault injector truncated a datagram.
+    NetTruncated {
+        /// Classification of the truncated message.
+        kind: MsgKind,
+    },
+    /// The fault injector delivered a garbage datagram ahead of real
+    /// traffic.
+    NetGarbage {
+        /// Length of the garbage datagram in bytes.
+        bytes: u64,
+    },
+    /// A datagram fell inside a scheduled blackout/partition window.
+    NetBlackout {
+        /// Message classification.
+        kind: MsgKind,
+        /// True when dropped on the send path, false on receive.
+        tx: bool,
+    },
+
+    // ---- resilience (pm-core runtime) ----
+    /// The driver dropped a corrupt/undecodable datagram and kept going.
+    CorruptDropped {
+        /// Running total of dropped datagrams for this driver.
+        total: u64,
+    },
+    /// A control-plane send failed and was retried with backoff.
+    SendRetry {
+        /// Retry attempt number (1-based).
+        attempt: u32,
+    },
+    /// The sender gave up on silent receivers and completed for the
+    /// responsive population.
+    ReceiverEvicted {
+        /// Receivers evicted as unresponsive.
+        evicted: u32,
+        /// Receivers that had reported completion.
+        completed: u32,
+    },
 
     // ---- simulator (pm-sim) ----
     /// One scheme/environment simulation finished.
@@ -384,7 +431,7 @@ pub enum Event {
 /// cross-checks its length against the [`Event::name`] match (so adding a
 /// variant without extending this list — which would make the new event
 /// fail trace validation — is caught at audit time, not in production).
-pub const EVENT_NAMES: [&str; 31] = [
+pub const EVENT_NAMES: [&str; 38] = [
     "session_start",
     "session_end",
     "stall_timeout",
@@ -414,6 +461,13 @@ pub const EVENT_NAMES: [&str; 31] = [
     "net_dropped",
     "net_duplicated",
     "net_reordered",
+    "net_corrupted",
+    "net_truncated",
+    "net_garbage",
+    "net_blackout",
+    "corrupt_dropped",
+    "send_retry",
+    "receiver_evicted",
     "sim_run",
     "sim_trial",
 ];
@@ -451,6 +505,13 @@ impl Event {
             Event::NetDropped { .. } => "net_dropped",
             Event::NetDuplicated { .. } => "net_duplicated",
             Event::NetReordered { .. } => "net_reordered",
+            Event::NetCorrupted { .. } => "net_corrupted",
+            Event::NetTruncated { .. } => "net_truncated",
+            Event::NetGarbage { .. } => "net_garbage",
+            Event::NetBlackout { .. } => "net_blackout",
+            Event::CorruptDropped { .. } => "corrupt_dropped",
+            Event::SendRetry { .. } => "send_retry",
+            Event::ReceiverEvicted { .. } => "receiver_evicted",
             Event::SimRun { .. } => "sim_run",
             Event::SimTrial { .. } => "sim_trial",
         }
@@ -615,8 +676,21 @@ impl Event {
             | Event::NetRecv { kind }
             | Event::NetDropped { kind }
             | Event::NetDuplicated { kind }
-            | Event::NetReordered { kind } => {
+            | Event::NetReordered { kind }
+            | Event::NetCorrupted { kind }
+            | Event::NetTruncated { kind } => {
                 m.push(("kind".into(), Value::String(kind.as_str().into())));
+            }
+            Event::NetGarbage { bytes } => num!("bytes", *bytes as f64),
+            Event::NetBlackout { kind, tx } => {
+                m.push(("kind".into(), Value::String(kind.as_str().into())));
+                m.push(("tx".into(), Value::Bool(*tx)));
+            }
+            Event::CorruptDropped { total } => num!("total", *total as f64),
+            Event::SendRetry { attempt } => num!("attempt", *attempt as f64),
+            Event::ReceiverEvicted { evicted, completed } => {
+                num!("evicted", *evicted as f64);
+                num!("completed", *completed as f64);
             }
             Event::SimRun {
                 scheme,
@@ -783,6 +857,23 @@ mod tests {
             Event::NetReordered {
                 kind: MsgKind::Announce,
             },
+            Event::NetCorrupted {
+                kind: MsgKind::Data,
+            },
+            Event::NetTruncated {
+                kind: MsgKind::Done,
+            },
+            Event::NetGarbage { bytes: 48 },
+            Event::NetBlackout {
+                kind: MsgKind::Fin,
+                tx: true,
+            },
+            Event::CorruptDropped { total: 3 },
+            Event::SendRetry { attempt: 2 },
+            Event::ReceiverEvicted {
+                evicted: 1,
+                completed: 2,
+            },
             Event::SimRun {
                 scheme: "no-FEC".into(),
                 receivers: 16,
@@ -806,7 +897,7 @@ mod tests {
             assert_eq!(back["type"].as_str(), Some(ev.name()));
             assert_eq!(back["t"].as_f64(), Some(0.5));
         }
-        assert_eq!(names.len(), 31, "vocabulary size pinned");
+        assert_eq!(names.len(), 38, "vocabulary size pinned");
         // EVENT_NAMES is the trace-validation vocabulary: it must list
         // exactly the names the variants produce.
         assert_eq!(EVENT_NAMES.len(), names.len());

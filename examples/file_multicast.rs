@@ -12,6 +12,8 @@
 //! cargo run --example file_multicast -- --file /path/to/file --receivers 2
 //! # with a JSONL event trace and a metrics dump
 //! cargo run --example file_multicast -- --trace transfer.jsonl --metrics
+//! # hostile-network drill: byte-level chaos at every receiver
+//! cargo run --example file_multicast -- --chaos heavy --receivers 3
 //! ```
 
 use std::net::{Ipv4Addr, SocketAddrV4};
@@ -19,12 +21,16 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use parity_multicast::net::udp::UdpHub;
-use parity_multicast::net::{FaultConfig, FaultyTransport, MemHub, Transport};
+use parity_multicast::net::{
+    ChaosPreset, FaultConfig, FaultStats, FaultyTransport, MemHub, Transport,
+};
 use parity_multicast::obs::{JsonlRecorder, MetricsRegistry, Obs};
 use parity_multicast::protocol::runtime::{
     drive_receiver_obs, drive_sender_obs, ReceiverReport, RuntimeConfig,
 };
-use parity_multicast::protocol::{CompletionPolicy, NpConfig, NpReceiver, NpSender};
+use parity_multicast::protocol::{
+    CompletionPolicy, NpConfig, NpReceiver, NpSender, ProtocolError, ResiliencePolicy,
+};
 use parity_multicast::rse::CacheStats;
 
 struct Args {
@@ -37,6 +43,7 @@ struct Args {
     adaptive: bool,
     trace: Option<String>,
     metrics: bool,
+    chaos: Option<ChaosPreset>,
 }
 
 fn parse_args() -> Args {
@@ -50,6 +57,7 @@ fn parse_args() -> Args {
         adaptive: false,
         trace: None,
         metrics: false,
+        chaos: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -67,6 +75,13 @@ fn parse_args() -> Args {
             "--adaptive" => args.adaptive = true,
             "--trace" => args.trace = Some(val()),
             "--metrics" => args.metrics = true,
+            "--chaos" => {
+                let preset = val();
+                args.chaos =
+                    Some(ChaosPreset::parse(&preset).unwrap_or_else(|| {
+                        panic!("--chaos takes light|heavy|blackout, got {preset}")
+                    }));
+            }
             other => panic!("unknown flag {other}"),
         }
     }
@@ -110,13 +125,22 @@ fn main() {
                 .collect()
         }
     };
-    println!(
-        "transferring {} bytes to {} receivers (k = {}, injected loss {:.0}%)",
-        data.len(),
-        args.receivers,
-        args.k,
-        args.drop * 100.0
-    );
+    match args.chaos {
+        Some(preset) => println!(
+            "transferring {} bytes to {} receivers (k = {}, chaos preset: {})",
+            data.len(),
+            args.receivers,
+            args.k,
+            preset.name(),
+        ),
+        None => println!(
+            "transferring {} bytes to {} receivers (k = {}, injected loss {:.0}%)",
+            data.len(),
+            args.receivers,
+            args.k,
+            args.drop * 100.0
+        ),
+    }
 
     let group = SocketAddrV4::new(Ipv4Addr::new(239, 255, 42, 99), args.port);
     let net = match UdpHub::join(group) {
@@ -144,32 +168,44 @@ fn main() {
         packet_spacing: Duration::from_micros(100),
         stall_timeout: Duration::from_secs(15),
         complete_linger: Duration::from_millis(300),
+        resilience: ResiliencePolicy {
+            // Under chaos a receiver may die inside a blackout window; let
+            // the sender complete for the responsive population instead of
+            // stalling out.
+            eviction_timeout: args.chaos.map(|_| Duration::from_secs(2)),
+            ..ResiliencePolicy::default()
+        },
     };
 
     // Receivers first (multicast has no replay for late joiners).
     let session = 0xF11E;
-    let receiver_handles: Vec<std::thread::JoinHandle<(ReceiverReport, CacheStats)>> = (0..args
-        .receivers)
+    // The chaos preset replaces the plain drop profile at every receiver.
+    let fault = match args.chaos {
+        Some(preset) => preset.fault_config(),
+        None => FaultConfig::drop_only(args.drop),
+    };
+    type ReceiverOutcome = (
+        Result<ReceiverReport, ProtocolError>,
+        CacheStats,
+        FaultStats,
+    );
+    let receiver_handles: Vec<std::thread::JoinHandle<ReceiverOutcome>> = (0..args.receivers)
         .map(|id| {
             let endpoint = net.endpoint(obs.clone());
-            let drop = args.drop;
             let obs = obs.clone();
             let decode_ns = decode_ns.clone();
             std::thread::Builder::new()
                 .name(format!("receiver-{id}"))
                 .spawn(move || {
-                    let mut tp = FaultyTransport::new(
-                        endpoint,
-                        FaultConfig::drop_only(drop),
-                        0xBEEF + id as u64,
-                    )
-                    .with_obs(obs.clone());
+                    let mut tp = FaultyTransport::new(endpoint, fault, 0xBEEF + id as u64)
+                        .with_obs(obs.clone());
                     let mut machine =
                         NpReceiver::new(id, session, 0.002, id as u64).with_obs(obs.clone());
                     machine.set_decode_timer(decode_ns);
-                    let report = drive_receiver_obs(&mut machine, &mut tp, &rt, &obs)
-                        .expect("receive failed");
-                    (report, machine.decode_cache_stats())
+                    // Under chaos a receiver failing is a reportable outcome,
+                    // not a crash.
+                    let outcome = drive_receiver_obs(&mut machine, &mut tp, &rt, &obs);
+                    (outcome, machine.decode_cache_stats(), tp.stats())
                 })
                 .expect("spawn receiver")
         })
@@ -186,20 +222,42 @@ fn main() {
     let mut merged = parity_multicast::protocol::CostCounters::default();
     let mut cache = CacheStats::default();
     for (id, h) in receiver_handles.into_iter().enumerate() {
-        let (r, rc) = h.join().expect("receiver thread");
-        merged.merge(&r.counters);
+        let (outcome, rc, fs) = h.join().expect("receiver thread");
         cache.hits += rc.hits;
         cache.misses += rc.misses;
-        let good = r.data == data;
-        ok &= good;
-        println!(
-            "receiver {id}: {} — {} pkts in, {} repaired by decode, {} unneeded, {:.2}s",
-            if good { "OK" } else { "CORRUPT" },
-            r.counters.packets_received,
-            r.counters.packets_decoded,
-            r.counters.unneeded_receptions,
-            r.elapsed.as_secs_f64(),
-        );
+        match outcome {
+            Ok(r) => {
+                merged.merge(&r.counters);
+                let good = r.data == data;
+                ok &= good;
+                println!(
+                    "receiver {id}: {} — {} pkts in, {} repaired by decode, {} unneeded, \
+                     {} corrupt dropped, {:.2}s",
+                    if good { "OK" } else { "CORRUPT" },
+                    r.counters.packets_received,
+                    r.counters.packets_decoded,
+                    r.counters.unneeded_receptions,
+                    r.corrupt_dropped,
+                    r.elapsed.as_secs_f64(),
+                );
+            }
+            Err(e) => {
+                // A typed failure: expected under chaos, fatal otherwise.
+                ok &= args.chaos.is_some();
+                println!("receiver {id}: FAILED — {e}");
+            }
+        }
+        if args.chaos.is_some() {
+            println!(
+                "    faults at receiver {id}: {} dropped, {} corrupted, {} truncated, \
+                 {} garbage, {} in blackout",
+                fs.dropped,
+                fs.corrupted,
+                fs.truncated,
+                fs.garbage_injected,
+                fs.blackout_recv + fs.blackout_send,
+            );
+        }
     }
     let c = report.counters;
     let m = (c.data_sent + c.repairs_sent) as f64 / c.data_sent.max(1) as f64;
@@ -211,8 +269,24 @@ fn main() {
         c.feedback_received,
         c.parities_encoded,
     );
-    assert!(ok, "at least one receiver got corrupt data");
-    println!("transfer verified on all receivers");
+    println!(
+        "session: {} — completed {:?}, {} evicted, {} corrupt dropped, {} send retries",
+        if report.is_degraded() {
+            "DEGRADED"
+        } else {
+            "complete"
+        },
+        report.completed,
+        report.evicted,
+        report.corrupt_dropped,
+        report.send_retries,
+    );
+    assert!(ok, "a receiver completed with corrupt data");
+    if args.chaos.is_some() {
+        println!("chaos drill finished: every surviving receiver verified byte-identical");
+    } else {
+        println!("transfer verified on all receivers");
+    }
 
     if args.metrics {
         report.counters.register_into(&registry, "sender");

@@ -55,6 +55,7 @@ fn rt() -> RuntimeConfig {
         packet_spacing: Duration::from_micros(80),
         stall_timeout: Duration::from_secs(20),
         complete_linger: Duration::from_millis(300),
+        ..RuntimeConfig::default()
     }
 }
 

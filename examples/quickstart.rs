@@ -60,6 +60,7 @@ fn protocol_demo() {
         packet_spacing: Duration::from_micros(30),
         stall_timeout: Duration::from_secs(10),
         complete_linger: Duration::from_millis(300),
+        ..RuntimeConfig::default()
     };
 
     let mut sender_tp = hub.join();

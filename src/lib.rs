@@ -71,6 +71,7 @@
 //!     packet_spacing: Duration::from_micros(20),
 //!     stall_timeout: Duration::from_secs(5),
 //!     complete_linger: Duration::from_millis(300),
+//!     ..RuntimeConfig::default()
 //! };
 //!
 //! let mut sender_tp = hub.join();

@@ -1,0 +1,173 @@
+//! The deterministic chaos grid: full NP sessions under every cell of
+//! {corruption} × {blackout} × {dup/reorder} × {receiver death}, pinned to
+//! the degradation trichotomy — each session must end in
+//!
+//! 1. clean completion with byte-identical data at every receiver, or
+//! 2. a typed degraded report (responsive population completed, silent
+//!    stragglers evicted and counted), or
+//! 3. a typed [`ProtocolError`],
+//!
+//! and never a panic or an unbounded hang. The grid is seeded: a failure
+//! reproduces bit-for-bit from the same base seed.
+
+use std::time::{Duration, Instant};
+
+use parity_multicast::net::{scenario_grid, FaultyTransport, MemHub};
+use parity_multicast::protocol::runtime::{drive_receiver, drive_sender, RuntimeConfig};
+use parity_multicast::protocol::{
+    CompletionPolicy, NpConfig, NpReceiver, NpSender, ResiliencePolicy,
+};
+
+/// Announced population per scenario; dead receivers never join.
+const RECEIVERS: u32 = 3;
+
+fn config() -> NpConfig {
+    let mut c = NpConfig::small(CompletionPolicy::KnownReceivers(RECEIVERS));
+    c.k = 8;
+    c.h = 40;
+    c.payload_len = 128;
+    c.nak_slot = 0.001;
+    c
+}
+
+fn rt() -> RuntimeConfig {
+    RuntimeConfig {
+        packet_spacing: Duration::from_micros(50),
+        // The hang backstop: every driver gives up after this much silence.
+        stall_timeout: Duration::from_secs(6),
+        complete_linger: Duration::from_millis(250),
+        resilience: ResiliencePolicy {
+            // ~10 announce intervals of receiver silence before the sender
+            // completes for the responsive population.
+            eviction_timeout: Some(Duration::from_millis(500)),
+            ..ResiliencePolicy::default()
+        },
+    }
+}
+
+fn payload(n: usize) -> Vec<u8> {
+    (0..n)
+        .map(|i| (i.wrapping_mul(2654435761) >> 11) as u8)
+        .collect()
+}
+
+#[test]
+fn chaos_grid_upholds_the_degradation_trichotomy() {
+    let data = payload(6000);
+    for scenario in scenario_grid(0xC4A05) {
+        let started = Instant::now();
+        let hub = MemHub::new();
+        let session = 0xC4A0;
+        let live = RECEIVERS - scenario.dead_receivers;
+
+        let handles: Vec<_> = (0..live)
+            .map(|id| {
+                let ep = hub.join();
+                let fault = scenario.receiver_fault;
+                let seed = scenario.seed ^ (id as u64 + 1);
+                std::thread::Builder::new()
+                    .name(format!("chaos-rx-{}-{id}", scenario.name))
+                    .spawn(move || {
+                        let mut tp = FaultyTransport::new(ep, fault, seed);
+                        let mut m = NpReceiver::new(id, session, 0.001, seed);
+                        drive_receiver(&mut m, &mut tp, &rt())
+                    })
+                    .expect("spawn receiver")
+            })
+            .collect();
+
+        let mut sender_tp = FaultyTransport::new(hub.join(), scenario.sender_fault, scenario.seed);
+        let mut sender = NpSender::new(session, &data, config()).expect("valid config");
+        let sender_verdict = drive_sender(&mut sender, &mut sender_tp, &rt());
+
+        // A panicking driver thread fails the join — arm zero of the
+        // trichotomy is "no panics, ever".
+        let receiver_verdicts: Vec<_> = handles
+            .into_iter()
+            .map(|h| h.join().expect("receiver driver panicked"))
+            .collect();
+
+        // Arm three of the trichotomy needs no assert: an Err is a typed
+        // ProtocolError by construction, and the join proved no panic.
+        if let Ok(report) = &sender_verdict {
+            // Complete or degraded-complete: everyone announced is
+            // accounted for, either finished or explicitly evicted.
+            assert_eq!(
+                report.completed.len() as u32 + report.evicted,
+                RECEIVERS,
+                "{}: completed {:?} + evicted {} must cover the population",
+                scenario.name,
+                report.completed,
+                report.evicted,
+            );
+            if scenario.dead_receivers > 0 {
+                assert!(
+                    report.is_degraded(),
+                    "{}: dead receivers can only end in a degraded report",
+                    scenario.name
+                );
+                assert!(
+                    report.evicted >= scenario.dead_receivers,
+                    "{}: at least the dead must be evicted",
+                    scenario.name
+                );
+            }
+        }
+
+        for (id, verdict) in receiver_verdicts.iter().enumerate() {
+            // Arm one: any receiver that claims success must hold the exact
+            // bytes — corruption may delay a transfer, never silently
+            // damage it.
+            if let Ok(report) = verdict {
+                assert_eq!(
+                    report.data, data,
+                    "{}: receiver {id} completed with wrong bytes",
+                    scenario.name
+                );
+            }
+        }
+
+        let elapsed = started.elapsed();
+        assert!(
+            elapsed < Duration::from_secs(30),
+            "{}: exceeded the wall-clock bound ({elapsed:?})",
+            scenario.name
+        );
+    }
+}
+
+/// The acceptance scenario pinned on its own: R receivers, one dead —
+/// the session completes for R-1 and reports the straggler.
+#[test]
+fn one_dead_receiver_completes_for_the_rest() {
+    let data = payload(4000);
+    let hub = MemHub::new();
+    let session = 0xDEAD;
+    let live = RECEIVERS - 1;
+
+    let handles: Vec<_> = (0..live)
+        .map(|id| {
+            let ep = hub.join();
+            std::thread::spawn(move || {
+                let mut tp = ep;
+                let mut m = NpReceiver::new(id, session, 0.001, id as u64 + 9);
+                drive_receiver(&mut m, &mut tp, &rt())
+            })
+        })
+        .collect();
+
+    let mut sender_tp = hub.join();
+    let mut sender = NpSender::new(session, &data, config()).expect("valid config");
+    let report = drive_sender(&mut sender, &mut sender_tp, &rt()).expect("degraded completion");
+
+    assert!(report.is_degraded());
+    assert_eq!(report.evicted, 1);
+    assert_eq!(report.completed, vec![0, 1]);
+    for h in handles {
+        let r = h
+            .join()
+            .expect("receiver panicked")
+            .expect("receiver completes");
+        assert_eq!(r.data, data);
+    }
+}

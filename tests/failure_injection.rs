@@ -2,11 +2,15 @@
 //! hits — hostile/corrupt traffic, session collisions, pathological
 //! geometry, and resource bounds.
 
+use std::sync::Arc;
 use std::time::Duration;
 
 use parity_multicast::net::{FaultConfig, FaultyTransport, MemHub, Message, Transport};
+use parity_multicast::obs::{validate_trace, JsonlRecorder, Obs};
 use parity_multicast::protocol::harness::{run_simulation, HarnessConfig};
-use parity_multicast::protocol::runtime::{drive_receiver, drive_sender, RuntimeConfig};
+use parity_multicast::protocol::runtime::{
+    drive_receiver, drive_receiver_obs, drive_sender, RuntimeConfig,
+};
 use parity_multicast::protocol::{CompletionPolicy, NpConfig, NpReceiver, NpSender, ProtocolError};
 
 fn rt() -> RuntimeConfig {
@@ -14,6 +18,7 @@ fn rt() -> RuntimeConfig {
         packet_spacing: Duration::from_micros(50),
         stall_timeout: Duration::from_secs(15),
         complete_linger: Duration::from_millis(200),
+        ..RuntimeConfig::default()
     }
 }
 
@@ -202,6 +207,7 @@ fn stalled_errors_carry_last_progress_context() {
         packet_spacing: Duration::from_micros(50),
         stall_timeout: Duration::from_millis(150),
         complete_linger: Duration::from_millis(300),
+        ..RuntimeConfig::default()
     };
 
     // A sender with no receivers transmits its whole schedule, then stalls
@@ -240,6 +246,208 @@ fn stalled_errors_carry_last_progress_context() {
         last_progress: Some(Event::NetRecv { kind: MsgKind::Nak }),
     };
     assert!(e.to_string().contains("last progress: net_recv"));
+}
+
+#[test]
+fn corrupt_datagrams_on_the_wire_are_dropped_not_fatal() {
+    // Checksum-damaged frames queued at both drivers before the session
+    // starts: the resilience layer must count-and-drop them (satellite
+    // regression for the once-fatal decode path in recv_timeout) and the
+    // transfer must complete byte-identically.
+    let hub = MemHub::new();
+    let data = payload(10_000);
+    let session = 0xC0DE;
+
+    let rx_ep = hub.join();
+    let tx_ep = hub.join();
+    let saboteur = hub.join();
+    for i in 0..5u32 {
+        // A structurally valid frame with one byte of bit damage — exactly
+        // what a flaky NIC delivers. The v2 checksum must catch it.
+        let mut raw = Message::Done {
+            session,
+            receiver: i,
+        }
+        .encode()
+        .to_vec();
+        let last = raw.len() - 1;
+        raw[last] ^= 0x80;
+        saboteur.send_raw(bytes::Bytes::from(raw));
+    }
+
+    let recv = std::thread::spawn(move || {
+        let mut tp = rx_ep;
+        let mut m = NpReceiver::new(0, session, 0.001, 11);
+        drive_receiver(&mut m, &mut tp, &rt()).expect("receiver survives corruption")
+    });
+    let mut tp = tx_ep;
+    let mut sender = NpSender::new(session, &data, config(1)).expect("config");
+    let report = drive_sender(&mut sender, &mut tp, &rt()).expect("sender survives corruption");
+
+    let rr = recv.join().unwrap();
+    assert_eq!(rr.data, data);
+    assert!(
+        rr.corrupt_dropped >= 1,
+        "receiver must report the dropped frames, got {}",
+        rr.corrupt_dropped
+    );
+    assert!(
+        report.corrupt_dropped >= 1,
+        "sender must report the dropped frames, got {}",
+        report.corrupt_dropped
+    );
+    assert!(!report.is_degraded(), "drops alone are not degradation");
+}
+
+#[test]
+fn sustained_corruption_reconciles_stats_trace_and_report() {
+    // A receiver behind a byte-level hostile link (bit flips, truncation,
+    // garbage injection): the session completes, and the three independent
+    // ledgers — FaultStats at the transport, trace events in the JSONL
+    // recorder, corrupt_dropped in the report — must tell the same story.
+    let trace_path = std::env::temp_dir().join("pm_failure_injection_corruption.jsonl");
+    let trace_path = trace_path.to_str().expect("utf8 temp path").to_string();
+    let rec = Arc::new(JsonlRecorder::create(&trace_path).expect("trace file"));
+    let obs = Obs::new(rec.clone());
+
+    let hub = MemHub::new();
+    let data = payload(20_000);
+    let session = 0xB17;
+    let fault = FaultConfig {
+        corrupt: 0.04,
+        truncate: 0.02,
+        garbage: 0.02,
+        ..FaultConfig::none()
+    };
+
+    let recv = {
+        let ep = hub.join();
+        let obs = obs.clone();
+        std::thread::spawn(move || {
+            let mut tp = FaultyTransport::new(ep, fault, 0xC0FFEE).with_obs(obs.clone());
+            let mut m = NpReceiver::new(0, session, 0.001, 7);
+            let report =
+                drive_receiver_obs(&mut m, &mut tp, &rt(), &obs).expect("receiver completes");
+            (report, tp.stats())
+        })
+    };
+    let mut sender_tp = hub.join();
+    let mut sender = NpSender::new(session, &data, config(1)).expect("config");
+    drive_sender(&mut sender, &mut sender_tp, &rt()).expect("sender completes");
+
+    let (report, stats) = recv.join().unwrap();
+    assert_eq!(report.data, data, "corruption may delay, never damage");
+    assert!(stats.corrupted > 0, "fault rates must have fired");
+
+    // Every injected fault surfaces as a checksum/framing failure the
+    // driver counted — nothing slips through, nothing is double-counted.
+    assert_eq!(
+        report.corrupt_dropped,
+        stats.corrupted + stats.truncated + stats.garbage_injected,
+        "report must account for exactly the injected damage: {stats:?}"
+    );
+
+    rec.flush();
+    let text = std::fs::read_to_string(&trace_path).expect("trace readable");
+    let census = validate_trace(&text).expect("trace must stay schema-clean under chaos");
+    assert_eq!(census.get("net_corrupted").copied(), Some(stats.corrupted));
+    assert_eq!(
+        census.get("net_truncated").copied().unwrap_or(0),
+        stats.truncated
+    );
+    assert_eq!(
+        census.get("net_garbage").copied().unwrap_or(0),
+        stats.garbage_injected
+    );
+    assert_eq!(
+        census.get("corrupt_dropped").copied().unwrap_or(0),
+        report.corrupt_dropped,
+        "one trace event per dropped datagram"
+    );
+    let _ = std::fs::remove_file(&trace_path);
+}
+
+#[test]
+fn blackout_window_stalls_then_recovers() {
+    // The receiver is deaf for the first quarter second — the entire
+    // initial schedule falls into the blackout — then the announce
+    // heartbeat drives full recovery through NAK/repair rounds.
+    let hub = MemHub::new();
+    let data = payload(30_000);
+    let session = 0xB1AC;
+    let fault = FaultConfig {
+        blackout: Some((0.0, 0.25)),
+        ..FaultConfig::none()
+    };
+
+    let recv = {
+        let ep = hub.join();
+        std::thread::spawn(move || {
+            let mut tp = FaultyTransport::new(ep, fault, 0xDA4C);
+            let mut m = NpReceiver::new(0, session, 0.001, 13);
+            let report = drive_receiver(&mut m, &mut tp, &rt()).expect("recovers after blackout");
+            (report, tp.stats())
+        })
+    };
+    let mut sender_tp = hub.join();
+    let mut sender = NpSender::new(session, &data, config(1)).expect("config");
+    drive_sender(&mut sender, &mut sender_tp, &rt()).expect("sender completes");
+
+    let (report, stats) = recv.join().unwrap();
+    assert_eq!(report.data, data);
+    assert!(
+        stats.blackout_recv > 0,
+        "the blackout window must have swallowed traffic: {stats:?}"
+    );
+}
+
+#[test]
+fn corruption_over_real_udp_completes() {
+    // Same hostile-link story over kernel UDP multicast (skips with a note
+    // on hosts without multicast support, like the other UDP tests).
+    use parity_multicast::net::udp::UdpHub;
+    use std::net::{Ipv4Addr, SocketAddrV4};
+
+    let group = SocketAddrV4::new(Ipv4Addr::new(239, 255, 77, 9), 46017);
+    let hub = match UdpHub::join(group) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("skipping UDP corruption test: {e}");
+            return;
+        }
+    };
+    let data = payload(40_000);
+    let session = 0xD08;
+    let fault = FaultConfig {
+        corrupt: 0.05,
+        drop: 0.05,
+        ..FaultConfig::none()
+    };
+
+    let recv = {
+        let ep = hub.endpoint().expect("endpoint");
+        std::thread::spawn(move || {
+            let mut tp = FaultyTransport::new(ep, fault, 0x0DD);
+            let mut m = NpReceiver::new(0, session, 0.002, 21);
+            let report = drive_receiver(&mut m, &mut tp, &rt()).expect("receiver completes");
+            (report, tp.stats())
+        })
+    };
+    let mut sender_tp = hub.endpoint().expect("endpoint");
+    let mut cfg = config(1);
+    cfg.payload_len = 512;
+    let mut sender = NpSender::new(session, &data, cfg).expect("config");
+    drive_sender(&mut sender, &mut sender_tp, &rt()).expect("sender completes");
+
+    let (report, stats) = recv.join().unwrap();
+    assert_eq!(report.data, data);
+    assert!(stats.corrupted > 0, "corruption must have fired: {stats:?}");
+    assert!(
+        report.corrupt_dropped >= stats.corrupted,
+        "every checksum-damaged UDP frame is counted ({} dropped, {} corrupted)",
+        report.corrupt_dropped,
+        stats.corrupted
+    );
 }
 
 #[test]

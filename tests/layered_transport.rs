@@ -11,7 +11,7 @@ use parity_multicast::net::{
 };
 use parity_multicast::protocol::n2::{N2Receiver, N2Sender};
 use parity_multicast::protocol::runtime::{
-    drive_receiver, drive_sender, ReceiverReport, RuntimeConfig, SenderReport,
+    drive_receiver, drive_sender, ReceiverReport, RuntimeConfig, SessionReport,
 };
 use parity_multicast::protocol::{CompletionPolicy, NpConfig};
 
@@ -20,6 +20,7 @@ fn rt() -> RuntimeConfig {
         packet_spacing: Duration::from_micros(100),
         stall_timeout: Duration::from_secs(20),
         complete_linger: Duration::from_millis(250),
+        ..RuntimeConfig::default()
     }
 }
 
@@ -44,7 +45,7 @@ fn run_n2(
     drop: f64,
     fec: Option<(usize, usize)>,
     seed: u64,
-) -> (SenderReport, Vec<ReceiverReport>) {
+) -> (SessionReport, Vec<ReceiverReport>) {
     let hub = MemHub::new();
     let session = 0x1A7E + seed as u32;
     let mk = |ep: parity_multicast::net::mem::MemEndpoint,

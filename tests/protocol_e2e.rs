@@ -7,7 +7,7 @@ use std::time::Duration;
 use parity_multicast::net::{FaultConfig, FaultyTransport, MemHub};
 use parity_multicast::protocol::n2::{N2Receiver, N2Sender};
 use parity_multicast::protocol::runtime::{
-    drive_receiver, drive_sender, ReceiverReport, RuntimeConfig, SenderReport,
+    drive_receiver, drive_sender, ReceiverReport, RuntimeConfig, SessionReport,
 };
 use parity_multicast::protocol::{CompletionPolicy, NpConfig, NpReceiver, NpSender, ProtocolError};
 
@@ -16,6 +16,7 @@ fn rt() -> RuntimeConfig {
         packet_spacing: Duration::from_micros(50),
         stall_timeout: Duration::from_secs(20),
         complete_linger: Duration::from_millis(250),
+        ..RuntimeConfig::default()
     }
 }
 
@@ -42,7 +43,7 @@ fn run_np(
     receivers: u32,
     drop: f64,
     seed: u64,
-) -> (SenderReport, Vec<ReceiverReport>) {
+) -> (SessionReport, Vec<ReceiverReport>) {
     let hub = MemHub::new();
     let session = 7000 + seed as u32;
     let handles: Vec<_> = (0..receivers)
@@ -73,7 +74,7 @@ fn run_n2(
     receivers: u32,
     drop: f64,
     seed: u64,
-) -> (SenderReport, Vec<ReceiverReport>) {
+) -> (SessionReport, Vec<ReceiverReport>) {
     let hub = MemHub::new();
     let session = 8000 + seed as u32;
     let handles: Vec<_> = (0..receivers)
@@ -261,6 +262,7 @@ fn duplicate_and_reordered_packets_tolerated() {
                 drop: 0.10,
                 duplicate: 0.10,
                 reorder: 0.10,
+                ..FaultConfig::none()
             };
             let mut tp = FaultyTransport::new(ep, faults, 11);
             let mut m = NpReceiver::new(0, session, 0.001, 11);
@@ -283,6 +285,7 @@ fn receiver_without_sender_stalls_cleanly() {
         packet_spacing: Duration::from_micros(50),
         stall_timeout: Duration::from_millis(100),
         complete_linger: Duration::from_millis(50),
+        ..RuntimeConfig::default()
     };
     match drive_receiver(&mut m, &mut tp, &fast) {
         Err(ProtocolError::Stalled { .. }) => {}

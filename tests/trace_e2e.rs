@@ -38,6 +38,7 @@ fn threaded_session_trace_reconciles_with_counters() {
         packet_spacing: Duration::from_micros(100),
         stall_timeout: Duration::from_secs(15),
         complete_linger: Duration::from_millis(300),
+        ..RuntimeConfig::default()
     };
 
     let handles: Vec<std::thread::JoinHandle<(ReceiverReport, u64)>> = (0..RECEIVERS)

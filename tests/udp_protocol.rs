@@ -24,6 +24,7 @@ fn rt() -> RuntimeConfig {
         packet_spacing: Duration::from_micros(100),
         stall_timeout: Duration::from_secs(20),
         complete_linger: Duration::from_millis(250),
+        ..RuntimeConfig::default()
     }
 }
 
