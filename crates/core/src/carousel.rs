@@ -263,6 +263,9 @@ impl crate::runtime::SenderMachine for CarouselSender {
     fn counters(&self) -> &CostCounters {
         CarouselSender::counters(self)
     }
+    fn done_count(&self) -> usize {
+        self.done_receivers.len()
+    }
     fn done_ids(&self) -> Vec<u32> {
         self.done_receivers.iter().copied().collect()
     }

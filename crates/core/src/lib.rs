@@ -47,6 +47,6 @@ pub use costs::CostCounters;
 pub use error::ProtocolError;
 pub use harness::{run_simulation, HarnessConfig, SimulationReport};
 pub use receiver::{NpReceiver, ReceiverAction};
-pub use runtime::{ReceiverReport, ResiliencePolicy, RuntimeConfig};
+pub use runtime::{ReceiverReport, ResilienceCore, ResiliencePolicy, RuntimeConfig};
 pub use sender::{NpSender, SenderStep};
 pub use session::{SessionPlan, SessionReport};

@@ -99,18 +99,27 @@ fn splitmix64(mut z: u64) -> u64 {
     z ^ (z >> 31)
 }
 
-/// Driver-side resilience bookkeeping: damage counters plus the jitter
-/// RNG, wrapped around every transport call the drivers make.
-struct ResilienceState {
+/// Clock-agnostic resilience accounting shared by the blocking drivers and
+/// the event-driven multiplexer (`pm-mux`): damage counters plus the
+/// deterministic jitter RNG, wrapped around every transport interaction.
+///
+/// The core never sleeps and never reads a clock — it *classifies*
+/// outcomes and *computes* backoff durations; the caller owns all waiting
+/// (a blocking driver waits on `recv_timeout`, the multiplexer schedules a
+/// timer-wheel entry). That split is what lets one resilience policy serve
+/// both runtimes with identical semantics.
+#[derive(Debug, Clone)]
+pub struct ResilienceCore {
     policy: ResiliencePolicy,
     corrupt_dropped: u64,
     send_retries: u64,
     rng: u64,
 }
 
-impl ResilienceState {
-    fn new(policy: ResiliencePolicy) -> Self {
-        ResilienceState {
+impl ResilienceCore {
+    /// Fresh accounting state under `policy`.
+    pub fn new(policy: ResiliencePolicy) -> Self {
+        ResilienceCore {
             policy,
             corrupt_dropped: 0,
             send_retries: 0,
@@ -118,19 +127,37 @@ impl ResilienceState {
         }
     }
 
-    /// `recv_timeout` with damage absorption: a recoverable error (decode
-    /// failure or checksum mismatch) kills one datagram, not the session —
-    /// count it, report it, and treat the interval as quiet. Past the
-    /// quarantine threshold the link is hostile beyond use and the session
-    /// aborts with a typed error.
-    fn recv<T: Transport>(
+    /// The policy this state enforces.
+    pub fn policy(&self) -> &ResiliencePolicy {
+        &self.policy
+    }
+
+    /// Corrupt datagrams counted-and-dropped so far.
+    pub fn corrupt_dropped(&self) -> u64 {
+        self.corrupt_dropped
+    }
+
+    /// Transient send failures retried so far.
+    pub fn send_retries(&self) -> u64 {
+        self.send_retries
+    }
+
+    /// Classify one receive outcome with damage absorption: a recoverable
+    /// error (decode failure or checksum mismatch) kills one datagram, not
+    /// the session — count it, report it, and treat the interval as quiet.
+    /// Past the quarantine threshold the link is hostile beyond use and
+    /// the session aborts with a typed error.
+    ///
+    /// # Errors
+    /// [`ProtocolError::Quarantined`] past the corruption budget; fatal
+    /// transport errors pass through.
+    pub fn absorb_recv(
         &mut self,
-        transport: &mut T,
-        timeout: Duration,
+        outcome: Result<Option<Message>, NetError>,
         now: f64,
         obs: &Obs,
     ) -> Result<Option<Message>, ProtocolError> {
-        match transport.recv_timeout(timeout) {
+        match outcome {
             Ok(msg) => Ok(msg),
             Err(e) if e.is_recoverable() => {
                 self.corrupt_dropped += 1;
@@ -148,43 +175,119 @@ impl ResilienceState {
         }
     }
 
-    /// `send` with bounded retries: transient I/O failures back off
-    /// exponentially (capped, deterministically jittered) and try again;
-    /// anything else — or exhaustion — is fatal.
+    /// Record one retry of a transient send failure and return how long to
+    /// back off before re-attempting (`attempt` is 1-based): exponential
+    /// in the attempt number, capped by the policy, plus an *unbiased*
+    /// uniform jitter in `[0, base/2]` so colliding retriers decorrelate.
+    pub fn retry_backoff(&mut self, attempt: u32, now: f64, obs: &Obs) -> Duration {
+        self.send_retries += 1;
+        obs.emit(now, || Event::SendRetry { attempt });
+        let exp = attempt.saturating_sub(1).min(16);
+        let base = self
+            .policy
+            .retry_backoff
+            .saturating_mul(1u32 << exp)
+            .min(self.policy.retry_backoff_cap);
+        let half_span = (base.as_nanos() / 2) as u64;
+        base + Duration::from_nanos(self.bounded(half_span.saturating_add(1)))
+    }
+
+    /// Uniform sample in `[0, n)` via Lemire's nearly-divisionless
+    /// rejection method — unlike `rng % n`, every outcome is exactly
+    /// equally likely. `n` must be nonzero.
+    fn bounded(&mut self, n: u64) -> u64 {
+        let threshold = n.wrapping_neg() % n;
+        loop {
+            self.rng = splitmix64(self.rng);
+            let m = u128::from(self.rng) * u128::from(n);
+            if m as u64 >= threshold {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+}
+
+/// Blocking-driver shell over [`ResilienceCore`]: supplies the waiting the
+/// core deliberately doesn't do.
+struct ResilienceState {
+    core: ResilienceCore,
+}
+
+impl ResilienceState {
+    fn new(policy: ResiliencePolicy) -> Self {
+        ResilienceState {
+            core: ResilienceCore::new(policy),
+        }
+    }
+
+    fn recv<T: Transport>(
+        &mut self,
+        transport: &mut T,
+        timeout: Duration,
+        now: f64,
+        obs: &Obs,
+    ) -> Result<Option<Message>, ProtocolError> {
+        let outcome = transport.recv_timeout(timeout);
+        self.core.absorb_recv(outcome, now, obs)
+    }
+
+    /// `send` with bounded retries. Transient I/O failures back off
+    /// exponentially (capped, deterministically jittered) — but the driver
+    /// keeps *receiving* through the backoff window instead of sleeping
+    /// through it: incoming datagrams land in `inbox` for the caller to
+    /// handle, so a flaky uplink cannot freeze feedback processing or blow
+    /// through a pacing deadline. Anything non-transient — or retry
+    /// exhaustion — is fatal.
     fn send<T: Transport>(
         &mut self,
         transport: &mut T,
         msg: &Message,
-        now: f64,
+        start: Instant,
         obs: &Obs,
+        inbox: &mut Vec<Message>,
     ) -> Result<(), ProtocolError> {
         let mut attempt = 0u32;
         loop {
             match transport.send(msg) {
                 Ok(()) => return Ok(()),
-                Err(NetError::Io(_)) if attempt < self.policy.send_retries => {
+                Err(NetError::Io(_)) if attempt < self.core.policy().send_retries => {
                     attempt += 1;
-                    self.send_retries += 1;
-                    obs.emit(now, || Event::SendRetry { attempt });
-                    let exp = attempt.saturating_sub(1).min(16);
-                    let base = self
-                        .policy
-                        .retry_backoff
-                        .saturating_mul(1u32 << exp)
-                        .min(self.policy.retry_backoff_cap);
-                    self.rng = splitmix64(self.rng);
-                    let half_span = (base.as_nanos() / 2) as u64;
-                    let jitter = if half_span == 0 {
-                        0
-                    } else {
-                        self.rng % (half_span + 1)
-                    };
-                    std::thread::sleep(base + Duration::from_nanos(jitter));
+                    let now = start.elapsed().as_secs_f64();
+                    let backoff = self.core.retry_backoff(attempt, now, obs);
+                    // Deadline-based waiting: stay on the receive path for
+                    // the whole backoff instead of `thread::sleep`ing.
+                    let until = Instant::now() + backoff;
+                    loop {
+                        let left = until.saturating_duration_since(Instant::now());
+                        if left.is_zero() {
+                            break;
+                        }
+                        let now = start.elapsed().as_secs_f64();
+                        if let Some(m) = self.recv(transport, left, now, obs)? {
+                            inbox.push(m);
+                        }
+                    }
                 }
                 Err(e) => return Err(e.into()),
             }
         }
     }
+}
+
+/// Convert a machine-reported wakeup delta (seconds from now) into a
+/// bounded wait the driver can actually sleep. Total over every float
+/// input: `NaN` and non-positive deltas clamp to `floor` (wake
+/// immediately-ish), `+inf` and oversized deltas clamp to `ceil` — a
+/// misbehaving machine can delay the driver, never panic it (naive
+/// `Duration::from_secs_f64` panics on non-finite input).
+pub fn clamp_wait(delta_secs: f64, floor: Duration, ceil: Duration) -> Duration {
+    if delta_secs.is_nan() || delta_secs <= 0.0 {
+        return floor;
+    }
+    if delta_secs >= ceil.as_secs_f64() {
+        return ceil;
+    }
+    Duration::from_secs_f64(delta_secs).clamp(floor, ceil)
 }
 
 /// Sender-side protocol machine, abstracted over NP/N2.
@@ -200,6 +303,9 @@ pub trait SenderMachine: Send {
     fn is_finished(&self) -> bool;
     /// Work counters.
     fn counters(&self) -> &CostCounters;
+    /// How many receivers reported completion. Allocation-free — this is
+    /// what hot driver loops should poll; `done_ids` is for reports.
+    fn done_count(&self) -> usize;
     /// Identities of receivers that reported completion, ascending.
     fn done_ids(&self) -> Vec<u32>;
     /// Receivers still outstanding under known-receivers completion.
@@ -246,6 +352,9 @@ impl SenderMachine for NpSender {
     fn counters(&self) -> &CostCounters {
         NpSender::counters(self)
     }
+    fn done_count(&self) -> usize {
+        NpSender::done_count(self)
+    }
     fn done_ids(&self) -> Vec<u32> {
         NpSender::done_ids(self)
     }
@@ -269,6 +378,9 @@ impl SenderMachine for N2Sender {
     }
     fn counters(&self) -> &CostCounters {
         N2Sender::counters(self)
+    }
+    fn done_count(&self) -> usize {
+        N2Sender::done_count(self)
     }
     fn done_ids(&self) -> Vec<u32> {
         N2Sender::done_ids(self)
@@ -384,16 +496,41 @@ pub fn drive_sender_obs<S: SenderMachine, T: Transport>(
     let start = Instant::now();
     let mut last_progress = start;
     // The eviction clock is stricter than the stall clock: it resets only
-    // on *receiver liveness* (a NAK, or a Done that grows the done set)
-    // and on our own data transmissions — never on duplicate Dones or
-    // announce echoes, which would let one chatty receiver postpone
-    // eviction of a dead one forever.
+    // on *receiver liveness* — feedback the machine absorbed from an
+    // unfinished receiver (see [`absorb_feedback`]) — never on our own
+    // transmissions, duplicate Dones or announce echoes. Resetting it on
+    // our own sends would make eviction unreachable for any sender that
+    // transmits continuously (the carousel never yields `WaitUntil`), and
+    // chatty-but-ignored traffic must not postpone eviction of a receiver
+    // that actually died.
     let mut last_liveness = start;
     let mut last_event: Option<Event> = None;
     let mut res = ResilienceState::new(rt.resilience);
+    let mut inbox: Vec<Message> = Vec::new();
     let mut evicted_total: u32 = 0;
     loop {
         let now = start.elapsed().as_secs_f64();
+        // Graceful degradation, checked on *every* step — not only when
+        // the machine goes idle: once part of the population has finished
+        // and the rest stay silent past the eviction deadline, complete
+        // for the responsive receivers rather than stalling the whole
+        // session. A sender pinned in back-to-back `Transmit` steps (the
+        // carousel under a NAK storm) evicts exactly as promptly as an
+        // idle one.
+        if let Some(deadline) = rt.resilience.eviction_timeout {
+            let quiet = Instant::now().duration_since(last_liveness);
+            if quiet > deadline && machine.outstanding() > 0 && machine.done_count() > 0 {
+                let evicted = machine.evict_outstanding();
+                if evicted > 0 {
+                    evicted_total += evicted;
+                    let completed = machine.done_count() as u32;
+                    obs.emit(now, || Event::ReceiverEvicted { evicted, completed });
+                    last_progress = Instant::now();
+                    last_liveness = Instant::now();
+                    continue;
+                }
+            }
+        }
         match machine.next_step(now) {
             SenderStep::Finished => {
                 let outcome = if evicted_total > 0 {
@@ -410,8 +547,8 @@ pub fn drive_sender_obs<S: SenderMachine, T: Transport>(
                     elapsed: start.elapsed(),
                     completed: machine.done_ids(),
                     evicted: evicted_total,
-                    corrupt_dropped: res.corrupt_dropped,
-                    send_retries: res.send_retries,
+                    corrupt_dropped: res.core.corrupt_dropped(),
+                    send_retries: res.core.send_retries(),
                 });
             }
             SenderStep::Transmit(msg) => {
@@ -419,11 +556,22 @@ pub fn drive_sender_obs<S: SenderMachine, T: Transport>(
                 // sender with zero receivers would re-announce forever
                 // instead of stalling out.
                 let is_keepalive = matches!(msg, Message::Announce { .. });
-                res.send(transport, &msg, now, obs)?;
+                res.send(transport, &msg, start, obs, &mut inbox)?;
                 if !is_keepalive {
                     last_progress = Instant::now();
-                    last_liveness = Instant::now();
                     last_event = Some(progress_event(&msg, true));
+                }
+                // Datagrams that arrived while a retry backoff was being
+                // waited out are feedback like any other: handle them
+                // before pacing so a flaky uplink can't starve the NAK
+                // path.
+                for incoming in inbox.drain(..) {
+                    let now = start.elapsed().as_secs_f64();
+                    if absorb_feedback(machine, &incoming, now)? {
+                        last_liveness = Instant::now();
+                    }
+                    last_progress = Instant::now();
+                    last_event = Some(progress_event(&incoming, false));
                 }
                 // Pace transmissions while staying responsive to feedback.
                 let pace_deadline = Instant::now() + rt.packet_spacing;
@@ -435,12 +583,11 @@ pub fn drive_sender_obs<S: SenderMachine, T: Transport>(
                     let now = start.elapsed().as_secs_f64();
                     match res.recv(transport, left, now, obs)? {
                         Some(incoming) => {
-                            let outstanding_before = machine.outstanding();
-                            machine.handle(&incoming, start.elapsed().as_secs_f64())?;
-                            last_progress = Instant::now();
-                            if receiver_liveness(&incoming, outstanding_before, machine) {
+                            let now = start.elapsed().as_secs_f64();
+                            if absorb_feedback(machine, &incoming, now)? {
                                 last_liveness = Instant::now();
                             }
+                            last_progress = Instant::now();
                             last_event = Some(progress_event(&incoming, false));
                         }
                         None => break,
@@ -449,26 +596,6 @@ pub fn drive_sender_obs<S: SenderMachine, T: Transport>(
             }
             SenderStep::WaitUntil(t) => {
                 let idle = Instant::now().duration_since(last_progress);
-                // Graceful degradation: once part of the population has
-                // finished and the rest stay silent past the eviction
-                // deadline, complete for the responsive receivers rather
-                // than stalling the whole session.
-                if let Some(deadline) = rt.resilience.eviction_timeout {
-                    let quiet = Instant::now().duration_since(last_liveness);
-                    if quiet > deadline
-                        && machine.outstanding() > 0
-                        && !machine.done_ids().is_empty()
-                    {
-                        let evicted = machine.evict_outstanding();
-                        if evicted > 0 {
-                            evicted_total += evicted;
-                            let completed = machine.done_ids().len() as u32;
-                            obs.emit(now, || Event::ReceiverEvicted { evicted, completed });
-                            last_progress = Instant::now();
-                            continue;
-                        }
-                    }
-                }
                 if idle > rt.stall_timeout {
                     let waited = idle.as_secs_f64();
                     obs.emit(now, || Event::StallTimeout {
@@ -484,16 +611,17 @@ pub fn drive_sender_obs<S: SenderMachine, T: Transport>(
                         last_progress: last_event,
                     });
                 }
-                let wait = Duration::from_secs_f64((t - now).max(0.0))
-                    .min(Duration::from_millis(50))
-                    .max(Duration::from_micros(100));
+                let wait = clamp_wait(
+                    t - now,
+                    Duration::from_micros(100),
+                    Duration::from_millis(50),
+                );
                 if let Some(incoming) = res.recv(transport, wait, now, obs)? {
-                    let outstanding_before = machine.outstanding();
-                    machine.handle(&incoming, start.elapsed().as_secs_f64())?;
-                    last_progress = Instant::now();
-                    if receiver_liveness(&incoming, outstanding_before, machine) {
+                    let now = start.elapsed().as_secs_f64();
+                    if absorb_feedback(machine, &incoming, now)? {
                         last_liveness = Instant::now();
                     }
+                    last_progress = Instant::now();
                     last_event = Some(progress_event(&incoming, false));
                 }
             }
@@ -501,21 +629,34 @@ pub fn drive_sender_obs<S: SenderMachine, T: Transport>(
     }
 }
 
-/// Whether an incoming message proves an *unfinished* receiver is still
-/// out there working: a NAK (repair demand), or a Done that grew the done
-/// set. Duplicate Dones, announce/data echoes (self-delivered multicast on
-/// UDP) and foreign traffic don't count — they must not postpone eviction
-/// of a receiver that has actually died.
-fn receiver_liveness<S: SenderMachine>(
+/// Feed one incoming message to a sender machine and report whether it
+/// proved an *unfinished* receiver is still out there working — the signal
+/// the eviction clock resets on.
+///
+/// The classification is machine-informed, not wire-informed: a NAK counts
+/// only if the machine actually absorbed it as feedback (the carousel
+/// ignores NAKs by design, so a NAK storm must not keep its dead receivers
+/// unevictable), and a Done counts only if it grew the done population
+/// (duplicate Dones and announce/data echoes from self-delivered multicast
+/// must not postpone eviction of a receiver that actually died).
+///
+/// # Errors
+/// Protocol errors from the machine's `handle`.
+pub fn absorb_feedback<S: SenderMachine + ?Sized>(
+    machine: &mut S,
     msg: &Message,
-    outstanding_before: u32,
-    machine: &S,
-) -> bool {
-    match msg {
-        Message::Nak { .. } | Message::NakPacket { .. } => true,
-        Message::Done { .. } => machine.outstanding() < outstanding_before,
+    now: f64,
+) -> Result<bool, ProtocolError> {
+    let done_before = machine.done_count();
+    let feedback_before = machine.counters().feedback_received;
+    machine.handle(msg, now)?;
+    Ok(match msg {
+        Message::Nak { .. } | Message::NakPacket { .. } => {
+            machine.counters().feedback_received > feedback_before
+        }
+        Message::Done { .. } => machine.done_count() > done_before,
         _ => false,
-    }
+    })
 }
 
 /// Drive a receiver machine until the transfer is complete *and* the
@@ -553,6 +694,7 @@ pub fn drive_receiver_obs<R: ReceiverMachine, T: Transport>(
     let mut last_event: Option<Event> = None;
     let mut res = ResilienceState::new(rt.resilience);
     let mut outbound: Vec<Message> = Vec::new();
+    let mut inbox: Vec<Message> = Vec::new();
     loop {
         let now = start.elapsed().as_secs_f64();
 
@@ -562,10 +704,22 @@ pub fn drive_receiver_obs<R: ReceiverMachine, T: Transport>(
                 outbound.push(m);
             }
         }
-        for m in outbound.drain(..) {
-            res.send(transport, &m, now, obs)?;
+        for m in std::mem::take(&mut outbound) {
+            res.send(transport, &m, start, obs, &mut inbox)?;
             last_progress = Instant::now();
             last_event = Some(progress_event(&m, true));
+        }
+        // Datagrams that arrived while a retry backoff was being waited
+        // out; their responses go out on the next loop turn.
+        for msg in inbox.drain(..) {
+            let now = start.elapsed().as_secs_f64();
+            for action in machine.handle(&msg, now)? {
+                if let ReceiverAction::Send(m) = action {
+                    outbound.push(m);
+                }
+            }
+            last_progress = Instant::now();
+            last_event = Some(progress_event(&msg, false));
         }
 
         if machine.fin_seen() {
@@ -578,7 +732,7 @@ pub fn drive_receiver_obs<R: ReceiverMachine, T: Transport>(
                     data: machine.take_data()?,
                     counters: *machine.counters(),
                     elapsed: start.elapsed(),
-                    corrupt_dropped: res.corrupt_dropped,
+                    corrupt_dropped: res.core.corrupt_dropped(),
                 })
             } else {
                 obs.emit(now, || Event::SessionEnd {
@@ -603,7 +757,7 @@ pub fn drive_receiver_obs<R: ReceiverMachine, T: Transport>(
                 data: machine.take_data()?,
                 counters: *machine.counters(),
                 elapsed: start.elapsed(),
-                corrupt_dropped: res.corrupt_dropped,
+                corrupt_dropped: res.core.corrupt_dropped(),
             });
         }
         if idle > rt.stall_timeout {
@@ -624,10 +778,13 @@ pub fn drive_receiver_obs<R: ReceiverMachine, T: Transport>(
 
         // Sleep until the next NAK deadline (or a short poll tick).
         let timeout = match machine.next_deadline() {
-            Some(d) => Duration::from_secs_f64((d - now).max(0.0)).min(Duration::from_millis(20)),
+            Some(d) => clamp_wait(
+                d - now,
+                Duration::from_micros(100),
+                Duration::from_millis(20),
+            ),
             None => Duration::from_millis(20),
-        }
-        .max(Duration::from_micros(100));
+        };
         if let Some(msg) = res.recv(transport, timeout, now, obs)? {
             let now = start.elapsed().as_secs_f64();
             for action in machine.handle(&msg, now)? {
@@ -781,6 +938,259 @@ mod tests {
         assert!(session.is_degraded());
         assert_eq!(session.evicted, 1);
         assert_eq!(session.completed, vec![7]);
+    }
+
+    #[test]
+    fn clamp_wait_is_total_over_hostile_floats() {
+        let floor = Duration::from_micros(100);
+        let ceil = Duration::from_millis(50);
+        // NaN and non-positive deltas wake immediately-ish at the floor.
+        assert_eq!(clamp_wait(f64::NAN, floor, ceil), floor);
+        assert_eq!(clamp_wait(f64::NEG_INFINITY, floor, ceil), floor);
+        assert_eq!(clamp_wait(-1.0, floor, ceil), floor);
+        assert_eq!(clamp_wait(0.0, floor, ceil), floor);
+        assert_eq!(clamp_wait(1e-9, floor, ceil), floor);
+        // Oversized and infinite deltas cap at the ceiling.
+        assert_eq!(clamp_wait(f64::INFINITY, floor, ceil), ceil);
+        assert_eq!(clamp_wait(1e300, floor, ceil), ceil);
+        assert_eq!(clamp_wait(3600.0, floor, ceil), ceil);
+        // In-range deltas pass through.
+        assert_eq!(clamp_wait(0.001, floor, ceil), Duration::from_millis(1));
+    }
+
+    #[test]
+    fn driver_survives_nan_wakeup_time() {
+        // A machine returning a NaN (or infinite) wakeup must delay the
+        // driver by at most the tick ceiling, never panic it.
+        struct NanMachine {
+            steps: u32,
+            counters: CostCounters,
+        }
+        impl SenderMachine for NanMachine {
+            fn next_step(&mut self, _now: f64) -> SenderStep {
+                self.steps += 1;
+                match self.steps {
+                    1 => SenderStep::WaitUntil(f64::NAN),
+                    2 => SenderStep::WaitUntil(f64::INFINITY),
+                    _ => SenderStep::Finished,
+                }
+            }
+            fn handle(&mut self, _msg: &Message, _now: f64) -> Result<(), ProtocolError> {
+                Ok(())
+            }
+            fn is_finished(&self) -> bool {
+                self.steps >= 3
+            }
+            fn counters(&self) -> &CostCounters {
+                &self.counters
+            }
+            fn done_count(&self) -> usize {
+                0
+            }
+            fn done_ids(&self) -> Vec<u32> {
+                Vec::new()
+            }
+            fn outstanding(&self) -> u32 {
+                0
+            }
+            fn evict_outstanding(&mut self) -> u32 {
+                0
+            }
+        }
+        let hub = MemHub::new();
+        let mut tp = hub.join();
+        let mut m = NanMachine {
+            steps: 0,
+            counters: CostCounters::default(),
+        };
+        let report = drive_sender(&mut m, &mut tp, &rt()).expect("NaN wakeup must not abort");
+        assert_eq!(report.completed, Vec::<u32>::new());
+    }
+
+    #[test]
+    fn retry_jitter_is_unbiased_and_deterministic() {
+        let mut a = ResilienceCore::new(ResiliencePolicy::default());
+        let mut b = ResilienceCore::new(ResiliencePolicy::default());
+        let obs = Obs::null();
+        // Same seed, same sequence of backoffs.
+        for attempt in 1..=16 {
+            assert_eq!(
+                a.retry_backoff(attempt, 0.0, &obs),
+                b.retry_backoff(attempt, 0.0, &obs)
+            );
+        }
+        // The bounded sampler is uniform: over a span that a modulo would
+        // bias hard (n just above 2^63, where `rng % n` hits the low half
+        // of the range twice as often), low and high halves draw evenly.
+        let n = (1u64 << 63) + 1;
+        let mut low = 0u64;
+        let samples = 20_000;
+        for _ in 0..samples {
+            let v = a.bounded(n);
+            assert!(v < n);
+            if v < n / 2 {
+                low += 1;
+            }
+        }
+        // A modulo-biased sampler would put ~2/3 of the mass in the low
+        // half; the unbiased one stays near 1/2 (±3%, far below 2/3).
+        let frac = low as f64 / samples as f64;
+        assert!(
+            (frac - 0.5).abs() < 0.03,
+            "low-half fraction {frac} not uniform"
+        );
+        // Backoff stays within [base, base * 1.5] of the capped schedule.
+        let mut c = ResilienceCore::new(ResiliencePolicy::default());
+        let pol = ResiliencePolicy::default();
+        for attempt in 1u32..=8 {
+            let exp = attempt.saturating_sub(1).min(16);
+            let base = pol
+                .retry_backoff
+                .saturating_mul(1u32 << exp)
+                .min(pol.retry_backoff_cap);
+            let d = c.retry_backoff(attempt, 0.0, &obs);
+            assert!(d >= base && d <= base + base / 2 + Duration::from_nanos(1));
+        }
+    }
+
+    /// A transport whose first `fail_sends` sends fail transiently and
+    /// whose receive path is fed from a queue — exercises the
+    /// backoff-without-blocking path.
+    struct Flaky {
+        fail_sends: u32,
+        sends_seen: u32,
+        incoming: std::collections::VecDeque<Message>,
+    }
+    impl Transport for Flaky {
+        fn send(&mut self, _msg: &Message) -> Result<(), NetError> {
+            self.sends_seen += 1;
+            if self.fail_sends > 0 {
+                self.fail_sends -= 1;
+                Err(NetError::Io(std::io::Error::new(
+                    std::io::ErrorKind::WouldBlock,
+                    "flaky uplink",
+                )))
+            } else {
+                Ok(())
+            }
+        }
+        fn recv_timeout(&mut self, timeout: Duration) -> Result<Option<Message>, NetError> {
+            match self.incoming.pop_front() {
+                Some(m) => Ok(Some(m)),
+                None => {
+                    std::thread::sleep(timeout);
+                    Ok(None)
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn send_backoff_keeps_receiving() {
+        // Two transient send failures: the driver must retry to success
+        // while capturing the datagrams that arrived during the backoff
+        // windows instead of sleeping through them.
+        let mut res = ResilienceState::new(ResiliencePolicy {
+            send_retries: 3,
+            retry_backoff: Duration::from_millis(1),
+            retry_backoff_cap: Duration::from_millis(4),
+            ..ResiliencePolicy::default()
+        });
+        let mut tp = Flaky {
+            fail_sends: 2,
+            sends_seen: 0,
+            incoming: [
+                Message::Nak {
+                    session: 9,
+                    group: 0,
+                    needed: 2,
+                    round: 1,
+                },
+                Message::Done {
+                    session: 9,
+                    receiver: 4,
+                },
+            ]
+            .into_iter()
+            .collect(),
+        };
+        let mut inbox = Vec::new();
+        let start = Instant::now();
+        res.send(
+            &mut tp,
+            &Message::Fin { session: 9 },
+            start,
+            &Obs::null(),
+            &mut inbox,
+        )
+        .expect("retries must succeed");
+        assert_eq!(tp.sends_seen, 3, "two failures then success");
+        assert_eq!(res.core.send_retries(), 2);
+        assert_eq!(inbox.len(), 2, "backoff windows kept receiving");
+        assert!(matches!(inbox[0], Message::Nak { .. }));
+    }
+
+    #[test]
+    fn carousel_evicts_dead_receiver_under_nak_storm() {
+        use crate::carousel::{CarouselConfig, CarouselSender, CarouselStop};
+        // A carousel pinned in continuous `Transmit` steps by a NAK storm:
+        // the hoisted eviction check must still fire for the receiver that
+        // never reports Done, and the session must end degraded — not
+        // stall, and not spin forever (the pre-fix behavior, where the
+        // eviction check lived only in the unreachable `WaitUntil` arm).
+        let hub = MemHub::new();
+        let mut sender_tp = hub.join();
+        let mut feeder = hub.join();
+        let session = 77;
+        let mut cfg = CarouselConfig::default_with(CarouselStop::AllDone(2));
+        cfg.k = 4;
+        cfg.h = 2;
+        cfg.payload_len = 32;
+        let data = payload(256);
+        let driver = std::thread::spawn(move || {
+            let mut s = CarouselSender::new(session, &data, cfg).unwrap();
+            let rt = RuntimeConfig {
+                packet_spacing: Duration::from_micros(20),
+                stall_timeout: Duration::from_secs(20),
+                complete_linger: Duration::from_millis(100),
+                resilience: ResiliencePolicy {
+                    eviction_timeout: Some(Duration::from_millis(200)),
+                    ..ResiliencePolicy::default()
+                },
+            };
+            drive_sender(&mut s, &mut sender_tp, &rt)
+        });
+        // One live receiver reports Done; the other stays silent forever
+        // while junk NAKs hammer the sender.
+        feeder
+            .send(&Message::Done {
+                session,
+                receiver: 1,
+            })
+            .unwrap();
+        let deadline = Instant::now() + Duration::from_secs(10);
+        let report = loop {
+            feeder
+                .send(&Message::Nak {
+                    session,
+                    group: 0,
+                    needed: 1,
+                    round: 1,
+                })
+                .unwrap();
+            if driver.is_finished() {
+                break driver.join().expect("driver must not panic");
+            }
+            assert!(
+                Instant::now() < deadline,
+                "sender never evicted the dead receiver (eviction check unreachable?)"
+            );
+            std::thread::sleep(Duration::from_millis(1));
+        };
+        let report = report.expect("degraded completion, not an error");
+        assert!(report.is_degraded());
+        assert_eq!(report.evicted, 1);
+        assert_eq!(report.completed, vec![1]);
     }
 
     #[test]

@@ -1,0 +1,32 @@
+#![forbid(unsafe_code)]
+//! # pm-mux — event-driven session multiplexer
+//!
+//! Runs N concurrent sender/receiver protocol machines on **one thread**
+//! over a shared non-blocking socket set, with every wait — packet
+//! pacing, retry backoff, machine wakeups, receiver poll cadence, stall
+//! and eviction deadlines — expressed as a [`wheel::TimerWheel`] entry
+//! instead of a blocking call. The driver never parks on one session's
+//! behalf, so a hostile or dead session cannot stall its neighbors.
+//!
+//! The crate reuses the blocking drivers' semantics wholesale:
+//! [`pm_core::runtime::ResilienceCore`] for corruption absorption and
+//! retry accounting, [`pm_core::runtime::absorb_feedback`] for the
+//! eviction liveness classification, and the same
+//! [`SessionReport`](pm_core::runtime::SessionReport) /
+//! [`ReceiverReport`](pm_core::runtime::ReceiverReport) outcomes — a
+//! session driven by the mux is observably the session the blocking
+//! drivers would have run (the equivalence tests pin byte-identical
+//! transcripts).
+//!
+//! Time comes from a [`MuxClock`]: [`VirtualClock`] for deterministic
+//! tests (the clock jumps to the next timer deadline when the system is
+//! quiescent), [`WallClock`] for production (bounded naps between I/O
+//! sweeps).
+
+pub mod clock;
+pub mod mux;
+pub mod wheel;
+
+pub use clock::{MuxClock, VirtualClock, WallClock};
+pub use mux::{Mux, MuxConfig, MuxMetrics, SessionOutcome};
+pub use wheel::TimerWheel;

@@ -1,0 +1,1254 @@
+//! The multiplexer proper: N sessions, one thread, zero blocking waits.
+//!
+//! Every wait the blocking drivers express as a timed `recv` or a sleep —
+//! packet pacing, retry backoff, machine wakeups, the receiver poll
+//! cadence — becomes a [`TimerWheel`] entry keyed by `(session, kind,
+//! generation)`. Stall, linger and eviction deadlines stay what they are
+//! in the blocking drivers: checks performed at the same cadence those
+//! drivers perform them (every drive pass), so the two runtimes observe
+//! identical timeout semantics.
+//!
+//! The run loop is three strokes per turn: sweep the socket set
+//! ([`PollSet::poll_round`] — fairness-bounded, round-robin), fire due
+//! timers ([`TimerWheel::advance`] — deadline order, FIFO within a tick),
+//! and only when *both* came up empty, advance the clock toward the next
+//! deadline. A hostile session can therefore cost its neighbors at most
+//! its own bounded slice of each sweep — never a blocking wait.
+
+use std::collections::VecDeque;
+use std::time::Duration;
+
+use pm_core::error::ProtocolError;
+use pm_core::receiver::ReceiverAction;
+use pm_core::runtime::{
+    absorb_feedback, clamp_wait, ReceiverMachine, ReceiverReport, ResilienceCore, RuntimeConfig,
+    SenderMachine, SessionReport,
+};
+use pm_core::sender::SenderStep;
+use pm_net::{Message, NetError, PollSet, PollTransport, Token};
+use pm_obs::{Event, Gauge, Histogram, MetricsRegistry, Obs, Outcome, Role};
+
+use crate::clock::MuxClock;
+use crate::wheel::TimerWheel;
+
+/// Ceiling on a sender machine's requested wait (mirrors the blocking
+/// driver's `WaitUntil` clamp).
+const SENDER_WAIT_CEIL: Duration = Duration::from_millis(50);
+/// Ceiling on the receiver poll cadence (mirrors the blocking driver).
+const RECEIVER_WAIT_CEIL: Duration = Duration::from_millis(20);
+
+/// Tuning knobs of a [`Mux`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MuxConfig {
+    /// Timer-wheel granularity. Deadlines round up to the next tick, so
+    /// this bounds both scheduling error and the idle nap length.
+    pub tick: Duration,
+    /// Datagrams drained per endpoint per sweep — the fairness bound: a
+    /// flooding session yields the sweep after this many datagrams.
+    pub poll_budget: usize,
+}
+
+impl Default for MuxConfig {
+    fn default() -> Self {
+        MuxConfig {
+            tick: Duration::from_micros(50),
+            poll_budget: 32,
+        }
+    }
+}
+
+/// Which of a session's schedulable waits a timer entry represents.
+///
+/// Stall, linger and eviction are *not* timer kinds — they are deadline
+/// checks made on every drive pass, exactly as the blocking drivers make
+/// them on every loop turn.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TimerKind {
+    /// Inter-packet pacing gap after a successful transmit (sender).
+    Pace,
+    /// Machine-requested wakeup (`WaitUntil` for senders, the NAK/poll
+    /// cadence for receivers).
+    Wake,
+    /// Retry backoff for a parked transmission.
+    Retry,
+}
+
+/// Wheel key: token + kind + arming generation. Cancellation is lazy — a
+/// fired entry whose generation no longer matches the session's current
+/// one for that kind is simply stale and ignored.
+#[derive(Debug, Clone, Copy)]
+struct TimerKey {
+    token: Token,
+    kind: TimerKind,
+    generation: u64,
+}
+
+/// The protocol machine a session wraps.
+enum Engine {
+    Sender(Box<dyn SenderMachine>),
+    Receiver(Box<dyn ReceiverMachine>),
+}
+
+/// A transmission that hit a transient I/O failure and is waiting out its
+/// retry backoff. While parked, the session transmits nothing else — the
+/// same total order the blocking drivers' in-place retry loop enforces.
+struct PendingSend {
+    msg: Message,
+    attempt: u32,
+    keepalive: bool,
+}
+
+/// Per-session driver state: the machine plus everything the blocking
+/// drivers keep in locals.
+struct SessionState {
+    token: Token,
+    rt: RuntimeConfig,
+    engine: Engine,
+    res: ResilienceCore,
+    /// Mux-clock time this session was added; machine time is relative
+    /// to it, so every session starts at its own `t = 0` just as it
+    /// would under a dedicated blocking driver.
+    started: f64,
+    /// Stall/linger clock (absolute mux time).
+    last_progress: f64,
+    /// Eviction clock (absolute mux time) — resets only on receiver
+    /// liveness, see [`absorb_feedback`].
+    last_liveness: f64,
+    /// Last event that counted as progress (`Stalled` context).
+    last_event: Option<Event>,
+    pending: Option<PendingSend>,
+    /// Receiver-side transmissions queued behind a parked retry.
+    outbound: VecDeque<Message>,
+    gen_pace: u64,
+    gen_wake: u64,
+    gen_retry: u64,
+    /// True while a sender sits in `WaitUntil` with a Wake armed — the
+    /// only state where fresh feedback warrants an immediate re-drive.
+    wait_armed: bool,
+    /// Drive passes consumed (the fairness unit).
+    drives: u64,
+    evicted_total: u32,
+}
+
+impl SessionState {
+    fn role(&self) -> Role {
+        match self.engine {
+            Engine::Sender(_) => Role::Sender,
+            Engine::Receiver(_) => Role::Receiver,
+        }
+    }
+
+    fn generation(&self, kind: TimerKind) -> u64 {
+        match kind {
+            TimerKind::Pace => self.gen_pace,
+            TimerKind::Wake => self.gen_wake,
+            TimerKind::Retry => self.gen_retry,
+        }
+    }
+
+    fn generation_mut(&mut self, kind: TimerKind) -> &mut u64 {
+        match kind {
+            TimerKind::Pace => &mut self.gen_pace,
+            TimerKind::Wake => &mut self.gen_wake,
+            TimerKind::Retry => &mut self.gen_retry,
+        }
+    }
+}
+
+/// How a multiplexed session ended — the same reports and errors the
+/// blocking drivers return.
+#[derive(Debug)]
+pub enum SessionOutcome {
+    /// A sender session's result.
+    Sender(Result<SessionReport, ProtocolError>),
+    /// A receiver session's result.
+    Receiver(Result<ReceiverReport, ProtocolError>),
+}
+
+impl SessionOutcome {
+    /// True when the session completed without a fatal error.
+    pub fn is_ok(&self) -> bool {
+        match self {
+            SessionOutcome::Sender(r) => r.is_ok(),
+            SessionOutcome::Receiver(r) => r.is_ok(),
+        }
+    }
+
+    /// The sender report, if this was a successful sender session.
+    pub fn sender_report(&self) -> Option<&SessionReport> {
+        match self {
+            SessionOutcome::Sender(Ok(r)) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// The receiver report, if this was a successful receiver session.
+    pub fn receiver_report(&self) -> Option<&ReceiverReport> {
+        match self {
+            SessionOutcome::Receiver(Ok(r)) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// The fatal error, if the session failed.
+    pub fn err(&self) -> Option<&ProtocolError> {
+        match self {
+            SessionOutcome::Sender(Err(e)) | SessionOutcome::Receiver(Err(e)) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// Gauges and histograms a mux maintains when bound to a registry.
+#[derive(Debug, Clone)]
+pub struct MuxMetrics {
+    /// `mux.active_sessions` — sessions currently live.
+    pub active_sessions: Gauge,
+    /// `mux.timer_wheel_depth` — pending timer entries after each turn.
+    pub wheel_depth: Gauge,
+    /// `mux.session_queue_depth` — datagrams drained from one endpoint in
+    /// one sweep (per-session backlog distribution).
+    pub queue_depth: Histogram,
+    /// `mux.session_drives` — drive passes per finished session (the
+    /// fairness histogram: under a fair mux, peer sessions draw similar
+    /// counts).
+    pub session_drives: Histogram,
+}
+
+impl MuxMetrics {
+    /// Create (or re-attach to) the mux instrument family in `reg`.
+    pub fn register(reg: &MetricsRegistry) -> Self {
+        MuxMetrics {
+            active_sessions: reg.gauge("mux.active_sessions"),
+            wheel_depth: reg.gauge("mux.timer_wheel_depth"),
+            queue_depth: reg.histogram("mux.session_queue_depth"),
+            session_drives: reg.histogram("mux.session_drives"),
+        }
+    }
+}
+
+/// What to do after the session-local part of an I/O event is absorbed.
+enum AfterIo {
+    Nothing,
+    Finish(SessionOutcome),
+    DriveSender,
+    DriveReceiver,
+}
+
+/// Result of flushing a receiver's outbound queue.
+enum Flush {
+    /// Everything went out.
+    Clear,
+    /// A transient failure parked a message; a Retry timer is armed.
+    Parked,
+    /// A fatal transport failure.
+    Fatal(ProtocolError),
+}
+
+/// Event-driven session multiplexer: drives any number of concurrent
+/// sender/receiver machines on the calling thread.
+///
+/// ```text
+/// loop {                       // Mux::run
+///     sockets.poll_round()     // fair I/O sweep   -> on_io per datagram
+///     wheel.advance(now)       // due timers       -> drive / retry
+///     if idle { clock.advance_to(next deadline) }  // the ONLY wait
+/// }
+/// ```
+pub struct Mux<T: PollTransport, C: MuxClock> {
+    cfg: MuxConfig,
+    tick_secs: f64,
+    clock: C,
+    wheel: TimerWheel<TimerKey>,
+    sockets: PollSet<T>,
+    /// Dense session table indexed by `Token::slot`.
+    sessions: Vec<Option<SessionState>>,
+    live: usize,
+    obs: Obs,
+    metrics: Option<MuxMetrics>,
+    outcomes: Vec<(Token, SessionOutcome)>,
+    io_sink: Vec<(Token, Result<Message, NetError>)>,
+    fired: Vec<(u64, TimerKey)>,
+}
+
+impl<T: PollTransport, C: MuxClock> Mux<T, C> {
+    /// An empty mux over `clock`.
+    pub fn new(cfg: MuxConfig, clock: C) -> Self {
+        let tick_secs = cfg.tick.max(Duration::from_nanos(1)).as_secs_f64();
+        Mux {
+            cfg,
+            tick_secs,
+            clock,
+            wheel: TimerWheel::new(),
+            sockets: PollSet::new(),
+            sessions: Vec::new(),
+            live: 0,
+            obs: Obs::null(),
+            metrics: None,
+            outcomes: Vec::new(),
+            io_sink: Vec::new(),
+            fired: Vec::new(),
+        }
+    }
+
+    /// Emit runtime lifecycle events to `obs`.
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.obs = obs;
+        self
+    }
+
+    /// Maintain mux gauges/histograms in `reg`.
+    pub fn bind_metrics(&mut self, reg: &MetricsRegistry) {
+        let m = MuxMetrics::register(reg);
+        m.active_sessions.set(self.live as i64);
+        self.metrics = Some(m);
+    }
+
+    /// Sessions currently live.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// True when no session is live.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Pending timer entries (the wheel-depth gauge, readable directly).
+    pub fn wheel_depth(&self) -> usize {
+        self.wheel.len()
+    }
+
+    /// The mux clock, for inspection.
+    pub fn clock(&self) -> &C {
+        &self.clock
+    }
+
+    /// Add a sender session; it is driven from the next turn on.
+    pub fn add_sender<M: SenderMachine + 'static>(
+        &mut self,
+        machine: M,
+        transport: T,
+        rt: RuntimeConfig,
+    ) -> Token {
+        self.add_session(
+            Engine::Sender(Box::new(machine)),
+            transport,
+            rt,
+            TimerKind::Pace,
+        )
+    }
+
+    /// Add a receiver session; it is driven from the next turn on.
+    pub fn add_receiver<M: ReceiverMachine + 'static>(
+        &mut self,
+        machine: M,
+        transport: T,
+        rt: RuntimeConfig,
+    ) -> Token {
+        self.add_session(
+            Engine::Receiver(Box::new(machine)),
+            transport,
+            rt,
+            TimerKind::Wake,
+        )
+    }
+
+    fn add_session(
+        &mut self,
+        engine: Engine,
+        transport: T,
+        rt: RuntimeConfig,
+        first: TimerKind,
+    ) -> Token {
+        let token = self.sockets.register(transport);
+        let slot = token.slot();
+        if self.sessions.len() <= slot {
+            self.sessions.resize_with(slot + 1, || None);
+        }
+        let now_abs = self.clock.now();
+        let mut sess = SessionState {
+            token,
+            rt,
+            res: ResilienceCore::new(rt.resilience),
+            engine,
+            started: now_abs,
+            last_progress: now_abs,
+            last_liveness: now_abs,
+            last_event: None,
+            pending: None,
+            outbound: VecDeque::new(),
+            gen_pace: 0,
+            gen_wake: 0,
+            gen_retry: 0,
+            wait_armed: false,
+            drives: 0,
+            evicted_total: 0,
+        };
+        let role = sess.role();
+        // First drive is due immediately: the entry lands in the wheel's
+        // due queue and fires on the next advance, before time moves.
+        let at = self.wheel.now();
+        arm_at(&mut self.wheel, &mut sess, first, at);
+        self.sessions[slot] = Some(sess);
+        self.live += 1;
+        let active = self.live as u32;
+        self.obs.emit(now_abs, || Event::MuxSessionAdded {
+            session: slot as u32,
+            role,
+            active,
+        });
+        if let Some(m) = &self.metrics {
+            m.active_sessions.set(self.live as i64);
+        }
+        token
+    }
+
+    /// Drive every session to its end and return the outcomes in
+    /// completion order, tagged by token.
+    pub fn run(&mut self) -> Vec<(Token, SessionOutcome)> {
+        while self.live > 0 {
+            self.turn();
+        }
+        std::mem::take(&mut self.outcomes)
+    }
+
+    /// One scheduler turn: I/O sweep, due timers, then — only if both
+    /// were empty — one bounded clock advance toward the next deadline.
+    fn turn(&mut self) {
+        // 1. Fair I/O sweep over every live endpoint.
+        let mut sink = std::mem::take(&mut self.io_sink);
+        sink.clear();
+        let got = self.sockets.poll_round(self.cfg.poll_budget, &mut sink);
+        if let Some(m) = &self.metrics {
+            // poll_round drains each endpoint contiguously, so run
+            // lengths are per-session backlog depths.
+            let mut run = 0u64;
+            let mut cur: Option<Token> = None;
+            for (tok, _) in &sink {
+                if cur == Some(*tok) {
+                    run += 1;
+                } else {
+                    if cur.is_some() {
+                        m.queue_depth.record(run);
+                    }
+                    cur = Some(*tok);
+                    run = 1;
+                }
+            }
+            if cur.is_some() {
+                m.queue_depth.record(run);
+            }
+        }
+        for (token, outcome) in sink.drain(..) {
+            self.on_io(token, outcome);
+        }
+        self.io_sink = sink;
+
+        // 2. Fire timers due at the current tick.
+        let now_tick = self.tick_of(self.clock.now());
+        let mut fired = std::mem::take(&mut self.fired);
+        fired.clear();
+        self.wheel.advance(now_tick, &mut fired);
+        let n_fired = fired.len();
+        for (_, key) in fired.drain(..) {
+            self.on_fired(key);
+        }
+        self.fired = fired;
+
+        // 3. Quiescent: advance time toward the next deadline. This is
+        // the only place the mux waits, and it waits for the *earliest*
+        // deadline across every session — never for one session's sake.
+        if got == 0 && n_fired == 0 && self.live > 0 {
+            let now = self.clock.now();
+            let target = match self.wheel.next_deadline() {
+                Some(t) => (t as f64 * self.tick_secs).max(now + self.tick_secs),
+                None => now + self.tick_secs,
+            };
+            self.clock.advance_to(target);
+        }
+
+        if let Some(m) = &self.metrics {
+            m.wheel_depth.set(self.wheel.len() as i64);
+        }
+    }
+
+    /// Seconds-to-tick, rounded to nearest: round-tripping a tick through
+    /// `f64` seconds and back must be the identity, or a virtual clock
+    /// that jumped to "tick 100 exactly" could land on tick 99 and strand
+    /// the wheel one tick short of its deadline forever.
+    fn tick_of(&self, secs: f64) -> u64 {
+        let t = secs / self.tick_secs;
+        if t.is_finite() && t > 0.0 {
+            t.round() as u64
+        } else {
+            0
+        }
+    }
+
+    /// Absorb one datagram (or per-endpoint receive error) for a session.
+    fn on_io(&mut self, token: Token, outcome: Result<Message, NetError>) {
+        let now_abs = self.clock.now();
+        let after = {
+            let Some(sess) = self
+                .sessions
+                .get_mut(token.slot())
+                .and_then(|s| s.as_mut())
+                .filter(|s| s.token == token)
+            else {
+                // Session already finished this sweep; late datagrams for
+                // a retired slot are dropped, as a closed socket would.
+                return;
+            };
+            let now_rel = now_abs - sess.started;
+            match sess.res.absorb_recv(outcome.map(Some), now_rel, &self.obs) {
+                // Quarantine or fatal transport error: abort with the
+                // typed error and no session_end event, exactly like the
+                // blocking drivers' error path.
+                Err(e) => AfterIo::Finish(match sess.engine {
+                    Engine::Sender(_) => SessionOutcome::Sender(Err(e)),
+                    Engine::Receiver(_) => SessionOutcome::Receiver(Err(e)),
+                }),
+                // Recoverable damage absorbed: counted, not progress.
+                Ok(None) => AfterIo::Nothing,
+                Ok(Some(msg)) => {
+                    sess.last_progress = now_abs;
+                    sess.last_event = Some(Event::NetRecv {
+                        kind: msg.obs_kind(),
+                    });
+                    match &mut sess.engine {
+                        Engine::Sender(machine) => {
+                            match absorb_feedback(machine.as_mut(), &msg, now_rel) {
+                                Err(e) => AfterIo::Finish(SessionOutcome::Sender(Err(e))),
+                                Ok(lively) => {
+                                    if lively {
+                                        sess.last_liveness = now_abs;
+                                    }
+                                    // Feedback while parked in WaitUntil
+                                    // may change the machine's plan (a NAK
+                                    // wants repairs *now*): cancel the
+                                    // armed Wake and re-drive immediately.
+                                    // The generation bump is what prevents
+                                    // the stale Wake from later double-
+                                    // driving alongside the new schedule.
+                                    if sess.wait_armed && sess.pending.is_none() {
+                                        sess.gen_wake += 1;
+                                        sess.wait_armed = false;
+                                        AfterIo::DriveSender
+                                    } else {
+                                        AfterIo::Nothing
+                                    }
+                                }
+                            }
+                        }
+                        Engine::Receiver(machine) => match machine.handle(&msg, now_rel) {
+                            Err(e) => AfterIo::Finish(SessionOutcome::Receiver(Err(e))),
+                            Ok(actions) => {
+                                for action in actions {
+                                    if let ReceiverAction::Send(m) = action {
+                                        sess.outbound.push_back(m);
+                                    }
+                                }
+                                AfterIo::DriveReceiver
+                            }
+                        },
+                    }
+                }
+            }
+        };
+        match after {
+            AfterIo::Nothing => {}
+            AfterIo::Finish(o) => self.finish(token, o),
+            AfterIo::DriveSender => self.drive_sender_session(token),
+            AfterIo::DriveReceiver => self.drive_receiver_session(token),
+        }
+    }
+
+    /// Dispatch one fired timer entry, dropping stale generations.
+    fn on_fired(&mut self, key: TimerKey) {
+        let Some(is_sender) = self
+            .sessions
+            .get(key.token.slot())
+            .and_then(|s| s.as_ref())
+            .filter(|s| s.token == key.token && s.generation(key.kind) == key.generation)
+            .map(|s| matches!(s.engine, Engine::Sender(_)))
+        else {
+            return; // lazily cancelled or session gone
+        };
+        match key.kind {
+            TimerKind::Retry => self.fire_retry(key.token),
+            TimerKind::Pace | TimerKind::Wake => {
+                if is_sender {
+                    self.drive_sender_session(key.token);
+                } else {
+                    self.drive_receiver_session(key.token);
+                }
+            }
+        }
+    }
+
+    /// One sender drive pass: the body of `drive_sender_obs`'s loop, with
+    /// every wait turned into a timer. Exits after arming exactly one of
+    /// Pace/Wake/Retry, or finishes the session.
+    fn drive_sender_session(&mut self, token: Token) {
+        let now_abs = self.clock.now();
+        let tick = self.cfg.tick;
+        let Mux {
+            sessions,
+            sockets,
+            wheel,
+            obs,
+            ..
+        } = self;
+        let outcome = 'drive: {
+            let Some(sess) = sessions
+                .get_mut(token.slot())
+                .and_then(|s| s.as_mut())
+                .filter(|s| s.token == token)
+            else {
+                break 'drive None;
+            };
+            if sess.pending.is_some() {
+                break 'drive None; // parked on a retry; Retry timer owns us
+            }
+            sess.drives += 1;
+            loop {
+                let now_rel = now_abs - sess.started;
+                let Engine::Sender(machine) = &mut sess.engine else {
+                    break 'drive None;
+                };
+                // Graceful degradation, checked on every drive — not only
+                // when the machine goes idle (the blocking drivers' hoisted
+                // check): a carousel pinned in back-to-back transmits
+                // evicts exactly as promptly as an idle sender.
+                if let Some(deadline) = sess.rt.resilience.eviction_timeout {
+                    let quiet = now_abs - sess.last_liveness;
+                    if quiet > deadline.as_secs_f64()
+                        && machine.outstanding() > 0
+                        && machine.done_count() > 0
+                    {
+                        let evicted = machine.evict_outstanding();
+                        if evicted > 0 {
+                            sess.evicted_total += evicted;
+                            let completed = machine.done_count() as u32;
+                            obs.emit(now_rel, || Event::ReceiverEvicted { evicted, completed });
+                            sess.last_progress = now_abs;
+                            sess.last_liveness = now_abs;
+                            continue;
+                        }
+                    }
+                }
+                match machine.next_step(now_rel) {
+                    SenderStep::Finished => {
+                        let end = if sess.evicted_total > 0 {
+                            Outcome::Degraded
+                        } else {
+                            Outcome::Completed
+                        };
+                        obs.emit(now_rel, || Event::SessionEnd {
+                            role: Role::Sender,
+                            outcome: end,
+                        });
+                        break 'drive Some(SessionOutcome::Sender(Ok(SessionReport {
+                            counters: *machine.counters(),
+                            elapsed: elapsed_of(now_rel),
+                            completed: machine.done_ids(),
+                            evicted: sess.evicted_total,
+                            corrupt_dropped: sess.res.corrupt_dropped(),
+                            send_retries: sess.res.send_retries(),
+                        })));
+                    }
+                    SenderStep::Transmit(msg) => {
+                        let keepalive = matches!(msg, Message::Announce { .. });
+                        let Some(transport) = sockets.get_mut(token) else {
+                            break 'drive Some(SessionOutcome::Sender(
+                                Err(NetError::Closed.into()),
+                            ));
+                        };
+                        match transport.send(&msg) {
+                            Ok(()) => {
+                                if !keepalive {
+                                    sess.last_progress = now_abs;
+                                    sess.last_event = Some(Event::NetSent {
+                                        kind: msg.obs_kind(),
+                                    });
+                                }
+                                sess.wait_armed = false;
+                                let spacing = sess.rt.packet_spacing;
+                                arm(wheel, sess, TimerKind::Pace, spacing, tick);
+                                break 'drive None;
+                            }
+                            Err(NetError::Io(_)) if sess.res.policy().send_retries > 0 => {
+                                let backoff = sess.res.retry_backoff(1, now_rel, obs);
+                                sess.pending = Some(PendingSend {
+                                    msg,
+                                    attempt: 1,
+                                    keepalive,
+                                });
+                                sess.wait_armed = false;
+                                arm(wheel, sess, TimerKind::Retry, backoff, tick);
+                                break 'drive None;
+                            }
+                            Err(e) => break 'drive Some(SessionOutcome::Sender(Err(e.into()))),
+                        }
+                    }
+                    SenderStep::WaitUntil(t) => {
+                        let idle = now_abs - sess.last_progress;
+                        if idle > sess.rt.stall_timeout.as_secs_f64() {
+                            obs.emit(now_rel, || Event::StallTimeout {
+                                role: Role::Sender,
+                                waited_secs: idle,
+                            });
+                            obs.emit(now_rel, || Event::SessionEnd {
+                                role: Role::Sender,
+                                outcome: Outcome::Stalled,
+                            });
+                            break 'drive Some(SessionOutcome::Sender(Err(
+                                ProtocolError::Stalled {
+                                    waited_secs: idle,
+                                    last_progress: sess.last_event.clone(),
+                                },
+                            )));
+                        }
+                        let wait = clamp_wait(t - now_rel, tick, SENDER_WAIT_CEIL);
+                        sess.wait_armed = true;
+                        arm(wheel, sess, TimerKind::Wake, wait, tick);
+                        break 'drive None;
+                    }
+                }
+            }
+        };
+        if let Some(o) = outcome {
+            self.finish(token, o);
+        }
+    }
+
+    /// One receiver drive pass: fire machine timers, flush outbound,
+    /// run the end-of-session checks, re-arm the poll cadence.
+    fn drive_receiver_session(&mut self, token: Token) {
+        let now_abs = self.clock.now();
+        let tick = self.cfg.tick;
+        let Mux {
+            sessions,
+            sockets,
+            wheel,
+            obs,
+            ..
+        } = self;
+        let outcome = 'drive: {
+            let Some(sess) = sessions
+                .get_mut(token.slot())
+                .and_then(|s| s.as_mut())
+                .filter(|s| s.token == token)
+            else {
+                break 'drive None;
+            };
+            if sess.pending.is_some() {
+                break 'drive None; // parked on a retry; Retry timer owns us
+            }
+            sess.drives += 1;
+            let now_rel = now_abs - sess.started;
+            let actions = {
+                let Engine::Receiver(machine) = &mut sess.engine else {
+                    break 'drive None;
+                };
+                machine.on_timer(now_rel)
+            };
+            for action in actions {
+                if let ReceiverAction::Send(m) = action {
+                    sess.outbound.push_back(m);
+                }
+            }
+            match flush_outbound(sess, sockets, wheel, tick, now_abs, obs) {
+                Flush::Parked => break 'drive None,
+                Flush::Fatal(e) => break 'drive Some(SessionOutcome::Receiver(Err(e))),
+                Flush::Clear => {}
+            }
+            if let Some(done) = receiver_checks(sess, now_abs, obs) {
+                break 'drive Some(done);
+            }
+            let deadline = {
+                let Engine::Receiver(machine) = &sess.engine else {
+                    break 'drive None;
+                };
+                machine.next_deadline()
+            };
+            let wait = match deadline {
+                Some(d) => clamp_wait(d - now_rel, tick, RECEIVER_WAIT_CEIL),
+                None => RECEIVER_WAIT_CEIL,
+            };
+            arm(wheel, sess, TimerKind::Wake, wait, tick);
+            None
+        };
+        if let Some(o) = outcome {
+            self.finish(token, o);
+        }
+    }
+
+    /// A Retry timer fired: re-attempt the parked transmission.
+    fn fire_retry(&mut self, token: Token) {
+        let now_abs = self.clock.now();
+        let tick = self.cfg.tick;
+        let after = {
+            let Mux {
+                sessions,
+                sockets,
+                wheel,
+                obs,
+                ..
+            } = self;
+            let Some(sess) = sessions
+                .get_mut(token.slot())
+                .and_then(|s| s.as_mut())
+                .filter(|s| s.token == token)
+            else {
+                return;
+            };
+            let Some(mut pending) = sess.pending.take() else {
+                return;
+            };
+            let now_rel = now_abs - sess.started;
+            let sent = match sockets.get_mut(token) {
+                Some(transport) => transport.send(&pending.msg),
+                None => Err(NetError::Closed),
+            };
+            match sent {
+                Ok(()) => {
+                    if !pending.keepalive {
+                        sess.last_progress = now_abs;
+                        sess.last_event = Some(Event::NetSent {
+                            kind: pending.msg.obs_kind(),
+                        });
+                    }
+                    match sess.engine {
+                        Engine::Sender(_) => {
+                            // The send finally landed: resume pacing from
+                            // here, as the blocking driver does after its
+                            // in-place retry loop returns.
+                            let spacing = sess.rt.packet_spacing;
+                            arm(wheel, sess, TimerKind::Pace, spacing, tick);
+                            AfterIo::Nothing
+                        }
+                        Engine::Receiver(_) => AfterIo::DriveReceiver,
+                    }
+                }
+                Err(NetError::Io(_)) if pending.attempt < sess.res.policy().send_retries => {
+                    pending.attempt += 1;
+                    let backoff = sess.res.retry_backoff(pending.attempt, now_rel, obs);
+                    sess.pending = Some(pending);
+                    arm(wheel, sess, TimerKind::Retry, backoff, tick);
+                    AfterIo::Nothing
+                }
+                Err(e) => AfterIo::Finish(match sess.role() {
+                    Role::Sender => SessionOutcome::Sender(Err(e.into())),
+                    Role::Receiver => SessionOutcome::Receiver(Err(e.into())),
+                }),
+            }
+        };
+        match after {
+            AfterIo::Nothing => {}
+            AfterIo::Finish(o) => self.finish(token, o),
+            AfterIo::DriveReceiver => self.drive_receiver_session(token),
+            AfterIo::DriveSender => self.drive_sender_session(token),
+        }
+    }
+
+    /// Retire a session: drop its transport, record its outcome, emit the
+    /// lifecycle event. Outstanding wheel entries die by staleness.
+    fn finish(&mut self, token: Token, outcome: SessionOutcome) {
+        let slot = token.slot();
+        let Some(entry) = self.sessions.get_mut(slot) else {
+            return;
+        };
+        let Some(sess) = entry.take() else {
+            return;
+        };
+        if sess.token != token {
+            *entry = Some(sess);
+            return;
+        }
+        drop(self.sockets.deregister(token));
+        self.live -= 1;
+        let now_abs = self.clock.now();
+        let role = sess.role();
+        let drives = sess.drives;
+        let active = self.live as u32;
+        self.obs.emit(now_abs, || Event::MuxSessionEnded {
+            session: slot as u32,
+            role,
+            active,
+            drives,
+        });
+        if let Some(m) = &self.metrics {
+            m.active_sessions.set(self.live as i64);
+            m.session_drives.record(drives);
+        }
+        self.outcomes.push((token, outcome));
+    }
+}
+
+/// Session-relative seconds → report duration, total over hostile floats.
+fn elapsed_of(now_rel: f64) -> Duration {
+    if now_rel.is_finite() && now_rel > 0.0 {
+        Duration::try_from_secs_f64(now_rel).unwrap_or_default()
+    } else {
+        Duration::ZERO
+    }
+}
+
+/// Ceil a delay to whole ticks, at least one: a timer never fires early,
+/// and "now" is never a valid future deadline.
+fn ticks_for(tick: Duration, delay: Duration) -> u64 {
+    let t = tick.as_nanos().max(1);
+    let ticks = delay.as_nanos().div_ceil(t).max(1);
+    u64::try_from(ticks).unwrap_or(u64::MAX)
+}
+
+/// Arm (or re-arm) `kind` for `sess` at `delay` from now. Bumping the
+/// generation first makes any previously armed entry of the same kind
+/// stale — cancellation without touching the wheel.
+fn arm(
+    wheel: &mut TimerWheel<TimerKey>,
+    sess: &mut SessionState,
+    kind: TimerKind,
+    delay: Duration,
+    tick: Duration,
+) {
+    let at = wheel.now().saturating_add(ticks_for(tick, delay));
+    arm_at(wheel, sess, kind, at);
+}
+
+fn arm_at(wheel: &mut TimerWheel<TimerKey>, sess: &mut SessionState, kind: TimerKind, at: u64) {
+    let generation = sess.generation_mut(kind);
+    *generation += 1;
+    let generation = *generation;
+    wheel.insert(
+        at,
+        TimerKey {
+            token: sess.token,
+            kind,
+            generation,
+        },
+    );
+}
+
+/// Send everything in a receiver's outbound queue, parking on the first
+/// transient failure (mirrors `ResilienceState::send` plus the blocking
+/// receiver's one-message-at-a-time flush).
+fn flush_outbound<T: PollTransport>(
+    sess: &mut SessionState,
+    sockets: &mut PollSet<T>,
+    wheel: &mut TimerWheel<TimerKey>,
+    tick: Duration,
+    now_abs: f64,
+    obs: &Obs,
+) -> Flush {
+    while let Some(msg) = sess.outbound.pop_front() {
+        let Some(transport) = sockets.get_mut(sess.token) else {
+            return Flush::Fatal(NetError::Closed.into());
+        };
+        match transport.send(&msg) {
+            Ok(()) => {
+                sess.last_progress = now_abs;
+                sess.last_event = Some(Event::NetSent {
+                    kind: msg.obs_kind(),
+                });
+            }
+            Err(NetError::Io(_)) if sess.res.policy().send_retries > 0 => {
+                let now_rel = now_abs - sess.started;
+                let backoff = sess.res.retry_backoff(1, now_rel, obs);
+                sess.pending = Some(PendingSend {
+                    msg,
+                    attempt: 1,
+                    keepalive: false,
+                });
+                arm(wheel, sess, TimerKind::Retry, backoff, tick);
+                return Flush::Parked;
+            }
+            Err(e) => return Flush::Fatal(e.into()),
+        }
+    }
+    Flush::Clear
+}
+
+/// The blocking receiver driver's end-of-loop checks: FIN, linger, stall.
+fn receiver_checks(sess: &mut SessionState, now_abs: f64, obs: &Obs) -> Option<SessionOutcome> {
+    let now_rel = now_abs - sess.started;
+    let corrupt_dropped = sess.res.corrupt_dropped();
+    let Engine::Receiver(machine) = &sess.engine else {
+        return None;
+    };
+    if machine.fin_seen() {
+        return Some(if machine.is_complete() {
+            obs.emit(now_rel, || Event::SessionEnd {
+                role: Role::Receiver,
+                outcome: Outcome::Completed,
+            });
+            SessionOutcome::Receiver(finish_receiver(machine.as_ref(), now_rel, corrupt_dropped))
+        } else {
+            obs.emit(now_rel, || Event::SessionEnd {
+                role: Role::Receiver,
+                outcome: Outcome::SenderGone,
+            });
+            SessionOutcome::Receiver(Err(ProtocolError::SenderGone { groups_missing: 1 }))
+        });
+    }
+    let idle = now_abs - sess.last_progress;
+    if machine.is_complete() && idle > sess.rt.complete_linger.as_secs_f64() {
+        // FIN was lost but the data is whole; stop lingering.
+        obs.emit(now_rel, || Event::LingerExpired { waited_secs: idle });
+        obs.emit(now_rel, || Event::SessionEnd {
+            role: Role::Receiver,
+            outcome: Outcome::Completed,
+        });
+        return Some(SessionOutcome::Receiver(finish_receiver(
+            machine.as_ref(),
+            now_rel,
+            corrupt_dropped,
+        )));
+    }
+    if idle > sess.rt.stall_timeout.as_secs_f64() {
+        obs.emit(now_rel, || Event::StallTimeout {
+            role: Role::Receiver,
+            waited_secs: idle,
+        });
+        obs.emit(now_rel, || Event::SessionEnd {
+            role: Role::Receiver,
+            outcome: Outcome::Stalled,
+        });
+        return Some(SessionOutcome::Receiver(Err(ProtocolError::Stalled {
+            waited_secs: idle,
+            last_progress: sess.last_event.clone(),
+        })));
+    }
+    None
+}
+
+fn finish_receiver(
+    machine: &dyn ReceiverMachine,
+    now_rel: f64,
+    corrupt_dropped: u64,
+) -> Result<ReceiverReport, ProtocolError> {
+    Ok(ReceiverReport {
+        data: machine.take_data()?,
+        counters: *machine.counters(),
+        elapsed: elapsed_of(now_rel),
+        corrupt_dropped,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::VirtualClock;
+    use pm_core::config::{CompletionPolicy, NpConfig};
+    use pm_core::receiver::NpReceiver;
+    use pm_core::sender::NpSender;
+    use pm_net::MemHub;
+    use pm_obs::{MetricsRegistry, RingRecorder};
+    use std::sync::Arc;
+
+    fn np_config(receivers: u32) -> NpConfig {
+        let mut cfg = NpConfig::small(CompletionPolicy::KnownReceivers(receivers));
+        cfg.nak_slot = 0.001;
+        cfg
+    }
+
+    fn rt() -> RuntimeConfig {
+        RuntimeConfig {
+            stall_timeout: Duration::from_secs(5),
+            ..RuntimeConfig::default()
+        }
+    }
+
+    fn payload(n: usize) -> Vec<u8> {
+        (0..n).map(|i| (i * 31 % 251) as u8).collect()
+    }
+
+    fn mux() -> Mux<pm_net::mem::MemEndpoint, VirtualClock> {
+        Mux::new(MuxConfig::default(), VirtualClock::new())
+    }
+
+    #[test]
+    fn one_pair_transfers_bytes_in_virtual_time() {
+        let hub = MemHub::new();
+        let mut m = mux();
+        let data = payload(3000);
+        let s_tok = m.add_sender(
+            NpSender::new(1, &data, np_config(1)).unwrap(),
+            hub.join(),
+            rt(),
+        );
+        let r_tok = m.add_receiver(NpReceiver::new(7, 1, 0.001, 42), hub.join(), rt());
+        let outcomes = m.run();
+        assert_eq!(outcomes.len(), 2);
+        assert!(m.is_empty());
+        for (tok, out) in &outcomes {
+            assert!(out.is_ok(), "session failed: {:?}", out.err());
+            if *tok == s_tok {
+                let rep = out.sender_report().unwrap();
+                assert_eq!(rep.completed, vec![7]);
+                assert_eq!(rep.evicted, 0);
+            } else {
+                assert_eq!(*tok, r_tok);
+                assert_eq!(out.receiver_report().unwrap().data, data);
+            }
+        }
+    }
+
+    #[test]
+    fn many_concurrent_sessions_complete_on_one_thread() {
+        let mut m = mux();
+        let mut want = Vec::new();
+        for i in 0..8u32 {
+            let hub = MemHub::new();
+            let data = payload(1200 + 97 * i as usize);
+            m.add_sender(
+                NpSender::new(i, &data, np_config(1)).unwrap(),
+                hub.join(),
+                rt(),
+            );
+            let r_tok = m.add_receiver(
+                NpReceiver::new(100 + i, i, 0.001, i as u64),
+                hub.join(),
+                rt(),
+            );
+            want.push((r_tok, data));
+        }
+        let outcomes = m.run();
+        assert_eq!(outcomes.len(), 16);
+        for (tok, out) in &outcomes {
+            assert!(out.is_ok(), "session failed: {:?}", out.err());
+            if let Some(rep) = out.receiver_report() {
+                let (_, data) = want.iter().find(|(t, _)| t == tok).unwrap();
+                assert_eq!(&rep.data, data);
+            }
+        }
+    }
+
+    #[test]
+    fn virtual_runs_are_deterministic() {
+        let run = || {
+            let hub = MemHub::new();
+            let mut m = mux();
+            let data = payload(2048);
+            m.add_sender(
+                NpSender::new(9, &data, np_config(1)).unwrap(),
+                hub.join(),
+                rt(),
+            );
+            m.add_receiver(NpReceiver::new(3, 9, 0.001, 7), hub.join(), rt());
+            let outcomes = m.run();
+            let clock_end = m.clock().now();
+            let reports: Vec<String> = outcomes
+                .iter()
+                .map(|(t, o)| format!("{t:?}={o:?}"))
+                .collect();
+            (reports, clock_end.to_bits())
+        };
+        assert_eq!(run(), run(), "same inputs, same virtual schedule");
+    }
+
+    #[test]
+    fn orphan_receiver_stalls_in_zero_wall_time() {
+        let hub = MemHub::new();
+        let mut m = mux();
+        let cfg = RuntimeConfig {
+            stall_timeout: Duration::from_secs(3600), // an hour, virtually
+            ..RuntimeConfig::default()
+        };
+        m.add_receiver(NpReceiver::new(1, 1, 0.001, 0), hub.join(), cfg);
+        let outcomes = m.run();
+        assert_eq!(outcomes.len(), 1);
+        match &outcomes[0].1 {
+            SessionOutcome::Receiver(Err(ProtocolError::Stalled { waited_secs, .. })) => {
+                assert!(*waited_secs > 3600.0);
+            }
+            other => panic!("expected Stalled, got {other:?}"),
+        }
+        // The virtual clock covered the whole hour by jumping.
+        assert!(m.clock().now() > 3600.0);
+    }
+
+    #[test]
+    fn lifecycle_events_and_metrics_are_maintained() {
+        let rec = Arc::new(RingRecorder::new(65536));
+        let reg = MetricsRegistry::new();
+        let hub = MemHub::new();
+        let mut m = mux().with_obs(Obs::new(rec.clone()));
+        m.bind_metrics(&reg);
+        let data = payload(900);
+        m.add_sender(
+            NpSender::new(2, &data, np_config(1)).unwrap(),
+            hub.join(),
+            rt(),
+        );
+        m.add_receiver(NpReceiver::new(5, 2, 0.001, 1), hub.join(), rt());
+        let outcomes = m.run();
+        assert!(outcomes.iter().all(|(_, o)| o.is_ok()));
+
+        let metrics = m.metrics.as_ref().unwrap();
+        assert_eq!(metrics.active_sessions.get(), 0, "all sessions retired");
+        let drives = metrics.session_drives.snapshot();
+        assert_eq!(drives.count, 2, "one fairness sample per session");
+        assert!(drives.max >= 1);
+
+        let events = rec.events();
+        let added = events
+            .iter()
+            .filter(|(_, e)| matches!(e, Event::MuxSessionAdded { .. }))
+            .count();
+        let ended: Vec<_> = events
+            .iter()
+            .filter_map(|(_, e)| match e {
+                Event::MuxSessionEnded { drives, .. } => Some(*drives),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(added, 2);
+        assert_eq!(ended.len(), 2);
+        assert!(ended.iter().all(|&d| d >= 1), "every session was driven");
+        assert!(
+            events
+                .iter()
+                .any(|(_, e)| matches!(e, Event::SessionEnd { .. })),
+            "driver lifecycle events flow through the mux obs"
+        );
+    }
+
+    #[test]
+    fn stale_timers_are_lazily_cancelled() {
+        // A session that ends leaves entries in the wheel; they must fire
+        // into the void, not into a recycled slot.
+        let hub = MemHub::new();
+        let mut m = mux();
+        let data = payload(500);
+        m.add_sender(
+            NpSender::new(4, &data, np_config(1)).unwrap(),
+            hub.join(),
+            rt(),
+        );
+        m.add_receiver(NpReceiver::new(8, 4, 0.001, 3), hub.join(), rt());
+        let first = m.run();
+        assert!(first.iter().all(|(_, o)| o.is_ok()));
+
+        // Immediately reuse the mux (and its retired slots) for a second
+        // wave; stale generations from wave one must not disturb it.
+        let hub2 = MemHub::new();
+        let data2 = payload(700);
+        m.add_sender(
+            NpSender::new(6, &data2, np_config(1)).unwrap(),
+            hub2.join(),
+            rt(),
+        );
+        m.add_receiver(NpReceiver::new(9, 6, 0.001, 4), hub2.join(), rt());
+        let second = m.run();
+        assert_eq!(second.len(), 2);
+        for (_, out) in &second {
+            assert!(out.is_ok(), "wave two failed: {:?}", out.err());
+            if let Some(rep) = out.receiver_report() {
+                assert_eq!(rep.data, data2);
+            }
+        }
+    }
+}

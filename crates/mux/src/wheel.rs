@@ -1,0 +1,407 @@
+//! Hierarchical timer wheel over `u64` ticks.
+//!
+//! The multiplexer replaces every blocking wait — pacing, retry backoff,
+//! machine wakeups, receiver poll cadence — with an entry here, so the
+//! driver thread never parks on one session's behalf. The wheel is the
+//! classic hashed hierarchy (64 slots × 4 levels; level `l` spans deltas
+//! in `[64^l, 64^(l+1))` ticks), giving O(1) insertion and
+//! O(expired + cascades) advancement regardless of how many timers are
+//! pending.
+//!
+//! Determinism contract: for a fixed sequence of `insert`/`advance` calls
+//! the set *and order* of expirations is a pure function of that sequence.
+//! Expirations come out in deadline order; entries sharing a deadline come
+//! out in insertion order. Nothing in this module reads a clock — ticks
+//! are whatever the caller says they are, which is what lets the same
+//! wheel serve a virtual clock in tests and a wall clock in production.
+
+use std::collections::VecDeque;
+
+/// Slots per level (the classic 64-way fanout: slot index is 6 bits).
+const SLOTS: usize = 64;
+/// Hierarchy depth. Four levels cover deltas up to `64^4 ≈ 16.7M` ticks;
+/// anything farther parks in the overflow list and re-enters the
+/// hierarchy as time approaches.
+const LEVELS: usize = 4;
+const SLOT_BITS: u32 = 6;
+
+#[derive(Debug, Clone, Copy)]
+struct Entry<K> {
+    deadline: u64,
+    key: K,
+}
+
+/// Hierarchical timer wheel: `insert` keys at absolute tick deadlines,
+/// `advance` the current tick, and collect expirations in deadline order.
+///
+/// Keys are opaque `Copy` handles; cancellation is the caller's problem
+/// (the multiplexer uses per-key generation counters and simply ignores
+/// stale expirations — lazy cancellation keeps the wheel allocation-free
+/// on the cancel path).
+#[derive(Debug)]
+pub struct TimerWheel<K: Copy> {
+    now: u64,
+    /// `levels[l][s]` holds entries whose deadline maps to slot `s` of
+    /// level `l`; FIFO order within a slot is insertion order.
+    levels: Vec<Vec<VecDeque<Entry<K>>>>,
+    /// Bitmask of non-empty slots per level.
+    occupancy: [u64; LEVELS],
+    /// Entries too far out for the hierarchy.
+    overflow: Vec<Entry<K>>,
+    /// Entries inserted with `deadline <= now`: due immediately.
+    due: VecDeque<Entry<K>>,
+    len: usize,
+}
+
+impl<K: Copy> TimerWheel<K> {
+    /// An empty wheel positioned at tick 0.
+    pub fn new() -> Self {
+        TimerWheel {
+            now: 0,
+            levels: (0..LEVELS)
+                .map(|_| (0..SLOTS).map(|_| VecDeque::new()).collect())
+                .collect(),
+            occupancy: [0; LEVELS],
+            overflow: Vec::new(),
+            due: VecDeque::new(),
+            len: 0,
+        }
+    }
+
+    /// Current tick.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Pending entries (hierarchy + overflow + immediately-due).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no timers are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Schedule `key` to expire at absolute tick `deadline`. Deadlines at
+    /// or before the current tick expire on the next `advance` call, in
+    /// insertion order.
+    pub fn insert(&mut self, deadline: u64, key: K) {
+        self.len += 1;
+        let entry = Entry { deadline, key };
+        if deadline <= self.now {
+            self.due.push_back(entry);
+            return;
+        }
+        let delta = deadline - self.now;
+        let level = (63 - delta.leading_zeros()) as usize / SLOT_BITS as usize;
+        if level >= LEVELS {
+            self.overflow.push(entry);
+            return;
+        }
+        let slot = ((deadline >> (SLOT_BITS * level as u32)) & (SLOTS as u64 - 1)) as usize;
+        self.levels[level][slot].push_back(entry);
+        self.occupancy[level] |= 1u64 << slot;
+    }
+
+    /// Earliest tick at which something may expire, or `None` when empty.
+    ///
+    /// For entries above level 0 this is a *lower bound* (the start of
+    /// their slot's granule): `advance`-ing to it cascades them toward
+    /// level 0 and a subsequent call tightens the bound; it never
+    /// overshoots a real deadline. That is exactly what both clock
+    /// drivers need — a tick it is safe to jump (virtual) or sleep (wall)
+    /// until.
+    pub fn next_deadline(&self) -> Option<u64> {
+        if !self.due.is_empty() {
+            return Some(self.now);
+        }
+        let mut best: Option<u64> = None;
+        for level in 0..LEVELS {
+            if let Some(c) = self.level_candidate(level) {
+                best = Some(best.map_or(c, |b| b.min(c)));
+            }
+        }
+        for e in &self.overflow {
+            best = Some(best.map_or(e.deadline, |b| b.min(e.deadline)));
+        }
+        best
+    }
+
+    /// Earliest candidate tick for `level`, from its occupancy mask.
+    fn level_candidate(&self, level: usize) -> Option<u64> {
+        let occ = self.occupancy[level];
+        if occ == 0 {
+            return None;
+        }
+        let shift = SLOT_BITS * level as u32;
+        let granule = self.now >> shift;
+        let cur_slot = (granule & (SLOTS as u64 - 1)) as usize;
+        let base = granule & !(SLOTS as u64 - 1);
+        let mut best = u64::MAX;
+        let mut bits = occ;
+        while bits != 0 {
+            let slot = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            let cand = if level > 0 && slot == cur_slot {
+                // The current granule is partially elapsed; entries here
+                // may be due as soon as the next tick. Cascading at
+                // `now + 1` re-sorts them into lower levels.
+                self.now + 1
+            } else {
+                let mut g = base + slot as u64;
+                if g <= granule {
+                    g += SLOTS as u64;
+                }
+                g << shift
+            };
+            best = best.min(cand);
+        }
+        Some(best)
+    }
+
+    /// Move the clock to `to`, appending every expiration with
+    /// `deadline <= to` onto `expired` as `(deadline, key)` pairs, in
+    /// deadline order (ties in insertion order within a slot).
+    pub fn advance(&mut self, to: u64, expired: &mut Vec<(u64, K)>) {
+        loop {
+            while let Some(e) = self.due.pop_front() {
+                self.len -= 1;
+                expired.push((e.deadline, e.key));
+            }
+            let Some(cand) = self.next_candidate_before(to) else {
+                break;
+            };
+            self.now = self.now.max(cand);
+            self.collect_at(expired);
+        }
+        self.now = self.now.max(to);
+    }
+
+    /// Smallest candidate tick `<= to`, if any.
+    fn next_candidate_before(&self, to: u64) -> Option<u64> {
+        let mut best: Option<u64> = None;
+        for level in 0..LEVELS {
+            if let Some(c) = self.level_candidate(level) {
+                if c <= to {
+                    best = Some(best.map_or(c, |b| b.min(c)));
+                }
+            }
+        }
+        for e in &self.overflow {
+            if e.deadline <= to {
+                best = Some(best.map_or(e.deadline, |b| b.min(e.deadline)));
+            }
+        }
+        best
+    }
+
+    /// Fire or cascade everything ripe now (`self.now` has already been
+    /// moved to the minimal candidate tick).
+    ///
+    /// Because `advance` walks candidates in ascending order, the only
+    /// slot that can be ripe at each step is the one the cursor sits in:
+    /// any other occupied slot's candidate is strictly in the future. At
+    /// level 0 the cursor slot's entries with `deadline == now` fire; at
+    /// higher levels its entries cascade toward level 0 (re-inserted
+    /// relative to the new `now`, they land at a strictly lower level or
+    /// a later slot, so the advance loop always makes progress).
+    fn collect_at(&mut self, expired: &mut Vec<(u64, K)>) {
+        for level in 0..LEVELS {
+            if self.occupancy[level] == 0 {
+                continue;
+            }
+            let shift = SLOT_BITS * level as u32;
+            let cur_slot = ((self.now >> shift) & (SLOTS as u64 - 1)) as usize;
+            if self.occupancy[level] & (1u64 << cur_slot) == 0 {
+                continue;
+            }
+            let drained: VecDeque<Entry<K>> = std::mem::take(&mut self.levels[level][cur_slot]);
+            self.occupancy[level] &= !(1u64 << cur_slot);
+            for e in drained {
+                self.len -= 1;
+                if e.deadline <= self.now {
+                    expired.push((e.deadline, e.key));
+                } else {
+                    self.insert(e.deadline, e.key);
+                }
+            }
+        }
+        // Pull overflow entries back into the hierarchy once they are in
+        // range (or due).
+        if !self.overflow.is_empty() {
+            let near: Vec<Entry<K>> = {
+                let now = self.now;
+                let (near, far): (Vec<_>, Vec<_>) = self
+                    .overflow
+                    .drain(..)
+                    .partition(|e| e.deadline <= now || in_hierarchy_range(now, e.deadline));
+                self.overflow = far;
+                near
+            };
+            for e in near {
+                self.len -= 1;
+                self.insert(e.deadline, e.key);
+            }
+        }
+    }
+}
+
+/// True when `deadline` is close enough to `now` for the 4-level
+/// hierarchy.
+fn in_hierarchy_range(now: u64, deadline: u64) -> bool {
+    deadline > now && (deadline - now) < (1u64 << (SLOT_BITS * LEVELS as u32))
+}
+
+impl<K: Copy> Default for TimerWheel<K> {
+    fn default() -> Self {
+        TimerWheel::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(w: &mut TimerWheel<u32>, to: u64) -> Vec<(u64, u32)> {
+        let mut out = Vec::new();
+        w.advance(to, &mut out);
+        out
+    }
+
+    #[test]
+    fn fires_in_deadline_order_across_levels() {
+        let mut w = TimerWheel::new();
+        // Deadlines spanning all four levels plus overflow.
+        let deadlines = [
+            1u64, 63, 64, 100, 4095, 4096, 262143, 262144, 16_777_215, 16_777_216, 20_000_000,
+        ];
+        for (i, &d) in deadlines.iter().enumerate() {
+            w.insert(d, i as u32);
+        }
+        assert_eq!(w.len(), deadlines.len());
+        let fired = drain(&mut w, 25_000_000);
+        assert_eq!(fired.len(), deadlines.len());
+        assert!(w.is_empty());
+        let ticks: Vec<u64> = fired.iter().map(|&(d, _)| d).collect();
+        let mut sorted = deadlines.to_vec();
+        sorted.sort_unstable();
+        assert_eq!(ticks, sorted, "expirations in deadline order");
+        for &(d, k) in &fired {
+            assert_eq!(d, deadlines[k as usize]);
+        }
+    }
+
+    #[test]
+    fn same_tick_entries_fire_in_insertion_order() {
+        let mut w = TimerWheel::new();
+        for k in 0..10u32 {
+            w.insert(500, k);
+        }
+        let fired = drain(&mut w, 500);
+        assert_eq!(
+            fired.iter().map(|&(_, k)| k).collect::<Vec<_>>(),
+            (0..10).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn past_deadlines_fire_immediately() {
+        let mut w = TimerWheel::new();
+        assert!(drain(&mut w, 100).is_empty());
+        w.insert(50, 1); // already past
+        w.insert(100, 2); // exactly now
+        assert_eq!(w.next_deadline(), Some(100), "due entries are due now");
+        let fired = drain(&mut w, 100);
+        assert_eq!(fired.len(), 2);
+        assert_eq!(fired[0].1, 1);
+        assert_eq!(fired[1].1, 2);
+    }
+
+    #[test]
+    fn partial_advance_leaves_future_entries() {
+        let mut w = TimerWheel::new();
+        w.insert(10, 1);
+        w.insert(1000, 2);
+        let fired = drain(&mut w, 500);
+        assert_eq!(fired, vec![(10, 1)]);
+        assert_eq!(w.len(), 1);
+        assert_eq!(drain(&mut w, 1000), vec![(1000, 2)]);
+    }
+
+    #[test]
+    fn next_deadline_is_a_safe_lower_bound() {
+        let mut w = TimerWheel::new();
+        w.insert(7777, 1);
+        let mut jumps = 0;
+        while let Some(t) = w.next_deadline() {
+            assert!(t <= 7777, "bound never overshoots the real deadline");
+            let mut fired = Vec::new();
+            w.advance(t, &mut fired);
+            jumps += 1;
+            assert!(jumps < 16, "bound must tighten, not loop");
+            if !fired.is_empty() {
+                assert_eq!(fired, vec![(7777, 1)]);
+                break;
+            }
+        }
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn cascades_preserve_exact_deadlines() {
+        let mut w = TimerWheel::new();
+        // Insert far-future entries, advance close, then past them: the
+        // cascade through levels must not distort any deadline.
+        for k in 0..50u32 {
+            w.insert(100_000 + k as u64 * 37, k);
+        }
+        let early = drain(&mut w, 99_999);
+        assert!(early.is_empty());
+        let fired = drain(&mut w, 200_000);
+        assert_eq!(fired.len(), 50);
+        for &(d, k) in &fired {
+            assert_eq!(d, 100_000 + k as u64 * 37);
+        }
+        let ticks: Vec<u64> = fired.iter().map(|&(d, _)| d).collect();
+        let mut sorted = ticks.clone();
+        sorted.sort_unstable();
+        assert_eq!(ticks, sorted);
+    }
+
+    #[test]
+    fn interleaved_insert_and_advance() {
+        // A dense pacing-like workload: always re-arm 3 ticks out while
+        // advancing 1 tick at a time.
+        let mut w = TimerWheel::new();
+        w.insert(3, 0);
+        let mut fired_total = 0u32;
+        for t in 1..=300u64 {
+            let mut fired = Vec::new();
+            w.advance(t, &mut fired);
+            for &(d, k) in &fired {
+                assert_eq!(d, t, "pacing timer fires exactly on schedule");
+                fired_total += 1;
+                if fired_total < 100 {
+                    w.insert(t + 3, k + 1);
+                }
+            }
+        }
+        assert_eq!(fired_total, 100);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn len_tracks_hierarchy_overflow_and_due() {
+        let mut w = TimerWheel::new();
+        w.insert(0, 0); // due
+        w.insert(10, 1); // level 0
+        w.insert(1_000_000, 2); // level 3
+        w.insert(1u64 << 40, 3); // overflow
+        assert_eq!(w.len(), 4);
+        drain(&mut w, 10);
+        assert_eq!(w.len(), 2);
+        drain(&mut w, 1u64 << 41);
+        assert!(w.is_empty());
+    }
+}

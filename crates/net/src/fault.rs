@@ -360,6 +360,12 @@ impl<T: Transport> Transport for FaultyTransport<T> {
     }
 }
 
+/// The default `recv_timeout(ZERO)` path runs the whole fault pipeline
+/// without parking (a zero deadline drains only ready datagrams and
+/// flushes any held/reordered message on exhaustion), so chaos decorators
+/// compose transparently under the multiplexer's poll loop.
+impl<T: Transport> crate::poll::PollTransport for FaultyTransport<T> {}
+
 #[cfg(test)]
 mod tests {
     use super::*;

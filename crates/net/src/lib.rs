@@ -34,7 +34,9 @@ pub mod fault;
 pub mod fec_layer;
 pub mod mem;
 pub mod pcap;
+pub mod poll;
 pub mod suppression;
+pub mod transcript;
 pub mod transport;
 pub mod udp;
 pub mod wire;
@@ -44,7 +46,9 @@ pub use fault::{FaultConfig, FaultStats, FaultyTransport};
 pub use fec_layer::{FecLayerConfig, FecTransport};
 pub use mem::MemHub;
 pub use pcap::{PcapTransport, PcapWriter};
+pub use poll::{PollSet, PollTransport, Token};
 pub use suppression::NakSuppressor;
+pub use transcript::{Transcript, TranscriptTransport};
 pub use transport::{NetError, Transport};
 pub use wire::Message;
 

@@ -8,7 +8,7 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
 use parking_lot::Mutex;
 use pm_obs::{Event, Obs, Stopwatch};
 
@@ -137,6 +137,32 @@ impl Transport for MemEndpoint {
                 },
                 Err(RecvTimeoutError::Timeout) => return Ok(None),
                 Err(RecvTimeoutError::Disconnected) => return Err(NetError::Closed),
+            }
+        }
+    }
+}
+
+impl crate::poll::PollTransport for MemEndpoint {
+    /// Native non-blocking drain: a pure `try_recv`, no wall-clock reads
+    /// at all — under the event-driven multiplexer's virtual clock the
+    /// in-memory substrate stays fully deterministic.
+    fn poll_recv(&mut self) -> Result<Option<Message>, NetError> {
+        loop {
+            match self.rx.try_recv() {
+                Ok(raw) => match Message::decode(raw) {
+                    Ok(msg) => {
+                        self.obs.emit(self.clock.now(), || Event::NetRecv {
+                            kind: msg.obs_kind(),
+                        });
+                        return Ok(Some(msg));
+                    }
+                    // Same surface as `recv_timeout`: damaged own-traffic
+                    // is recoverable, foreign bytes a silent skip.
+                    Err(e @ NetError::Corrupt(_)) => return Err(e),
+                    Err(_) => continue,
+                },
+                Err(TryRecvError::Empty) => return Ok(None),
+                Err(TryRecvError::Disconnected) => return Err(NetError::Closed),
             }
         }
     }

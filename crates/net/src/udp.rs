@@ -185,6 +185,11 @@ impl Transport for UdpEndpoint {
     }
 }
 
+/// The default `recv_timeout(ZERO)` path drains the reader thread's
+/// channel without parking, which is exactly the readiness semantic the
+/// multiplexer needs.
+impl crate::poll::PollTransport for UdpEndpoint {}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -421,6 +421,29 @@ pub enum Event {
         /// Rounds the trial took.
         rounds: f64,
     },
+
+    // ---- session multiplexer (pm-mux) ----
+    /// A session was added to an event-driven multiplexer.
+    MuxSessionAdded {
+        /// Multiplexer session slot.
+        session: u32,
+        /// Sender or receiver side.
+        role: Role,
+        /// Sessions live in the multiplexer after the add.
+        active: u32,
+    },
+    /// A multiplexed session finished (completed, degraded, or failed)
+    /// and was removed from the driver.
+    MuxSessionEnded {
+        /// Multiplexer session slot.
+        session: u32,
+        /// Sender or receiver side.
+        role: Role,
+        /// Sessions still live after the removal.
+        active: u32,
+        /// Drive steps this session consumed (the fairness unit).
+        drives: u64,
+    },
 }
 
 /// Every stable event type name, in `Event` declaration order — the
@@ -431,7 +454,7 @@ pub enum Event {
 /// cross-checks its length against the [`Event::name`] match (so adding a
 /// variant without extending this list — which would make the new event
 /// fail trace validation — is caught at audit time, not in production).
-pub const EVENT_NAMES: [&str; 38] = [
+pub const EVENT_NAMES: [&str; 40] = [
     "session_start",
     "session_end",
     "stall_timeout",
@@ -470,6 +493,8 @@ pub const EVENT_NAMES: [&str; 38] = [
     "receiver_evicted",
     "sim_run",
     "sim_trial",
+    "mux_session_added",
+    "mux_session_ended",
 ];
 
 impl Event {
@@ -514,6 +539,8 @@ impl Event {
             Event::ReceiverEvicted { .. } => "receiver_evicted",
             Event::SimRun { .. } => "sim_run",
             Event::SimTrial { .. } => "sim_trial",
+            Event::MuxSessionAdded { .. } => "mux_session_added",
+            Event::MuxSessionEnded { .. } => "mux_session_ended",
         }
     }
 
@@ -718,6 +745,26 @@ impl Event {
                 num!("m", *m_value);
                 num!("rounds", *rounds);
             }
+            Event::MuxSessionAdded {
+                session,
+                role,
+                active,
+            } => {
+                num!("session", *session as f64);
+                m.push(("role".into(), Value::String(role.as_str().into())));
+                num!("active", *active as f64);
+            }
+            Event::MuxSessionEnded {
+                session,
+                role,
+                active,
+                drives,
+            } => {
+                num!("session", *session as f64);
+                m.push(("role".into(), Value::String(role.as_str().into())));
+                num!("active", *active as f64);
+                num!("drives", *drives as f64);
+            }
         }
         Value::Object(m)
     }
@@ -888,6 +935,17 @@ mod tests {
                 m: 1.5,
                 rounds: 2.0,
             },
+            Event::MuxSessionAdded {
+                session: 7,
+                role: Role::Sender,
+                active: 12,
+            },
+            Event::MuxSessionEnded {
+                session: 7,
+                role: Role::Receiver,
+                active: 11,
+                drives: 4096,
+            },
         ];
         let mut names = std::collections::HashSet::new();
         for ev in &samples {
@@ -897,7 +955,7 @@ mod tests {
             assert_eq!(back["type"].as_str(), Some(ev.name()));
             assert_eq!(back["t"].as_f64(), Some(0.5));
         }
-        assert_eq!(names.len(), 38, "vocabulary size pinned");
+        assert_eq!(names.len(), 40, "vocabulary size pinned");
         // EVENT_NAMES is the trace-validation vocabulary: it must list
         // exactly the names the variants produce.
         assert_eq!(EVENT_NAMES.len(), names.len());

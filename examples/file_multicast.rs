@@ -14,15 +14,18 @@
 //! cargo run --example file_multicast -- --trace transfer.jsonl --metrics
 //! # hostile-network drill: byte-level chaos at every receiver
 //! cargo run --example file_multicast -- --chaos heavy --receivers 3
+//! # farm mode: 32 concurrent sessions on ONE driver thread (pm-mux)
+//! cargo run --example file_multicast -- --sessions 32 --size 65536
 //! ```
 
 use std::net::{Ipv4Addr, SocketAddrV4};
 use std::sync::Arc;
 use std::time::Duration;
 
+use parity_multicast::mux::{Mux, MuxClock, MuxConfig, SessionOutcome, WallClock};
 use parity_multicast::net::udp::UdpHub;
 use parity_multicast::net::{
-    ChaosPreset, FaultConfig, FaultStats, FaultyTransport, MemHub, Transport,
+    ChaosPreset, FaultConfig, FaultStats, FaultyTransport, MemHub, PollTransport, Transport,
 };
 use parity_multicast::obs::{JsonlRecorder, MetricsRegistry, Obs};
 use parity_multicast::protocol::runtime::{
@@ -44,6 +47,7 @@ struct Args {
     trace: Option<String>,
     metrics: bool,
     chaos: Option<ChaosPreset>,
+    sessions: u32,
 }
 
 fn parse_args() -> Args {
@@ -58,6 +62,7 @@ fn parse_args() -> Args {
         trace: None,
         metrics: false,
         chaos: None,
+        sessions: 1,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -82,10 +87,99 @@ fn parse_args() -> Args {
                         panic!("--chaos takes light|heavy|blackout, got {preset}")
                     }));
             }
+            "--sessions" => args.sessions = val().parse().expect("--sessions takes a count"),
             other => panic!("unknown flag {other}"),
         }
     }
     args
+}
+
+/// Farm mode (`--sessions N`): N independent sender/receiver sessions,
+/// every one driven by a single event-driven multiplexer (`pm-mux`) on the
+/// calling thread — no per-session threads, all waiting pooled in one
+/// timer wheel. Each session gets its own in-memory group; the drop/chaos
+/// profile wraps each receiver's endpoint so the repair path runs.
+fn run_farm(args: &Args, data: &[u8], obs: &Obs, registry: &MetricsRegistry) {
+    println!(
+        "farm mode: {} sessions ({} endpoints) on one driver thread",
+        args.sessions,
+        2 * args.sessions
+    );
+    let fault = match args.chaos {
+        Some(preset) => Some(preset.fault_config()),
+        None if args.drop > 0.0 => Some(FaultConfig::drop_only(args.drop)),
+        None => None,
+    };
+    let mut cfg = NpConfig::small(CompletionPolicy::KnownReceivers(1));
+    cfg.k = args.k;
+    cfg.h = 255 - args.k;
+    cfg.payload_len = 1024;
+    cfg.nak_slot = 0.002;
+    cfg.round_timeout = 0.2;
+    cfg.adaptive_parity = args.adaptive;
+    let rt = RuntimeConfig {
+        packet_spacing: Duration::from_micros(100),
+        stall_timeout: Duration::from_secs(15),
+        complete_linger: Duration::from_millis(300),
+        resilience: ResiliencePolicy {
+            eviction_timeout: args.chaos.map(|_| Duration::from_secs(2)),
+            ..ResiliencePolicy::default()
+        },
+    };
+
+    let mut mux: Mux<Box<dyn PollTransport>, WallClock> =
+        Mux::new(MuxConfig::default(), WallClock::new()).with_obs(obs.clone());
+    mux.bind_metrics(registry);
+    for i in 0..args.sessions {
+        let hub = MemHub::new();
+        let session = 0xF000 + i;
+        let sender = NpSender::new(session, data, cfg.clone()).expect("valid sender config");
+        mux.add_sender(sender, Box::new(hub.join()), rt);
+        let receiver_tp: Box<dyn PollTransport> = match fault {
+            Some(f) => Box::new(FaultyTransport::new(hub.join(), f, 0xBEEF + i as u64)),
+            None => Box::new(hub.join()),
+        };
+        mux.add_receiver(
+            NpReceiver::new(i, session, 0.002, i as u64),
+            receiver_tp,
+            rt,
+        );
+    }
+    let outcomes = mux.run();
+    let wall = mux.clock().now();
+
+    let mut ok = true;
+    let mut completed = 0usize;
+    for (tok, out) in &outcomes {
+        match out {
+            SessionOutcome::Receiver(Ok(rep)) => {
+                let good = rep.data == data;
+                ok &= good;
+                completed += 1;
+                if !good {
+                    println!("receiver {tok:?}: CORRUPT");
+                }
+            }
+            SessionOutcome::Sender(Ok(_)) => completed += 1,
+            SessionOutcome::Receiver(Err(e)) | SessionOutcome::Sender(Err(e)) => {
+                // A typed failure: expected under chaos, fatal otherwise.
+                ok &= args.chaos.is_some();
+                println!("session {tok:?}: FAILED — {e}");
+            }
+        }
+    }
+    let drives = registry.histogram("mux.session_drives").snapshot();
+    let mean_drives = drives.sum as f64 / drives.count.max(1) as f64;
+    println!(
+        "farm: {completed}/{} sessions completed in {wall:.2}s wall on one driver thread; \
+         drives/session mean {mean_drives:.0} max {} (fair when close)",
+        outcomes.len(),
+        drives.max,
+    );
+    assert!(ok, "a farm session failed outside chaos mode");
+    if args.metrics {
+        eprintln!("\n{}", registry.render_text());
+    }
 }
 
 /// Transport factory abstracting UDP vs in-memory fallback.
@@ -125,6 +219,14 @@ fn main() {
                 .collect()
         }
     };
+    if args.sessions > 1 {
+        run_farm(&args, &data, &obs, &registry);
+        if let Some(rec) = &trace_rec {
+            rec.flush();
+            eprintln!("trace written to {}", args.trace.as_deref().unwrap());
+        }
+        return;
+    }
     match args.chaos {
         Some(preset) => println!(
             "transferring {} bytes to {} receivers (k = {}, chaos preset: {})",

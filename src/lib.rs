@@ -22,6 +22,7 @@
 //! | [`protocol`] | `pm-core` | protocol NP and baseline N2 (sans-io + runtime) |
 //! | [`obs`] | `pm-obs` | structured trace events, counters/histograms, JSONL recorders |
 //! | [`par`] | `pm-par` | scoped thread pool: deterministic `par_map` / `par_map_reduce` |
+//! | [`mux`] | `pm-mux` | event-driven session multiplexer: N sessions, one thread, a timer wheel |
 //!
 //! ## Quickstart
 //!
@@ -91,6 +92,7 @@ pub use pm_analysis as analysis;
 pub use pm_core as protocol;
 pub use pm_gf as gf;
 pub use pm_loss as loss;
+pub use pm_mux as mux;
 pub use pm_net as net;
 pub use pm_obs as obs;
 pub use pm_par as par;

@@ -1,0 +1,327 @@
+//! Integration tests for `pm-mux`, the event-driven session multiplexer:
+//!
+//! 1. **Equivalence** — a 32-session mux run produces byte-identical wire
+//!    transcripts to 32 dedicated blocking-driver runs of the same
+//!    machines (the mux is the blocking runtime, re-scheduled).
+//! 2. **Scale** — a 256-session farm completes on one driver thread under
+//!    the in-memory transport, with reports identical to the blocking
+//!    drivers' (elapsed excluded: virtual vs wall time).
+//! 3. **Isolation** — a Heavy-preset hostile session cannot delay a clean
+//!    neighbor by more than one timer tick.
+//! 4. **Chaos** — concurrent faulted sessions in one mux uphold the same
+//!    degradation trichotomy the blocking chaos grid pins.
+
+use std::time::Duration;
+
+use parity_multicast::mux::{Mux, MuxConfig, SessionOutcome, VirtualClock};
+use parity_multicast::net::{
+    ChaosPreset, FaultyTransport, MemHub, PollTransport, Transcript, TranscriptTransport,
+};
+use parity_multicast::par::{available_workers, Pool};
+use parity_multicast::protocol::runtime::{
+    drive_receiver, drive_sender, ReceiverReport, RuntimeConfig, SessionReport,
+};
+use parity_multicast::protocol::{
+    CompletionPolicy, NpConfig, NpReceiver, NpSender, ResiliencePolicy,
+};
+
+fn np_cfg() -> NpConfig {
+    let mut c = NpConfig::small(CompletionPolicy::KnownReceivers(1));
+    c.k = 8;
+    c.h = 40;
+    c.payload_len = 128;
+    c.nak_slot = 0.001;
+    c
+}
+
+fn rt() -> RuntimeConfig {
+    RuntimeConfig {
+        packet_spacing: Duration::from_micros(50),
+        stall_timeout: Duration::from_secs(5),
+        complete_linger: Duration::from_millis(250),
+        ..RuntimeConfig::default()
+    }
+}
+
+fn payload(n: usize) -> Vec<u8> {
+    (0..n)
+        .map(|i| (i.wrapping_mul(2654435761) >> 11) as u8)
+        .collect()
+}
+
+fn pair_payload(i: u32) -> Vec<u8> {
+    payload(1800 + 111 * i as usize)
+}
+
+/// One sender/receiver pair under the dedicated blocking drivers,
+/// transcribing both endpoints.
+fn run_pair_blocking(
+    i: u32,
+    data: &[u8],
+    rt: RuntimeConfig,
+) -> (Transcript, Transcript, SessionReport, ReceiverReport) {
+    let hub = MemHub::new();
+    let mut sender_tp = TranscriptTransport::new(hub.join());
+    let mut receiver_tp = TranscriptTransport::new(hub.join());
+    let sender_log = sender_tp.transcript();
+    let receiver_log = receiver_tp.transcript();
+    let mut sender = NpSender::new(i, data, np_cfg()).expect("valid config");
+    let handle = std::thread::spawn(move || {
+        drive_sender(&mut sender, &mut sender_tp, &rt).expect("blocking sender")
+    });
+    let mut receiver = NpReceiver::new(1000 + i, i, 0.001, i as u64);
+    let receiver_report =
+        drive_receiver(&mut receiver, &mut receiver_tp, &rt).expect("blocking receiver");
+    let sender_report = handle.join().expect("sender thread");
+    let sent = sender_log.lock().clone();
+    let received = receiver_log.lock().clone();
+    (sent, received, sender_report, receiver_report)
+}
+
+/// Reports must match the blocking drivers field-for-field, except
+/// `elapsed`, which is virtual time under the mux and wall time under the
+/// blocking drivers.
+fn assert_reports_match(
+    i: usize,
+    mux_s: &SessionReport,
+    mux_r: &ReceiverReport,
+    blk_s: &SessionReport,
+    blk_r: &ReceiverReport,
+) {
+    assert_eq!(mux_s.counters, blk_s.counters, "pair {i}: sender counters");
+    assert_eq!(mux_s.completed, blk_s.completed, "pair {i}: completed set");
+    assert_eq!(mux_s.evicted, blk_s.evicted, "pair {i}: evicted count");
+    assert_eq!(
+        mux_s.corrupt_dropped, blk_s.corrupt_dropped,
+        "pair {i}: sender corrupt_dropped"
+    );
+    assert_eq!(
+        mux_s.send_retries, blk_s.send_retries,
+        "pair {i}: sender send_retries"
+    );
+    assert_eq!(mux_r.data, blk_r.data, "pair {i}: received bytes");
+    assert_eq!(
+        mux_r.counters, blk_r.counters,
+        "pair {i}: receiver counters"
+    );
+    assert_eq!(
+        mux_r.corrupt_dropped, blk_r.corrupt_dropped,
+        "pair {i}: receiver corrupt_dropped"
+    );
+}
+
+#[test]
+fn mux_transcripts_are_byte_identical_to_blocking_drivers() {
+    const PAIRS: u32 = 16; // 32 sessions
+
+    // One mux, one thread, one virtual clock — all 32 sessions at once.
+    let mut mux = Mux::new(MuxConfig::default(), VirtualClock::new());
+    let mut logs = Vec::new();
+    let mut tokens = Vec::new();
+    for i in 0..PAIRS {
+        let hub = MemHub::new();
+        let data = pair_payload(i);
+        let sender_tp = TranscriptTransport::new(hub.join());
+        let receiver_tp = TranscriptTransport::new(hub.join());
+        logs.push((sender_tp.transcript(), receiver_tp.transcript()));
+        let s_tok = mux.add_sender(
+            NpSender::new(i, &data, np_cfg()).expect("valid config"),
+            sender_tp,
+            rt(),
+        );
+        let r_tok = mux.add_receiver(
+            NpReceiver::new(1000 + i, i, 0.001, i as u64),
+            receiver_tp,
+            rt(),
+        );
+        tokens.push((s_tok, r_tok));
+    }
+    let outcomes = mux.run();
+    assert_eq!(outcomes.len(), 2 * PAIRS as usize);
+
+    // The same 32 machines under dedicated blocking drivers.
+    let pool = Pool::new(available_workers());
+    let blocking = pool.par_map(PAIRS as usize, |i| {
+        run_pair_blocking(i as u32, &pair_payload(i as u32), rt())
+    });
+
+    for (i, ((sender_log, receiver_log), (blk_sent, blk_received, blk_s, blk_r))) in
+        logs.iter().zip(&blocking).enumerate()
+    {
+        let mux_sent = sender_log.lock().clone();
+        let mux_received = receiver_log.lock().clone();
+        assert_eq!(mux_sent, *blk_sent, "pair {i}: sender transcript diverged");
+        assert_eq!(
+            mux_received, *blk_received,
+            "pair {i}: receiver transcript diverged"
+        );
+
+        let (s_tok, r_tok) = tokens[i];
+        let mux_s = outcomes
+            .iter()
+            .find_map(|(t, o)| (*t == s_tok).then(|| o.sender_report().expect("sender ok")))
+            .expect("sender outcome");
+        let mux_r = outcomes
+            .iter()
+            .find_map(|(t, o)| (*t == r_tok).then(|| o.receiver_report().expect("receiver ok")))
+            .expect("receiver outcome");
+        assert_reports_match(i, mux_s, mux_r, blk_s, blk_r);
+    }
+}
+
+#[test]
+fn farm_of_256_sessions_completes_on_one_driver_thread() {
+    const PAIRS: u32 = 128; // 256 sessions
+
+    let mut mux = Mux::new(MuxConfig::default(), VirtualClock::new());
+    let mut tokens = Vec::new();
+    for i in 0..PAIRS {
+        let hub = MemHub::new();
+        let data = payload(400 + 13 * i as usize);
+        let s_tok = mux.add_sender(
+            NpSender::new(i, &data, np_cfg()).expect("valid config"),
+            hub.join(),
+            rt(),
+        );
+        let r_tok = mux.add_receiver(
+            NpReceiver::new(1000 + i, i, 0.001, i as u64),
+            hub.join(),
+            rt(),
+        );
+        tokens.push((s_tok, r_tok, data));
+    }
+    let outcomes = mux.run();
+    assert_eq!(outcomes.len(), 2 * PAIRS as usize);
+    assert!(mux.is_empty());
+    for (tok, out) in &outcomes {
+        assert!(out.is_ok(), "session {tok:?} failed: {:?}", out.err());
+    }
+    for (_, r_tok, data) in &tokens {
+        let rep = outcomes
+            .iter()
+            .find_map(|(t, o)| (t == r_tok).then(|| o.receiver_report().expect("receiver ok")))
+            .expect("receiver outcome");
+        assert_eq!(&rep.data, data, "farm receiver bytes");
+    }
+}
+
+/// Drive one clean NP pair under a virtual-clock mux, optionally next to a
+/// Heavy-preset hostile pair, and return the clean receiver's session
+/// elapsed (pure virtual time).
+fn clean_session_elapsed(with_hostile: bool) -> Duration {
+    let mut mux: Mux<Box<dyn PollTransport>, VirtualClock> =
+        Mux::new(MuxConfig::default(), VirtualClock::new());
+    let hub = MemHub::new();
+    let data = payload(2000);
+    mux.add_sender(
+        NpSender::new(7, &data, np_cfg()).expect("valid config"),
+        Box::new(hub.join()),
+        rt(),
+    );
+    let r_tok = mux.add_receiver(NpReceiver::new(70, 7, 0.001, 9), Box::new(hub.join()), rt());
+    if with_hostile {
+        // A separate session whose both endpoints sit behind Heavy fault
+        // injection: sustained drops, duplicates, reordering, corruption,
+        // truncation and garbage — the worst neighbor the chaos grid has.
+        let hostile = MemHub::new();
+        let cfg = ChaosPreset::Heavy.fault_config();
+        let hostile_data = payload(2000);
+        mux.add_sender(
+            NpSender::new(8, &hostile_data, np_cfg()).expect("valid config"),
+            Box::new(FaultyTransport::new(hostile.join(), cfg, 0xBAD_CAFE)),
+            rt(),
+        );
+        mux.add_receiver(
+            NpReceiver::new(80, 8, 0.001, 0xBAD_CAFE),
+            Box::new(FaultyTransport::new(hostile.join(), cfg, 0xBAD_CAFE ^ 7)),
+            rt(),
+        );
+    }
+    let outcomes = mux.run();
+    outcomes
+        .iter()
+        .find_map(|(t, o)| (*t == r_tok).then(|| o.receiver_report().expect("clean receiver ok")))
+        .expect("clean receiver outcome")
+        .elapsed
+}
+
+#[test]
+fn heavy_hostile_neighbor_delays_clean_session_by_at_most_one_tick() {
+    let solo = clean_session_elapsed(false);
+    let contended = clean_session_elapsed(true);
+    let tick = MuxConfig::default().tick;
+    let diff = contended.abs_diff(solo);
+    assert!(
+        diff <= tick,
+        "hostile neighbor moved the clean session by {diff:?} (solo {solo:?}, contended {contended:?}, tick {tick:?})"
+    );
+}
+
+#[test]
+fn concurrent_chaos_sessions_uphold_the_degradation_trichotomy() {
+    // The chaos-grid posture, multiplexed: several faulted sessions share
+    // one driver thread. Every session must end in clean completion with
+    // byte-identical data, a typed degraded report, or a typed error —
+    // never a panic, never a hang (the virtual clock jumps stalls away).
+    let rt = RuntimeConfig {
+        resilience: ResiliencePolicy {
+            eviction_timeout: Some(Duration::from_millis(500)),
+            ..ResiliencePolicy::default()
+        },
+        ..rt()
+    };
+    let mut mux: Mux<Box<dyn PollTransport>, VirtualClock> =
+        Mux::new(MuxConfig::default(), VirtualClock::new());
+    let presets = [
+        ChaosPreset::Light,
+        ChaosPreset::Heavy,
+        ChaosPreset::Light,
+        ChaosPreset::Heavy,
+        ChaosPreset::Light,
+        ChaosPreset::Heavy,
+    ];
+    let mut receivers = Vec::new();
+    for (i, preset) in presets.iter().enumerate() {
+        let i = i as u32;
+        let hub = MemHub::new();
+        let cfg = preset.fault_config();
+        let seed = 0xC4A0_5000 + i as u64;
+        let data = payload(1500 + 200 * i as usize);
+        mux.add_sender(
+            NpSender::new(i, &data, np_cfg()).expect("valid config"),
+            Box::new(FaultyTransport::new(hub.join(), cfg, seed)),
+            rt,
+        );
+        let r_tok = mux.add_receiver(
+            NpReceiver::new(100 + i, i, 0.001, seed ^ 1),
+            Box::new(FaultyTransport::new(hub.join(), cfg, seed ^ 2)),
+            rt,
+        );
+        receivers.push((r_tok, data));
+    }
+    let outcomes = mux.run();
+    assert_eq!(outcomes.len(), 2 * presets.len());
+    for (tok, out) in &outcomes {
+        match out {
+            // Clean or degraded completion: a receiver that claims success
+            // must hold byte-identical data.
+            SessionOutcome::Receiver(Ok(rep)) => {
+                let (_, data) = receivers
+                    .iter()
+                    .find(|(t, _)| t == tok)
+                    .expect("known receiver");
+                assert_eq!(&rep.data, data, "receiver {tok:?} returned damaged data");
+            }
+            SessionOutcome::Sender(Ok(rep)) => {
+                assert!(
+                    rep.evicted > 0 || !rep.completed.is_empty() || rep.counters.data_sent > 0,
+                    "sender {tok:?} claims success without doing work"
+                );
+            }
+            // Typed failure is an acceptable trichotomy outcome under
+            // Heavy chaos; a panic or hang is not (reaching here at all
+            // proves neither happened).
+            SessionOutcome::Sender(Err(_)) | SessionOutcome::Receiver(Err(_)) => {}
+        }
+    }
+}
