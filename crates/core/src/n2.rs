@@ -122,6 +122,31 @@ impl N2Sender {
         self.done_receivers.iter().copied().collect()
     }
 
+    /// Receiver/feedback-dependent sender state in bytes: the done set
+    /// plus the per-packet NAK-servicing sets that per-packet ARQ forces
+    /// the sender to keep (the contrast with
+    /// [`crate::NpSender::state_bytes`], where no such per-packet
+    /// bookkeeping exists).
+    pub fn state_bytes(&self) -> usize {
+        let done = self.done_receivers.len() * std::mem::size_of::<u32>();
+        let serviced: usize = self
+            .serviced
+            .values()
+            .map(|set| std::mem::size_of::<u32>() + set.len() * std::mem::size_of::<u16>())
+            .sum();
+        done + serviced
+    }
+
+    /// [`Self::state_bytes`] normalised by the known receiver population
+    /// (falls back to the done population under quiescence completion).
+    pub fn state_bytes_per_receiver(&self) -> f64 {
+        let r = match self.cfg.completion {
+            CompletionPolicy::KnownReceivers(r) => r as usize,
+            CompletionPolicy::Quiescence(_) => self.done_receivers.len(),
+        };
+        self.state_bytes() as f64 / r.max(1) as f64
+    }
+
     /// Receivers still outstanding under
     /// [`CompletionPolicy::KnownReceivers`] (0 under quiescence).
     pub fn outstanding(&self) -> u32 {

@@ -8,7 +8,7 @@
 use std::time::{Duration, Instant};
 
 use pm_net::{Message, NetError, Transport};
-use pm_obs::{Event, Obs, Outcome, Role};
+use pm_obs::{Event, FlightRecorder, Obs, Outcome, Role};
 
 use crate::costs::CostCounters;
 use crate::error::ProtocolError;
@@ -313,6 +313,12 @@ pub trait SenderMachine: Send {
     /// Give up on outstanding receivers (lower the completion target to
     /// the responsive population); returns how many were evicted.
     fn evict_outstanding(&mut self) -> u32;
+    /// Receiver/feedback-dependent sender state in bytes (the
+    /// `sender.state_bytes_per_receiver` gauge's numerator). Machines
+    /// without such bookkeeping report 0.
+    fn state_bytes(&self) -> usize {
+        0
+    }
 }
 
 /// Receiver-side protocol machine, abstracted over NP/N2.
@@ -364,6 +370,9 @@ impl SenderMachine for NpSender {
     fn evict_outstanding(&mut self) -> u32 {
         NpSender::evict_outstanding(self)
     }
+    fn state_bytes(&self) -> usize {
+        NpSender::state_bytes(self)
+    }
 }
 
 impl SenderMachine for N2Sender {
@@ -390,6 +399,9 @@ impl SenderMachine for N2Sender {
     }
     fn evict_outstanding(&mut self) -> u32 {
         N2Sender::evict_outstanding(self)
+    }
+    fn state_bytes(&self) -> usize {
+        N2Sender::state_bytes(self)
     }
 }
 
@@ -549,6 +561,7 @@ pub fn drive_sender_obs<S: SenderMachine, T: Transport>(
                     evicted: evicted_total,
                     corrupt_dropped: res.core.corrupt_dropped(),
                     send_retries: res.core.send_retries(),
+                    postmortem: None,
                 });
             }
             SenderStep::Transmit(msg) => {
@@ -625,6 +638,82 @@ pub fn drive_sender_obs<S: SenderMachine, T: Transport>(
                     last_event = Some(progress_event(&incoming, false));
                 }
             }
+        }
+    }
+}
+
+/// Label a driver error for postmortem artifacts (`"quarantined"`,
+/// `"stalled"`, `"sender_gone"`, or `"failed"`).
+pub fn error_outcome(err: &ProtocolError) -> &'static str {
+    match err {
+        ProtocolError::Quarantined { .. } => "quarantined",
+        ProtocolError::Stalled { .. } => "stalled",
+        ProtocolError::SenderGone { .. } => "sender_gone",
+        _ => "failed",
+    }
+}
+
+/// [`drive_sender_obs`] with a session flight recorder: when the session
+/// ends degraded, quarantined, or with any other error, the recorder's
+/// ring is frozen into a [`Postmortem`] — attached to the
+/// [`SessionReport`] on the degraded path, returned alongside the error
+/// otherwise (errors carry no report to attach to).
+///
+/// `flight` only supplies the postmortem; it sees events solely through
+/// `obs`, so tee it in (`obs.tee(flight)`) — and give the *machine* the
+/// teed handle too — before calling, or the ring stays empty.
+///
+/// # Errors
+/// Same as [`drive_sender_obs`].
+pub fn drive_sender_flight<S: SenderMachine, T: Transport>(
+    machine: &mut S,
+    transport: &mut T,
+    rt: &RuntimeConfig,
+    obs: &Obs,
+    flight: &FlightRecorder,
+) -> (
+    Result<SessionReport, ProtocolError>,
+    Option<pm_obs::Postmortem>,
+) {
+    match drive_sender_obs(machine, transport, rt, obs) {
+        Ok(mut report) => {
+            if report.is_degraded() {
+                let pm = flight.postmortem(Role::Sender.as_str(), "degraded", None);
+                report.postmortem = Some(pm.clone());
+                (Ok(report), Some(pm))
+            } else {
+                (Ok(report), None)
+            }
+        }
+        Err(e) => {
+            let pm = flight.postmortem(Role::Sender.as_str(), error_outcome(&e), None);
+            (Err(e), Some(pm))
+        }
+    }
+}
+
+/// [`drive_receiver_obs`] with a session flight recorder: any error
+/// outcome (stall, quarantine, sender gone) freezes the ring into a
+/// [`Postmortem`]. Completed receivers produce none — a receiver has no
+/// degraded-but-ok state. Same tee caveat as [`drive_sender_flight`].
+///
+/// # Errors
+/// Same as [`drive_receiver_obs`].
+pub fn drive_receiver_flight<R: ReceiverMachine, T: Transport>(
+    machine: &mut R,
+    transport: &mut T,
+    rt: &RuntimeConfig,
+    obs: &Obs,
+    flight: &FlightRecorder,
+) -> (
+    Result<ReceiverReport, ProtocolError>,
+    Option<pm_obs::Postmortem>,
+) {
+    match drive_receiver_obs(machine, transport, rt, obs) {
+        Ok(report) => (Ok(report), None),
+        Err(e) => {
+            let pm = flight.postmortem(Role::Receiver.as_str(), error_outcome(&e), None);
+            (Err(e), Some(pm))
         }
     }
 }

@@ -298,6 +298,27 @@ impl NpSender {
         self.done_receivers.iter().copied().collect()
     }
 
+    /// Receiver-dependent sender state in bytes.
+    ///
+    /// The paper's scalability argument: an NP sender tracks only *who*
+    /// reported `Done` — one id per receiver, no per-packet per-receiver
+    /// bookkeeping — so this stays at ~4 bytes per receiver no matter how
+    /// large the transfer (ROADMAP item 2's acceptance metric, exported
+    /// as the `sender.state_bytes_per_receiver` gauge).
+    pub fn state_bytes(&self) -> usize {
+        self.done_receivers.len() * std::mem::size_of::<u32>()
+    }
+
+    /// [`Self::state_bytes`] normalised by the known receiver population
+    /// (falls back to the done population under quiescence completion).
+    pub fn state_bytes_per_receiver(&self) -> f64 {
+        let r = match self.cfg.completion {
+            CompletionPolicy::KnownReceivers(r) => r as usize,
+            CompletionPolicy::Quiescence(_) => self.done_receivers.len(),
+        };
+        self.state_bytes() as f64 / r.max(1) as f64
+    }
+
     /// Receivers still outstanding under
     /// [`CompletionPolicy::KnownReceivers`] (0 under quiescence, which has
     /// no roll to call).

@@ -34,6 +34,10 @@ pub struct SessionReport {
     pub corrupt_dropped: u64,
     /// Transient send failures absorbed by retrying.
     pub send_retries: u64,
+    /// Flight-recorder dump, attached when the session ended degraded and
+    /// a recorder was wired in (see
+    /// [`drive_sender_flight`](crate::runtime::drive_sender_flight)).
+    pub postmortem: Option<pm_obs::Postmortem>,
 }
 
 impl SessionReport {

@@ -16,17 +16,21 @@
 //! its own bounded slice of each sweep — never a blocking wait.
 
 use std::collections::VecDeque;
+use std::sync::Arc;
 use std::time::Duration;
 
 use pm_core::error::ProtocolError;
 use pm_core::receiver::ReceiverAction;
 use pm_core::runtime::{
-    absorb_feedback, clamp_wait, ReceiverMachine, ReceiverReport, ResilienceCore, RuntimeConfig,
-    SenderMachine, SessionReport,
+    absorb_feedback, clamp_wait, error_outcome, ReceiverMachine, ReceiverReport, ResilienceCore,
+    RuntimeConfig, SenderMachine, SessionReport,
 };
 use pm_core::sender::SenderStep;
 use pm_net::{Message, NetError, PollSet, PollTransport, Token};
-use pm_obs::{Event, Gauge, Histogram, MetricsRegistry, Obs, Outcome, Role};
+use pm_obs::{
+    Event, FlightRecorder, Gauge, Histogram, MetricsRegistry, Obs, Outcome, Postmortem, Recorder,
+    Role, WindowTelemetry,
+};
 
 use crate::clock::MuxClock;
 use crate::wheel::TimerWheel;
@@ -46,6 +50,12 @@ pub struct MuxConfig {
     /// Datagrams drained per endpoint per sweep — the fairness bound: a
     /// flooding session yields the sweep after this many datagrams.
     pub poll_budget: usize,
+    /// When set, every session gets a [`FlightRecorder`] ring of this
+    /// capacity: its driver lifecycle and I/O events are retained, and a
+    /// session ending degraded or errored leaves a [`Postmortem`]
+    /// (attached to the degraded [`SessionReport`], collected via
+    /// [`Mux::take_postmortems`] otherwise).
+    pub flight_capacity: Option<usize>,
 }
 
 impl Default for MuxConfig {
@@ -53,6 +63,7 @@ impl Default for MuxConfig {
         MuxConfig {
             tick: Duration::from_micros(50),
             poll_budget: 32,
+            flight_capacity: None,
         }
     }
 }
@@ -128,6 +139,12 @@ struct SessionState {
     /// Drive passes consumed (the fairness unit).
     drives: u64,
     evicted_total: u32,
+    /// The mux obs teed with this session's flight ring (or a plain
+    /// clone of it when flight recording is off) — every session-scoped
+    /// lifecycle/resilience event goes through here so the ring sees it.
+    obs: Obs,
+    /// Bounded event history for postmortems, when enabled.
+    flight: Option<Arc<FlightRecorder>>,
 }
 
 impl SessionState {
@@ -157,6 +174,9 @@ impl SessionState {
 
 /// How a multiplexed session ended — the same reports and errors the
 /// blocking drivers return.
+// One outcome per session lifetime; the postmortem-carrying report is
+// big, but this is never a hot-path value worth the Box indirection.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug)]
 pub enum SessionOutcome {
     /// A sender session's result.
@@ -213,6 +233,10 @@ pub struct MuxMetrics {
     /// fairness histogram: under a fair mux, peer sessions draw similar
     /// counts).
     pub session_drives: Histogram,
+    /// `sender.state_bytes_per_receiver` — sender-side per-receiver state
+    /// footprint at completion (the paper's scalability argument: NP keeps
+    /// this constant as `R` grows). Set when a sender session finishes.
+    pub sender_state_bytes: Gauge,
 }
 
 impl MuxMetrics {
@@ -223,11 +247,13 @@ impl MuxMetrics {
             wheel_depth: reg.gauge("mux.timer_wheel_depth"),
             queue_depth: reg.histogram("mux.session_queue_depth"),
             session_drives: reg.histogram("mux.session_drives"),
+            sender_state_bytes: reg.gauge("sender.state_bytes_per_receiver"),
         }
     }
 }
 
 /// What to do after the session-local part of an I/O event is absorbed.
+#[allow(clippy::large_enum_variant)] // carries a SessionOutcome, see above
 enum AfterIo {
     Nothing,
     Finish(SessionOutcome),
@@ -266,7 +292,9 @@ pub struct Mux<T: PollTransport, C: MuxClock> {
     live: usize,
     obs: Obs,
     metrics: Option<MuxMetrics>,
+    telemetry: Option<Arc<WindowTelemetry>>,
     outcomes: Vec<(Token, SessionOutcome)>,
+    postmortems: Vec<(Token, Postmortem)>,
     io_sink: Vec<(Token, Result<Message, NetError>)>,
     fired: Vec<(u64, TimerKey)>,
 }
@@ -285,7 +313,9 @@ impl<T: PollTransport, C: MuxClock> Mux<T, C> {
             live: 0,
             obs: Obs::null(),
             metrics: None,
+            telemetry: None,
             outcomes: Vec::new(),
+            postmortems: Vec::new(),
             io_sink: Vec::new(),
             fired: Vec::new(),
         }
@@ -302,6 +332,22 @@ impl<T: PollTransport, C: MuxClock> Mux<T, C> {
         let m = MuxMetrics::register(reg);
         m.active_sessions.set(self.live as i64);
         self.metrics = Some(m);
+    }
+
+    /// Feed farm-level samples (currently the timer-wheel depth, after
+    /// every turn) into a windowed-telemetry instance. Tee the same
+    /// instance into the machines' and transports' obs handles to get
+    /// their event streams windowed too.
+    pub fn bind_telemetry(&mut self, telemetry: Arc<WindowTelemetry>) {
+        self.telemetry = Some(telemetry);
+    }
+
+    /// Postmortems of sessions that ended with an error since the last
+    /// call (degraded sender sessions carry theirs on the
+    /// [`SessionReport`] instead). Empty unless
+    /// [`MuxConfig::flight_capacity`] is set.
+    pub fn take_postmortems(&mut self) -> Vec<(Token, Postmortem)> {
+        std::mem::take(&mut self.postmortems)
     }
 
     /// Sessions currently live.
@@ -367,6 +413,13 @@ impl<T: PollTransport, C: MuxClock> Mux<T, C> {
             self.sessions.resize_with(slot + 1, || None);
         }
         let now_abs = self.clock.now();
+        let (obs, flight) = match self.cfg.flight_capacity {
+            Some(cap) => {
+                let ring = Arc::new(FlightRecorder::new(cap));
+                (self.obs.tee(ring.clone()), Some(ring))
+            }
+            None => (self.obs.clone(), None),
+        };
         let mut sess = SessionState {
             token,
             rt,
@@ -384,6 +437,8 @@ impl<T: PollTransport, C: MuxClock> Mux<T, C> {
             wait_armed: false,
             drives: 0,
             evicted_total: 0,
+            obs,
+            flight,
         };
         let role = sess.role();
         // First drive is due immediately: the entry lands in the wheel's
@@ -471,6 +526,9 @@ impl<T: PollTransport, C: MuxClock> Mux<T, C> {
         if let Some(m) = &self.metrics {
             m.wheel_depth.set(self.wheel.len() as i64);
         }
+        if let Some(tel) = &self.telemetry {
+            tel.set_wheel_depth(self.clock.now(), self.wheel.len() as u64);
+        }
     }
 
     /// Seconds-to-tick, rounded to nearest: round-tripping a tick through
@@ -501,7 +559,8 @@ impl<T: PollTransport, C: MuxClock> Mux<T, C> {
                 return;
             };
             let now_rel = now_abs - sess.started;
-            match sess.res.absorb_recv(outcome.map(Some), now_rel, &self.obs) {
+            let sess_obs = sess.obs.clone();
+            match sess.res.absorb_recv(outcome.map(Some), now_rel, &sess_obs) {
                 // Quarantine or fatal transport error: abort with the
                 // typed error and no session_end event, exactly like the
                 // blocking drivers' error path.
@@ -516,6 +575,14 @@ impl<T: PollTransport, C: MuxClock> Mux<T, C> {
                     sess.last_event = Some(Event::NetRecv {
                         kind: msg.obs_kind(),
                     });
+                    if let Some(ring) = &sess.flight {
+                        ring.record(
+                            now_rel,
+                            &Event::NetRecv {
+                                kind: msg.obs_kind(),
+                            },
+                        );
+                    }
                     match &mut sess.engine {
                         Engine::Sender(machine) => {
                             match absorb_feedback(machine.as_mut(), &msg, now_rel) {
@@ -597,7 +664,7 @@ impl<T: PollTransport, C: MuxClock> Mux<T, C> {
             sessions,
             sockets,
             wheel,
-            obs,
+            metrics,
             ..
         } = self;
         let outcome = 'drive: {
@@ -612,6 +679,7 @@ impl<T: PollTransport, C: MuxClock> Mux<T, C> {
                 break 'drive None; // parked on a retry; Retry timer owns us
             }
             sess.drives += 1;
+            let obs = sess.obs.clone();
             loop {
                 let now_rel = now_abs - sess.started;
                 let Engine::Sender(machine) = &mut sess.engine else {
@@ -649,6 +717,11 @@ impl<T: PollTransport, C: MuxClock> Mux<T, C> {
                             role: Role::Sender,
                             outcome: end,
                         });
+                        if let Some(m) = metrics.as_ref() {
+                            let done = machine.done_count().max(1);
+                            m.sender_state_bytes
+                                .set((machine.state_bytes() / done) as i64);
+                        }
                         break 'drive Some(SessionOutcome::Sender(Ok(SessionReport {
                             counters: *machine.counters(),
                             elapsed: elapsed_of(now_rel),
@@ -656,6 +729,7 @@ impl<T: PollTransport, C: MuxClock> Mux<T, C> {
                             evicted: sess.evicted_total,
                             corrupt_dropped: sess.res.corrupt_dropped(),
                             send_retries: sess.res.send_retries(),
+                            postmortem: None,
                         })));
                     }
                     SenderStep::Transmit(msg) => {
@@ -672,6 +746,14 @@ impl<T: PollTransport, C: MuxClock> Mux<T, C> {
                                     sess.last_event = Some(Event::NetSent {
                                         kind: msg.obs_kind(),
                                     });
+                                    if let Some(ring) = &sess.flight {
+                                        ring.record(
+                                            now_rel,
+                                            &Event::NetSent {
+                                                kind: msg.obs_kind(),
+                                            },
+                                        );
+                                    }
                                 }
                                 sess.wait_armed = false;
                                 let spacing = sess.rt.packet_spacing;
@@ -679,7 +761,7 @@ impl<T: PollTransport, C: MuxClock> Mux<T, C> {
                                 break 'drive None;
                             }
                             Err(NetError::Io(_)) if sess.res.policy().send_retries > 0 => {
-                                let backoff = sess.res.retry_backoff(1, now_rel, obs);
+                                let backoff = sess.res.retry_backoff(1, now_rel, &obs);
                                 sess.pending = Some(PendingSend {
                                     msg,
                                     attempt: 1,
@@ -732,7 +814,6 @@ impl<T: PollTransport, C: MuxClock> Mux<T, C> {
             sessions,
             sockets,
             wheel,
-            obs,
             ..
         } = self;
         let outcome = 'drive: {
@@ -759,12 +840,12 @@ impl<T: PollTransport, C: MuxClock> Mux<T, C> {
                     sess.outbound.push_back(m);
                 }
             }
-            match flush_outbound(sess, sockets, wheel, tick, now_abs, obs) {
+            match flush_outbound(sess, sockets, wheel, tick, now_abs) {
                 Flush::Parked => break 'drive None,
                 Flush::Fatal(e) => break 'drive Some(SessionOutcome::Receiver(Err(e))),
                 Flush::Clear => {}
             }
-            if let Some(done) = receiver_checks(sess, now_abs, obs) {
+            if let Some(done) = receiver_checks(sess, now_abs) {
                 break 'drive Some(done);
             }
             let deadline = {
@@ -794,7 +875,6 @@ impl<T: PollTransport, C: MuxClock> Mux<T, C> {
                 sessions,
                 sockets,
                 wheel,
-                obs,
                 ..
             } = self;
             let Some(sess) = sessions
@@ -819,6 +899,14 @@ impl<T: PollTransport, C: MuxClock> Mux<T, C> {
                         sess.last_event = Some(Event::NetSent {
                             kind: pending.msg.obs_kind(),
                         });
+                        if let Some(ring) = &sess.flight {
+                            ring.record(
+                                now_rel,
+                                &Event::NetSent {
+                                    kind: pending.msg.obs_kind(),
+                                },
+                            );
+                        }
                     }
                     match sess.engine {
                         Engine::Sender(_) => {
@@ -834,7 +922,8 @@ impl<T: PollTransport, C: MuxClock> Mux<T, C> {
                 }
                 Err(NetError::Io(_)) if pending.attempt < sess.res.policy().send_retries => {
                     pending.attempt += 1;
-                    let backoff = sess.res.retry_backoff(pending.attempt, now_rel, obs);
+                    let sess_obs = sess.obs.clone();
+                    let backoff = sess.res.retry_backoff(pending.attempt, now_rel, &sess_obs);
                     sess.pending = Some(pending);
                     arm(wheel, sess, TimerKind::Retry, backoff, tick);
                     AfterIo::Nothing
@@ -854,8 +943,10 @@ impl<T: PollTransport, C: MuxClock> Mux<T, C> {
     }
 
     /// Retire a session: drop its transport, record its outcome, emit the
-    /// lifecycle event. Outstanding wheel entries die by staleness.
-    fn finish(&mut self, token: Token, outcome: SessionOutcome) {
+    /// lifecycle event, and freeze a postmortem when the flight ring is on
+    /// and the ending warrants one. Outstanding wheel entries die by
+    /// staleness.
+    fn finish(&mut self, token: Token, mut outcome: SessionOutcome) {
         let slot = token.slot();
         let Some(entry) = self.sessions.get_mut(slot) else {
             return;
@@ -873,6 +964,24 @@ impl<T: PollTransport, C: MuxClock> Mux<T, C> {
         let role = sess.role();
         let drives = sess.drives;
         let active = self.live as u32;
+        if let Some(ring) = &sess.flight {
+            match &mut outcome {
+                // Degraded-but-ok sender: the artifact travels on the
+                // report, exactly as the blocking `drive_sender_flight`
+                // attaches it.
+                SessionOutcome::Sender(Ok(report)) if report.is_degraded() => {
+                    report.postmortem =
+                        Some(ring.postmortem(role.as_str(), "degraded", Some(slot as u32)));
+                }
+                // Errored either side: no report to carry it — ledger it
+                // for `take_postmortems`.
+                SessionOutcome::Sender(Err(e)) | SessionOutcome::Receiver(Err(e)) => {
+                    let pm = ring.postmortem(role.as_str(), error_outcome(e), Some(slot as u32));
+                    self.postmortems.push((token, pm));
+                }
+                _ => {}
+            }
+        }
         self.obs.emit(now_abs, || Event::MuxSessionEnded {
             session: slot as u32,
             role,
@@ -882,6 +991,9 @@ impl<T: PollTransport, C: MuxClock> Mux<T, C> {
         if let Some(m) = &self.metrics {
             m.active_sessions.set(self.live as i64);
             m.session_drives.record(drives);
+        }
+        if let Some(tel) = &self.telemetry {
+            tel.retire_session(slot as u32);
         }
         self.outcomes.push((token, outcome));
     }
@@ -941,7 +1053,6 @@ fn flush_outbound<T: PollTransport>(
     wheel: &mut TimerWheel<TimerKey>,
     tick: Duration,
     now_abs: f64,
-    obs: &Obs,
 ) -> Flush {
     while let Some(msg) = sess.outbound.pop_front() {
         let Some(transport) = sockets.get_mut(sess.token) else {
@@ -953,10 +1064,19 @@ fn flush_outbound<T: PollTransport>(
                 sess.last_event = Some(Event::NetSent {
                     kind: msg.obs_kind(),
                 });
+                if let Some(ring) = &sess.flight {
+                    ring.record(
+                        now_abs - sess.started,
+                        &Event::NetSent {
+                            kind: msg.obs_kind(),
+                        },
+                    );
+                }
             }
             Err(NetError::Io(_)) if sess.res.policy().send_retries > 0 => {
                 let now_rel = now_abs - sess.started;
-                let backoff = sess.res.retry_backoff(1, now_rel, obs);
+                let sess_obs = sess.obs.clone();
+                let backoff = sess.res.retry_backoff(1, now_rel, &sess_obs);
                 sess.pending = Some(PendingSend {
                     msg,
                     attempt: 1,
@@ -972,7 +1092,8 @@ fn flush_outbound<T: PollTransport>(
 }
 
 /// The blocking receiver driver's end-of-loop checks: FIN, linger, stall.
-fn receiver_checks(sess: &mut SessionState, now_abs: f64, obs: &Obs) -> Option<SessionOutcome> {
+fn receiver_checks(sess: &mut SessionState, now_abs: f64) -> Option<SessionOutcome> {
+    let obs = sess.obs.clone();
     let now_rel = now_abs - sess.started;
     let corrupt_dropped = sess.res.corrupt_dropped();
     let Engine::Receiver(machine) = &sess.engine else {

@@ -30,9 +30,25 @@ fn main() -> ExitCode {
         Ok(census) => {
             let total: u64 = census.values().sum();
             println!("{path}: OK — {total} events, {} types", census.len());
+            println!("  {:>10}  {:>6}  event", "count", "share");
             for (ty, n) in &census {
-                println!("  {n:>8}  {ty}");
+                let share = if total == 0 {
+                    0.0
+                } else {
+                    *n as f64 * 100.0 / total as f64
+                };
+                println!("  {n:>10}  {share:>5.1}%  {ty}");
             }
+            println!("  {total:>10}  100.0%  (total)");
+            let unused = pm_obs::EVENT_NAMES
+                .iter()
+                .filter(|name| !census.contains_key(**name))
+                .count();
+            println!(
+                "  vocabulary: {}/{} event types present, {unused} unused",
+                census.len(),
+                pm_obs::EVENT_NAMES.len()
+            );
             ExitCode::SUCCESS
         }
         Err(err) => {

@@ -444,6 +444,40 @@ pub enum Event {
         /// Drive steps this session consumed (the fairness unit).
         drives: u64,
     },
+
+    // ---- telemetry (pm-obs) ----
+    /// The code geometry and loss environment of a session, emitted once
+    /// by trace producers that know them (harnesses, simulators, drills).
+    /// `obs-analyze --compare-analysis` reruns the `pm-analysis` engine at
+    /// exactly these parameters to reconcile a measured trace against the
+    /// paper's analytical curves.
+    SessionConfig {
+        /// Session identifier.
+        session: u32,
+        /// Data packets per transmission group.
+        k: u32,
+        /// Parity budget per group.
+        h: u32,
+        /// Receiver population `R`.
+        receivers: u32,
+        /// Per-packet loss probability `p` of the environment.
+        loss: f64,
+    },
+    /// A windowed-telemetry sample for one session: the sliding-window
+    /// rates at `t` (see `pm_obs::window`). The live counterpart of the
+    /// paper's E\[M\]/cost figures.
+    WindowSample {
+        /// Session identifier.
+        session: u32,
+        /// Delivered data packets per second over the window.
+        goodput_pps: f64,
+        /// NAKs per second over the window.
+        nak_rate: f64,
+        /// Parity share of all transmissions over the window.
+        repair_ratio: f64,
+        /// Live E\[M\] estimate: transmissions per data packet.
+        live_em: f64,
+    },
 }
 
 /// Every stable event type name, in `Event` declaration order — the
@@ -454,7 +488,7 @@ pub enum Event {
 /// cross-checks its length against the [`Event::name`] match (so adding a
 /// variant without extending this list — which would make the new event
 /// fail trace validation — is caught at audit time, not in production).
-pub const EVENT_NAMES: [&str; 40] = [
+pub const EVENT_NAMES: [&str; 42] = [
     "session_start",
     "session_end",
     "stall_timeout",
@@ -495,6 +529,8 @@ pub const EVENT_NAMES: [&str; 40] = [
     "sim_trial",
     "mux_session_added",
     "mux_session_ended",
+    "session_config",
+    "window_sample",
 ];
 
 impl Event {
@@ -541,6 +577,39 @@ impl Event {
             Event::SimTrial { .. } => "sim_trial",
             Event::MuxSessionAdded { .. } => "mux_session_added",
             Event::MuxSessionEnded { .. } => "mux_session_ended",
+            Event::SessionConfig { .. } => "session_config",
+            Event::WindowSample { .. } => "window_sample",
+        }
+    }
+
+    /// The session this event belongs to, when it carries one. Wire-level
+    /// and codec events (`net_*`, `decode_cache_*`, resilience counters)
+    /// are unattributed and return `None` — windowed telemetry folds them
+    /// into the farm-wide aggregate only.
+    pub fn session(&self) -> Option<u32> {
+        match self {
+            Event::SessionStart { session, .. }
+            | Event::AnnounceSent { session }
+            | Event::FinSent { session }
+            | Event::FinRecv { session }
+            | Event::DataSent { session, .. }
+            | Event::ParitySent { session, .. }
+            | Event::DataRecv { session, .. }
+            | Event::ParityRecv { session, .. }
+            | Event::PollSent { session, .. }
+            | Event::PollRecv { session, .. }
+            | Event::NakRecv { session, .. }
+            | Event::RepairRound { session, .. }
+            | Event::DoneRecv { session, .. }
+            | Event::DoneSent { session, .. }
+            | Event::GroupDecoded { session, .. }
+            | Event::NakSent { session, .. }
+            | Event::TransferComplete { session, .. }
+            | Event::MuxSessionAdded { session, .. }
+            | Event::MuxSessionEnded { session, .. }
+            | Event::SessionConfig { session, .. }
+            | Event::WindowSample { session, .. } => Some(*session),
+            _ => None,
         }
     }
 
@@ -765,6 +834,32 @@ impl Event {
                 num!("active", *active as f64);
                 num!("drives", *drives as f64);
             }
+            Event::SessionConfig {
+                session,
+                k,
+                h,
+                receivers,
+                loss,
+            } => {
+                num!("session", *session as f64);
+                num!("k", *k as f64);
+                num!("h", *h as f64);
+                num!("receivers", *receivers as f64);
+                num!("loss", *loss);
+            }
+            Event::WindowSample {
+                session,
+                goodput_pps,
+                nak_rate,
+                repair_ratio,
+                live_em,
+            } => {
+                num!("session", *session as f64);
+                num!("goodput_pps", *goodput_pps);
+                num!("nak_rate", *nak_rate);
+                num!("repair_ratio", *repair_ratio);
+                num!("live_em", *live_em);
+            }
         }
         Value::Object(m)
     }
@@ -946,6 +1041,20 @@ mod tests {
                 active: 11,
                 drives: 4096,
             },
+            Event::SessionConfig {
+                session: 1,
+                k: 8,
+                h: 40,
+                receivers: 16,
+                loss: 0.05,
+            },
+            Event::WindowSample {
+                session: 1,
+                goodput_pps: 120.0,
+                nak_rate: 3.5,
+                repair_ratio: 0.12,
+                live_em: 1.09,
+            },
         ];
         let mut names = std::collections::HashSet::new();
         for ev in &samples {
@@ -955,7 +1064,7 @@ mod tests {
             assert_eq!(back["type"].as_str(), Some(ev.name()));
             assert_eq!(back["t"].as_f64(), Some(0.5));
         }
-        assert_eq!(names.len(), 40, "vocabulary size pinned");
+        assert_eq!(names.len(), 42, "vocabulary size pinned");
         // EVENT_NAMES is the trace-validation vocabulary: it must list
         // exactly the names the variants produce.
         assert_eq!(EVENT_NAMES.len(), names.len());

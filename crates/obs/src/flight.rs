@@ -1,0 +1,308 @@
+//! Session flight recorder: bounded event history + typed postmortems.
+//!
+//! A [`FlightRecorder`] is a [`crate::Recorder`] holding the last
+//! `capacity` events of a session in a ring — memory is bounded no matter
+//! how hostile the session (pinned by `bounded_under_event_storm`). When
+//! the session ends degraded, quarantined, or errored, the driver calls
+//! [`FlightRecorder::postmortem`] to freeze the ring into a [`Postmortem`]
+//! — a self-contained, schema-tagged artifact that travels on
+//! `SessionReport` and renders to a single JSON object
+//! (`pm.postmortem.v1`) for offline triage.
+//!
+//! Tee it next to the session's normal recorder with [`crate::Obs::tee`]
+//! so the machines' own emissions land in the ring without any extra
+//! plumbing at the call sites.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use serde::Value;
+
+use crate::event::Event;
+use crate::window::WindowSnapshot;
+
+/// Schema tag stamped into every rendered postmortem.
+pub const POSTMORTEM_SCHEMA: &str = "pm.postmortem.v1";
+
+/// Bounded ring of the most recent `(t, event)` pairs for one session.
+pub struct FlightRecorder {
+    capacity: usize,
+    inner: Mutex<VecDeque<(f64, Event)>>,
+    evicted: AtomicU64,
+}
+
+impl FlightRecorder {
+    /// A recorder keeping at most `capacity` events (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        FlightRecorder {
+            capacity,
+            inner: Mutex::new(VecDeque::with_capacity(capacity)),
+            evicted: AtomicU64::new(0),
+        }
+    }
+
+    /// Events currently held.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("flight ring poisoned").len()
+    }
+
+    /// True when no events have been recorded (or all were evicted).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Events evicted from the ring since construction.
+    pub fn evicted(&self) -> u64 {
+        self.evicted.load(Ordering::Relaxed)
+    }
+
+    /// Maximum events the ring holds.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Freeze the ring into a [`Postmortem`].
+    ///
+    /// `session` overrides the attribution; when `None` the id is derived
+    /// from the first recorded event that carries one (mux slots pass
+    /// their token explicitly, blocking drivers let the trace speak).
+    pub fn postmortem(&self, role: &str, outcome: &str, session: Option<u32>) -> Postmortem {
+        let ring = self.inner.lock().expect("flight ring poisoned");
+        let events: Vec<(f64, Event)> = ring.iter().cloned().collect();
+        let session = session.or_else(|| events.iter().find_map(|(_, e)| e.session()));
+        Postmortem {
+            session,
+            role: role.to_string(),
+            outcome: outcome.to_string(),
+            evicted_events: self.evicted(),
+            events,
+            window: None,
+        }
+    }
+}
+
+impl crate::Recorder for FlightRecorder {
+    fn record(&self, t: f64, event: &Event) {
+        let mut ring = self.inner.lock().expect("flight ring poisoned");
+        if ring.len() == self.capacity {
+            ring.pop_front();
+            self.evicted.fetch_add(1, Ordering::Relaxed);
+        }
+        ring.push_back((t, event.clone()));
+    }
+}
+
+/// A frozen flight-recorder dump for one degraded/errored session.
+///
+/// Carried on `SessionReport` so callers get the artifact with the
+/// result, and rendered to JSON (`pm.postmortem.v1`) for files and logs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Postmortem {
+    /// Session id, when any recorded event (or the caller) named one.
+    pub session: Option<u32>,
+    /// Driver role (`"sender"` / `"receiver"`).
+    pub role: String,
+    /// Terminal outcome label (`"degraded"`, `"quarantined"`,
+    /// `"stalled"`, an error string, ...).
+    pub outcome: String,
+    /// Events that fell off the ring before the dump.
+    pub evicted_events: u64,
+    /// The retained tail of the event stream, oldest first.
+    pub events: Vec<(f64, Event)>,
+    /// Final windowed-telemetry snapshot, when the driver kept windows.
+    pub window: Option<WindowSnapshot>,
+}
+
+impl Postmortem {
+    /// Attach a final window snapshot (builder style).
+    pub fn with_window(mut self, window: WindowSnapshot) -> Self {
+        self.window = Some(window);
+        self
+    }
+
+    /// Render the full artifact as one JSON object.
+    pub fn to_json(&self) -> Value {
+        let mut m = vec![
+            ("schema".into(), Value::String(POSTMORTEM_SCHEMA.into())),
+            ("role".into(), Value::String(self.role.clone())),
+            ("outcome".into(), Value::String(self.outcome.clone())),
+            (
+                "evicted_events".into(),
+                Value::Number(self.evicted_events as f64),
+            ),
+        ];
+        if let Some(s) = self.session {
+            m.push(("session".into(), Value::Number(f64::from(s))));
+        }
+        m.push((
+            "events".into(),
+            Value::Array(self.events.iter().map(|(t, e)| e.to_json(*t)).collect()),
+        ));
+        if let Some(w) = &self.window {
+            m.push((
+                "window".into(),
+                Value::Object(vec![
+                    ("t".into(), Value::Number(w.t)),
+                    ("goodput_pps".into(), Value::Number(w.goodput_pps)),
+                    ("nak_rate".into(), Value::Number(w.nak_rate)),
+                    ("repair_ratio".into(), Value::Number(w.repair_ratio)),
+                    ("live_em".into(), Value::Number(w.live_em)),
+                    ("corrupt_rate".into(), Value::Number(w.corrupt_rate)),
+                    ("evicted".into(), Value::Number(w.evicted as f64)),
+                ]),
+            ));
+        }
+        Value::Object(m)
+    }
+
+    /// Render as a single JSON line.
+    pub fn to_string_json(&self) -> String {
+        serde_json::to_string(&self.to_json()).expect("postmortem renders")
+    }
+
+    /// Validate a rendered postmortem against the `pm.postmortem.v1`
+    /// schema: required keys, right types, every event a valid trace
+    /// object with `t` and a known `type`.
+    pub fn validate(value: &Value) -> Result<(), String> {
+        let obj = match value {
+            Value::Object(m) => m,
+            _ => return Err("postmortem must be a JSON object".into()),
+        };
+        let get = |key: &str| obj.iter().find(|(k, _)| k == key).map(|(_, v)| v);
+        match get("schema") {
+            Some(Value::String(s)) if s == POSTMORTEM_SCHEMA => {}
+            Some(Value::String(s)) => return Err(format!("unknown schema {s:?}")),
+            _ => return Err("missing schema tag".into()),
+        }
+        for key in ["role", "outcome"] {
+            match get(key) {
+                Some(Value::String(s)) if !s.is_empty() => {}
+                _ => return Err(format!("missing or empty {key:?}")),
+            }
+        }
+        match get("evicted_events") {
+            Some(Value::Number(n)) if *n >= 0.0 => {}
+            _ => return Err("missing evicted_events".into()),
+        }
+        let events = match get("events") {
+            Some(Value::Array(evs)) => evs,
+            _ => return Err("missing events array".into()),
+        };
+        for (i, ev) in events.iter().enumerate() {
+            let em = match ev {
+                Value::Object(m) => m,
+                _ => return Err(format!("event {i} is not an object")),
+            };
+            let field = |key: &str| em.iter().find(|(k, _)| k == key).map(|(_, v)| v);
+            match field("t") {
+                Some(Value::Number(_)) => {}
+                _ => return Err(format!("event {i} missing numeric t")),
+            }
+            match field("type") {
+                Some(Value::String(name)) if crate::EVENT_NAMES.contains(&name.as_str()) => {}
+                Some(Value::String(name)) => {
+                    return Err(format!("event {i} has unknown type {name:?}"))
+                }
+                _ => return Err(format!("event {i} missing type")),
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Recorder;
+
+    fn data_sent(session: u32, index: u16) -> Event {
+        Event::DataSent {
+            session,
+            group: 0,
+            index,
+        }
+    }
+
+    #[test]
+    fn ring_keeps_only_the_tail() {
+        let fr = FlightRecorder::new(4);
+        for i in 0..10u16 {
+            fr.record(i as f64, &data_sent(1, i));
+        }
+        assert_eq!(fr.len(), 4);
+        assert_eq!(fr.evicted(), 6);
+        let pm = fr.postmortem("sender", "degraded", None);
+        assert_eq!(pm.events.len(), 4);
+        assert_eq!(pm.events[0].1, data_sent(1, 6));
+        assert_eq!(pm.events[3].1, data_sent(1, 9));
+    }
+
+    #[test]
+    fn bounded_under_event_storm() {
+        // A hostile session emitting 10^5 events must not grow the ring
+        // past its capacity.
+        let fr = FlightRecorder::new(256);
+        for i in 0..100_000u32 {
+            fr.record(i as f64 * 1e-4, &data_sent(7, (i % 1000) as u16));
+        }
+        assert_eq!(fr.len(), 256);
+        assert_eq!(fr.evicted(), 100_000 - 256);
+        let pm = fr.postmortem("receiver", "stalled", None);
+        assert_eq!(pm.events.len(), 256);
+        assert_eq!(pm.evicted_events, 100_000 - 256);
+    }
+
+    #[test]
+    fn postmortem_derives_session_from_events() {
+        let fr = FlightRecorder::new(8);
+        fr.record(0.0, &Event::CorruptDropped { total: 1 }); // unattributed
+        fr.record(0.1, &data_sent(42, 0));
+        let pm = fr.postmortem("sender", "degraded", None);
+        assert_eq!(pm.session, Some(42));
+        // Explicit override wins.
+        let pm2 = fr.postmortem("sender", "degraded", Some(7));
+        assert_eq!(pm2.session, Some(7));
+    }
+
+    #[test]
+    fn rendered_postmortem_validates() {
+        let fr = FlightRecorder::new(8);
+        for i in 0..12u16 {
+            fr.record(i as f64 * 0.5, &data_sent(3, i));
+        }
+        let pm = fr
+            .postmortem("sender", "degraded", None)
+            .with_window(crate::WindowSet::new(Default::default()).snapshot(6.0));
+        let line = pm.to_string_json();
+        let back = serde_json::from_str(&line).unwrap();
+        Postmortem::validate(&back).unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_malformed() {
+        assert!(Postmortem::validate(&Value::Null).is_err());
+        // Wrong schema tag.
+        let bad = Value::Object(vec![(
+            "schema".into(),
+            Value::String("pm.postmortem.v0".into()),
+        )]);
+        assert!(Postmortem::validate(&bad).is_err());
+        // Event with unknown type.
+        let bad_ev = Value::Object(vec![
+            ("schema".into(), Value::String(POSTMORTEM_SCHEMA.into())),
+            ("role".into(), Value::String("sender".into())),
+            ("outcome".into(), Value::String("degraded".into())),
+            ("evicted_events".into(), Value::Number(0.0)),
+            (
+                "events".into(),
+                Value::Array(vec![Value::Object(vec![
+                    ("t".into(), Value::Number(0.0)),
+                    ("type".into(), Value::String("not_an_event".into())),
+                ])]),
+            ),
+        ]);
+        assert!(Postmortem::validate(&bad_ev).is_err());
+    }
+}

@@ -75,6 +75,7 @@ struct HistInner {
     buckets: [AtomicU64; BUCKETS],
     count: AtomicU64,
     sum: AtomicU64,
+    min: AtomicU64,
     max: AtomicU64,
 }
 
@@ -93,6 +94,7 @@ impl Histogram {
             buckets: std::array::from_fn(|_| AtomicU64::new(0)),
             count: AtomicU64::new(0),
             sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
             max: AtomicU64::new(0),
         }))
     }
@@ -112,6 +114,7 @@ impl Histogram {
         inner.buckets[Self::bucket_index(v)].fetch_add(1, Ordering::Relaxed);
         inner.count.fetch_add(1, Ordering::Relaxed);
         inner.sum.fetch_add(v, Ordering::Relaxed);
+        inner.min.fetch_min(v, Ordering::Relaxed);
         inner.max.fetch_max(v, Ordering::Relaxed);
     }
 
@@ -128,9 +131,15 @@ impl Histogram {
             .iter()
             .map(|b| b.load(Ordering::Relaxed))
             .collect();
+        let count: u64 = buckets.iter().sum();
         HistogramSnapshot {
-            count: buckets.iter().sum(),
+            count,
             sum: inner.sum.load(Ordering::Relaxed),
+            min: if count == 0 {
+                0
+            } else {
+                inner.min.load(Ordering::Relaxed)
+            },
             max: inner.max.load(Ordering::Relaxed),
             buckets,
         }
@@ -155,6 +164,8 @@ pub struct HistogramSnapshot {
     pub count: u64,
     /// Sum of all recorded values.
     pub sum: u64,
+    /// Smallest recorded value (exact; 0 when empty).
+    pub min: u64,
     /// Largest recorded value (exact, not a bucket bound).
     pub max: u64,
     /// Per-bucket counts; bucket `i` covers values needing `i` bits.
@@ -162,19 +173,42 @@ pub struct HistogramSnapshot {
 }
 
 impl HistogramSnapshot {
-    /// Upper bound of the bucket containing quantile `q` in `[0, 1]`;
-    /// 0 when the histogram is empty.
+    /// Estimate of quantile `q` in `[0, 1]`; 0 when the histogram is
+    /// empty.
+    ///
+    /// The quantile rank is located in its log2 bucket and then linearly
+    /// interpolated within the bucket's value span (midpoint convention:
+    /// the j-th of c samples sits at fraction `(j - 0.5) / c`), assuming
+    /// samples spread uniformly across the bucket. Snapping to the bucket
+    /// upper bound — the old behaviour — was off by up to 2× for
+    /// mid-bucket distributions; interpolation is exact for uniform data
+    /// and never leaves the bucket. The top populated bucket's span is
+    /// clamped to the recorded maximum, so `quantile(1.0)` can never
+    /// exceed `max`.
     pub fn quantile(&self, q: f64) -> u64 {
         if self.count == 0 {
             return 0;
         }
         let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
-        let mut seen = 0u64;
+        let mut before = 0u64;
         for (i, &c) in self.buckets.iter().enumerate() {
-            seen += c;
-            if seen >= rank {
-                return if i == 0 { 0 } else { (1u64 << i) - 1 };
+            if c == 0 {
+                continue;
             }
+            if before + c >= rank {
+                if i == 0 {
+                    return 0; // bucket 0 holds only the value 0
+                }
+                // The exact recorded min/max tighten the end buckets: a
+                // degenerate all-one-value distribution reports that value
+                // exactly instead of an interpolated guess.
+                let lo = (1u64 << (i - 1)).max(self.min.min(self.max));
+                let hi = ((1u64 << i) - 1).min(self.max).max(lo);
+                let frac = ((rank - before) as f64 - 0.5) / c as f64;
+                let v = lo as f64 + (hi - lo) as f64 * frac;
+                return (v.round() as u64).clamp(lo, hi);
+            }
+            before += c;
         }
         self.max
     }
@@ -281,6 +315,13 @@ impl MetricsRegistry {
         }
     }
 
+    /// Point-in-time copy of every registered `(name, metric)` pair, in
+    /// registration order. Handles are `Arc`-backed clones, so reading
+    /// them reflects live values — the exporter renders from this.
+    pub fn entries(&self) -> Vec<(String, Metric)> {
+        self.entries.lock().expect("registry poisoned").clone()
+    }
+
     /// Human-readable dump, one metric per line, in registration order.
     pub fn render_text(&self) -> String {
         let entries = self.entries.lock().expect("registry poisoned");
@@ -292,7 +333,7 @@ impl MetricsRegistry {
                 Metric::Histogram(h) => {
                     let s = h.snapshot();
                     out.push_str(&format!(
-                        "{name} count={} mean={:.1} p50<={} p90<={} p99<={} max={}\n",
+                        "{name} count={} mean={:.1} p50={} p90={} p99={} max={}\n",
                         s.count,
                         s.mean(),
                         s.quantile(0.50),
@@ -368,9 +409,41 @@ mod tests {
         assert_eq!(s.count, 10);
         assert_eq!(s.max, 1000);
         assert_eq!(s.quantile(0.50), 1);
-        // p99 rank = ceil(0.99*10) = 10 → the 1000 sample's bucket (10 bits).
-        assert_eq!(s.quantile(0.99), 1023);
+        // p99 rank = ceil(0.99*10) = 10 → the 1000 sample's bucket
+        // [512, min(1023, max)] = [512, 1000]; the single sample sits at
+        // the bucket midpoint: 512 + 488 * 0.5 = 756 (not the old
+        // snapped-to-1023 bound).
+        assert_eq!(s.quantile(0.99), 756);
         assert!((s.mean() - 100.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantiles_interpolate_to_exact_percentiles() {
+        // Uniform 1..=1000: the exact percentile is known in closed form,
+        // so this pins the interpolation error — the old bucket-bound
+        // quantization was off by up to 2× (p50 = 511 instead of 500).
+        let h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        for (q, exact) in [(0.50, 500u64), (0.90, 900), (0.99, 990)] {
+            let got = s.quantile(q);
+            let err = (got as f64 - exact as f64).abs() / exact as f64;
+            assert!(
+                err <= 0.01,
+                "q={q}: got {got}, exact {exact} (err {err:.3})"
+            );
+        }
+        assert_eq!(s.quantile(1.0), 1000, "p100 is the recorded max");
+        // Degenerate one-value distributions are exact, not interpolated.
+        let one = Histogram::new();
+        for _ in 0..100 {
+            one.record(7);
+        }
+        let snap = one.snapshot();
+        assert_eq!(snap.quantile(0.5), 7);
+        assert_eq!(snap.quantile(0.99), 7);
     }
 
     #[test]

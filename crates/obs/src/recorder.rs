@@ -81,6 +81,43 @@ impl Obs {
             self.rec.record(t, &make());
         }
     }
+
+    /// A handle that records to both this handle's sink and `extra`.
+    ///
+    /// Composition point for the telemetry layer: wrap a session's trace
+    /// recorder with a flight recorder or windowed-telemetry sink without
+    /// the instrumented code knowing. When this handle is the null one,
+    /// the result records to `extra` alone (no dead tee branch).
+    pub fn tee(&self, extra: Arc<dyn Recorder>) -> Obs {
+        if self.enabled {
+            Obs::new(Arc::new(TeeRecorder {
+                a: self.rec.clone(),
+                b: extra,
+            }))
+        } else {
+            Obs::new(extra)
+        }
+    }
+}
+
+/// Fan-out recorder: every event goes to both sinks, `a` first.
+pub struct TeeRecorder {
+    a: Arc<dyn Recorder>,
+    b: Arc<dyn Recorder>,
+}
+
+impl TeeRecorder {
+    /// Tee `a` (recorded first) with `b`.
+    pub fn new(a: Arc<dyn Recorder>, b: Arc<dyn Recorder>) -> Self {
+        TeeRecorder { a, b }
+    }
+}
+
+impl Recorder for TeeRecorder {
+    fn record(&self, t: f64, event: &Event) {
+        self.a.record(t, event);
+        self.b.record(t, event);
+    }
 }
 
 impl Default for Obs {

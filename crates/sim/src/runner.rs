@@ -57,6 +57,18 @@ impl Scheme {
         }
     }
 
+    /// Coding geometry `(k, h)` as recorded in `session_config` trace
+    /// events. No-FEC sends bare packets (`k = 1`, no parity); the
+    /// integrated schemes generate parities on demand, so their static
+    /// budget is reported as `h = 0`.
+    pub fn geometry(&self) -> (u32, u32) {
+        match self {
+            Scheme::NoFec => (1, 0),
+            Scheme::Layered { k, h } => (*k as u32, *h as u32),
+            Scheme::Integrated1 { k } | Scheme::Integrated2 { k } => (*k as u32, 0),
+        }
+    }
+
     /// Validate coding parameters (the per-trial path checks them once up
     /// front rather than once per trial).
     fn validate(&self) {
@@ -135,6 +147,23 @@ impl LossEnv {
                 "tree-burst needs a power-of-two receiver count"
             ),
             _ => {}
+        }
+    }
+
+    /// Mean per-receiver end-to-end loss probability, as recorded in
+    /// `session_config` trace events. Exact for the homogeneous
+    /// environments; the population average for [`LossEnv::TwoClass`].
+    pub fn mean_loss(&self) -> f64 {
+        match self {
+            LossEnv::Independent { p }
+            | LossEnv::FullBinaryTree { p }
+            | LossEnv::Burst { p, .. }
+            | LossEnv::TreeBurst { p, .. } => *p,
+            LossEnv::TwoClass {
+                alpha,
+                p_low,
+                p_high,
+            } => alpha * p_high + (1.0 - alpha) * p_low,
         }
     }
 }
@@ -356,6 +385,14 @@ pub fn run_env_par_traced(
 ) -> SimResult {
     scheme.validate();
     env.validate(receivers);
+    let (k, h) = scheme.geometry();
+    obs.emit(now, || Event::SessionConfig {
+        session: 0,
+        k,
+        h,
+        receivers: receivers as u32,
+        loss: env.mean_loss(),
+    });
     let label = scheme.label();
     let res = TrialCtx {
         cfg,
@@ -606,8 +643,17 @@ mod tests {
             2.5,
         );
         let events = ring.events();
-        // 40 sim_trial events then one sim_run summary.
-        assert_eq!(events.len(), 41);
+        // A session_config header, 40 sim_trial events, one sim_run summary.
+        assert_eq!(events.len(), 42);
+        match &events[0].1 {
+            Event::SessionConfig {
+                k, h, receivers, ..
+            } => {
+                assert_eq!((*k, *h), (3, 0));
+                assert_eq!(*receivers, 4);
+            }
+            other => panic!("expected SessionConfig, got {other:?}"),
+        }
         let (t, last) = events.last().unwrap();
         assert_eq!(*t, 2.5);
         match last {
@@ -626,7 +672,7 @@ mod tests {
             other => panic!("expected SimRun, got {other:?}"),
         }
         // Trial events carry their index and the scheme label.
-        match &events[0].1 {
+        match &events[1].1 {
             Event::SimTrial { scheme, trial, .. } => {
                 assert_eq!(scheme, "integrated2(k=3)");
                 assert_eq!(*trial, 0);

@@ -1,0 +1,307 @@
+#![forbid(unsafe_code)]
+//! `obs-analyze` — offline analytics over a JSONL trace produced by
+//! `--trace`.
+//!
+//! Usage: `obs-analyze <trace.jsonl> [--compare-analysis] [--max-dev
+//! <frac>] [--json]`
+//!
+//! Where `obs-check` only validates, this tool *measures*: per-session
+//! E\[M\] (transmissions per distinct data packet), per-receiver
+//! completion fairness (Jain's index), feedback bandwidth, and the
+//! stall/linger incident timeline — the live-trace counterparts of the
+//! paper's Figures 4–7 cost curves. With `--compare-analysis` it reruns
+//! the `pm-analysis` analytical engine at each session's recorded
+//! `(k, h, R, p)` and reports the deviation of measured from analytic
+//! E\[M\], exiting non-zero when any session deviates by more than
+//! `--max-dev` (default 5%). `--json` renders the whole report as one
+//! JSON object for scripting.
+
+use std::process::ExitCode;
+
+use pm_analysis::integrated;
+use pm_analysis::population::Population;
+use pm_obs::{SessionAnalysis, TraceAnalysis};
+use serde::Value;
+
+/// One session's analytic-vs-measured comparison.
+struct Comparison {
+    session: u32,
+    measured: f64,
+    analytic: f64,
+    deviation: f64,
+}
+
+struct Args {
+    path: String,
+    compare: bool,
+    max_dev: f64,
+    json: bool,
+}
+
+fn usage() -> ExitCode {
+    eprintln!("usage: obs-analyze <trace.jsonl> [--compare-analysis] [--max-dev <frac>] [--json]");
+    ExitCode::from(2)
+}
+
+fn parse_args() -> Result<Args, ExitCode> {
+    let mut args = Args {
+        path: String::new(),
+        compare: false,
+        max_dev: 0.05,
+        json: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--compare-analysis" => args.compare = true,
+            "--json" => args.json = true,
+            "--max-dev" => {
+                let val = it.next().ok_or_else(usage)?;
+                match val.parse::<f64>() {
+                    Ok(frac) if frac.is_finite() && frac >= 0.0 => args.max_dev = frac,
+                    _ => {
+                        eprintln!(
+                            "obs-analyze: --max-dev wants a non-negative fraction, got {val}"
+                        );
+                        return Err(ExitCode::from(2));
+                    }
+                }
+            }
+            other if other.starts_with("--") => {
+                eprintln!("obs-analyze: unknown flag {other}");
+                return Err(usage());
+            }
+            other if args.path.is_empty() => args.path = other.to_string(),
+            _ => return Err(usage()),
+        }
+    }
+    if args.path.is_empty() {
+        return Err(usage());
+    }
+    Ok(args)
+}
+
+/// Analytic E\[M\] at the session's recorded `(k, h, R, p)`, reactive
+/// parities only (`a = 0`) — the NP operating point of Section 3.
+fn compare_session(id: u32, sess: &SessionAnalysis) -> Option<Comparison> {
+    let cfg = sess.config?;
+    let measured = sess.measured_em()?;
+    if cfg.receivers == 0 {
+        return None;
+    }
+    let pop = Population::homogeneous(cfg.loss, u64::from(cfg.receivers));
+    let analytic = integrated::finite(cfg.k as usize, cfg.h as usize, 0, &pop);
+    let deviation = if analytic > 0.0 {
+        (measured - analytic).abs() / analytic
+    } else {
+        f64::INFINITY
+    };
+    Some(Comparison {
+        session: id,
+        measured,
+        analytic,
+        deviation,
+    })
+}
+
+fn print_human(path: &str, ta: &TraceAnalysis, comparisons: &[Comparison], max_dev: f64) {
+    println!(
+        "{path}: {} events, {} sessions, {} incidents, span {:.2}s",
+        ta.events,
+        ta.sessions.len(),
+        ta.incidents.len(),
+        ta.last_t
+    );
+    for (id, sess) in &ta.sessions {
+        match sess.config {
+            Some(cfg) => println!(
+                "session {id}: k={} h={} R={} p={:.4}",
+                cfg.k, cfg.h, cfg.receivers, cfg.loss
+            ),
+            None => println!("session {id}: (no session_config recorded)"),
+        }
+        println!("  data packets   {:>10}", sess.data_packets);
+        println!("  data tx        {:>10}", sess.data_tx);
+        println!("  parity tx      {:>10}", sess.parity_tx);
+        println!("  naks           {:>10}", sess.naks());
+        println!("  repair rounds  {:>10}", sess.repair_rounds);
+        match sess.measured_em() {
+            Some(em) => println!("  measured E[M]  {em:>10.4}"),
+            None => println!("  measured E[M]         n/a"),
+        }
+        match sess.fairness() {
+            Some(j) => println!("  fairness       {j:>10.4}"),
+            None => println!("  fairness              n/a"),
+        }
+        match sess.feedback_bandwidth() {
+            Some(bw) => println!("  feedback bw    {bw:>10.2} msg/s"),
+            None => println!("  feedback bw           n/a"),
+        }
+        println!("  duration       {:>10.2} s", sess.duration());
+        println!(
+            "  completed      {:>10}",
+            if sess.completed { "yes" } else { "no" }
+        );
+    }
+    if !ta.incidents.is_empty() {
+        println!("incidents:");
+        for inc in &ta.incidents {
+            let role = inc.role.as_deref().unwrap_or("?");
+            println!(
+                "  t={:.2} {} role={role} waited={:.2}s",
+                inc.t, inc.kind, inc.waited_secs
+            );
+        }
+    }
+    for cmp in comparisons {
+        let verdict = if cmp.deviation <= max_dev {
+            "ok"
+        } else {
+            "EXCEEDED"
+        };
+        println!(
+            "compare session {}: measured E[M]={:.4} analytic E[M]={:.4} deviation={:.2}% (max {:.2}%) {verdict}",
+            cmp.session,
+            cmp.measured,
+            cmp.analytic,
+            cmp.deviation * 100.0,
+            max_dev * 100.0
+        );
+    }
+}
+
+fn session_json(id: u32, sess: &SessionAnalysis) -> Value {
+    let mut m = vec![("session".into(), Value::Number(f64::from(id)))];
+    if let Some(cfg) = sess.config {
+        m.push((
+            "config".into(),
+            Value::Object(vec![
+                ("k".into(), Value::Number(f64::from(cfg.k))),
+                ("h".into(), Value::Number(f64::from(cfg.h))),
+                ("receivers".into(), Value::Number(f64::from(cfg.receivers))),
+                ("loss".into(), Value::Number(cfg.loss)),
+            ]),
+        ));
+    }
+    m.push((
+        "data_packets".into(),
+        Value::Number(sess.data_packets as f64),
+    ));
+    m.push(("data_tx".into(), Value::Number(sess.data_tx as f64)));
+    m.push(("parity_tx".into(), Value::Number(sess.parity_tx as f64)));
+    m.push(("naks".into(), Value::Number(sess.naks() as f64)));
+    m.push((
+        "repair_rounds".into(),
+        Value::Number(sess.repair_rounds as f64),
+    ));
+    let opt = |v: Option<f64>| v.map_or(Value::Null, Value::Number);
+    m.push(("measured_em".into(), opt(sess.measured_em())));
+    m.push(("fairness".into(), opt(sess.fairness())));
+    m.push(("feedback_bandwidth".into(), opt(sess.feedback_bandwidth())));
+    m.push(("duration_secs".into(), Value::Number(sess.duration())));
+    m.push(("completed".into(), Value::Bool(sess.completed)));
+    Value::Object(m)
+}
+
+fn report_json(ta: &TraceAnalysis, comparisons: &[Comparison], max_dev: f64) -> Value {
+    let sessions = ta
+        .sessions
+        .iter()
+        .map(|(id, sess)| session_json(*id, sess))
+        .collect();
+    let incidents = ta
+        .incidents
+        .iter()
+        .map(|inc| {
+            Value::Object(vec![
+                ("t".into(), Value::Number(inc.t)),
+                ("kind".into(), Value::String(inc.kind.clone())),
+                (
+                    "role".into(),
+                    inc.role
+                        .as_ref()
+                        .map_or(Value::Null, |r| Value::String(r.clone())),
+                ),
+                ("waited_secs".into(), Value::Number(inc.waited_secs)),
+            ])
+        })
+        .collect();
+    let compare = comparisons
+        .iter()
+        .map(|cmp| {
+            Value::Object(vec![
+                ("session".into(), Value::Number(f64::from(cmp.session))),
+                ("measured_em".into(), Value::Number(cmp.measured)),
+                ("analytic_em".into(), Value::Number(cmp.analytic)),
+                ("deviation".into(), Value::Number(cmp.deviation)),
+                ("max_dev".into(), Value::Number(max_dev)),
+                ("ok".into(), Value::Bool(cmp.deviation <= max_dev)),
+            ])
+        })
+        .collect();
+    Value::Object(vec![
+        ("schema".into(), Value::String("pm.analysis.v1".into())),
+        ("events".into(), Value::Number(ta.events as f64)),
+        ("span_secs".into(), Value::Number(ta.last_t)),
+        ("sessions".into(), Value::Array(sessions)),
+        ("incidents".into(), Value::Array(incidents)),
+        ("compare".into(), Value::Array(compare)),
+    ])
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(code) => return code,
+    };
+    let text = match std::fs::read_to_string(&args.path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("obs-analyze: cannot read {}: {e}", args.path);
+            return ExitCode::FAILURE;
+        }
+    };
+    let ta = match pm_obs::analyze_trace(&text) {
+        Ok(ta) => ta,
+        Err(err) => {
+            eprintln!("obs-analyze: {}: {err}", args.path);
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let comparisons: Vec<Comparison> = if args.compare {
+        ta.sessions
+            .iter()
+            .filter_map(|(id, sess)| compare_session(*id, sess))
+            .collect()
+    } else {
+        Vec::new()
+    };
+
+    if args.json {
+        let report = report_json(&ta, &comparisons, args.max_dev);
+        match serde_json::to_string_pretty(&report) {
+            Ok(s) => println!("{s}"),
+            Err(e) => {
+                eprintln!("obs-analyze: render failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        print_human(&args.path, &ta, &comparisons, args.max_dev);
+    }
+
+    if args.compare {
+        if comparisons.is_empty() {
+            eprintln!(
+                "obs-analyze: --compare-analysis found no session with both a \
+                 session_config and a measurable E[M]"
+            );
+            return ExitCode::FAILURE;
+        }
+        if comparisons.iter().any(|c| c.deviation > args.max_dev) {
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -9,14 +9,42 @@
 //!
 //! and never a panic or an unbounded hang. The grid is seeded: a failure
 //! reproduces bit-for-bit from the same base seed.
+//!
+//! Every endpoint drives through the flight-recorder wrappers, pinning the
+//! postmortem contract alongside the trichotomy: a schema-valid postmortem
+//! exactly when a session ends degraded or errored, never for a clean one.
 
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use parity_multicast::net::{scenario_grid, FaultyTransport, MemHub};
-use parity_multicast::protocol::runtime::{drive_receiver, drive_sender, RuntimeConfig};
+use parity_multicast::obs::{FlightRecorder, Obs, Postmortem};
+use parity_multicast::protocol::runtime::{
+    drive_receiver_flight, drive_sender_flight, RuntimeConfig,
+};
 use parity_multicast::protocol::{
     CompletionPolicy, NpConfig, NpReceiver, NpSender, ResiliencePolicy,
 };
+
+/// Events each session's bounded flight ring retains.
+const FLIGHT_CAPACITY: usize = 256;
+
+/// A postmortem must exist exactly when the outcome is degraded/errored,
+/// and its JSON rendering must satisfy the `pm.postmortem.v1` schema.
+fn check_postmortem(scenario: &str, who: &str, pm: &Option<Postmortem>, wants: bool) {
+    assert_eq!(
+        pm.is_some(),
+        wants,
+        "{scenario}: {who} postmortem presence must match the outcome \
+         (got {:?}, wanted {wants})",
+        pm.is_some(),
+    );
+    if let Some(pm) = pm {
+        let rendered = serde_json::from_str(&pm.to_string_json()).expect("postmortem parses");
+        Postmortem::validate(&rendered)
+            .unwrap_or_else(|e| panic!("{scenario}: {who} postmortem invalid: {e}"));
+    }
+}
 
 /// Announced population per scenario; dead receivers never join.
 const RECEIVERS: u32 = 3;
@@ -68,17 +96,24 @@ fn chaos_grid_upholds_the_degradation_trichotomy() {
                 std::thread::Builder::new()
                     .name(format!("chaos-rx-{}-{id}", scenario.name))
                     .spawn(move || {
+                        let flight = Arc::new(FlightRecorder::new(FLIGHT_CAPACITY));
+                        let obs = Obs::null().tee(flight.clone());
                         let mut tp = FaultyTransport::new(ep, fault, seed);
-                        let mut m = NpReceiver::new(id, session, 0.001, seed);
-                        drive_receiver(&mut m, &mut tp, &rt())
+                        let mut m = NpReceiver::new(id, session, 0.001, seed).with_obs(obs.clone());
+                        drive_receiver_flight(&mut m, &mut tp, &rt(), &obs, &flight)
                     })
                     .expect("spawn receiver")
             })
             .collect();
 
+        let flight = Arc::new(FlightRecorder::new(FLIGHT_CAPACITY));
+        let obs = Obs::null().tee(flight.clone());
         let mut sender_tp = FaultyTransport::new(hub.join(), scenario.sender_fault, scenario.seed);
-        let mut sender = NpSender::new(session, &data, config()).expect("valid config");
-        let sender_verdict = drive_sender(&mut sender, &mut sender_tp, &rt());
+        let mut sender = NpSender::new(session, &data, config())
+            .expect("valid config")
+            .with_obs(obs.clone());
+        let (sender_verdict, sender_pm) =
+            drive_sender_flight(&mut sender, &mut sender_tp, &rt(), &obs, &flight);
 
         // A panicking driver thread fails the join — arm zero of the
         // trichotomy is "no panics, ever".
@@ -86,6 +121,22 @@ fn chaos_grid_upholds_the_degradation_trichotomy() {
             .into_iter()
             .map(|h| h.join().expect("receiver driver panicked"))
             .collect();
+
+        // Postmortem contract, sender side: one exactly when the report is
+        // degraded or the driver errored, both attached and returned.
+        let sender_degraded = match &sender_verdict {
+            Ok(report) => report.is_degraded(),
+            Err(_) => true,
+        };
+        check_postmortem(&scenario.name, "sender", &sender_pm, sender_degraded);
+        if let Ok(report) = &sender_verdict {
+            assert_eq!(
+                report.postmortem.is_some(),
+                report.is_degraded(),
+                "{}: the report carries the postmortem iff degraded",
+                scenario.name
+            );
+        }
 
         // Arm three of the trichotomy needs no assert: an Err is a typed
         // ProtocolError by construction, and the join proved no panic.
@@ -114,7 +165,7 @@ fn chaos_grid_upholds_the_degradation_trichotomy() {
             }
         }
 
-        for (id, verdict) in receiver_verdicts.iter().enumerate() {
+        for (id, (verdict, pm)) in receiver_verdicts.iter().enumerate() {
             // Arm one: any receiver that claims success must hold the exact
             // bytes — corruption may delay a transfer, never silently
             // damage it.
@@ -125,6 +176,13 @@ fn chaos_grid_upholds_the_degradation_trichotomy() {
                     scenario.name
                 );
             }
+            // Postmortem contract, receiver side: errored sessions only.
+            check_postmortem(
+                &scenario.name,
+                &format!("receiver {id}"),
+                pm,
+                verdict.is_err(),
+            );
         }
 
         let elapsed = started.elapsed();
@@ -149,25 +207,45 @@ fn one_dead_receiver_completes_for_the_rest() {
         .map(|id| {
             let ep = hub.join();
             std::thread::spawn(move || {
+                let flight = Arc::new(FlightRecorder::new(FLIGHT_CAPACITY));
+                let obs = Obs::null().tee(flight.clone());
                 let mut tp = ep;
-                let mut m = NpReceiver::new(id, session, 0.001, id as u64 + 9);
-                drive_receiver(&mut m, &mut tp, &rt())
+                let mut m =
+                    NpReceiver::new(id, session, 0.001, id as u64 + 9).with_obs(obs.clone());
+                drive_receiver_flight(&mut m, &mut tp, &rt(), &obs, &flight)
             })
         })
         .collect();
 
+    let flight = Arc::new(FlightRecorder::new(FLIGHT_CAPACITY));
+    let obs = Obs::null().tee(flight.clone());
     let mut sender_tp = hub.join();
-    let mut sender = NpSender::new(session, &data, config()).expect("valid config");
-    let report = drive_sender(&mut sender, &mut sender_tp, &rt()).expect("degraded completion");
+    let mut sender = NpSender::new(session, &data, config())
+        .expect("valid config")
+        .with_obs(obs.clone());
+    let (verdict, pm) = drive_sender_flight(&mut sender, &mut sender_tp, &rt(), &obs, &flight);
+    let report = verdict.expect("degraded completion");
 
     assert!(report.is_degraded());
     assert_eq!(report.evicted, 1);
     assert_eq!(report.completed, vec![0, 1]);
+
+    // The degraded session yields its postmortem, attached and returned,
+    // labelled with the outcome and the session's own events.
+    let pm = pm.expect("degraded session must yield a postmortem");
+    assert_eq!(pm.outcome, "degraded");
+    assert_eq!(pm.role, "sender");
+    assert!(pm
+        .events
+        .iter()
+        .any(|(_, e)| matches!(e, parity_multicast::obs::Event::ReceiverEvicted { .. })));
+    assert_eq!(report.postmortem.as_ref(), Some(&pm));
+    Postmortem::validate(&serde_json::from_str(&pm.to_string_json()).expect("parses"))
+        .expect("schema-valid postmortem");
+
     for h in handles {
-        let r = h
-            .join()
-            .expect("receiver panicked")
-            .expect("receiver completes");
-        assert_eq!(r.data, data);
+        let (r, rx_pm) = h.join().expect("receiver panicked");
+        assert_eq!(r.expect("receiver completes").data, data);
+        assert!(rx_pm.is_none(), "clean receivers yield no postmortem");
     }
 }

@@ -10,13 +10,20 @@
 //!    neighbor by more than one timer tick.
 //! 4. **Chaos** — concurrent faulted sessions in one mux uphold the same
 //!    degradation trichotomy the blocking chaos grid pins.
+//! 5. **Postmortems** — with `flight_capacity` set, every degraded or
+//!    errored session yields exactly one schema-valid postmortem; clean
+//!    sessions yield none.
+//! 6. **Telemetry determinism** — two identical farm runs under the
+//!    virtual clock export byte-identical windowed gauges.
 
+use std::sync::Arc;
 use std::time::Duration;
 
 use parity_multicast::mux::{Mux, MuxConfig, SessionOutcome, VirtualClock};
 use parity_multicast::net::{
     ChaosPreset, FaultyTransport, MemHub, PollTransport, Transcript, TranscriptTransport,
 };
+use parity_multicast::obs::{Postmortem, WindowConfig, WindowTelemetry};
 use parity_multicast::par::{available_workers, Pool};
 use parity_multicast::protocol::runtime::{
     drive_receiver, drive_sender, ReceiverReport, RuntimeConfig, SessionReport,
@@ -324,4 +331,156 @@ fn concurrent_chaos_sessions_uphold_the_degradation_trichotomy() {
             SessionOutcome::Sender(Err(_)) | SessionOutcome::Receiver(Err(_)) => {}
         }
     }
+}
+
+/// Build the chaos farm of `concurrent_chaos_sessions...` on `mux`.
+fn add_chaos_farm(mux: &mut Mux<Box<dyn PollTransport>, VirtualClock>) -> usize {
+    let rt = RuntimeConfig {
+        resilience: ResiliencePolicy {
+            eviction_timeout: Some(Duration::from_millis(500)),
+            ..ResiliencePolicy::default()
+        },
+        ..rt()
+    };
+    let presets = [
+        ChaosPreset::Light,
+        ChaosPreset::Heavy,
+        ChaosPreset::Light,
+        ChaosPreset::Heavy,
+    ];
+    for (i, preset) in presets.iter().enumerate() {
+        let i = i as u32;
+        let hub = MemHub::new();
+        let cfg = preset.fault_config();
+        let seed = 0xC4A0_6000 + i as u64;
+        let data = payload(1500 + 200 * i as usize);
+        mux.add_sender(
+            NpSender::new(i, &data, np_cfg()).expect("valid config"),
+            Box::new(FaultyTransport::new(hub.join(), cfg, seed)),
+            rt,
+        );
+        mux.add_receiver(
+            NpReceiver::new(100 + i, i, 0.001, seed ^ 1),
+            Box::new(FaultyTransport::new(hub.join(), cfg, seed ^ 2)),
+            rt,
+        );
+    }
+
+    // A guaranteed-degraded session: two receivers announced, one joins —
+    // the sender completes for the live one and evicts the ghost.
+    let hub = MemHub::new();
+    let mut cfg = np_cfg();
+    cfg.completion = CompletionPolicy::KnownReceivers(2);
+    mux.add_sender(
+        NpSender::new(50, &payload(2000), cfg).expect("valid config"),
+        Box::new(hub.join()),
+        rt,
+    );
+    mux.add_receiver(
+        NpReceiver::new(150, 50, 0.001, 77),
+        Box::new(hub.join()),
+        rt,
+    );
+
+    // A guaranteed-errored session: a sender alone on its hub stalls out
+    // (nobody ever joins, so it cannot even degrade).
+    let hub = MemHub::new();
+    mux.add_sender(
+        NpSender::new(51, &payload(1000), np_cfg()).expect("valid config"),
+        Box::new(hub.join()),
+        rt,
+    );
+
+    2 * presets.len() + 3
+}
+
+#[test]
+fn mux_postmortems_fire_exactly_once_per_degraded_session() {
+    let cfg = MuxConfig {
+        flight_capacity: Some(256),
+        ..MuxConfig::default()
+    };
+    let mut mux: Mux<Box<dyn PollTransport>, VirtualClock> = Mux::new(cfg, VirtualClock::new());
+    let sessions = add_chaos_farm(&mut mux);
+    let outcomes = mux.run();
+    assert_eq!(outcomes.len(), sessions);
+    let ledger = mux.take_postmortems();
+
+    let mut expected_ledger = 0usize;
+    let mut yielded = 0usize;
+    for (tok, out) in &outcomes {
+        match out {
+            SessionOutcome::Sender(Ok(rep)) => {
+                // Degraded rides the report, exactly as the blocking
+                // drive_sender_flight attaches it; clean carries nothing.
+                assert_eq!(
+                    rep.postmortem.is_some(),
+                    rep.is_degraded(),
+                    "sender {tok:?}: postmortem iff degraded"
+                );
+                if let Some(pm) = &rep.postmortem {
+                    assert_eq!(pm.outcome, "degraded");
+                    yielded += 1;
+                    Postmortem::validate(
+                        &serde_json::from_str(&pm.to_string_json()).expect("parses"),
+                    )
+                    .expect("schema-valid sender postmortem");
+                }
+                assert!(
+                    !ledger.iter().any(|(t, _)| t == tok),
+                    "sender {tok:?}: a reported session must not also be ledgered"
+                );
+            }
+            SessionOutcome::Receiver(Ok(_)) => {
+                assert!(
+                    !ledger.iter().any(|(t, _)| t == tok),
+                    "receiver {tok:?}: clean sessions yield no postmortem"
+                );
+            }
+            SessionOutcome::Sender(Err(_)) | SessionOutcome::Receiver(Err(_)) => {
+                expected_ledger += 1;
+                let entries: Vec<_> = ledger.iter().filter(|(t, _)| t == tok).collect();
+                assert_eq!(
+                    entries.len(),
+                    1,
+                    "{tok:?}: exactly one ledger postmortem per errored session"
+                );
+                let (_, pm) = entries[0];
+                yielded += 1;
+                Postmortem::validate(&serde_json::from_str(&pm.to_string_json()).expect("parses"))
+                    .expect("schema-valid ledger postmortem");
+            }
+        }
+    }
+    assert_eq!(ledger.len(), expected_ledger, "no orphan ledger entries");
+    assert!(
+        yielded > 0,
+        "the chaos farm must produce at least one degraded or errored session"
+    );
+}
+
+#[test]
+fn windowed_telemetry_is_deterministic_across_runs() {
+    let run = || {
+        let cfg = MuxConfig {
+            flight_capacity: Some(128),
+            ..MuxConfig::default()
+        };
+        let tel = Arc::new(WindowTelemetry::new(WindowConfig::default()));
+        let mut mux: Mux<Box<dyn PollTransport>, VirtualClock> = Mux::new(cfg, VirtualClock::new())
+            .with_obs(parity_multicast::obs::Obs::new(tel.clone()));
+        mux.bind_telemetry(tel.clone());
+        add_chaos_farm(&mut mux);
+        mux.run();
+        // Render to text so the comparison is byte-for-byte, bit-patterns
+        // of every f64 included.
+        tel.export_gauges()
+            .into_iter()
+            .map(|(name, v)| format!("{name} {v:?} {:016x}\n", v.to_bits()))
+            .collect::<String>()
+    };
+    let first = run();
+    let second = run();
+    assert!(!first.is_empty(), "telemetry must export something");
+    assert_eq!(first, second, "windowed gauges must be run-deterministic");
 }
