@@ -11,7 +11,7 @@
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
-use crate::rules::{Rule, Violation};
+use crate::rules::{Rule, Violation, UNSAFE_WAIVED_CRATES};
 
 /// rule name → crate name → violation count.
 pub type Counts = BTreeMap<String, BTreeMap<String, u64>>;
@@ -124,7 +124,9 @@ fn json_string(s: &str) -> String {
 /// Parse a baseline file. Accepts exactly the shape [`to_json`] writes
 /// (an object of objects of non-negative integers), with arbitrary
 /// whitespace. Unknown rule names are rejected so a typo cannot silently
-/// allowlist anything.
+/// allowlist anything, and a nonzero `unsafe-code` allowance is only
+/// accepted for crates in [`UNSAFE_WAIVED_CRATES`] — the unsafe boundary
+/// cannot be widened by editing the baseline alone.
 ///
 /// # Errors
 /// A human-readable description of the first syntax or schema problem.
@@ -157,6 +159,16 @@ pub fn parse(text: &str) -> Result<Counts, String> {
     p.skip_ws();
     if p.pos != p.bytes.len() {
         return Err(format!("trailing content at byte {}", p.pos));
+    }
+    if let Some(crates) = counts.get(Rule::UnsafeCode.name()) {
+        for (crate_name, &count) in crates {
+            if count > 0 && !UNSAFE_WAIVED_CRATES.contains(&crate_name.as_str()) {
+                return Err(format!(
+                    "baseline allows {count} unsafe-code violations in {crate_name}, but only \
+                     {UNSAFE_WAIVED_CRATES:?} may hold unsafe code"
+                ));
+            }
+        }
     }
     Ok(counts)
 }
@@ -321,6 +333,20 @@ mod tests {
     fn unknown_rule_rejected() {
         let err = parse(r#"{"no-such-rule": {"pm-gf": 1}}"#).unwrap_err();
         assert!(err.contains("unknown rule"), "{err}");
+    }
+
+    #[test]
+    fn unsafe_allowance_only_for_waived_crates() {
+        // The sanctioned boundary may carry a nonzero allowance…
+        assert!(parse(r#"{"unsafe-code": {"pm-simd": 40}}"#).is_ok());
+        // …a zero entry anywhere is harmless…
+        assert!(parse(r#"{"unsafe-code": {"pm-core": 0}}"#).is_ok());
+        // …but a nonzero allowance outside the waiver list is rejected.
+        let err = parse(r#"{"unsafe-code": {"pm-core": 1}}"#).unwrap_err();
+        assert!(
+            err.contains("pm-core") && err.contains("unsafe-code"),
+            "{err}"
+        );
     }
 
     #[test]

@@ -11,7 +11,7 @@
 //! | `determinism-hash-iter` | no `HashMap`/`HashSet` in pm-core/pm-sim/pm-loss deterministic state |
 //! | `rng-entropy` | every RNG is explicitly seeded — no `thread_rng`/`from_entropy`/`rand::random` |
 //! | `panic-surface` | `unwrap`/`expect`/panicking macros/indexing in pm-gf/pm-rse/pm-core are ratcheted down |
-//! | `unsafe-code` | no `unsafe` anywhere |
+//! | `unsafe-code` | no `unsafe` outside the waived pm-simd kernel boundary ([`rules::UNSAFE_WAIVED_CRATES`]) |
 //! | `event-vocabulary` | pm-obs `Event::name` and `EVENT_NAMES` (used by obs-check) cannot drift |
 //!
 //! Violations are counted per (rule, crate) and compared against the

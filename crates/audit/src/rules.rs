@@ -17,6 +17,16 @@ use std::collections::{BTreeMap, BTreeSet};
 
 use crate::lexer::{lex, Token, TokenKind};
 
+/// Crates whose `unsafe-code` count may be nonzero in the baseline.
+///
+/// pm-simd is the workspace's one sanctioned `unsafe` boundary: its SIMD
+/// kernels need raw loads/stores and target-feature intrinsics, every
+/// kernel is differentially proptested against the safe scalar reference,
+/// and `#![forbid(unsafe_code)]` stays in force everywhere else. The
+/// baseline parser rejects an `unsafe-code` allowance for any crate not
+/// listed here, so the waiver cannot silently widen.
+pub const UNSAFE_WAIVED_CRATES: &[&str] = &["pm-simd"];
+
 /// Every rule the auditor knows, in reporting order.
 pub const ALL_RULES: &[Rule] = &[
     Rule::DeterminismTime,
@@ -46,7 +56,9 @@ pub enum Rule {
     /// Panic paths in codec/protocol hot code (pm-gf, pm-rse, pm-core):
     /// `unwrap`/`expect`, panicking macros and direct indexing.
     PanicSurface,
-    /// Any `unsafe` token anywhere in the workspace.
+    /// Any `unsafe` token anywhere in the workspace. Fires in every crate
+    /// — including [`UNSAFE_WAIVED_CRATES`] — so the count stays visible;
+    /// the waiver only permits a baseline allowance for those crates.
     UnsafeCode,
     /// The pm-obs `Event::name` match and the `EVENT_NAMES` vocabulary
     /// const must list the same number of events (obs-check validates

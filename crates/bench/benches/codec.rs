@@ -9,14 +9,18 @@ use pm_rse::{CodeSpec, RseDecoder, RseEncoder};
 
 const PACKET: usize = 1024;
 
-fn group_data(k: usize) -> Vec<Vec<u8>> {
+fn group_data_sized(k: usize, packet: usize) -> Vec<Vec<u8>> {
     (0..k)
         .map(|i| {
-            (0..PACKET)
+            (0..packet)
                 .map(|b| ((i * 37 + b * 11) % 256) as u8)
                 .collect()
         })
         .collect()
+}
+
+fn group_data(k: usize) -> Vec<Vec<u8>> {
+    group_data_sized(k, PACKET)
 }
 
 fn bench_encode(c: &mut Criterion) {
@@ -79,6 +83,58 @@ fn bench_encode_kernels(c: &mut Criterion) {
         });
     });
     g.finish();
+}
+
+fn bench_backend_curves(c: &mut Criterion) {
+    // Scalar-vs-SIMD encode/decode curves for BENCH_codec.json: every
+    // backend this host can run, pinned explicitly via `with_kernels` so
+    // one process measures them all, at the paper's workhorse geometries
+    // across small/default/jumbo packets.
+    use pm_simd::{kernels_for, Backend};
+
+    let backends: Vec<&'static pm_simd::Kernels> = [Backend::Scalar, Backend::Avx2, Backend::Neon]
+        .into_iter()
+        .filter_map(kernels_for)
+        .collect();
+    for &(k, h) in &[(20usize, 10usize), (7, 1)] {
+        for &packet in &[256usize, 1024, 8192] {
+            let data = group_data_sized(k, packet);
+            let mut g = c.benchmark_group(format!("encode_backend/k{k}_h{h}_p{packet}"));
+            g.throughput(Throughput::Bytes((k * packet) as u64));
+            for kern in &backends {
+                let enc = RseEncoder::with_kernels(CodeSpec::new(k, h).unwrap(), kern).unwrap();
+                g.bench_function(kern.backend().name(), |b| {
+                    b.iter(|| enc.encode_all(std::hint::black_box(&data)).unwrap());
+                });
+            }
+            g.finish();
+
+            let lost = h.min(k);
+            let mut g = c.benchmark_group(format!("decode_backend/k{k}_h{h}_p{packet}"));
+            g.throughput(Throughput::Bytes((k * packet) as u64));
+            for kern in &backends {
+                let enc = RseEncoder::with_kernels(CodeSpec::new(k, h).unwrap(), kern).unwrap();
+                let dec = RseDecoder::from_encoder(&enc);
+                let parities = enc.encode_all(&data).unwrap();
+                let shares: Vec<(usize, &[u8])> = data
+                    .iter()
+                    .enumerate()
+                    .skip(lost)
+                    .map(|(i, d)| (i, d.as_slice()))
+                    .chain(
+                        parities
+                            .iter()
+                            .enumerate()
+                            .map(|(j, p)| (k + j, p.as_slice())),
+                    )
+                    .collect();
+                g.bench_function(kern.backend().name(), |b| {
+                    b.iter(|| dec.decode(std::hint::black_box(&shares)).unwrap());
+                });
+            }
+            g.finish();
+        }
+    }
 }
 
 fn bench_single_parity(c: &mut Criterion) {
@@ -202,6 +258,7 @@ criterion_group!(
     benches,
     bench_encode,
     bench_encode_kernels,
+    bench_backend_curves,
     bench_single_parity,
     bench_decode,
     bench_decode_repeat_pattern,

@@ -200,4 +200,26 @@ proptest! {
         }
         prop_assert_eq!(fast, slow);
     }
+
+    /// The staged-u64 remainder path: XOR on subslices starting at every
+    /// misaligned offset, for every remainder length 1..=7, leaves the bytes
+    /// outside the window untouched and matches bytewise XOR inside it.
+    #[test]
+    fn xor_remainder_boundaries_match_bytewise(
+        len in 0usize..41,
+        off in 0usize..9,
+        seed in any::<u64>(),
+    ) {
+        let total = off + len;
+        let src = bytes_from_seed(total, seed);
+        let orig = bytes_from_seed(total, seed ^ 0xF00D);
+        let mut fast = orig.clone();
+        slice::xor_slice(&mut fast[off..], &src[off..]);
+        let mut slow = orig.clone();
+        for i in off..total {
+            slow[i] ^= src[i];
+        }
+        prop_assert_eq!(&fast[..off], &orig[..off]);
+        prop_assert_eq!(fast, slow);
+    }
 }

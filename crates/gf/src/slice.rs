@@ -24,7 +24,10 @@ use crate::mul_table::mul_row;
 /// have equal size).
 pub fn xor_slice(dst: &mut [u8], src: &[u8]) {
     assert_eq!(dst.len(), src.len(), "xor_slice length mismatch");
-    // Wide XOR on aligned middle chunks; bytewise head/tail.
+    // Wide XOR on 8-byte chunks; the 1..=7-byte remainder goes through one
+    // more u64 via zero-padded staging buffers (XOR with the padding zeros
+    // is a no-op) instead of a byte-at-a-time loop, so misaligned tails pay
+    // one wide op rather than up to seven scalar ones.
     let n = dst.len();
     let chunks = n / 8;
     for i in 0..chunks {
@@ -33,8 +36,21 @@ pub fn xor_slice(dst: &mut [u8], src: &[u8]) {
         let b = u64::from_ne_bytes(src[o..o + 8].try_into().unwrap());
         dst[o..o + 8].copy_from_slice(&(a ^ b).to_ne_bytes());
     }
-    for i in chunks * 8..n {
-        dst[i] ^= src[i];
+    if chunks * 8 < n {
+        let tail = dst.split_at_mut(chunks * 8).1;
+        let stail = src.split_at(chunks * 8).1;
+        let mut a = [0u8; 8];
+        let mut b = [0u8; 8];
+        for (pad, &d) in a.iter_mut().zip(tail.iter()) {
+            *pad = d;
+        }
+        for (pad, &s) in b.iter_mut().zip(stail) {
+            *pad = s;
+        }
+        let x = (u64::from_ne_bytes(a) ^ u64::from_ne_bytes(b)).to_ne_bytes();
+        for (d, &v) in tail.iter_mut().zip(&x) {
+            *d = v;
+        }
     }
 }
 

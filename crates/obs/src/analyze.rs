@@ -16,7 +16,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use crate::check::{validate_trace, Census, TraceError};
 
 /// The `(k, h, R, p)` a trace's `session_config` event recorded.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SessionConfigInfo {
     /// Data packets per transmission group.
     pub k: u32,
@@ -26,6 +26,9 @@ pub struct SessionConfigInfo {
     pub receivers: u32,
     /// Configured packet-loss probability.
     pub loss: f64,
+    /// Codec kernel backend the producer reported ("scalar", "avx2",
+    /// "neon"), absent in traces predating the field.
+    pub backend: Option<String>,
 }
 
 /// Everything measured about one session in a trace.
@@ -237,6 +240,10 @@ pub fn analyze_trace(text: &str) -> Result<TraceAnalysis, TraceError> {
                         h,
                         receivers,
                         loss,
+                        backend: v
+                            .get("backend")
+                            .and_then(|b| b.as_str())
+                            .map(str::to_string),
                     });
                 }
             }
@@ -291,7 +298,8 @@ mod tests {
         trace.push_str(&line(
             0.0,
             "session_config",
-            "\"session\": 1, \"k\": 4, \"h\": 2, \"receivers\": 3, \"loss\": 0.1",
+            "\"session\": 1, \"k\": 4, \"h\": 2, \"receivers\": 3, \"loss\": 0.1, \
+             \"backend\": \"avx2\"",
         ));
         trace.push('\n');
         // 4 distinct data packets, one retransmitted, plus 2 parities:
@@ -325,9 +333,10 @@ mod tests {
         assert_eq!(s.data_tx, 5);
         assert_eq!(s.parity_tx, 2);
         assert!((s.measured_em().unwrap() - 1.75).abs() < 1e-12);
-        let cfg = s.config.unwrap();
+        let cfg = s.config.clone().unwrap();
         assert_eq!((cfg.k, cfg.h, cfg.receivers), (4, 2, 3));
         assert!((cfg.loss - 0.1).abs() < 1e-12);
+        assert_eq!(cfg.backend.as_deref(), Some("avx2"));
     }
 
     #[test]

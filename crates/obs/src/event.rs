@@ -462,6 +462,10 @@ pub enum Event {
         receivers: u32,
         /// Per-packet loss probability `p` of the environment.
         loss: f64,
+        /// Codec kernel backend the producer dispatched to
+        /// (`pm_simd::backend_name()`: "scalar", "avx2", "neon"), so a
+        /// trace's throughput numbers are attributable to a kernel.
+        backend: &'static str,
     },
     /// A windowed-telemetry sample for one session: the sliding-window
     /// rates at `t` (see `pm_obs::window`). The live counterpart of the
@@ -840,12 +844,14 @@ impl Event {
                 h,
                 receivers,
                 loss,
+                backend,
             } => {
                 num!("session", *session as f64);
                 num!("k", *k as f64);
                 num!("h", *h as f64);
                 num!("receivers", *receivers as f64);
                 num!("loss", *loss);
+                m.push(("backend".into(), Value::String((*backend).into())));
             }
             Event::WindowSample {
                 session,
@@ -1047,6 +1053,7 @@ mod tests {
                 h: 40,
                 receivers: 16,
                 loss: 0.05,
+                backend: "scalar",
             },
             Event::WindowSample {
                 session: 1,

@@ -15,9 +15,9 @@
 //! (which block indices supplied the `k` equations); a repeat pattern skips
 //! the O(k^3) inversion entirely.
 
-use pm_gf::slice::mul_add_slice;
 use pm_gf::{Gf256, Matrix};
 use pm_obs::{Counter, Histogram, SpanTimer};
+use pm_simd::Kernels;
 
 use std::sync::{Arc, Mutex};
 
@@ -47,6 +47,8 @@ pub struct CacheStats {
 #[derive(Debug)]
 pub struct RseDecoder {
     spec: CodeSpec,
+    /// Backend-dispatched slice kernels, inherited from the encoder.
+    kernels: &'static Kernels,
     /// Parity rows of the systematic generator, `h x k` (dummy 1 x k if h=0).
     parity_rows: Matrix,
     /// MRU-first LRU of `(selection bitmask, inverted matrix)`.
@@ -65,6 +67,7 @@ impl Clone for RseDecoder {
         let entries = self.inverse_cache.lock().expect("cache lock").clone();
         RseDecoder {
             spec: self.spec,
+            kernels: self.kernels,
             parity_rows: self.parity_rows.clone(),
             inverse_cache: Mutex::new(entries),
             cache_hits: self.cache_hits.clone(),
@@ -94,6 +97,7 @@ impl RseDecoder {
         };
         RseDecoder {
             spec,
+            kernels: enc.kernels(),
             parity_rows: rows,
             inverse_cache: Mutex::new(Vec::new()),
             cache_hits: Counter::new(),
@@ -259,18 +263,21 @@ impl RseDecoder {
         // loss pattern).
         let inv = self.inverse_for(&selected)?;
 
-        // d_i = sum_j inv[i][j] * y_j, computed only for missing rows.
+        // d_i = sum_j inv[i][j] * y_j, computed only for missing rows, each
+        // as one batched multi-source pass (up to four shares per read-
+        // modify-write of the output row).
         for &i in &missing {
+            let sources: Vec<(Gf256, &[u8])> = selected
+                .iter()
+                .enumerate()
+                .filter(|(j, _)| !inv[(i, *j)].is_zero())
+                .map(|(j, &share_idx)| {
+                    let payload = slots[share_idx].expect("selected shares are present");
+                    (inv[(i, j)], payload)
+                })
+                .collect();
             // `out[i]` is already zeroed.
-            for (j, &share_idx) in selected.iter().enumerate() {
-                let coeff = inv[(i, j)];
-                if coeff.is_zero() {
-                    continue;
-                }
-                let payload = slots[share_idx].expect("selected shares are present");
-                // Split-borrow is safe: we only write row i.
-                mul_add_slice(coeff, payload, &mut out[i]);
-            }
+            self.kernels.mul_add_multi(&sources, &mut out[i]);
         }
         Ok(out)
     }

@@ -3,6 +3,7 @@
 use std::fmt;
 
 use pm_gf::GfError;
+use pm_simd::DispatchError;
 
 /// Errors raised by encoding, decoding and block accumulation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -28,6 +29,10 @@ pub enum RseError {
     /// Underlying field/matrix failure (not reachable with validated specs;
     /// surfaced rather than panicking).
     Gf(GfError),
+    /// `PM_SIMD`-driven kernel dispatch failed (unknown value, or a forced
+    /// backend this host cannot run). Surfaces at codec construction, so a
+    /// misconfigured environment fails loudly before any data moves.
+    Dispatch(DispatchError),
     /// An internal invariant of this crate was violated — a bug, surfaced
     /// as a typed error instead of a panic so the public decode APIs stay
     /// total even when the impossible happens.
@@ -62,6 +67,7 @@ impl fmt::Display for RseError {
                 write!(f, "encoder expects {expected} data packets, got {got}")
             }
             RseError::Gf(e) => write!(f, "field arithmetic error: {e}"),
+            RseError::Dispatch(e) => write!(f, "codec kernel dispatch failed: {e}"),
             RseError::Internal(what) => {
                 write!(f, "internal invariant violated (bug in pm-rse): {what}")
             }
@@ -73,6 +79,7 @@ impl std::error::Error for RseError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             RseError::Gf(e) => Some(e),
+            RseError::Dispatch(e) => Some(e),
             _ => None,
         }
     }
@@ -81,5 +88,11 @@ impl std::error::Error for RseError {
 impl From<GfError> for RseError {
     fn from(e: GfError) -> Self {
         RseError::Gf(e)
+    }
+}
+
+impl From<DispatchError> for RseError {
+    fn from(e: DispatchError) -> Self {
+        RseError::Dispatch(e)
     }
 }

@@ -15,8 +15,8 @@
 //! (they reduce to a zero row) and reported as
 //! [`AddOutcome::Redundant`] instead of silently wasting buffer space.
 
-use pm_gf::slice::{mul_add_multi, mul_add_slice, scale_slice};
 use pm_gf::Gf256;
+use pm_simd::Kernels;
 
 use crate::code::CodeSpec;
 use crate::encoder::RseEncoder;
@@ -41,6 +41,8 @@ pub enum AddOutcome {
 /// Online Gauss–Jordan decoder for one transmission group.
 pub struct IncrementalDecoder {
     spec: CodeSpec,
+    /// Backend-dispatched slice kernels, inherited from the encoder.
+    kernels: &'static Kernels,
     /// Generator parity rows (shared orientation with the encoder).
     parity_rows: Vec<Vec<Gf256>>,
     /// Pivot rows by leading column: `(coefficients, payload)`. Rows are
@@ -69,6 +71,7 @@ impl IncrementalDecoder {
             .collect();
         IncrementalDecoder {
             spec,
+            kernels: enc.kernels(),
             parity_rows,
             pivots: vec![None; spec.k()],
             rank: 0,
@@ -154,7 +157,7 @@ impl IncrementalDecoder {
                     for (rc, &pv) in row.iter_mut().zip(prow.iter()).skip(col) {
                         *rc += factor * pv;
                     }
-                    mul_add_slice(factor, ppayload, &mut data);
+                    self.kernels.mul_add_slice(factor, ppayload, &mut data);
                 }
                 Some(None) => {
                     // New pivot: normalize to a leading 1 and store.
@@ -164,7 +167,7 @@ impl IncrementalDecoder {
                     for c in row.iter_mut().skip(col) {
                         *c *= inv;
                     }
-                    scale_slice(inv, &mut data);
+                    self.kernels.scale_slice(inv, &mut data);
                     *self
                         .pivots
                         .get_mut(col)
@@ -219,7 +222,7 @@ impl IncrementalDecoder {
                     .ok_or(RseError::Internal("rank k implies every pivot present"))?;
                 sources.push((coeff, p.as_slice()));
             }
-            mul_add_multi(&sources, payload_i);
+            self.kernels.mul_add_multi(&sources, payload_i);
             for c in row_i.iter_mut().skip(i + 1) {
                 *c = Gf256::ZERO;
             }

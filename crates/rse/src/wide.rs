@@ -16,6 +16,7 @@
 //! `n <= 255`.
 
 use pm_gf::{GfError, GfField};
+use pm_simd::{try_kernels, Kernels, WideCoeff};
 
 use crate::error::RseError;
 
@@ -169,49 +170,9 @@ impl WideMatrix {
     }
 }
 
-/// Multiplication-by-`c` split tables over GF(2^16).
-///
-/// A full 2^16 x 2^16 product table is infeasible (8 GiB), but any symbol
-/// splits into bytes — `x = xh << 8 | xl` — and linearity over GF(2) gives
-/// `c * x = c * xl ^ c * (xh << 8)`. Two 256-entry sub-tables therefore
-/// replace the exp/log multiply with two lookups and a XOR, the 16-bit
-/// analogue of the GF(2^8) mul-table row cache.
-struct WideRow {
-    /// `lo[b] = c * b`.
-    lo: [u16; 256],
-    /// `hi[b] = c * (b << 8)`.
-    hi: [u16; 256],
-}
-
-impl WideRow {
-    fn build(field: &GfField, c: u16) -> WideRow {
-        let mut lo = [0u16; 256];
-        let mut hi = [0u16; 256];
-        for b in 0..256u16 {
-            lo[b as usize] = field.mul(c, b);
-            hi[b as usize] = field.mul(c, b << 8);
-        }
-        WideRow { lo, hi }
-    }
-
-    /// `c * sym` via the split tables.
-    #[inline]
-    fn mul(&self, sym: u16) -> u16 {
-        self.lo[(sym & 0xff) as usize] ^ self.hi[(sym >> 8) as usize]
-    }
-}
-
-/// Accumulate `dst ^= c * src` over big-endian `u16` symbols using a
-/// [`WideRow`].
-fn wide_mul_add(row: &WideRow, bytes: &[u8], dst: &mut [u16]) {
-    for (s, o) in dst.iter_mut().enumerate() {
-        let sym = u16::from_be_bytes([bytes[2 * s], bytes[2 * s + 1]]);
-        *o ^= row.mul(sym);
-    }
-}
-
-/// Building a [`WideRow`] costs 512 field multiplications; below this many
-/// symbols per packet the decoder multiplies directly through exp/log.
+/// Building a [`WideCoeff`] costs 576 field multiplications (512 split-table
+/// entries plus 64 SIMD nibble-table entries); below this many symbols per
+/// packet the decoder multiplies directly through exp/log.
 const WIDE_ROW_MIN_SYMBOLS: usize = 64;
 
 /// Shared generator state for the wide encoder/decoder.
@@ -222,7 +183,10 @@ pub struct WideCodec {
     parity_rows: WideMatrix,
     /// Per-coefficient split tables for the fixed parity rows, row-major
     /// `h x k` (empty when h = 0). ~1 KB per coefficient.
-    coeff_rows: Vec<WideRow>,
+    coeff_rows: Vec<WideCoeff>,
+    /// Backend-dispatched slice kernels (the GF(2^16) vectorized path exists
+    /// on AVX2; other backends fall back to split-table scalar code).
+    kernels: &'static Kernels,
 }
 
 impl WideCodec {
@@ -230,8 +194,11 @@ impl WideCodec {
     /// noticeable for `k` in the thousands; build once, reuse).
     ///
     /// # Errors
-    /// Spec validation; field construction cannot fail for m = 16.
+    /// Spec validation or [`RseError::Dispatch`] when `PM_SIMD` names an
+    /// unknown or unavailable backend; field construction cannot fail for
+    /// m = 16.
     pub fn new(spec: WideCodeSpec) -> Result<Self, RseError> {
+        let kernels = try_kernels()?;
         let field = GfField::new(16)?;
         let (k, n) = (spec.k(), spec.n());
         // Vandermonde over alpha^0 .. alpha^(n-1), systematised.
@@ -267,7 +234,7 @@ impl WideCodec {
         const WIDE_COEFF_CACHE_MAX: usize = 8192;
         let coeff_rows = if spec.h() > 0 && spec.h() * k <= WIDE_COEFF_CACHE_MAX {
             (0..spec.h() * k)
-                .map(|idx| WideRow::build(&field, parity_rows.data[idx]))
+                .map(|idx| WideCoeff::new(&field, parity_rows.data[idx]))
                 .collect()
         } else {
             Vec::new()
@@ -277,6 +244,7 @@ impl WideCodec {
             field,
             parity_rows,
             coeff_rows,
+            kernels,
         })
     }
 
@@ -334,10 +302,11 @@ impl WideCodec {
             }
             let bytes = d.as_ref();
             if !self.coeff_rows.is_empty() {
-                wide_mul_add(&self.coeff_rows[j * k + i], bytes, &mut out);
+                self.kernels
+                    .wide_mul_add(&self.coeff_rows[j * k + i], bytes, &mut out);
             } else if symbols >= WIDE_ROW_MIN_SYMBOLS {
-                let row = WideRow::build(&self.field, coeff);
-                wide_mul_add(&row, bytes, &mut out);
+                let tab = WideCoeff::new(&self.field, coeff);
+                self.kernels.wide_mul_add(&tab, bytes, &mut out);
             } else {
                 for (s, o) in out.iter_mut().enumerate() {
                     let sym = u16::from_be_bytes([bytes[2 * s], bytes[2 * s + 1]]);
@@ -449,10 +418,10 @@ impl WideCodec {
                 }
                 let bytes = slots[share_idx].expect("selected shares present");
                 if symbols >= WIDE_ROW_MIN_SYMBOLS {
-                    // Amortise: 512 mults to build the split tables beat
+                    // Amortise: 576 mults to build the split tables beat
                     // one exp/log mult per symbol on long packets.
-                    let row = WideRow::build(&self.field, coeff);
-                    wide_mul_add(&row, bytes, &mut acc);
+                    let tab = WideCoeff::new(&self.field, coeff);
+                    self.kernels.wide_mul_add(&tab, bytes, &mut acc);
                 } else {
                     for (s, a) in acc.iter_mut().enumerate() {
                         let sym = u16::from_be_bytes([bytes[2 * s], bytes[2 * s + 1]]);

@@ -392,6 +392,7 @@ pub fn run_env_par_traced(
         h,
         receivers: receivers as u32,
         loss: env.mean_loss(),
+        backend: pm_simd::backend_name(),
     });
     let label = scheme.label();
     let res = TrialCtx {
@@ -647,10 +648,15 @@ mod tests {
         assert_eq!(events.len(), 42);
         match &events[0].1 {
             Event::SessionConfig {
-                k, h, receivers, ..
+                k,
+                h,
+                receivers,
+                backend,
+                ..
             } => {
                 assert_eq!((*k, *h), (3, 0));
                 assert_eq!(*receivers, 4);
+                assert_eq!(*backend, pm_simd::backend_name());
             }
             other => panic!("expected SessionConfig, got {other:?}"),
         }

@@ -1,0 +1,283 @@
+//! AVX2 nibble-split kernels: 32 GF(2^8) products per shuffle pair.
+//!
+//! Each step loads 32 source bytes, splits them into nibbles, and resolves
+//! both halves through `_mm256_shuffle_epi8` against the coefficient's
+//! broadcast 16-entry lo/hi tables:
+//!
+//! ```text
+//! prod = shuffle(lo_t, s & 0x0f) ^ shuffle(hi_t, (s >> 4) & 0x0f)
+//! ```
+//!
+//! Sub-32-byte tails fall back to the coefficient's 256-entry scalar row, so
+//! arbitrary lengths and unaligned buffers work; all loads/stores are
+//! unaligned (`loadu`/`storeu`).
+//!
+//! # Safety
+//!
+//! The public wrappers call `#[target_feature(enable = "avx2")]` functions,
+//! which is sound only on AVX2 hosts. They are reachable solely through the
+//! `AVX2_KERNELS` vtable, and `kernels_for` refuses to hand that out unless
+//! `is_x86_feature_detected!("avx2")` holds. The kernels index raw pointers
+//! at 32-byte granularity; the `Kernels` methods assert the length
+//! preconditions (`src.len() == dst.len()`, and `2 * dst.len()` for the wide
+//! kernel) before the pointers are formed.
+
+#[cfg(target_arch = "x86")]
+use core::arch::x86::*;
+#[cfg(target_arch = "x86_64")]
+use core::arch::x86_64::*;
+
+use crate::{CoeffTables, WideCoeff};
+
+pub(crate) fn xor(dst: &mut [u8], src: &[u8]) {
+    // SAFETY: only reachable via the AVX2 vtable, selected after runtime
+    // feature detection.
+    unsafe { xor_avx2(dst, src) }
+}
+
+pub(crate) fn mul_add(t: &CoeffTables, src: &[u8], dst: &mut [u8]) {
+    // SAFETY: as above — AVX2 was detected before this vtable existed.
+    unsafe { mul_add_avx2(t, src, dst) }
+}
+
+pub(crate) fn mul(t: &CoeffTables, src: &[u8], dst: &mut [u8]) {
+    // SAFETY: as above.
+    unsafe { mul_avx2(t, src, dst) }
+}
+
+pub(crate) fn scale(t: &CoeffTables, data: &mut [u8]) {
+    // SAFETY: as above.
+    unsafe { scale_avx2(t, data) }
+}
+
+pub(crate) fn mul_add_multi_rows(sources: &[(CoeffTables, &[u8])], dst: &mut [u8]) {
+    // SAFETY: as above.
+    unsafe { mul_add_multi_rows_avx2(sources, dst) }
+}
+
+pub(crate) fn wide_mul_add(t: &WideCoeff, src: &[u8], dst: &mut [u16]) {
+    // SAFETY: as above.
+    unsafe { wide_mul_add_avx2(t, src, dst) }
+}
+
+/// Broadcast a coefficient's 16-byte lo/hi nibble tables to both 128-bit
+/// lanes, matching `_mm256_shuffle_epi8`'s per-lane indexing.
+#[inline]
+#[target_feature(enable = "avx2")]
+fn broadcast_tables(nib: &[u8; 32]) -> (__m256i, __m256i) {
+    // SAFETY: `nib` is 32 readable bytes; unaligned loads.
+    let (lo, hi) = unsafe {
+        (
+            _mm_loadu_si128(nib.as_ptr() as *const __m128i),
+            _mm_loadu_si128(nib.as_ptr().add(16) as *const __m128i),
+        )
+    };
+    (
+        _mm256_broadcastsi128_si256(lo),
+        _mm256_broadcastsi128_si256(hi),
+    )
+}
+
+/// 32 parallel GF(2^8) products of `s` by the tables' coefficient.
+#[inline]
+#[target_feature(enable = "avx2")]
+fn product32(lo_t: __m256i, hi_t: __m256i, s: __m256i) -> __m256i {
+    let mask = _mm256_set1_epi8(0x0f);
+    let lo = _mm256_and_si256(s, mask);
+    // No epi8 shift exists; shift wider lanes and mask the stray bits away.
+    let hi = _mm256_and_si256(_mm256_srli_epi64::<4>(s), mask);
+    _mm256_xor_si256(_mm256_shuffle_epi8(lo_t, lo), _mm256_shuffle_epi8(hi_t, hi))
+}
+
+#[target_feature(enable = "avx2")]
+fn xor_avx2(dst: &mut [u8], src: &[u8]) {
+    let n = dst.len();
+    let mut o = 0;
+    while o + 32 <= n {
+        // SAFETY: o + 32 <= n and the wrapper asserted src.len() == n.
+        unsafe {
+            let d = _mm256_loadu_si256(dst.as_ptr().add(o) as *const __m256i);
+            let s = _mm256_loadu_si256(src.as_ptr().add(o) as *const __m256i);
+            _mm256_storeu_si256(
+                dst.as_mut_ptr().add(o) as *mut __m256i,
+                _mm256_xor_si256(d, s),
+            );
+        }
+        o += 32;
+    }
+    pm_gf::slice::xor_slice(&mut dst[o..], &src[o..]);
+}
+
+#[target_feature(enable = "avx2")]
+fn mul_add_avx2(t: &CoeffTables, src: &[u8], dst: &mut [u8]) {
+    let n = dst.len();
+    let (lo_t, hi_t) = broadcast_tables(t.nib());
+    let mut o = 0;
+    while o + 32 <= n {
+        // SAFETY: o + 32 <= n and the wrapper asserted src.len() == n.
+        unsafe {
+            let s = _mm256_loadu_si256(src.as_ptr().add(o) as *const __m256i);
+            let d = _mm256_loadu_si256(dst.as_ptr().add(o) as *const __m256i);
+            _mm256_storeu_si256(
+                dst.as_mut_ptr().add(o) as *mut __m256i,
+                _mm256_xor_si256(d, product32(lo_t, hi_t, s)),
+            );
+        }
+        o += 32;
+    }
+    let row = t.row();
+    for (d, s) in dst[o..].iter_mut().zip(&src[o..]) {
+        *d ^= row[*s as usize];
+    }
+}
+
+#[target_feature(enable = "avx2")]
+fn mul_avx2(t: &CoeffTables, src: &[u8], dst: &mut [u8]) {
+    let n = dst.len();
+    let (lo_t, hi_t) = broadcast_tables(t.nib());
+    let mut o = 0;
+    while o + 32 <= n {
+        // SAFETY: o + 32 <= n and the wrapper asserted src.len() == n.
+        unsafe {
+            let s = _mm256_loadu_si256(src.as_ptr().add(o) as *const __m256i);
+            _mm256_storeu_si256(
+                dst.as_mut_ptr().add(o) as *mut __m256i,
+                product32(lo_t, hi_t, s),
+            );
+        }
+        o += 32;
+    }
+    let row = t.row();
+    for (d, s) in dst[o..].iter_mut().zip(&src[o..]) {
+        *d = row[*s as usize];
+    }
+}
+
+#[target_feature(enable = "avx2")]
+fn scale_avx2(t: &CoeffTables, data: &mut [u8]) {
+    let n = data.len();
+    let (lo_t, hi_t) = broadcast_tables(t.nib());
+    let mut o = 0;
+    while o + 32 <= n {
+        // SAFETY: o + 32 <= n.
+        unsafe {
+            let d = _mm256_loadu_si256(data.as_ptr().add(o) as *const __m256i);
+            _mm256_storeu_si256(
+                data.as_mut_ptr().add(o) as *mut __m256i,
+                product32(lo_t, hi_t, d),
+            );
+        }
+        o += 32;
+    }
+    let row = t.row();
+    for d in data[o..].iter_mut() {
+        *d = row[*d as usize];
+    }
+}
+
+#[target_feature(enable = "avx2")]
+fn mul_add_multi_rows_avx2(sources: &[(CoeffTables, &[u8])], dst: &mut [u8]) {
+    let n = dst.len();
+    // Mirror the scalar kernel's grouping: up to four sources per
+    // destination pass, so each parity vector is loaded and stored once per
+    // group instead of once per coefficient.
+    for group in sources.chunks(4) {
+        let mut lo_t = [_mm256_setzero_si256(); 4];
+        let mut hi_t = lo_t;
+        for (i, (t, _)) in group.iter().enumerate() {
+            let (lo, hi) = broadcast_tables(t.nib());
+            lo_t[i] = lo;
+            hi_t[i] = hi;
+        }
+        let mut o = 0;
+        while o + 32 <= n {
+            // SAFETY: o + 32 <= n and the wrapper asserted every source
+            // length equals n.
+            unsafe {
+                let mut acc = _mm256_loadu_si256(dst.as_ptr().add(o) as *const __m256i);
+                for (i, (_, src)) in group.iter().enumerate() {
+                    let s = _mm256_loadu_si256(src.as_ptr().add(o) as *const __m256i);
+                    acc = _mm256_xor_si256(acc, product32(lo_t[i], hi_t[i], s));
+                }
+                _mm256_storeu_si256(dst.as_mut_ptr().add(o) as *mut __m256i, acc);
+            }
+            o += 32;
+        }
+        for (i, d) in dst[o..].iter_mut().enumerate() {
+            let mut b = *d;
+            for (t, src) in group {
+                b ^= t.row()[src[o + i] as usize];
+            }
+            *d = b;
+        }
+    }
+}
+
+#[target_feature(enable = "avx2")]
+fn wide_mul_add_avx2(t: &WideCoeff, src: &[u8], dst: &mut [u16]) {
+    // 16 big-endian GF(2^16) symbols per 32-byte load. Even byte positions
+    // hold a value's high byte (nibbles n3n2), odd positions its low byte
+    // (n1n0); nibble table i maps n to c·(n << 4i), split into low/high
+    // result bytes. Per u16 lane, the even-position contribution sits in
+    // the lane's low byte and the odd-position one in its high byte, so one
+    // mask and one lane shift recombine them into a full result byte.
+    let symbols = dst.len();
+    let mut tl = [_mm256_setzero_si256(); 4];
+    let mut th = tl;
+    for i in 0..4 {
+        // SAFETY: each nibble table is 16 readable bytes.
+        unsafe {
+            tl[i] = _mm256_broadcastsi128_si256(_mm_loadu_si128(
+                t.nib_lo[i].as_ptr() as *const __m128i
+            ));
+            th[i] = _mm256_broadcastsi128_si256(_mm_loadu_si128(
+                t.nib_hi[i].as_ptr() as *const __m128i
+            ));
+        }
+    }
+    let mask = _mm256_set1_epi8(0x0f);
+    let byte_lo = _mm256_set1_epi16(0x00ff);
+    let mut s = 0;
+    while s + 16 <= symbols {
+        // SAFETY: the wrapper asserted src.len() == 2 * symbols, and
+        // s + 16 <= symbols bounds both the 32-byte source load and the
+        // 16-word destination access.
+        unsafe {
+            let v = _mm256_loadu_si256(src.as_ptr().add(2 * s) as *const __m256i);
+            let vl = _mm256_and_si256(v, mask);
+            let vh = _mm256_and_si256(_mm256_srli_epi64::<4>(v), mask);
+            // Low result byte of every product.
+            let even = _mm256_xor_si256(
+                _mm256_shuffle_epi8(tl[2], vl),
+                _mm256_shuffle_epi8(tl[3], vh),
+            );
+            let odd = _mm256_xor_si256(
+                _mm256_shuffle_epi8(tl[0], vl),
+                _mm256_shuffle_epi8(tl[1], vh),
+            );
+            let r_lo =
+                _mm256_xor_si256(_mm256_and_si256(even, byte_lo), _mm256_srli_epi16::<8>(odd));
+            // High result byte, same recombination against the hi tables.
+            let even_h = _mm256_xor_si256(
+                _mm256_shuffle_epi8(th[2], vl),
+                _mm256_shuffle_epi8(th[3], vh),
+            );
+            let odd_h = _mm256_xor_si256(
+                _mm256_shuffle_epi8(th[0], vl),
+                _mm256_shuffle_epi8(th[1], vh),
+            );
+            let r_hi = _mm256_xor_si256(
+                _mm256_and_si256(even_h, byte_lo),
+                _mm256_srli_epi16::<8>(odd_h),
+            );
+            let r = _mm256_or_si256(r_lo, _mm256_slli_epi16::<8>(r_hi));
+            let dp = dst.as_mut_ptr().add(s) as *mut __m256i;
+            let d = _mm256_loadu_si256(dp as *const __m256i);
+            _mm256_storeu_si256(dp, _mm256_xor_si256(d, r));
+        }
+        s += 16;
+    }
+    for (d, pair) in dst[s..].iter_mut().zip(src[2 * s..].chunks_exact(2)) {
+        *d ^= t.lo[pair[1] as usize] ^ t.hi[pair[0] as usize];
+    }
+}

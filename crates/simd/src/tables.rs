@@ -1,0 +1,50 @@
+//! Process-wide nibble-split table cache.
+//!
+//! Each GF(2^8) coefficient `c` expands to two 16-entry lookup tables laid
+//! out back to back in one 32-byte row: bytes 0..16 hold `c·x` for the low
+//! source nibble `x`, bytes 16..32 hold `c·(x<<4)` for the high nibble, so a
+//! full product is `lo[s & 0xf] ^ hi[s >> 4]`. All 256 coefficients fit in
+//! 8 KB, built once on first use — the same lazily-shared shape as
+//! `pm-gf`'s 64 KB `MulTable`, and the layout the SIMD backends broadcast
+//! straight into vector registers.
+
+use std::sync::OnceLock;
+
+use pm_gf::gf256::Gf256;
+
+static NIB_TABLES: OnceLock<Box<[[u8; 32]; 256]>> = OnceLock::new();
+
+pub(crate) fn nib_tables(c: Gf256) -> &'static [u8; 32] {
+    let all = NIB_TABLES.get_or_init(|| {
+        let mut t = Box::new([[0u8; 32]; 256]);
+        for (coeff, row) in t.iter_mut().enumerate() {
+            let c = Gf256(coeff as u8);
+            for x in 0..16u8 {
+                row[x as usize] = (c * Gf256(x)).0;
+                row[16 + x as usize] = (c * Gf256(x << 4)).0;
+            }
+        }
+        t
+    });
+    &all[c.0 as usize]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nibble_split_reconstructs_full_products() {
+        for c in [0u8, 1, 2, 3, 29, 76, 143, 255] {
+            let nib = nib_tables(Gf256(c));
+            for x in 0..=255u8 {
+                let split = nib[(x & 0x0f) as usize] ^ nib[16 + (x >> 4) as usize];
+                assert_eq!(
+                    split,
+                    (Gf256(c) * Gf256(x)).0,
+                    "c={c} x={x}: lo/hi split disagrees with field product"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,10 @@
+//! `PM_SIMD=auto` (and unset) resolves to the best backend the host
+//! supports — the same answer `Backend::detect()` gives.
+
+use pm_simd::{kernels, Backend, ENV_VAR};
+
+#[test]
+fn auto_matches_detection() {
+    std::env::set_var(ENV_VAR, "auto");
+    assert_eq!(kernels().backend(), Backend::detect());
+}

@@ -1,0 +1,23 @@
+//! Forcing a backend the host cannot run is a typed `Unavailable` error,
+//! not a crash in the first kernel call.
+
+#[cfg(not(target_arch = "aarch64"))]
+#[test]
+fn forcing_neon_off_aarch64_errors() {
+    use pm_simd::{try_kernels, Backend, DispatchError, ENV_VAR};
+
+    std::env::set_var(ENV_VAR, "neon");
+    match try_kernels() {
+        Err(DispatchError::Unavailable { backend }) => assert_eq!(backend, Backend::Neon),
+        other => panic!("expected Unavailable, got {other:?}"),
+    }
+}
+
+#[cfg(target_arch = "aarch64")]
+#[test]
+fn forcing_neon_on_aarch64_succeeds() {
+    use pm_simd::{kernels, Backend, ENV_VAR};
+
+    std::env::set_var(ENV_VAR, "neon");
+    assert_eq!(kernels().backend(), Backend::Neon);
+}

@@ -166,6 +166,7 @@ fn run_farm(
             h: cfg.h as u32,
             receivers: 1,
             loss,
+            backend: pm_simd::backend_name(),
         });
         let sender = NpSender::new(session, data, cfg.clone()).expect("valid sender config");
         mux.add_sender(sender, Box::new(hub.join()), rt);
@@ -368,6 +369,7 @@ fn main() {
         h: cfg.h as u32,
         receivers: args.receivers,
         loss: fault.drop,
+        backend: pm_simd::backend_name(),
     });
     type ReceiverOutcome = (
         Result<ReceiverReport, ProtocolError>,

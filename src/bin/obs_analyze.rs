@@ -84,7 +84,7 @@ fn parse_args() -> Result<Args, ExitCode> {
 /// Analytic E\[M\] at the session's recorded `(k, h, R, p)`, reactive
 /// parities only (`a = 0`) — the NP operating point of Section 3.
 fn compare_session(id: u32, sess: &SessionAnalysis) -> Option<Comparison> {
-    let cfg = sess.config?;
+    let cfg = sess.config.as_ref()?;
     let measured = sess.measured_em()?;
     if cfg.receivers == 0 {
         return None;
@@ -113,10 +113,14 @@ fn print_human(path: &str, ta: &TraceAnalysis, comparisons: &[Comparison], max_d
         ta.last_t
     );
     for (id, sess) in &ta.sessions {
-        match sess.config {
+        match &sess.config {
             Some(cfg) => println!(
-                "session {id}: k={} h={} R={} p={:.4}",
-                cfg.k, cfg.h, cfg.receivers, cfg.loss
+                "session {id}: k={} h={} R={} p={:.4} backend={}",
+                cfg.k,
+                cfg.h,
+                cfg.receivers,
+                cfg.loss,
+                cfg.backend.as_deref().unwrap_or("?")
             ),
             None => println!("session {id}: (no session_config recorded)"),
         }
@@ -172,7 +176,7 @@ fn print_human(path: &str, ta: &TraceAnalysis, comparisons: &[Comparison], max_d
 
 fn session_json(id: u32, sess: &SessionAnalysis) -> Value {
     let mut m = vec![("session".into(), Value::Number(f64::from(id)))];
-    if let Some(cfg) = sess.config {
+    if let Some(cfg) = &sess.config {
         m.push((
             "config".into(),
             Value::Object(vec![
@@ -180,6 +184,12 @@ fn session_json(id: u32, sess: &SessionAnalysis) -> Value {
                 ("h".into(), Value::Number(f64::from(cfg.h))),
                 ("receivers".into(), Value::Number(f64::from(cfg.receivers))),
                 ("loss".into(), Value::Number(cfg.loss)),
+                (
+                    "backend".into(),
+                    cfg.backend
+                        .as_ref()
+                        .map_or(Value::Null, |b| Value::String(b.clone())),
+                ),
             ]),
         ));
     }

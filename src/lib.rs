@@ -14,6 +14,7 @@
 //! | Module | Crate | Contents |
 //! |---|---|---|
 //! | [`gf`] | `pm-gf` | GF(2^m) arithmetic, matrices, polynomials |
+//! | [`simd`] | `pm-simd` | runtime-dispatched AVX2/NEON GF(2^8)/GF(2^16) slice kernels (the one sanctioned `unsafe` boundary) |
 //! | [`rse`] | `pm-rse` | systematic Reed–Solomon erasure codec over packets |
 //! | [`loss`] | `pm-loss` | Bernoulli / heterogeneous / Markov-burst / shared-tree loss models |
 //! | [`analysis`] | `pm-analysis` | Eqs. (2)–(17): E\[M\], rounds, end-host rates |
@@ -98,3 +99,4 @@ pub use pm_obs as obs;
 pub use pm_par as par;
 pub use pm_rse as rse;
 pub use pm_sim as sim;
+pub use pm_simd as simd;

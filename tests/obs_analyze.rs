@@ -40,6 +40,7 @@ fn traced_session() -> Vec<(f64, Event)> {
         h: H as u32,
         receivers: RECEIVERS as u32,
         loss: LOSS_P,
+        backend: pm_simd::backend_name(),
     });
 
     let data: Vec<u8> = (0..GROUPS * K * PAYLOAD)
@@ -94,8 +95,9 @@ fn measured_em_matches_analysis_within_5_percent() {
     assert_eq!(sess.data_packets, (GROUPS * K) as u64);
     assert!(sess.completed, "trace must show a completed session");
 
-    let cfg = sess.config.expect("session_config recorded");
+    let cfg = sess.config.clone().expect("session_config recorded");
     assert_eq!((cfg.k, cfg.h, cfg.receivers), (K as u32, H as u32, 16));
+    assert_eq!(cfg.backend.as_deref(), Some(pm_simd::backend_name()));
 
     let measured = sess.measured_em().expect("measurable E[M]");
     let pop = Population::homogeneous(LOSS_P, RECEIVERS as u64);
