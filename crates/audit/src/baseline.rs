@@ -1,20 +1,34 @@
-//! The ratchet baseline: committed per-rule, per-crate violation counts.
+//! The ratchet baseline: committed per-rule, per-crate, per-item
+//! violation counts.
 //!
-//! `audit-baseline.json` maps rule name → crate name → count. The gate
-//! fails when any (rule, crate) pair *exceeds* its baseline entry (a
-//! missing entry means zero), and reports shrunken counts so a cleanup PR
-//! can tighten the file — the ratchet only ever moves down.
+//! `audit-baseline.json` maps rule name → crate name → item path → count
+//! (format v2). The gate fails when any tracked bucket *exceeds* its
+//! baseline entry (a missing entry means zero), and reports shrunken
+//! counts so a cleanup PR can tighten the file — the ratchet only ever
+//! moves down.
+//!
+//! v1 baselines (rule → crate → bare count) still parse: a bare count is
+//! read as a crate-wide allowance under the [`CRATE_WIDE`] pseudo-item
+//! `"*"`, compared against the crate's summed total. `--update-baseline`
+//! rewrites the file in v2, migrating every `"*"` bucket to per-item
+//! attribution in one step.
 //!
 //! The crate is zero-dependency, so the tiny JSON subset the baseline
-//! needs (objects of objects of integers) is parsed and printed by hand.
+//! needs is parsed and printed by hand.
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 use crate::rules::{Rule, Violation, UNSAFE_WAIVED_CRATES};
 
-/// rule name → crate name → violation count.
-pub type Counts = BTreeMap<String, BTreeMap<String, u64>>;
+/// Pseudo-item key denoting a v1 crate-wide allowance.
+pub const CRATE_WIDE: &str = "*";
+
+/// item path → violation count.
+pub type ItemCounts = BTreeMap<String, u64>;
+
+/// rule name → crate name → item path → violation count.
+pub type Counts = BTreeMap<String, BTreeMap<String, ItemCounts>>;
 
 /// Aggregate raw violations into baseline-shaped counts.
 pub fn tally(violations: &[Violation]) -> Counts {
@@ -24,18 +38,29 @@ pub fn tally(violations: &[Violation]) -> Counts {
             .entry(v.rule.name().to_string())
             .or_default()
             .entry(v.crate_name.clone())
+            .or_default()
+            .entry(v.item.clone())
             .or_default() += 1;
     }
     counts
 }
 
-/// One (rule, crate) pair whose current count differs from the baseline.
+/// Sum a crate's per-item counts.
+fn crate_total(items: &ItemCounts) -> u64 {
+    items.values().sum()
+}
+
+/// One (rule, crate, item) bucket whose current count differs from the
+/// baseline.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Delta {
     /// Rule name.
     pub rule: String,
     /// Crate name.
     pub crate_name: String,
+    /// Item path, or [`CRATE_WIDE`] when compared against a v1 crate-wide
+    /// allowance.
+    pub item: String,
     /// Committed baseline count.
     pub baseline: u64,
     /// Count found in this run.
@@ -45,54 +70,91 @@ pub struct Delta {
 /// Compare current counts against the baseline. Returns
 /// `(regressions, improvements)`: regressions fail the gate, improvements
 /// are invitations to shrink the baseline.
+///
+/// A crate entry holding a [`CRATE_WIDE`] allowance (v1 migration path)
+/// is compared on the summed total; otherwise every item in either map is
+/// compared individually, so a violation *moving* between items is
+/// visible even when the total is unchanged.
 pub fn compare(current: &Counts, baseline: &Counts) -> (Vec<Delta>, Vec<Delta>) {
     let mut regressions = Vec::new();
     let mut improvements = Vec::new();
-    let zero = BTreeMap::new();
-    let mut keys: Vec<(&String, &String)> = Vec::new();
+    let empty_crates = BTreeMap::new();
+    let empty_items = ItemCounts::new();
+    let mut crate_keys: Vec<(&String, &String)> = Vec::new();
     for (rule, crates) in current.iter().chain(baseline.iter()) {
         for crate_name in crates.keys() {
-            if !keys.contains(&(rule, crate_name)) {
-                keys.push((rule, crate_name));
+            if !crate_keys.contains(&(rule, crate_name)) {
+                crate_keys.push((rule, crate_name));
             }
         }
     }
-    keys.sort();
-    for (rule, crate_name) in keys {
-        let cur = *current
+    crate_keys.sort();
+    for (rule, crate_name) in crate_keys {
+        let cur = current
             .get(rule)
-            .unwrap_or(&zero)
+            .unwrap_or(&empty_crates)
             .get(crate_name)
-            .unwrap_or(&0);
-        let base = *baseline
+            .unwrap_or(&empty_items);
+        let base = baseline
             .get(rule)
-            .unwrap_or(&zero)
+            .unwrap_or(&empty_crates)
             .get(crate_name)
-            .unwrap_or(&0);
-        let delta = Delta {
-            rule: rule.clone(),
-            crate_name: crate_name.clone(),
-            baseline: base,
-            current: cur,
+            .unwrap_or(&empty_items);
+        let mut classify = |delta: Delta| {
+            if delta.current > delta.baseline {
+                regressions.push(delta);
+            } else if delta.current < delta.baseline {
+                improvements.push(delta);
+            }
         };
-        if cur > base {
-            regressions.push(delta);
-        } else if cur < base {
-            improvements.push(delta);
+        if let Some(&allowance) = base.get(CRATE_WIDE) {
+            // v1 crate-wide allowance: compare summed totals.
+            classify(Delta {
+                rule: rule.clone(),
+                crate_name: crate_name.clone(),
+                item: CRATE_WIDE.to_string(),
+                baseline: allowance,
+                current: crate_total(cur),
+            });
+            continue;
+        }
+        let mut items: Vec<&String> = cur.keys().chain(base.keys()).collect();
+        items.sort();
+        items.dedup();
+        for item in items {
+            classify(Delta {
+                rule: rule.clone(),
+                crate_name: crate_name.clone(),
+                item: item.clone(),
+                baseline: *base.get(item).unwrap_or(&0),
+                current: *cur.get(item).unwrap_or(&0),
+            });
         }
     }
     (regressions, improvements)
 }
 
-/// Render counts as deterministic, human-diffable JSON.
+/// Render counts as deterministic, human-diffable JSON (format v2).
 pub fn to_json(counts: &Counts) -> String {
     let mut s = String::from("{\n");
-    let rules: Vec<_> = counts.iter().filter(|(_, c)| !c.is_empty()).collect();
+    let rules: Vec<_> = counts
+        .iter()
+        .map(|(rule, crates)| {
+            let crates: Vec<_> = crates.iter().filter(|(_, i)| !i.is_empty()).collect();
+            (rule, crates)
+        })
+        .filter(|(_, crates)| !crates.is_empty())
+        .collect();
     for (ri, (rule, crates)) in rules.iter().enumerate() {
         let _ = writeln!(s, "  {}: {{", json_string(rule));
-        for (ci, (crate_name, count)) in crates.iter().enumerate() {
+        for (ci, (crate_name, items)) in crates.iter().enumerate() {
+            let _ = writeln!(s, "    {}: {{", json_string(crate_name));
+            for (ii, (item, count)) in items.iter().enumerate() {
+                let comma = if ii + 1 < items.len() { "," } else { "" };
+                let _ = writeln!(s, "      {}: {count}{comma}", json_string(item));
+            }
             let comma = if ci + 1 < crates.len() { "," } else { "" };
-            let _ = writeln!(s, "    {}: {count}{comma}", json_string(crate_name));
+            let _ = writeln!(s, "    }}{comma}");
         }
         let comma = if ri + 1 < rules.len() { "," } else { "" };
         let _ = writeln!(s, "  }}{comma}");
@@ -121,12 +183,13 @@ fn json_string(s: &str) -> String {
     out
 }
 
-/// Parse a baseline file. Accepts exactly the shape [`to_json`] writes
-/// (an object of objects of non-negative integers), with arbitrary
-/// whitespace. Unknown rule names are rejected so a typo cannot silently
-/// allowlist anything, and a nonzero `unsafe-code` allowance is only
-/// accepted for crates in [`UNSAFE_WAIVED_CRATES`] — the unsafe boundary
-/// cannot be widened by editing the baseline alone.
+/// Parse a baseline file, v1 or v2 (the two nest differently at the crate
+/// level: a v1 crate entry is a bare integer, read as a [`CRATE_WIDE`]
+/// allowance; a v2 entry is an object of item → count). Unknown rule
+/// names are rejected so a typo cannot silently allowlist anything, and a
+/// nonzero `unsafe-code` allowance is only accepted for crates in
+/// [`UNSAFE_WAIVED_CRATES`] — the unsafe boundary cannot be widened by
+/// editing the baseline alone.
 ///
 /// # Errors
 /// A human-readable description of the first syntax or schema problem.
@@ -144,9 +207,25 @@ pub fn parse(text: &str) -> Result<Counts, String> {
             }
             let mut crates = BTreeMap::new();
             p.object(
-                |p, crate_name, crates: &mut BTreeMap<String, u64>| {
-                    let n = p.integer()?;
-                    crates.insert(crate_name, n);
+                |p, crate_name, crates: &mut BTreeMap<String, ItemCounts>| {
+                    p.skip_ws();
+                    let mut items = ItemCounts::new();
+                    if p.bytes.get(p.pos) == Some(&b'{') {
+                        // v2: per-item counts.
+                        p.object(
+                            |p, item, items: &mut ItemCounts| {
+                                let n = p.integer()?;
+                                items.insert(item, n);
+                                Ok(())
+                            },
+                            &mut items,
+                        )?;
+                    } else {
+                        // v1: bare crate-wide count.
+                        let n = p.integer()?;
+                        items.insert(CRATE_WIDE.to_string(), n);
+                    }
+                    crates.insert(crate_name, items);
                     Ok(())
                 },
                 &mut crates,
@@ -161,10 +240,11 @@ pub fn parse(text: &str) -> Result<Counts, String> {
         return Err(format!("trailing content at byte {}", p.pos));
     }
     if let Some(crates) = counts.get(Rule::UnsafeCode.name()) {
-        for (crate_name, &count) in crates {
-            if count > 0 && !UNSAFE_WAIVED_CRATES.contains(&crate_name.as_str()) {
+        for (crate_name, items) in crates {
+            let total = crate_total(items);
+            if total > 0 && !UNSAFE_WAIVED_CRATES.contains(&crate_name.as_str()) {
                 return Err(format!(
-                    "baseline allows {count} unsafe-code violations in {crate_name}, but only \
+                    "baseline allows {total} unsafe-code violations in {crate_name}, but only \
                      {UNSAFE_WAIVED_CRATES:?} may hold unsafe code"
                 ));
             }
@@ -304,10 +384,14 @@ impl<'a> Parser<'a> {
 mod tests {
     use super::*;
 
-    fn counts(entries: &[(&str, &str, u64)]) -> Counts {
+    fn counts(entries: &[(&str, &str, &str, u64)]) -> Counts {
         let mut c = Counts::new();
-        for &(rule, krate, n) in entries {
-            c.entry(rule.into()).or_default().insert(krate.into(), n);
+        for &(rule, krate, item, n) in entries {
+            c.entry(rule.into())
+                .or_default()
+                .entry(krate.into())
+                .or_default()
+                .insert(item.into(), n);
         }
         c
     }
@@ -315,12 +399,31 @@ mod tests {
     #[test]
     fn json_roundtrip_is_identity() {
         let c = counts(&[
-            ("panic-surface", "pm-gf", 12),
-            ("panic-surface", "pm-rse", 3),
-            ("unsafe-code", "pm-core", 0),
+            ("panic-surface", "pm-gf", "field::Gf::div", 12),
+            ("panic-surface", "pm-gf", "(file)", 2),
+            ("panic-surface", "pm-rse", "decoder::RseDecoder::decode", 3),
+            ("unsafe-code", "pm-simd", "avx2::xor", 1),
         ]);
         let parsed = parse(&to_json(&c)).unwrap();
         assert_eq!(parsed, c);
+    }
+
+    #[test]
+    fn v1_baselines_parse_as_crate_wide() {
+        let v1 = r#"{"panic-surface": {"pm-gf": 84, "pm-rse": 85}}"#;
+        let parsed = parse(v1).unwrap();
+        assert_eq!(
+            parsed,
+            counts(&[
+                ("panic-surface", "pm-gf", CRATE_WIDE, 84),
+                ("panic-surface", "pm-rse", CRATE_WIDE, 85),
+            ])
+        );
+        // Mixed v1/v2 crates in one file parse too.
+        let mixed = r#"{"panic-surface": {"pm-gf": 84, "pm-rse": {"decoder::decode": 3}}}"#;
+        let parsed = parse(mixed).unwrap();
+        assert_eq!(parsed["panic-surface"]["pm-gf"][CRATE_WIDE], 84);
+        assert_eq!(parsed["panic-surface"]["pm-rse"]["decoder::decode"], 3);
     }
 
     #[test]
@@ -337,16 +440,20 @@ mod tests {
 
     #[test]
     fn unsafe_allowance_only_for_waived_crates() {
-        // The sanctioned boundary may carry a nonzero allowance…
+        // The sanctioned boundary may carry a nonzero allowance, v1 or v2…
         assert!(parse(r#"{"unsafe-code": {"pm-simd": 40}}"#).is_ok());
+        assert!(parse(r#"{"unsafe-code": {"pm-simd": {"avx2::xor": 2}}}"#).is_ok());
         // …a zero entry anywhere is harmless…
         assert!(parse(r#"{"unsafe-code": {"pm-core": 0}}"#).is_ok());
-        // …but a nonzero allowance outside the waiver list is rejected.
+        // …but a nonzero allowance outside the waiver list is rejected in
+        // either format.
         let err = parse(r#"{"unsafe-code": {"pm-core": 1}}"#).unwrap_err();
         assert!(
             err.contains("pm-core") && err.contains("unsafe-code"),
             "{err}"
         );
+        let err = parse(r#"{"unsafe-code": {"pm-core": {"lib::f": 1}}}"#).unwrap_err();
+        assert!(err.contains("pm-core"), "{err}");
     }
 
     #[test]
@@ -356,15 +463,22 @@ mod tests {
             "{",
             r#"{"panic-surface""#,
             r#"{"panic-surface": {"x": }}"#,
+            r#"{"panic-surface": {"x": {"item": }}}"#,
         ] {
             assert!(parse(bad).is_err(), "{bad:?}");
         }
     }
 
     #[test]
-    fn compare_classifies_deltas() {
-        let base = counts(&[("panic-surface", "pm-gf", 5), ("unsafe-code", "pm-rse", 2)]);
-        let cur = counts(&[("panic-surface", "pm-gf", 7), ("rng-entropy", "pm-sim", 1)]);
+    fn compare_classifies_per_item_deltas() {
+        let base = counts(&[
+            ("panic-surface", "pm-gf", "field::div", 5),
+            ("unsafe-code", "pm-simd", "avx2::xor", 2),
+        ]);
+        let cur = counts(&[
+            ("panic-surface", "pm-gf", "field::div", 7),
+            ("rng-entropy", "pm-sim", "run", 1),
+        ]);
         let (regressions, improvements) = compare(&cur, &base);
         assert_eq!(
             regressions,
@@ -372,12 +486,14 @@ mod tests {
                 Delta {
                     rule: "panic-surface".into(),
                     crate_name: "pm-gf".into(),
+                    item: "field::div".into(),
                     baseline: 5,
                     current: 7,
                 },
                 Delta {
                     rule: "rng-entropy".into(),
                     crate_name: "pm-sim".into(),
+                    item: "run".into(),
                     baseline: 0,
                     current: 1,
                 },
@@ -389,8 +505,37 @@ mod tests {
     }
 
     #[test]
+    fn moved_violations_are_visible_despite_equal_totals() {
+        let base = counts(&[("panic-surface", "pm-gf", "field::div", 1)]);
+        let cur = counts(&[("panic-surface", "pm-gf", "field::mul", 1)]);
+        let (regressions, improvements) = compare(&cur, &base);
+        assert_eq!(regressions.len(), 1, "{regressions:?}");
+        assert_eq!(regressions[0].item, "field::mul");
+        assert_eq!(improvements.len(), 1);
+        assert_eq!(improvements[0].item, "field::div");
+    }
+
+    #[test]
+    fn crate_wide_allowance_compares_totals() {
+        let base = counts(&[("panic-surface", "pm-gf", CRATE_WIDE, 5)]);
+        // Five violations spread across items: within the allowance.
+        let cur = counts(&[
+            ("panic-surface", "pm-gf", "field::div", 3),
+            ("panic-surface", "pm-gf", "field::mul", 2),
+        ]);
+        let (regressions, improvements) = compare(&cur, &base);
+        assert!(regressions.is_empty() && improvements.is_empty());
+        // A sixth pushes the total over.
+        let over = counts(&[("panic-surface", "pm-gf", "field::div", 6)]);
+        let (regressions, _) = compare(&over, &base);
+        assert_eq!(regressions.len(), 1);
+        assert_eq!(regressions[0].item, CRATE_WIDE);
+        assert_eq!(regressions[0].current, 6);
+    }
+
+    #[test]
     fn equal_counts_pass() {
-        let c = counts(&[("panic-surface", "pm-gf", 5)]);
+        let c = counts(&[("panic-surface", "pm-gf", "field::div", 5)]);
         let (regressions, improvements) = compare(&c, &c);
         assert!(regressions.is_empty() && improvements.is_empty());
     }

@@ -1,0 +1,1058 @@
+//! Structural item parser: the brace-tree layer between the total lexer
+//! and the rule engine.
+//!
+//! [`parse`] recovers, from the token stream alone, the structure the
+//! per-item ratchet and the structural rules need: the module tree,
+//! `fn`/`impl`/`trait` items with their attributes and leading doc
+//! comments, `unsafe fn` markers, `#[target_feature]` annotations and
+//! `#[cfg(test)]` gates, plus each item's body span so body-scoped rules
+//! (intrinsics use, allocation calls, casts) know which item a token
+//! belongs to.
+//!
+//! Like the lexer, the parser is **total**: it never fails, it only
+//! classifies. On arbitrary input it degrades to `Other` items, and it
+//! upholds one hard structural contract, property-tested in
+//! `tests/item_props.rs`:
+//!
+//! * the top-level items' token spans are contiguous and tile the whole
+//!   token stream (every token belongs to exactly one top-level item);
+//! * child spans nest strictly inside their parent's span, are disjoint,
+//!   and appear in source order — recursively.
+//!
+//! It is *not* a Rust parser: generics, patterns and expressions are
+//! skimmed by bracket matching only, and names recovered from hostile
+//! input are approximate. That is enough for attribution — a violation
+//! lands in the right `module::Type::fn` bucket for every file rustc
+//! accepts.
+
+use std::ops::Range;
+
+use crate::lexer::{Token, TokenKind};
+
+/// What kind of item a node is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ItemKind {
+    /// A function (free, method, or trait method signature).
+    Fn,
+    /// An inline `mod name { … }` or declaration `mod name;`.
+    Mod,
+    /// An `impl` block; `name` is the implemented type's last segment.
+    Impl,
+    /// A `trait` definition.
+    Trait,
+    /// Anything else: `use`, `struct`, `const`, macros, stray tokens.
+    Other,
+}
+
+/// One node of the item tree.
+#[derive(Debug)]
+pub struct Item {
+    /// What the node is.
+    pub kind: ItemKind,
+    /// Leaf name (fn/mod/trait name, impl target type); a placeholder
+    /// like `(item)` when no name could be recovered.
+    pub name: String,
+    /// 1-based line of the item keyword (not its attributes).
+    pub line: u32,
+    /// Token-index span in the lexed stream, **including** leading
+    /// doc comments and attributes. Top-level spans tile the stream.
+    pub tok_span: Range<usize>,
+    /// Byte span derived from `tok_span`.
+    pub byte_span: Range<usize>,
+    /// Token-index span of the `{ … }` body (braces included), if any.
+    pub body: Option<Range<usize>>,
+    /// Gated by `#[cfg(test)]` / `#[test]` (directly; ancestors are
+    /// checked by the flattener).
+    pub is_test: bool,
+    /// Declared `unsafe fn`.
+    pub is_unsafe_fn: bool,
+    /// Features named by `#[target_feature(enable = "…")]` attributes.
+    pub target_features: Vec<String>,
+    /// Leading doc comments contain a `# Safety` section.
+    pub has_safety_doc: bool,
+    /// Nested items (mod/impl/trait bodies are recursed into; fn bodies
+    /// are not — nested fns attribute to the enclosing fn).
+    pub children: Vec<Item>,
+}
+
+/// The parsed file: top-level items plus file-level flags.
+#[derive(Debug)]
+pub struct ItemTree {
+    /// Top-level items in source order; spans tile the token stream.
+    pub items: Vec<Item>,
+    /// The file opens with `#![cfg(test)]` — everything is test code.
+    pub file_is_test: bool,
+}
+
+/// Parse a lexed token stream into an item tree. Total: never panics,
+/// always terminates, and the returned spans tile the input.
+pub fn parse(tokens: &[Token<'_>]) -> ItemTree {
+    let mut p = Parser { tokens, pos: 0 };
+    let mut file_is_test = false;
+    // File-level inner attributes (`#![…]`) before the first item.
+    loop {
+        let save = p.pos;
+        p.skip_comments_only();
+        if p.is_punct("#") && p.punct_at(p.pos + 1, "!") && p.punct_at(p.pos + 2, "[") {
+            let info = p.consume_attribute();
+            if info.is_test {
+                file_is_test = true;
+            }
+        } else {
+            p.pos = save;
+            break;
+        }
+    }
+    p.pos = 0;
+    let items = p.parse_items(tokens.len());
+    ItemTree {
+        items,
+        file_is_test,
+    }
+}
+
+/// What one `#[…]` attribute contributed.
+#[derive(Default)]
+struct AttrInfo {
+    is_test: bool,
+    target_features: Vec<String>,
+}
+
+struct Parser<'a, 't> {
+    tokens: &'a [Token<'t>],
+    pos: usize,
+}
+
+/// Keywords that may precede an item's defining keyword.
+const MODIFIERS: &[&str] = &["pub", "default", "const", "async", "unsafe", "extern"];
+
+impl<'a, 't> Parser<'a, 't> {
+    fn tok(&self, i: usize) -> Option<&Token<'t>> {
+        self.tokens.get(i)
+    }
+
+    fn punct_at(&self, i: usize, text: &str) -> bool {
+        matches!(self.tok(i), Some(t) if t.kind == TokenKind::Punct && t.text == text)
+    }
+
+    fn is_punct(&self, text: &str) -> bool {
+        self.punct_at(self.pos, text)
+    }
+
+    fn ident_at(&self, i: usize) -> Option<&'t str> {
+        match self.tok(i) {
+            Some(t) if t.kind == TokenKind::Ident => Some(t.text),
+            _ => None,
+        }
+    }
+
+    fn is_comment(&self, i: usize) -> bool {
+        matches!(
+            self.tok(i),
+            Some(t) if matches!(t.kind, TokenKind::LineComment | TokenKind::BlockComment)
+        )
+    }
+
+    fn skip_comments_only(&mut self) {
+        while self.is_comment(self.pos) {
+            self.pos += 1;
+        }
+    }
+
+    /// Parse items until `end`, guaranteeing the returned spans tile
+    /// `[start, end)`.
+    fn parse_items(&mut self, end: usize) -> Vec<Item> {
+        let mut out: Vec<Item> = Vec::new();
+        while self.pos < end {
+            let before = self.pos;
+            let item = self.parse_item(end);
+            debug_assert!(self.pos > before, "item parser must make progress");
+            if self.pos == before {
+                // Defensive: never loop forever, even if a bug above
+                // fails to consume. Swallow one token as Other.
+                self.pos += 1;
+            }
+            out.push(item);
+        }
+        out
+    }
+
+    /// Parse one item starting at `self.pos`, consuming at least one
+    /// token and never reading past `end`.
+    fn parse_item(&mut self, end: usize) -> Item {
+        let start = self.pos;
+
+        // Leading trivia: doc comments, plain comments, attributes.
+        let mut is_test = false;
+        let mut target_features = Vec::new();
+        let mut has_safety_doc = false;
+        loop {
+            if self.pos >= end {
+                break;
+            }
+            if self.is_comment(self.pos) {
+                if let Some(t) = self.tok(self.pos) {
+                    if is_doc_comment(t.text) && doc_has_safety(t.text) {
+                        has_safety_doc = true;
+                    }
+                }
+                self.pos += 1;
+                continue;
+            }
+            if self.is_punct("#") {
+                let bracket = if self.punct_at(self.pos + 1, "!") {
+                    self.pos + 2
+                } else {
+                    self.pos + 1
+                };
+                if self.punct_at(bracket, "[") {
+                    let info = self.consume_attribute();
+                    is_test |= info.is_test;
+                    target_features.extend(info.target_features);
+                    continue;
+                }
+                // A lone `#` that is not an attribute: stray token.
+                break;
+            }
+            break;
+        }
+
+        if self.pos >= end {
+            // Trailing comments/attributes at end of scope become one
+            // Other item so the tiling invariant holds.
+            return self.finish_item(
+                ItemKind::Other,
+                "(trailing)",
+                start,
+                None,
+                is_test,
+                false,
+                target_features,
+                has_safety_doc,
+                Vec::new(),
+            );
+        }
+
+        // Modifiers before the defining keyword.
+        let mut is_unsafe = false;
+        while let Some(word) = self.ident_at(self.pos) {
+            if !MODIFIERS.contains(&word) {
+                break;
+            }
+            // `const X: … = …;` items (not `const fn`) end here.
+            if word == "const" && self.ident_at(self.pos + 1) != Some("fn") {
+                break;
+            }
+            if word == "unsafe" {
+                // `unsafe` as a modifier only when an item keyword
+                // follows; `unsafe { … }` blocks stay inside fn bodies.
+                match self.ident_at(self.pos + 1) {
+                    Some("fn" | "impl" | "trait" | "extern") => is_unsafe = true,
+                    _ => break,
+                }
+            }
+            self.pos += 1;
+            if word == "pub" && self.is_punct("(") {
+                self.consume_bracketed("(", ")", end);
+            }
+            if word == "extern" {
+                if let Some(t) = self.tok(self.pos) {
+                    if t.kind == TokenKind::Str {
+                        self.pos += 1; // the ABI string
+                    }
+                }
+            }
+        }
+
+        let keyword = self.ident_at(self.pos);
+        let line = self.tok(self.pos).map(|t| t.line).unwrap_or(1);
+        match keyword {
+            Some("fn") => {
+                self.pos += 1;
+                let name = self.take_name("(fn)");
+                let body = self.consume_signature_and_body(end);
+                self.finish_item(
+                    ItemKind::Fn,
+                    &name,
+                    start,
+                    body,
+                    is_test,
+                    is_unsafe,
+                    target_features,
+                    has_safety_doc,
+                    Vec::new(),
+                )
+                .with_line(line)
+            }
+            Some("mod") => {
+                self.pos += 1;
+                let name = self.take_name("(mod)");
+                let (body, children) = self.consume_braced_children(end);
+                self.finish_item(
+                    ItemKind::Mod,
+                    &name,
+                    start,
+                    body,
+                    is_test,
+                    false,
+                    target_features,
+                    has_safety_doc,
+                    children,
+                )
+                .with_line(line)
+            }
+            Some("impl") => {
+                self.pos += 1;
+                let name = self.impl_target_name(end);
+                let (body, children) = self.consume_braced_children(end);
+                self.finish_item(
+                    ItemKind::Impl,
+                    &name,
+                    start,
+                    body,
+                    is_test,
+                    false,
+                    target_features,
+                    has_safety_doc,
+                    children,
+                )
+                .with_line(line)
+            }
+            Some("trait") => {
+                self.pos += 1;
+                let name = self.take_name("(trait)");
+                self.skip_until_open_brace(end);
+                let (body, children) = self.consume_braced_children(end);
+                self.finish_item(
+                    ItemKind::Trait,
+                    &name,
+                    start,
+                    body,
+                    is_test,
+                    is_unsafe,
+                    target_features,
+                    has_safety_doc,
+                    children,
+                )
+                .with_line(line)
+            }
+            Some("struct" | "enum" | "union") => {
+                self.pos += 1;
+                let name = self.take_name("(type)");
+                self.consume_to_item_end(end);
+                self.finish_item(
+                    ItemKind::Other,
+                    &name,
+                    start,
+                    None,
+                    is_test,
+                    false,
+                    target_features,
+                    has_safety_doc,
+                    Vec::new(),
+                )
+                .with_line(line)
+            }
+            Some("macro_rules") => {
+                self.pos += 1;
+                if self.is_punct("!") {
+                    self.pos += 1;
+                }
+                let name = self.take_name("(macro)");
+                self.consume_to_item_end(end);
+                self.finish_item(
+                    ItemKind::Other,
+                    &name,
+                    start,
+                    None,
+                    is_test,
+                    false,
+                    target_features,
+                    has_safety_doc,
+                    Vec::new(),
+                )
+                .with_line(line)
+            }
+            Some("use" | "type" | "static" | "const" | "extern" | "crate") => {
+                let name = keyword.unwrap_or("(item)").to_string();
+                self.pos += 1;
+                self.consume_to_semicolon(end);
+                self.finish_item(
+                    ItemKind::Other,
+                    &name,
+                    start,
+                    None,
+                    is_test,
+                    false,
+                    target_features,
+                    has_safety_doc,
+                    Vec::new(),
+                )
+                .with_line(line)
+            }
+            Some(_) => {
+                // Unknown head (macro invocation, hostile input): consume
+                // to the first top-level `;` or through one brace block.
+                self.pos += 1;
+                self.consume_to_item_end(end);
+                self.finish_item(
+                    ItemKind::Other,
+                    "(item)",
+                    start,
+                    None,
+                    is_test,
+                    false,
+                    target_features,
+                    has_safety_doc,
+                    Vec::new(),
+                )
+                .with_line(line)
+            }
+            None => {
+                // Stray punctuation/literal: one token, one Other item.
+                self.pos = (self.pos + 1).min(end);
+                self.finish_item(
+                    ItemKind::Other,
+                    "(item)",
+                    start,
+                    None,
+                    is_test,
+                    false,
+                    target_features,
+                    has_safety_doc,
+                    Vec::new(),
+                )
+                .with_line(line)
+            }
+        }
+    }
+
+    /// Take an identifier as the item name, or the fallback.
+    fn take_name(&mut self, fallback: &str) -> String {
+        if let Some(word) = self.ident_at(self.pos) {
+            self.pos += 1;
+            word.to_string()
+        } else {
+            fallback.to_string()
+        }
+    }
+
+    /// Consume one `#[…]` / `#![…]` attribute (cursor on `#`), matching
+    /// brackets, and classify it.
+    fn consume_attribute(&mut self) -> AttrInfo {
+        let mut info = AttrInfo::default();
+        self.pos += 1; // '#'
+        if self.is_punct("!") {
+            self.pos += 1;
+        }
+        if !self.is_punct("[") {
+            return info;
+        }
+        let mut depth = 0usize;
+        let mut saw_cfg = false;
+        let mut saw_test = false;
+        let mut saw_target_feature = false;
+        let mut idents = 0usize;
+        while let Some(t) = self.tok(self.pos) {
+            match (t.kind, t.text) {
+                (TokenKind::Punct, "[") => depth += 1,
+                (TokenKind::Punct, "]") => {
+                    depth = depth.saturating_sub(1);
+                    if depth == 0 {
+                        self.pos += 1;
+                        break;
+                    }
+                }
+                (TokenKind::Ident, "cfg") => {
+                    saw_cfg = true;
+                    idents += 1;
+                }
+                (TokenKind::Ident, "test") => {
+                    saw_test = true;
+                    idents += 1;
+                }
+                (TokenKind::Ident, "target_feature") => {
+                    saw_target_feature = true;
+                    idents += 1;
+                }
+                (TokenKind::Ident, _) => idents += 1,
+                (TokenKind::Str, _) if saw_target_feature => {
+                    for feature in strip_str_quotes(t.text).split(',') {
+                        let feature = feature.trim();
+                        if !feature.is_empty() {
+                            info.target_features.push(feature.to_string());
+                        }
+                    }
+                }
+                _ => {}
+            }
+            self.pos += 1;
+        }
+        let bare_test = saw_test && !saw_cfg && idents == 1;
+        info.is_test = bare_test || (saw_cfg && saw_test);
+        info
+    }
+
+    /// From a fn name onward: consume the signature (tracking `()`/`[]`
+    /// depth) until a top-level `{` (then the whole body) or `;`.
+    /// Returns the body token span, braces included.
+    fn consume_signature_and_body(&mut self, end: usize) -> Option<Range<usize>> {
+        let mut depth = 0usize;
+        while self.pos < end {
+            let Some(t) = self.tok(self.pos) else { break };
+            if t.kind == TokenKind::Punct {
+                match t.text {
+                    "(" | "[" => depth += 1,
+                    ")" | "]" => depth = depth.saturating_sub(1),
+                    "{" if depth == 0 => {
+                        let body_start = self.pos;
+                        self.consume_bracketed("{", "}", end);
+                        return Some(body_start..self.pos);
+                    }
+                    ";" if depth == 0 => {
+                        self.pos += 1;
+                        return None;
+                    }
+                    _ => {}
+                }
+            }
+            self.pos += 1;
+        }
+        None
+    }
+
+    /// Consume a balanced bracket pair starting at the cursor (which must
+    /// sit on `open`); leaves the cursor just past the matching close.
+    fn consume_bracketed(&mut self, open: &str, close: &str, end: usize) {
+        let mut depth = 0usize;
+        while self.pos < end {
+            if self.is_punct(open) {
+                depth += 1;
+            } else if self.is_punct(close) {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    self.pos += 1;
+                    return;
+                }
+            }
+            self.pos += 1;
+        }
+    }
+
+    /// For mod/impl/trait: expect `{` (or `;` for `mod name;`), recurse
+    /// into the braces for child items. Returns (body span, children).
+    fn consume_braced_children(&mut self, end: usize) -> (Option<Range<usize>>, Vec<Item>) {
+        self.skip_until_open_brace(end);
+        if self.is_punct(";") {
+            self.pos += 1;
+            return (None, Vec::new());
+        }
+        if !self.is_punct("{") {
+            return (None, Vec::new());
+        }
+        let body_start = self.pos;
+        // Find the matching close brace, then parse children strictly
+        // inside it.
+        let save = self.pos;
+        self.consume_bracketed("{", "}", end);
+        let body_end = self.pos;
+        let inner_start = save + 1;
+        let inner_end = if body_end > save + 1 && self.punct_at(body_end - 1, "}") {
+            body_end - 1
+        } else {
+            body_end
+        };
+        let mut child_parser = Parser {
+            tokens: self.tokens,
+            pos: inner_start,
+        };
+        let children = child_parser.parse_items(inner_end);
+        (Some(body_start..body_end), children)
+    }
+
+    /// Advance to the next top-level `{` or `;` (for headers that may
+    /// contain generics, bounds and where clauses).
+    fn skip_until_open_brace(&mut self, end: usize) {
+        let mut depth = 0usize;
+        while self.pos < end {
+            if self.is_punct("(") || self.is_punct("[") {
+                depth += 1;
+            } else if self.is_punct(")") || self.is_punct("]") {
+                depth = depth.saturating_sub(1);
+            } else if depth == 0 && (self.is_punct("{") || self.is_punct(";")) {
+                return;
+            }
+            self.pos += 1;
+        }
+    }
+
+    /// Consume to a top-level `;`, tracking all bracket kinds (so
+    /// `use x::{a, b};` and initializer expressions survive).
+    fn consume_to_semicolon(&mut self, end: usize) {
+        let mut depth = 0usize;
+        while self.pos < end {
+            if self.is_punct("{") || self.is_punct("(") || self.is_punct("[") {
+                depth += 1;
+            } else if self.is_punct("}") || self.is_punct(")") || self.is_punct("]") {
+                depth = depth.saturating_sub(1);
+            } else if depth == 0 && self.is_punct(";") {
+                self.pos += 1;
+                return;
+            }
+            self.pos += 1;
+        }
+    }
+
+    /// Consume to a top-level `;` **or** through the first top-level
+    /// brace block (struct bodies, macro invocations with braces).
+    fn consume_to_item_end(&mut self, end: usize) {
+        let mut depth = 0usize;
+        while self.pos < end {
+            if self.is_punct("(") || self.is_punct("[") {
+                depth += 1;
+            } else if self.is_punct(")") || self.is_punct("]") {
+                depth = depth.saturating_sub(1);
+            } else if depth == 0 && self.is_punct("{") {
+                self.consume_bracketed("{", "}", end);
+                // `struct S { … }` ends at the brace; a following `;`
+                // (e.g. after a macro) is its own stray token.
+                return;
+            } else if depth == 0 && self.is_punct(";") {
+                self.pos += 1;
+                return;
+            }
+            self.pos += 1;
+        }
+    }
+
+    /// Recover the implemented type's name from an `impl` header: skip
+    /// leading generics (`impl<T: Bound, …>`), then take the last path
+    /// segment before the body brace — or, when `for` is present
+    /// (`impl Trait for Type`), the first segment after `for`. Stops at
+    /// `where`. Leaves the cursor where it started scanning (the body
+    /// consumer re-walks the header).
+    fn impl_target_name(&mut self, end: usize) -> String {
+        let mut i = self.pos;
+        // Leading generic parameters: match angle brackets, tolerating
+        // `->` arrows inside bounds like `Fn() -> R`.
+        if self.punct_at(i, "<") {
+            let mut depth = 0usize;
+            while i < end {
+                if self.punct_at(i, "<") {
+                    depth += 1;
+                } else if self.punct_at(i, ">") {
+                    if i > 0 && self.punct_at(i - 1, "-") {
+                        // arrow, not a closing angle
+                    } else {
+                        depth = depth.saturating_sub(1);
+                        if depth == 0 {
+                            i += 1;
+                            break;
+                        }
+                    }
+                }
+                i += 1;
+            }
+        }
+        let mut last_ident: Option<&str> = None;
+        let mut after_for: Option<&str> = None;
+        let mut saw_for = false;
+        let mut bracket_depth = 0usize;
+        let mut angle_depth = 0usize;
+        while i < end {
+            let Some(t) = self.tok(i) else { break };
+            match (t.kind, t.text) {
+                (TokenKind::Punct, "(" | "[") => bracket_depth += 1,
+                (TokenKind::Punct, ")" | "]") => bracket_depth = bracket_depth.saturating_sub(1),
+                (TokenKind::Punct, "<") if bracket_depth == 0 => angle_depth += 1,
+                (TokenKind::Punct, ">")
+                    if bracket_depth == 0 && !(i > 0 && self.punct_at(i - 1, "-")) =>
+                {
+                    angle_depth = angle_depth.saturating_sub(1);
+                }
+                (TokenKind::Punct, "{" | ";") if bracket_depth == 0 && angle_depth == 0 => break,
+                (TokenKind::Ident, "where") if bracket_depth == 0 && angle_depth == 0 => break,
+                (TokenKind::Ident, "for") if bracket_depth == 0 && angle_depth == 0 => {
+                    saw_for = true;
+                }
+                (TokenKind::Ident, word)
+                    if bracket_depth == 0 && angle_depth == 0 && word != "dyn" && word != "mut" =>
+                {
+                    if saw_for && after_for.is_none() {
+                        after_for = Some(word);
+                    }
+                    // Track the last segment of the current path; a
+                    // qualified path keeps overwriting until the path
+                    // ends.
+                    last_ident = Some(word);
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        after_for.or(last_ident).unwrap_or("(impl)").to_string()
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn finish_item(
+        &self,
+        kind: ItemKind,
+        name: &str,
+        start: usize,
+        body: Option<Range<usize>>,
+        is_test: bool,
+        is_unsafe_fn: bool,
+        target_features: Vec<String>,
+        has_safety_doc: bool,
+        children: Vec<Item>,
+    ) -> Item {
+        let end = self
+            .pos
+            .max(start + 1)
+            .min(self.tokens.len().max(start + 1));
+        let byte_start = self
+            .tokens
+            .get(start)
+            .map(|t| t.start)
+            .unwrap_or(usize::MAX);
+        let byte_end = self
+            .tokens
+            .get(end.saturating_sub(1))
+            .map(|t| t.start + t.text.len())
+            .unwrap_or(byte_start);
+        let line = self.tokens.get(start).map(|t| t.line).unwrap_or(1);
+        Item {
+            kind,
+            name: name.to_string(),
+            line,
+            tok_span: start..end,
+            byte_span: byte_start..byte_end,
+            body,
+            is_test,
+            is_unsafe_fn,
+            target_features,
+            has_safety_doc,
+            children,
+        }
+    }
+}
+
+impl Item {
+    fn with_line(mut self, line: u32) -> Item {
+        self.line = line;
+        self
+    }
+}
+
+fn is_doc_comment(text: &str) -> bool {
+    text.starts_with("///") || text.starts_with("/**") || text.starts_with("//!")
+}
+
+fn doc_has_safety(text: &str) -> bool {
+    text.contains("# Safety")
+}
+
+fn strip_str_quotes(text: &str) -> &str {
+    // `"…"` (with possible r/b prefixes and hashes); good enough for
+    // attribute values, which are plain string literals in practice.
+    let inner = text.trim_start_matches(['r', 'b', 'c', '#']);
+    inner
+        .strip_prefix('"')
+        .and_then(|s| s.strip_suffix('"'))
+        .unwrap_or(inner)
+}
+
+/// One flattened item with its crate-relative qualified name, used for
+/// attribution and the structural rules.
+#[derive(Debug)]
+pub struct QualItem {
+    /// `module::Type::fn`-style path, rooted at the file's module path.
+    pub qual: String,
+    /// Leaf name (the fn name for `Fn` items).
+    pub name: String,
+    /// What the node is.
+    pub kind: ItemKind,
+    /// 1-based line of the item keyword.
+    pub line: u32,
+    /// Byte span including attributes/docs.
+    pub byte_span: Range<usize>,
+    /// Token span of the `{ … }` body, braces included.
+    pub body: Option<Range<usize>>,
+    /// This item, or any ancestor, is test-gated.
+    pub is_test: bool,
+    /// Declared `unsafe fn`.
+    pub is_unsafe_fn: bool,
+    /// `#[target_feature(enable = …)]` features.
+    pub target_features: Vec<String>,
+    /// Leading docs contain a `# Safety` section.
+    pub has_safety_doc: bool,
+    /// Nesting depth (0 = top level), for innermost-wins attribution.
+    pub depth: usize,
+}
+
+/// Flatten a tree into qualified items. `file_mod` is the module path
+/// derived from the file's path (empty for `lib.rs`/`main.rs`).
+pub fn flatten(tree: &ItemTree, file_mod: &str) -> Vec<QualItem> {
+    let mut out = Vec::new();
+    for item in &tree.items {
+        flatten_into(item, file_mod, tree.file_is_test, 0, &mut out);
+    }
+    out
+}
+
+fn flatten_into(
+    item: &Item,
+    prefix: &str,
+    ancestor_test: bool,
+    depth: usize,
+    out: &mut Vec<QualItem>,
+) {
+    let qual = if prefix.is_empty() {
+        item.name.clone()
+    } else {
+        format!("{prefix}::{}", item.name)
+    };
+    let is_test = ancestor_test || item.is_test;
+    out.push(QualItem {
+        qual: qual.clone(),
+        name: item.name.clone(),
+        kind: item.kind,
+        line: item.line,
+        byte_span: item.byte_span.clone(),
+        body: item.body.clone(),
+        is_test,
+        is_unsafe_fn: item.is_unsafe_fn,
+        target_features: item.target_features.clone(),
+        has_safety_doc: item.has_safety_doc,
+        depth,
+    });
+    for child in &item.children {
+        flatten_into(child, &qual, is_test, depth + 1, out);
+    }
+}
+
+/// The module path a file contributes: the path after `src/`, minus the
+/// extension, with `lib`/`main`/`mod` leaves dropped —
+/// `crates/rse/src/encoder.rs` → `encoder`, `crates/gf/src/lib.rs` → ``.
+pub fn module_path(rel_path: &str) -> String {
+    let unix = rel_path.replace('\\', "/");
+    let after_src = unix
+        .rsplit_once("src/")
+        .map(|(_, rest)| rest)
+        .unwrap_or(unix.as_str());
+    let no_ext = after_src.strip_suffix(".rs").unwrap_or(after_src);
+    let mut segments: Vec<&str> = no_ext.split('/').filter(|s| !s.is_empty()).collect();
+    if matches!(segments.last(), Some(&"lib") | Some(&"main") | Some(&"mod")) {
+        segments.pop();
+    }
+    segments.join("::")
+}
+
+/// The attribution key for a byte offset: the innermost named item
+/// (fn/impl/mod/trait) containing it, or `(file)` rooted at the module
+/// path when the byte sits at file scope.
+pub fn item_key_at(flat: &[QualItem], file_mod: &str, byte: usize) -> String {
+    let mut best: Option<&QualItem> = None;
+    for item in flat {
+        if !item.byte_span.contains(&byte) {
+            continue;
+        }
+        if !matches!(
+            item.kind,
+            ItemKind::Fn | ItemKind::Impl | ItemKind::Mod | ItemKind::Trait
+        ) {
+            continue;
+        }
+        if best.map(|b| item.depth >= b.depth).unwrap_or(true) {
+            best = Some(item);
+        }
+    }
+    match best {
+        Some(item) => item.qual.clone(),
+        None if file_mod.is_empty() => "(file)".to_string(),
+        None => file_mod.to_string(),
+    }
+}
+
+/// The innermost item of any kind containing `byte` (for test-gating
+/// checks on tokens).
+pub fn item_at(flat: &[QualItem], byte: usize) -> Option<&QualItem> {
+    let mut best: Option<&QualItem> = None;
+    for item in flat {
+        if !item.byte_span.contains(&byte) {
+            continue;
+        }
+        if best.map(|b| item.depth >= b.depth).unwrap_or(true) {
+            best = Some(item);
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn tree(src: &str) -> ItemTree {
+        parse(&lex(src))
+    }
+
+    #[test]
+    fn recovers_fns_mods_impls() {
+        let src = r#"
+            pub fn free() {}
+            mod inner {
+                fn nested() {}
+            }
+            impl Widget {
+                pub fn method(&self) -> u8 { 0 }
+            }
+            impl fmt::Debug for Gadget {
+                fn fmt(&self) {}
+            }
+        "#;
+        let t = tree(src);
+        let names: Vec<(ItemKind, &str)> =
+            t.items.iter().map(|i| (i.kind, i.name.as_str())).collect();
+        assert_eq!(
+            names,
+            vec![
+                (ItemKind::Fn, "free"),
+                (ItemKind::Mod, "inner"),
+                (ItemKind::Impl, "Widget"),
+                (ItemKind::Impl, "Gadget"),
+            ]
+        );
+        assert_eq!(t.items[1].children[0].name, "nested");
+        assert_eq!(t.items[2].children[0].name, "method");
+    }
+
+    #[test]
+    fn impl_with_generics_names_the_type() {
+        let src = "impl<T: Clone, C: Fn() -> u8> Mux<T, C> { fn go(&self) {} }";
+        let t = tree(src);
+        assert_eq!(t.items[0].name, "Mux");
+        assert_eq!(t.items[0].children[0].name, "go");
+    }
+
+    #[test]
+    fn impl_where_clause_does_not_steal_the_name() {
+        let src = "impl<T> Pool<T> where T: Send { fn go(&self) {} }";
+        let t = tree(src);
+        assert_eq!(t.items[0].name, "Pool");
+    }
+
+    #[test]
+    fn unsafe_fn_and_safety_docs_detected() {
+        let src = r#"
+            /// Does a thing.
+            ///
+            /// # Safety
+            /// Caller must uphold X.
+            pub unsafe fn documented() {}
+            unsafe fn bare() {}
+            fn safe_one() { unsafe { core() } }
+        "#;
+        let t = tree(src);
+        assert!(t.items[0].is_unsafe_fn && t.items[0].has_safety_doc);
+        assert!(t.items[1].is_unsafe_fn && !t.items[1].has_safety_doc);
+        assert!(!t.items[2].is_unsafe_fn);
+    }
+
+    #[test]
+    fn target_feature_attr_parsed() {
+        let src = "#[inline]\n#[target_feature(enable = \"avx2\")]\nfn kern() {}";
+        let t = tree(src);
+        assert_eq!(t.items[0].target_features, vec!["avx2".to_string()]);
+    }
+
+    #[test]
+    fn cfg_test_marks_items_and_propagates() {
+        let src = r#"
+            fn prod() {}
+            #[cfg(test)]
+            mod tests {
+                #[test]
+                fn t() {}
+            }
+        "#;
+        let t = tree(src);
+        assert!(!t.items[0].is_test);
+        assert!(t.items[1].is_test);
+        let flat = flatten(&t, "");
+        let test_fn = flat.iter().find(|q| q.name == "t").unwrap();
+        assert!(test_fn.is_test, "ancestor cfg(test) must propagate");
+    }
+
+    #[test]
+    fn file_level_cfg_test_gates_everything() {
+        let t = tree("#![cfg(test)]\nfn helper() {}\n");
+        assert!(t.file_is_test);
+        let flat = flatten(&t, "");
+        assert!(flat.iter().all(|q| q.is_test));
+    }
+
+    #[test]
+    fn module_paths_from_file_paths() {
+        assert_eq!(module_path("crates/rse/src/encoder.rs"), "encoder");
+        assert_eq!(module_path("crates/gf/src/lib.rs"), "");
+        assert_eq!(module_path("src/main.rs"), "");
+        assert_eq!(module_path("crates/x/src/a/b.rs"), "a::b");
+        assert_eq!(module_path("crates/x/src/a/mod.rs"), "a");
+    }
+
+    #[test]
+    fn attribution_finds_the_innermost_item() {
+        let src = "impl Codec {\n    fn encode(&self) { body(); }\n}\n";
+        let tokens = lex(src);
+        let t = parse(&tokens);
+        let flat = flatten(&t, "enc");
+        let body_byte = src.find("body").unwrap();
+        assert_eq!(item_key_at(&flat, "enc", body_byte), "enc::Codec::encode");
+        // A byte at file scope (none here, so probe past the impl).
+        assert_eq!(item_key_at(&flat, "enc", src.len() + 10), "enc");
+    }
+
+    #[test]
+    fn top_level_spans_tile_the_stream() {
+        let src = r#"
+            use std::fmt;
+            const X: u8 = 3;
+            /// doc
+            fn f() { let v = vec![1]; }
+            struct S { a: u8 }
+            enum E { A, B }
+            fn g<T: Fn() -> u8>(t: T) -> u8 where T: Send { t() }
+        "#;
+        let tokens = lex(src);
+        let t = parse(&tokens);
+        let mut next = 0usize;
+        for item in &t.items {
+            assert_eq!(item.tok_span.start, next, "gap before {:?}", item.name);
+            assert!(item.tok_span.end > item.tok_span.start);
+            next = item.tok_span.end;
+        }
+        assert_eq!(next, tokens.len(), "trailing tokens not covered");
+    }
+
+    #[test]
+    fn hostile_input_is_total() {
+        for src in [
+            "}}}{{{",
+            "fn",
+            "impl<",
+            "pub pub pub",
+            "#[",
+            "fn f(",
+            "mod m { fn g(",
+            "unsafe",
+            "macro_rules! m { () => {} }",
+        ] {
+            let tokens = lex(src);
+            let t = parse(&tokens);
+            let covered: usize = t.items.iter().map(|i| i.tok_span.len()).sum();
+            assert_eq!(covered, tokens.len(), "{src:?}");
+        }
+    }
+}

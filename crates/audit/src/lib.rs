@@ -12,19 +12,27 @@
 //! | `rng-entropy` | every RNG is explicitly seeded — no `thread_rng`/`from_entropy`/`rand::random` |
 //! | `panic-surface` | `unwrap`/`expect`/panicking macros/indexing in pm-gf/pm-rse/pm-core are ratcheted down |
 //! | `unsafe-code` | no `unsafe` outside the waived pm-simd kernel boundary ([`rules::UNSAFE_WAIVED_CRATES`]) |
+//! | `unsafe-safety-contract` | every pm-simd `unsafe fn` carries `# Safety` docs, every `unsafe {}` block a `// SAFETY:` comment |
+//! | `target-feature-consistency` | fn bodies using `_mm256_*`/`vqtbl*` intrinsics are `#[target_feature]`-annotated |
+//! | `lossy-cast` | no unguarded truncating `as` casts in pm-net/pm-gf/pm-rse wire and codec code |
+//! | `hot-loop-alloc` | no allocation-shaped calls within [`rules::HOT_LOOP_HOPS`] call-graph hops of [`rules::HOT_PATH_ENTRIES`] |
+//! | `waiver-hygiene` | pragmas carry reasons; `expires: PR<n>` bounds hard-fail once passed |
 //! | `event-vocabulary` | pm-obs `Event::name` and `EVENT_NAMES` (used by obs-check) cannot drift |
 //!
-//! Violations are counted per (rule, crate) and compared against the
+//! Violations are attributed to their enclosing item by the structural
+//! parser ([`items`]) and counted per (rule, crate, item) against the
 //! committed `audit-baseline.json`: any increase fails the gate (exit 1),
-//! any decrease is reported so the baseline can be shrunk. Individual
-//! lines are waived with `// pm-audit: allow(<rule>): <why>` pragmas; the
-//! lexer ([`lexer`]) is comment/string/raw-string aware, so hazards
-//! spelled in documentation or literals never fire.
+//! any decrease is reported so the baseline can be shrunk (or rewritten
+//! with `--update-baseline`). Individual lines are waived with reasoned
+//! `allow(<rule>)` pragma comments (see [`rules`]); the lexer ([`lexer`]) is
+//! comment/string/raw-string aware, so hazards spelled in documentation
+//! or literals never fire.
 //!
 //! Vendored stand-ins under `vendor/` model *external* crates and are out
 //! of contract, so they are not scanned.
 
 pub mod baseline;
+pub mod items;
 pub mod lexer;
 pub mod rules;
 
@@ -39,7 +47,7 @@ use rules::Violation;
 pub struct AuditReport {
     /// Every unsuppressed violation, in deterministic (path, line) order.
     pub violations: Vec<Violation>,
-    /// Per-rule, per-crate tallies of `violations`.
+    /// Per-rule, per-crate, per-item tallies of `violations`.
     pub counts: Counts,
     /// Files scanned (workspace-relative), for the report footer.
     pub files_scanned: usize,
@@ -48,9 +56,10 @@ pub struct AuditReport {
 /// Outcome of gating an [`AuditReport`] against a baseline.
 #[derive(Debug)]
 pub struct GateOutcome {
-    /// (rule, crate) pairs over baseline — any entry fails the gate.
+    /// (rule, crate, item) buckets over baseline — any entry fails the
+    /// gate.
     pub regressions: Vec<Delta>,
-    /// (rule, crate) pairs under baseline — shrink the baseline.
+    /// (rule, crate, item) buckets under baseline — shrink the baseline.
     pub improvements: Vec<Delta>,
 }
 
@@ -91,7 +100,9 @@ pub fn audit_workspace(root: &Path) -> Result<AuditReport, String> {
         ));
     }
 
+    let pr_count = workspace_pr_count(root);
     let mut violations = Vec::new();
+    let mut hot_fns = Vec::new();
     let mut files_scanned = 0usize;
     for (crate_name, src_dir) in files {
         let mut rs_files = Vec::new();
@@ -106,12 +117,16 @@ pub fn audit_workspace(root: &Path) -> Result<AuditReport, String> {
                 .to_string_lossy()
                 .replace('\\', "/");
             files_scanned += 1;
-            violations.extend(rules::scan_file(&crate_name, &rel, &text));
+            let analysis = rules::analyze_file(&crate_name, &rel, &text, pr_count);
+            violations.extend(analysis.violations);
+            hot_fns.extend(analysis.hot_fns);
             if rel.ends_with("obs/src/event.rs") {
                 violations.extend(rules::check_event_vocabulary(&crate_name, &rel, &text));
             }
         }
     }
+    // Phase 2: rules needing the crate-wide call graph.
+    violations.extend(rules::check_hot_loops(&hot_fns));
     violations.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
     let counts = baseline::tally(&violations);
     Ok(AuditReport {
@@ -128,6 +143,19 @@ pub fn gate(report: &AuditReport, baseline_counts: &Counts) -> GateOutcome {
         regressions,
         improvements,
     }
+}
+
+/// The workspace PR count pragma expiry is checked against: the number of
+/// `- PR`-prefixed entries in `<root>/CHANGES.md` (0 when absent, so
+/// expiry never fires in scratch workspaces without a changelog).
+fn workspace_pr_count(root: &Path) -> u64 {
+    std::fs::read_to_string(root.join("CHANGES.md"))
+        .map(|text| {
+            text.lines()
+                .filter(|l| l.trim_start().starts_with("- PR"))
+                .count() as u64
+        })
+        .unwrap_or(0)
 }
 
 /// Best-effort `name = "…"` from a crate dir's Cargo.toml; falls back to
@@ -184,22 +212,29 @@ pub fn render_text(report: &AuditReport, outcome: &GateOutcome) -> String {
         report.violations.len()
     );
     for (rule, crates) in &report.counts {
-        let total: u64 = crates.values().sum();
-        let per_crate: Vec<String> = crates.iter().map(|(c, n)| format!("{c}: {n}")).collect();
+        let total: u64 = crates
+            .values()
+            .map(|items| items.values().sum::<u64>())
+            .sum();
+        let per_crate: Vec<String> = crates
+            .iter()
+            .map(|(c, items)| format!("{c}: {}", items.values().sum::<u64>()))
+            .collect();
         let _ = writeln!(s, "  {rule}: {total} ({})", per_crate.join(", "));
     }
     for d in &outcome.improvements {
         let _ = writeln!(
             s,
-            "improvable: {} in {} is {} but baseline allows {} — shrink the baseline",
-            d.rule, d.crate_name, d.current, d.baseline
+            "improvable: {} in {} [{}] is {} but baseline allows {} — shrink the baseline \
+             (or run --update-baseline)",
+            d.rule, d.crate_name, d.item, d.current, d.baseline
         );
     }
     for d in &outcome.regressions {
         let _ = writeln!(
             s,
-            "REGRESSION: {} in {}: {} > baseline {}",
-            d.rule, d.crate_name, d.current, d.baseline
+            "REGRESSION: {} in {} [{}]: {} > baseline {}",
+            d.rule, d.crate_name, d.item, d.current, d.baseline
         );
     }
     let _ = writeln!(
@@ -221,11 +256,13 @@ pub fn render_json(report: &AuditReport, outcome: &GateOutcome) -> String {
         };
         let _ = writeln!(
             s,
-            "    {{\"file\": {}, \"line\": {}, \"rule\": {}, \"crate\": {}, \"message\": {}}}{comma}",
+            "    {{\"file\": {}, \"line\": {}, \"rule\": {}, \"crate\": {}, \"item\": {}, \
+             \"message\": {}}}{comma}",
             json_str(&v.file),
             v.line,
             json_str(v.rule.name()),
             json_str(&v.crate_name),
+            json_str(&v.item),
             json_str(&v.message)
         );
     }
@@ -253,9 +290,10 @@ fn deltas_json(deltas: &[Delta]) -> String {
         .iter()
         .map(|d| {
             format!(
-                "{{\"rule\": {}, \"crate\": {}, \"baseline\": {}, \"current\": {}}}",
+                "{{\"rule\": {}, \"crate\": {}, \"item\": {}, \"baseline\": {}, \"current\": {}}}",
                 json_str(&d.rule),
                 json_str(&d.crate_name),
+                json_str(&d.item),
                 d.baseline,
                 d.current
             )

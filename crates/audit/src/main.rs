@@ -3,11 +3,17 @@
 //!
 //! ```text
 //! pm-audit [--root <dir>] [--baseline <file>] [--write-baseline <file>]
-//!          [--json] [--quiet]
+//!          [--update-baseline] [--json] [--quiet]
 //! ```
 //!
-//! Exit codes: `0` gate passed, `1` a (rule, crate) count exceeds its
-//! baseline entry, `2` usage or I/O error.
+//! `--update-baseline` rewrites the `--baseline` file from the current
+//! run's counts — the sanctioned way to shrink the ratchet after a
+//! cleanup, and the v1 → v2 (per-item) format migration in one step. CI
+//! never passes it; the gate then trivially passes against the fresh
+//! file, so the diff is reviewed like any other ratchet change.
+//!
+//! Exit codes: `0` gate passed, `1` a (rule, crate, item) count exceeds
+//! its baseline entry, `2` usage or I/O error.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -18,6 +24,7 @@ struct Opts {
     root: PathBuf,
     baseline: Option<PathBuf>,
     write_baseline: Option<PathBuf>,
+    update_baseline: bool,
     json: bool,
     quiet: bool,
 }
@@ -27,6 +34,7 @@ fn parse_args() -> Result<Opts, String> {
         root: PathBuf::from("."),
         baseline: None,
         write_baseline: None,
+        update_baseline: false,
         json: false,
         quiet: false,
     };
@@ -44,15 +52,19 @@ fn parse_args() -> Result<Opts, String> {
                     args.next().ok_or("--write-baseline needs a file")?,
                 ));
             }
+            "--update-baseline" => opts.update_baseline = true,
             "--json" => opts.json = true,
             "--quiet" => opts.quiet = true,
             "--help" | "-h" => {
                 return Err("usage: pm-audit [--root <dir>] [--baseline <file>] \
-                            [--write-baseline <file>] [--json] [--quiet]"
+                            [--write-baseline <file>] [--update-baseline] [--json] [--quiet]"
                     .into())
             }
             other => return Err(format!("unknown argument {other:?} (try --help)")),
         }
+    }
+    if opts.update_baseline && opts.baseline.is_none() {
+        return Err("--update-baseline needs --baseline <file> to know what to rewrite".into());
     }
     Ok(opts)
 }
@@ -66,6 +78,18 @@ fn run() -> Result<bool, String> {
         std::fs::write(path, json).map_err(|e| format!("cannot write {}: {e}", path.display()))?;
         if !opts.quiet {
             eprintln!("pm-audit: wrote baseline to {}", path.display());
+        }
+    }
+    if opts.update_baseline {
+        // Rewrite in place (always v2), then gate against the fresh file
+        // below — reading it back keeps the parse path honest.
+        if let Some(path) = &opts.baseline {
+            let json = pm_audit::baseline::to_json(&report.counts);
+            std::fs::write(path, json)
+                .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+            if !opts.quiet {
+                eprintln!("pm-audit: updated baseline {}", path.display());
+            }
         }
     }
 

@@ -1,0 +1,143 @@
+//! Property tests for the structural item parser: its spans must
+//! *partition* the token stream (top-level items tile it, children nest
+//! strictly inside their parent and never overlap), and parsing must be
+//! total on arbitrary input — hostile or not, it returns a tree.
+
+use proptest::prelude::*;
+
+use pm_audit::items::{self, Item};
+use pm_audit::lexer::lex;
+
+/// Item-shaped source fragments the generator can concatenate. Each is a
+/// complete top-level item so the tiling property is interesting; the
+/// parser must still cope when they are cut up by `arb_text` noise.
+fn fragment() -> impl Strategy<Value = &'static str> {
+    prop_oneof![
+        Just("fn a() { let x = 1; }"),
+        Just("pub fn b(v: u8) -> u8 { v }"),
+        Just("pub unsafe fn c() {}"),
+        Just("/// # Safety\n/// fine\npub unsafe fn d() {}"),
+        Just("#[target_feature(enable = \"avx2\")]\nfn e() {}"),
+        Just("mod m { fn inner() {} }"),
+        Just("impl Thing { fn method(&self) {} }"),
+        Just("trait T { fn req(&self); }"),
+        Just("struct S { f: u8 }"),
+        Just("enum E { A, B }"),
+        Just("const K: u8 = 3;"),
+        Just("use std::fmt;"),
+        Just("#[cfg(test)]\nmod tests { fn t() {} }"),
+        Just("// stray comment"),
+        Just("let orphan = 5;"),
+        Just("}"), // unbalanced close — parser must not wedge
+        Just("{"), // unbalanced open
+    ]
+}
+
+fn source() -> impl Strategy<Value = String> {
+    proptest::collection::vec(fragment(), 0..8).prop_map(|parts| parts.join("\n"))
+}
+
+/// Arbitrary unicode text built char-by-char (the vendored proptest has no
+/// regex strategies).
+fn arb_text() -> impl Strategy<Value = String> {
+    proptest::collection::vec(any::<char>(), 0..200).prop_map(|cs| cs.into_iter().collect())
+}
+
+/// Check the span contract recursively: children are contained in their
+/// parent, mutually disjoint, and in order.
+fn check_nesting(items: &[Item], bound: &std::ops::Range<usize>) -> Result<(), String> {
+    let mut prev_end = bound.start;
+    for item in items {
+        let span = &item.tok_span;
+        if span.start < prev_end || span.end > bound.end {
+            return Err(format!(
+                "span {span:?} escapes bound {bound:?} (prev_end {prev_end})"
+            ));
+        }
+        if span.start > span.end {
+            return Err(format!("inverted span {span:?}"));
+        }
+        check_nesting(&item.children, span)?;
+        prev_end = span.end;
+    }
+    Ok(())
+}
+
+proptest! {
+    /// Top-level item spans exactly tile the token stream: concatenated in
+    /// order they cover every token once, with no gaps and no overlap.
+    #[test]
+    fn top_level_spans_tile_the_token_stream(src in source()) {
+        let tokens = lex(&src);
+        let tree = items::parse(&tokens);
+        let mut pos = 0usize;
+        for item in &tree.items {
+            prop_assert_eq!(
+                item.tok_span.start, pos,
+                "gap or overlap before item {:?}", item.name
+            );
+            pos = item.tok_span.end;
+        }
+        prop_assert_eq!(pos, tokens.len(), "tail tokens not covered");
+    }
+
+    /// Children nest strictly inside their parent and are disjoint, at
+    /// every depth.
+    #[test]
+    fn child_spans_nest_and_are_disjoint(src in source()) {
+        let tokens = lex(&src);
+        let tree = items::parse(&tokens);
+        if let Err(msg) = check_nesting(&tree.items, &(0..tokens.len())) {
+            prop_assert!(false, "{}", msg);
+        }
+    }
+
+    /// Totality: the parser returns on arbitrary garbage, and its tiling
+    /// contract holds even there.
+    #[test]
+    fn parser_total_and_tiling_on_arbitrary_input(src in arb_text()) {
+        let tokens = lex(&src);
+        let tree = items::parse(&tokens);
+        let mut pos = 0usize;
+        for item in &tree.items {
+            prop_assert_eq!(item.tok_span.start, pos);
+            pos = item.tok_span.end;
+        }
+        prop_assert_eq!(pos, tokens.len());
+    }
+
+    /// Byte spans are consistent with token spans: an item's byte span
+    /// starts at its first token's byte offset.
+    #[test]
+    fn byte_spans_match_token_spans(src in source()) {
+        let tokens = lex(&src);
+        let tree = items::parse(&tokens);
+        for item in &tree.items {
+            if item.tok_span.is_empty() {
+                continue;
+            }
+            let first = &tokens[item.tok_span.start];
+            prop_assert_eq!(item.byte_span.start, first.start);
+            let last = &tokens[item.tok_span.end - 1];
+            prop_assert_eq!(item.byte_span.end, last.start + last.text.len());
+        }
+    }
+
+    /// Flattening preserves every named fn exactly once and qualifies it
+    /// with its module path.
+    #[test]
+    fn flatten_is_lossless_for_fns(src in source()) {
+        let tokens = lex(&src);
+        let tree = items::parse(&tokens);
+        use pm_audit::items::ItemKind;
+        fn count_fns(items: &[Item]) -> usize {
+            items
+                .iter()
+                .map(|i| usize::from(matches!(i.kind, ItemKind::Fn)) + count_fns(&i.children))
+                .sum()
+        }
+        let flat = items::flatten(&tree, "x");
+        let flat_fns = flat.iter().filter(|q| matches!(q.kind, ItemKind::Fn)).count();
+        prop_assert_eq!(flat_fns, count_fns(&tree.items));
+    }
+}

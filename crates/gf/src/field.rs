@@ -83,8 +83,8 @@ impl GfField {
         let mut log = vec![0u16; size];
         let mut x: u32 = 1;
         for (i, e) in exp.iter_mut().enumerate().take(size - 1) {
-            *e = x as u16;
-            log[x as usize] = i as u16;
+            *e = (x & 0xffff) as u16;
+            log[x as usize] = (i & 0xffff) as u16;
             x <<= 1;
             if x & (1 << m) != 0 {
                 x ^= poly;
@@ -114,7 +114,7 @@ impl GfField {
     /// Largest valid element value, `2^m - 1`. Also the multiplicative order.
     #[inline]
     pub fn max_element(&self) -> u16 {
-        (self.size - 1) as u16
+        ((self.size - 1) & 0xffff) as u16
     }
 
     #[inline]
@@ -123,7 +123,7 @@ impl GfField {
             Ok(())
         } else {
             Err(GfError::OutOfRange {
-                value: a as u32,
+                value: u32::from(a),
                 width: self.m,
             })
         }
@@ -156,7 +156,7 @@ impl GfField {
         if a == 0 {
             return Err(GfError::DivisionByZero);
         }
-        let order = (self.size - 1) as u16;
+        let order = ((self.size - 1) & 0xffff) as u16;
         let l = self.log[a as usize];
         Ok(self.exp[(order - l) as usize])
     }

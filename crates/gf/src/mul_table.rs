@@ -34,7 +34,7 @@ impl MulTable {
             .try_into()
             .expect("vec of 256 rows");
         for c in 0..256usize {
-            fill_mul_row(Gf256(c as u8), &mut rows[c]);
+            fill_mul_row(Gf256((c & 0xff) as u8), &mut rows[c]);
         }
         MulTable { rows }
     }

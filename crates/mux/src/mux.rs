@@ -559,6 +559,7 @@ impl<T: PollTransport, C: MuxClock> Mux<T, C> {
                 return;
             };
             let now_rel = now_abs - sess.started;
+            // pm-audit: allow(hot-loop-alloc): obs handle clone is a refcount bump
             let sess_obs = sess.obs.clone();
             match sess.res.absorb_recv(outcome.map(Some), now_rel, &sess_obs) {
                 // Quarantine or fatal transport error: abort with the
@@ -679,6 +680,7 @@ impl<T: PollTransport, C: MuxClock> Mux<T, C> {
                 break 'drive None; // parked on a retry; Retry timer owns us
             }
             sess.drives += 1;
+            // pm-audit: allow(hot-loop-alloc): obs handle clone is a refcount bump
             let obs = sess.obs.clone();
             loop {
                 let now_rel = now_abs - sess.started;
@@ -788,6 +790,7 @@ impl<T: PollTransport, C: MuxClock> Mux<T, C> {
                             break 'drive Some(SessionOutcome::Sender(Err(
                                 ProtocolError::Stalled {
                                     waited_secs: idle,
+                                    // pm-audit: allow(hot-loop-alloc): terminal error path, not per-packet
                                     last_progress: sess.last_event.clone(),
                                 },
                             )));
@@ -922,6 +925,7 @@ impl<T: PollTransport, C: MuxClock> Mux<T, C> {
                 }
                 Err(NetError::Io(_)) if pending.attempt < sess.res.policy().send_retries => {
                     pending.attempt += 1;
+                    // pm-audit: allow(hot-loop-alloc): obs handle clone is a refcount bump
                     let sess_obs = sess.obs.clone();
                     let backoff = sess.res.retry_backoff(pending.attempt, now_rel, &sess_obs);
                     sess.pending = Some(pending);

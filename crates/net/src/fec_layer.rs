@@ -176,7 +176,7 @@ impl<T: Transport> FecTransport<T> {
             .drain(..)
             .map(|d| {
                 let mut b = BytesMut::with_capacity(padded_len);
-                b.put_u16(d.len() as u16);
+                b.put_u16(u16::try_from(d.len()).expect("datagram fits u16 length prefix"));
                 b.extend_from_slice(&d);
                 b.resize(padded_len, 0);
                 b.freeze()
@@ -185,12 +185,14 @@ impl<T: Transport> FecTransport<T> {
         self.pending_since = None;
         let block = self.next_block;
         self.next_block = self.next_block.wrapping_add(1);
+        // pm-audit: allow(lossy-cast): CodeSpec validates k + h <= u16::MAX
         let (k16, n16) = (k as u16, (k + self.cfg.h) as u16);
         for (i, payload) in padded.iter().enumerate() {
             self.stats.data_frames_sent += 1;
             self.inner.send(&Message::FecFrame {
                 session: self.cfg.sender_tag,
                 block,
+                // pm-audit: allow(lossy-cast): i < k which fits u16
                 index: i as u16,
                 k: k16,
                 n: n16,
@@ -206,6 +208,7 @@ impl<T: Transport> FecTransport<T> {
             self.inner.send(&Message::FecFrame {
                 session: self.cfg.sender_tag,
                 block,
+                // pm-audit: allow(lossy-cast): k + j < n which fits u16
                 index: (k + j) as u16,
                 k: k16,
                 n: n16,

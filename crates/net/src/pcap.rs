@@ -69,11 +69,13 @@ impl<W: Write> PcapWriter<W> {
     }
 
     fn write_record(&mut self, ts: Duration, frame: &[u8]) -> io::Result<()> {
+        // pm-audit: allow(lossy-cast): pcap mandates 32-bit seconds; wraps in 2106
         self.out.write_all(&(ts.as_secs() as u32).to_le_bytes())?;
         self.out.write_all(&ts.subsec_micros().to_le_bytes())?;
-        let len = frame.len().min(SNAPLEN as usize) as u32;
+        let len = u32::try_from(frame.len().min(SNAPLEN as usize)).unwrap_or(SNAPLEN);
         self.out.write_all(&len.to_le_bytes())?; // incl_len
-        self.out.write_all(&(frame.len() as u32).to_le_bytes())?; // orig_len
+        let orig = u32::try_from(frame.len()).unwrap_or(u32::MAX);
+        self.out.write_all(&orig.to_le_bytes())?; // orig_len
         self.out.write_all(&frame[..len as usize])?;
         Ok(())
     }
@@ -122,7 +124,7 @@ fn build_frame(payload: &[u8], outbound: bool) -> Vec<u8> {
     let ip_start = f.len();
     f.push(0x45); // version 4, IHL 5
     f.push(0); // DSCP/ECN
-    f.extend_from_slice(&(ip_len as u16).to_be_bytes());
+    f.extend_from_slice(&u16::try_from(ip_len).unwrap_or(u16::MAX).to_be_bytes());
     f.extend_from_slice(&0u16.to_be_bytes()); // identification
     f.extend_from_slice(&0u16.to_be_bytes()); // flags/fragment
     f.push(1); // TTL (multicast scope)
@@ -136,7 +138,7 @@ fn build_frame(payload: &[u8], outbound: bool) -> Vec<u8> {
     // UDP header (checksum 0 = unset, legal for IPv4)
     f.extend_from_slice(&GROUP_PORT.to_be_bytes()); // src port (cosmetic)
     f.extend_from_slice(&GROUP_PORT.to_be_bytes());
-    f.extend_from_slice(&(udp_len as u16).to_be_bytes());
+    f.extend_from_slice(&u16::try_from(udp_len).unwrap_or(u16::MAX).to_be_bytes());
     f.extend_from_slice(&0u16.to_be_bytes());
     f.extend_from_slice(payload);
     f
@@ -147,12 +149,12 @@ fn ipv4_checksum(header: &[u8]) -> u16 {
     let mut sum = 0u32;
     for chunk in header.chunks(2) {
         let word = u16::from_be_bytes([chunk[0], *chunk.get(1).unwrap_or(&0)]);
-        sum += word as u32;
+        sum += u32::from(word);
     }
     while sum > 0xFFFF {
         sum = (sum & 0xFFFF) + (sum >> 16);
     }
-    !(sum as u16)
+    !((sum & 0xFFFF) as u16)
 }
 
 /// A [`Transport`] decorator that captures all traffic to a pcap stream.

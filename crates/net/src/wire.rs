@@ -249,6 +249,7 @@ impl Message {
                 b.put_u16(*index);
                 b.put_u16(*k);
                 b.put_u16(*n);
+                // pm-audit: allow(lossy-cast): payload bounded far below 4 GiB
                 b.put_u32(payload.len() as u32);
                 b.extend_from_slice(payload);
             }
@@ -305,6 +306,7 @@ impl Message {
                 b.put_u16(*index);
                 b.put_u16(*k);
                 b.put_u16(*n);
+                // pm-audit: allow(lossy-cast): payload bounded far below 4 GiB
                 b.put_u32(payload.len() as u32);
                 b.extend_from_slice(payload);
             }

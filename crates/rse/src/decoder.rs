@@ -265,17 +265,21 @@ impl RseDecoder {
 
         // d_i = sum_j inv[i][j] * y_j, computed only for missing rows, each
         // as one batched multi-source pass (up to four shares per read-
-        // modify-write of the output row).
+        // modify-write of the output row). One source buffer is reused
+        // across rows so the loop itself never allocates.
+        let mut sources: Vec<(Gf256, &[u8])> = Vec::with_capacity(k);
         for &i in &missing {
-            let sources: Vec<(Gf256, &[u8])> = selected
-                .iter()
-                .enumerate()
-                .filter(|(j, _)| !inv[(i, *j)].is_zero())
-                .map(|(j, &share_idx)| {
-                    let payload = slots[share_idx].expect("selected shares are present");
-                    (inv[(i, j)], payload)
-                })
-                .collect();
+            sources.clear();
+            sources.extend(
+                selected
+                    .iter()
+                    .enumerate()
+                    .filter(|(j, _)| !inv[(i, *j)].is_zero())
+                    .map(|(j, &share_idx)| {
+                        let payload = slots[share_idx].expect("selected shares are present");
+                        (inv[(i, j)], payload)
+                    }),
+            );
             // `out[i]` is already zeroed.
             self.kernels.mul_add_multi(&sources, &mut out[i]);
         }

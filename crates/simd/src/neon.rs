@@ -60,6 +60,7 @@ fn load_tables(nib: &[u8; 32]) -> (uint8x16_t, uint8x16_t) {
 #[inline]
 #[target_feature(enable = "neon")]
 fn product16(lo_t: uint8x16_t, hi_t: uint8x16_t, s: uint8x16_t) -> uint8x16_t {
+    // SAFETY: register-only NEON ops; callers are #[target_feature(neon)].
     unsafe {
         let lo = vandq_u8(s, vdupq_n_u8(0x0f));
         let hi = vshrq_n_u8::<4>(s);
@@ -148,6 +149,7 @@ fn scale_neon(t: &CoeffTables, data: &mut [u8]) {
 fn mul_add_multi_rows_neon(sources: &[(CoeffTables, &[u8])], dst: &mut [u8]) {
     let n = dst.len();
     for group in sources.chunks(4) {
+        // SAFETY: vdupq_n_u8 is a register splat with no memory access.
         let mut lo_t = unsafe { [vdupq_n_u8(0); 4] };
         let mut hi_t = lo_t;
         for (i, (t, _)) in group.iter().enumerate() {
