@@ -14,7 +14,7 @@ use pm_core::config::{CompletionPolicy, NpConfig};
 use pm_core::receiver::NpReceiver;
 use pm_core::runtime::RuntimeConfig;
 use pm_core::sender::NpSender;
-use pm_mux::{Mux, MuxConfig, TimerWheel, VirtualClock};
+use pm_mux::{Mux, MuxConfig, OverloadConfig, TimerWheel, VirtualClock};
 use pm_net::MemHub;
 
 fn np_cfg() -> NpConfig {
@@ -67,12 +67,57 @@ fn farm(pairs: u32) -> usize {
 fn bench_mux_farm(c: &mut Criterion) {
     let mut g = c.benchmark_group("mux_farm_np_pairs");
     g.sample_size(10);
-    for pairs in [8u32, 32, 128] {
+    for pairs in [8u32, 32, 128, 256, 512] {
         g.bench_with_input(BenchmarkId::from_parameter(pairs), &pairs, |b, &p| {
             b.iter(|| farm(p));
         });
     }
     g.finish();
+}
+
+/// A 64-pair farm against a drive budget sized for ~8 sessions: the
+/// overload policy must declare the episode, shed down to a sustainable
+/// population, and drive the survivors to completion. Measures the whole
+/// degrade-and-recover arc, shed bookkeeping included.
+fn overloaded_farm(pairs: u32) -> (usize, u64) {
+    let overload = OverloadConfig {
+        high_water: 0.5,
+        drive_budget: 8,
+        sustain_turns: 4,
+        max_shed_per_turn: 2,
+        alpha: 0.5,
+        seed: 0xBE7C,
+        ..OverloadConfig::default()
+    };
+    let cfg = MuxConfig {
+        overload: Some(overload),
+        ..MuxConfig::default()
+    };
+    let mut mux = Mux::new(cfg, VirtualClock::new());
+    for i in 0..pairs {
+        let hub = MemHub::new();
+        let data = payload(1500);
+        mux.add_sender(
+            NpSender::new(i, &data, np_cfg()).expect("valid config"),
+            hub.join(),
+            rt(),
+        );
+        mux.add_receiver(
+            NpReceiver::new(1000 + i, i, 0.001, i as u64),
+            hub.join(),
+            rt(),
+        );
+    }
+    let outcomes = mux.run();
+    let shed = mux.shed_count();
+    assert!(shed > 0, "the overload bench must actually shed");
+    (outcomes.len(), shed)
+}
+
+fn bench_mux_shed(c: &mut Criterion) {
+    c.bench_function("mux_overload_shed_64_pairs", |b| {
+        b.iter(|| overloaded_farm(64));
+    });
 }
 
 fn bench_timer_wheel(c: &mut Criterion) {
@@ -98,5 +143,5 @@ fn bench_timer_wheel(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_mux_farm, bench_timer_wheel);
+criterion_group!(benches, bench_mux_farm, bench_mux_shed, bench_timer_wheel);
 criterion_main!(benches);

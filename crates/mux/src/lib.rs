@@ -22,11 +22,22 @@
 //! tests (the clock jumps to the next timer deadline when the system is
 //! quiescent), [`WallClock`] for production (bounded naps between I/O
 //! sweeps).
+//!
+//! When capacity runs out, the [`overload`] module keeps the mux up:
+//! per-turn budget accounting feeds an [`overload::OverloadPolicy`] that
+//! refuses admission past a high-water mark (typed
+//! [`overload::AdmissionError`]) and, under sustained saturation, sheds
+//! victims deterministically with typed
+//! [`SessionOutcome::Shed`](mux::SessionOutcome::Shed) reports — graceful
+//! degradation at the driver layer, mirroring what parity recovery does
+//! at the protocol layer.
 
 pub mod clock;
 pub mod mux;
+pub mod overload;
 pub mod wheel;
 
 pub use clock::{MuxClock, VirtualClock, WallClock};
-pub use mux::{Mux, MuxConfig, MuxMetrics, SessionOutcome};
+pub use mux::{Mux, MuxConfig, MuxMetrics, SessionOutcome, ShedReport};
+pub use overload::{AdmissionError, OverloadConfig, OverloadPolicy, OverloadSignal};
 pub use wheel::TimerWheel;

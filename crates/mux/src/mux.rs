@@ -28,11 +28,12 @@ use pm_core::runtime::{
 use pm_core::sender::SenderStep;
 use pm_net::{Message, NetError, PollSet, PollTransport, Token};
 use pm_obs::{
-    Event, FlightRecorder, Gauge, Histogram, MetricsRegistry, Obs, Outcome, Postmortem, Recorder,
-    Role, WindowTelemetry,
+    Counter, Event, FlightRecorder, Gauge, Histogram, MetricsRegistry, Obs, Outcome, Postmortem,
+    Recorder, Role, WindowTelemetry,
 };
 
 use crate::clock::MuxClock;
+use crate::overload::{AdmissionError, OverloadConfig, OverloadPolicy, OverloadSignal};
 use crate::wheel::TimerWheel;
 
 /// Ceiling on a sender machine's requested wait (mirrors the blocking
@@ -42,7 +43,7 @@ const SENDER_WAIT_CEIL: Duration = Duration::from_millis(50);
 const RECEIVER_WAIT_CEIL: Duration = Duration::from_millis(20);
 
 /// Tuning knobs of a [`Mux`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MuxConfig {
     /// Timer-wheel granularity. Deadlines round up to the next tick, so
     /// this bounds both scheduling error and the idle nap length.
@@ -56,6 +57,12 @@ pub struct MuxConfig {
     /// (attached to the degraded [`SessionReport`], collected via
     /// [`Mux::take_postmortems`] otherwise).
     pub flight_capacity: Option<usize>,
+    /// When set, the mux runs under admission control and load shedding:
+    /// per-turn budget accounting feeds an [`OverloadPolicy`], admission
+    /// via [`Mux::try_add_sender`] / [`Mux::try_add_receiver`] is refused
+    /// past the high-water mark, and sustained saturation sheds sessions
+    /// with typed [`SessionOutcome::Shed`] outcomes.
+    pub overload: Option<OverloadConfig>,
 }
 
 impl Default for MuxConfig {
@@ -64,6 +71,7 @@ impl Default for MuxConfig {
             tick: Duration::from_micros(50),
             poll_budget: 32,
             flight_capacity: None,
+            overload: None,
         }
     }
 }
@@ -183,14 +191,55 @@ pub enum SessionOutcome {
     Sender(Result<SessionReport, ProtocolError>),
     /// A receiver session's result.
     Receiver(Result<ReceiverReport, ProtocolError>),
+    /// The session was shed by the overload policy: removed mid-flight,
+    /// deliberately, to keep the rest of the farm on schedule. Not an
+    /// error — graceful degradation with a typed report.
+    Shed(ShedReport),
+}
+
+/// What the mux knows about a session it shed. The session never reached
+/// a protocol outcome, so this carries the driver-side facts instead:
+/// who it was, how far it got, and the overload that claimed it.
+#[derive(Debug)]
+pub struct ShedReport {
+    /// Sender or receiver side.
+    pub role: Role,
+    /// The mux slot the session occupied.
+    pub session: u32,
+    /// Session-relative runtime at the moment of shedding.
+    pub elapsed: Duration,
+    /// Drive passes consumed before shedding (the fairness unit; the
+    /// victim policy prefers the fewest).
+    pub drives: u64,
+    /// The rolling utilization estimate that sustained the overload.
+    pub utilization: f64,
+    /// The session's flight-recorder postmortem, when
+    /// [`MuxConfig::flight_capacity`] is set.
+    pub postmortem: Option<Postmortem>,
 }
 
 impl SessionOutcome {
-    /// True when the session completed without a fatal error.
+    /// True when the session completed without a fatal error. A shed
+    /// session did not complete: `false`, though [`Self::err`] is `None`
+    /// too — shedding is its own third state.
     pub fn is_ok(&self) -> bool {
         match self {
             SessionOutcome::Sender(r) => r.is_ok(),
             SessionOutcome::Receiver(r) => r.is_ok(),
+            SessionOutcome::Shed(_) => false,
+        }
+    }
+
+    /// True when the overload policy shed this session.
+    pub fn is_shed(&self) -> bool {
+        matches!(self, SessionOutcome::Shed(_))
+    }
+
+    /// The shed report, if the overload policy shed this session.
+    pub fn shed_report(&self) -> Option<&ShedReport> {
+        match self {
+            SessionOutcome::Shed(r) => Some(r),
+            _ => None,
         }
     }
 
@@ -210,7 +259,8 @@ impl SessionOutcome {
         }
     }
 
-    /// The fatal error, if the session failed.
+    /// The fatal error, if the session failed. Shed sessions carry no
+    /// error: they were removed by policy, not by failure.
     pub fn err(&self) -> Option<&ProtocolError> {
         match self {
             SessionOutcome::Sender(Err(e)) | SessionOutcome::Receiver(Err(e)) => Some(e),
@@ -237,6 +287,13 @@ pub struct MuxMetrics {
     /// footprint at completion (the paper's scalability argument: NP keeps
     /// this constant as `R` grows). Set when a sender session finishes.
     pub sender_state_bytes: Gauge,
+    /// `mux.shed_sessions` — sessions the overload policy has shed.
+    pub shed_sessions: Counter,
+    /// `mux.admission_rejected` — sessions refused at admission.
+    pub admission_rejected: Counter,
+    /// `mux.utilization_permille` — the rolling poll-budget utilization
+    /// estimate, in thousandths (gauges are integral).
+    pub utilization_permille: Gauge,
 }
 
 impl MuxMetrics {
@@ -248,6 +305,9 @@ impl MuxMetrics {
             queue_depth: reg.histogram("mux.session_queue_depth"),
             session_drives: reg.histogram("mux.session_drives"),
             sender_state_bytes: reg.gauge("sender.state_bytes_per_receiver"),
+            shed_sessions: reg.counter("mux.shed_sessions"),
+            admission_rejected: reg.counter("mux.admission_rejected"),
+            utilization_permille: reg.gauge("mux.utilization_permille"),
         }
     }
 }
@@ -297,6 +357,15 @@ pub struct Mux<T: PollTransport, C: MuxClock> {
     postmortems: Vec<(Token, Postmortem)>,
     io_sink: Vec<(Token, Result<Message, NetError>)>,
     fired: Vec<(u64, TimerKey)>,
+    /// Admission control + shedding, when [`MuxConfig::overload`] is set.
+    policy: Option<OverloadPolicy>,
+    /// Drive passes taken this turn (half of the turn budget; datagrams
+    /// drained are the other half).
+    turn_drives: usize,
+    /// Sessions shed over this mux's lifetime (the reconciliation ledger
+    /// count, mirrored by the `mux.shed_sessions` counter and the
+    /// `mux_session_shed` trace census).
+    shed_total: u64,
 }
 
 impl<T: PollTransport, C: MuxClock> Mux<T, C> {
@@ -318,6 +387,9 @@ impl<T: PollTransport, C: MuxClock> Mux<T, C> {
             postmortems: Vec::new(),
             io_sink: Vec::new(),
             fired: Vec::new(),
+            policy: cfg.overload.map(OverloadPolicy::new),
+            turn_drives: 0,
+            shed_total: 0,
         }
     }
 
@@ -368,6 +440,82 @@ impl<T: PollTransport, C: MuxClock> Mux<T, C> {
     /// The mux clock, for inspection.
     pub fn clock(&self) -> &C {
         &self.clock
+    }
+
+    /// The rolling utilization estimate (0.0 when overload control is
+    /// off — an unbudgeted mux never reports pressure).
+    pub fn utilization(&self) -> f64 {
+        self.policy
+            .as_ref()
+            .map_or(0.0, OverloadPolicy::utilization)
+    }
+
+    /// True while the overload policy is in a declared overload episode.
+    pub fn overloaded(&self) -> bool {
+        self.policy.as_ref().is_some_and(OverloadPolicy::overloaded)
+    }
+
+    /// Sessions shed over this mux's lifetime.
+    pub fn shed_count(&self) -> u64 {
+        self.shed_total
+    }
+
+    /// Admission-checked [`Mux::add_sender`]: refused with a typed
+    /// [`AdmissionError`] (and a `mux_admission_rejected` event) when the
+    /// overload policy says the mux cannot take more work. Without an
+    /// [`MuxConfig::overload`] config, admission always succeeds.
+    ///
+    /// # Errors
+    /// [`AdmissionError`] past the high-water mark or the session cap.
+    pub fn try_add_sender<M: SenderMachine + 'static>(
+        &mut self,
+        machine: M,
+        transport: T,
+        rt: RuntimeConfig,
+    ) -> Result<Token, AdmissionError> {
+        self.admit(Role::Sender)?;
+        Ok(self.add_sender(machine, transport, rt))
+    }
+
+    /// Admission-checked [`Mux::add_receiver`]; see [`Mux::try_add_sender`].
+    ///
+    /// # Errors
+    /// [`AdmissionError`] past the high-water mark or the session cap.
+    pub fn try_add_receiver<M: ReceiverMachine + 'static>(
+        &mut self,
+        machine: M,
+        transport: T,
+        rt: RuntimeConfig,
+    ) -> Result<Token, AdmissionError> {
+        self.admit(Role::Receiver)?;
+        Ok(self.add_receiver(machine, transport, rt))
+    }
+
+    fn admit(&mut self, role: Role) -> Result<(), AdmissionError> {
+        let Some(policy) = &self.policy else {
+            return Ok(());
+        };
+        match policy.admit(self.live) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                let active = self.live as u32;
+                let utilization = policy.utilization();
+                // The refused session never got a slot; label the event
+                // with the next fresh one as a prospective id.
+                let session = self.sessions.len() as u32;
+                self.obs
+                    .emit(self.clock.now(), || Event::MuxAdmissionRejected {
+                        session,
+                        role,
+                        active,
+                        utilization,
+                    });
+                if let Some(m) = &self.metrics {
+                    m.admission_rejected.inc();
+                }
+                Err(e)
+            }
+        }
     }
 
     /// Add a sender session; it is driven from the next turn on.
@@ -468,9 +616,23 @@ impl<T: PollTransport, C: MuxClock> Mux<T, C> {
         std::mem::take(&mut self.outcomes)
     }
 
+    /// One scheduler turn, for callers that interleave driving with their
+    /// own work (churn harnesses adding and removing sessions mid-run).
+    /// Outcomes accumulate; drain them with [`Mux::take_outcomes`].
+    pub fn turn_once(&mut self) {
+        self.turn();
+    }
+
+    /// Outcomes of sessions finished since the last call (or since the
+    /// last [`Mux::run`], which drains them itself).
+    pub fn take_outcomes(&mut self) -> Vec<(Token, SessionOutcome)> {
+        std::mem::take(&mut self.outcomes)
+    }
+
     /// One scheduler turn: I/O sweep, due timers, then — only if both
     /// were empty — one bounded clock advance toward the next deadline.
     fn turn(&mut self) {
+        self.turn_drives = 0;
         // 1. Fair I/O sweep over every live endpoint.
         let mut sink = std::mem::take(&mut self.io_sink);
         sink.clear();
@@ -511,13 +673,61 @@ impl<T: PollTransport, C: MuxClock> Mux<T, C> {
         }
         self.fired = fired;
 
+        // Budget accounting: how much of this turn's capacity (datagrams
+        // per sweep, drive passes per turn) the population consumed,
+        // folded into the policy's rolling estimate.
+        let io_capacity = (self.live.max(1) * self.cfg.poll_budget.max(1)) as f64;
+        let turn_drives = self.turn_drives;
+        let signal = self.policy.as_mut().map(|policy| {
+            let io_frac = got as f64 / io_capacity;
+            let drive_frac = turn_drives as f64 / policy.config().drive_budget.max(1) as f64;
+            (
+                policy.observe(io_frac.max(drive_frac)),
+                policy.utilization(),
+            )
+        });
+        if let Some((signal, utilization)) = signal {
+            let now_abs = self.clock.now();
+            let active = self.live as u32;
+            match signal {
+                OverloadSignal::Nominal => {}
+                OverloadSignal::Entered => {
+                    self.obs.emit(now_abs, || Event::MuxOverload {
+                        active,
+                        utilization,
+                    });
+                }
+                OverloadSignal::Cleared => {
+                    self.obs.emit(now_abs, || Event::MuxOverloadCleared {
+                        active,
+                        utilization,
+                    });
+                }
+                OverloadSignal::Shedding => self.shed_victims(utilization),
+            }
+            if let Some(m) = &self.metrics {
+                m.utilization_permille.set((utilization * 1000.0) as i64);
+            }
+        }
+
         // 3. Quiescent: advance time toward the next deadline. This is
         // the only place the mux waits, and it waits for the *earliest*
         // deadline across every session — never for one session's sake.
+        // `next_deadline` is exact even for entries parked on the
+        // overflow list beyond the wheel horizon, and the advance goes
+        // *to* the deadline, not a tick past it: under a `WallClock`
+        // that difference is a real oversleep on every idle nap.
         if got == 0 && n_fired == 0 && self.live > 0 {
             let now = self.clock.now();
             let target = match self.wheel.next_deadline() {
-                Some(t) => (t as f64 * self.tick_secs).max(now + self.tick_secs),
+                Some(t) => {
+                    let deadline = t as f64 * self.tick_secs;
+                    if deadline > now {
+                        deadline
+                    } else {
+                        now + self.tick_secs
+                    }
+                }
                 None => now + self.tick_secs,
             };
             self.clock.advance_to(target);
@@ -666,6 +876,7 @@ impl<T: PollTransport, C: MuxClock> Mux<T, C> {
             sockets,
             wheel,
             metrics,
+            turn_drives,
             ..
         } = self;
         let outcome = 'drive: {
@@ -680,6 +891,7 @@ impl<T: PollTransport, C: MuxClock> Mux<T, C> {
                 break 'drive None; // parked on a retry; Retry timer owns us
             }
             sess.drives += 1;
+            *turn_drives += 1;
             // pm-audit: allow(hot-loop-alloc): obs handle clone is a refcount bump
             let obs = sess.obs.clone();
             loop {
@@ -817,6 +1029,7 @@ impl<T: PollTransport, C: MuxClock> Mux<T, C> {
             sessions,
             sockets,
             wheel,
+            turn_drives,
             ..
         } = self;
         let outcome = 'drive: {
@@ -831,6 +1044,7 @@ impl<T: PollTransport, C: MuxClock> Mux<T, C> {
                 break 'drive None; // parked on a retry; Retry timer owns us
             }
             sess.drives += 1;
+            *turn_drives += 1;
             let now_rel = now_abs - sess.started;
             let actions = {
                 let Engine::Receiver(machine) = &mut sess.engine else {
@@ -946,6 +1160,75 @@ impl<T: PollTransport, C: MuxClock> Mux<T, C> {
         }
     }
 
+    /// Shed up to `max_shed_per_turn` victims by the policy's
+    /// deterministic priority: newest session first, then fewest drives,
+    /// then the seeded tie-break. Each victim ends with a typed
+    /// [`SessionOutcome::Shed`] carrying its runtime facts (and its
+    /// postmortem, attached in [`Mux::finish`] when flight recording is
+    /// on) — never a stall, never a panic.
+    fn shed_victims(&mut self, utilization: f64) {
+        let Some(policy) = &self.policy else {
+            return;
+        };
+        let quota = policy.config().max_shed_per_turn.min(self.live);
+        if quota == 0 {
+            return;
+        }
+        let mut candidates: Vec<((u64, u64, u64), Token)> = self
+            .sessions
+            .iter()
+            .flatten()
+            .map(|s| {
+                (
+                    policy.victim_key(s.token.slot(), s.started, s.drives),
+                    s.token,
+                )
+            })
+            .collect();
+        // Larger key = higher victim priority.
+        candidates.sort_by(|a, b| b.cmp(a));
+        let victims: Vec<Token> = candidates.into_iter().take(quota).map(|(_, t)| t).collect();
+        for token in victims {
+            self.shed(token, utilization);
+        }
+    }
+
+    fn shed(&mut self, token: Token, utilization: f64) {
+        let now_abs = self.clock.now();
+        let Some(sess) = self
+            .sessions
+            .get(token.slot())
+            .and_then(|s| s.as_ref())
+            .filter(|s| s.token == token)
+        else {
+            return;
+        };
+        let role = sess.role();
+        let drives = sess.drives;
+        let slot = token.slot() as u32;
+        let report = ShedReport {
+            role,
+            session: slot,
+            elapsed: elapsed_of(now_abs - sess.started),
+            drives,
+            utilization,
+            postmortem: None,
+        };
+        self.shed_total += 1;
+        if let Some(m) = &self.metrics {
+            m.shed_sessions.inc();
+        }
+        let active = (self.live - 1) as u32;
+        self.obs.emit(now_abs, || Event::MuxSessionShed {
+            session: slot,
+            role,
+            active,
+            drives,
+            utilization,
+        });
+        self.finish(token, SessionOutcome::Shed(report));
+    }
+
     /// Retire a session: drop its transport, record its outcome, emit the
     /// lifecycle event, and freeze a postmortem when the flight ring is on
     /// and the ending warrants one. Outstanding wheel entries die by
@@ -982,6 +1265,12 @@ impl<T: PollTransport, C: MuxClock> Mux<T, C> {
                 SessionOutcome::Sender(Err(e)) | SessionOutcome::Receiver(Err(e)) => {
                     let pm = ring.postmortem(role.as_str(), error_outcome(e), Some(slot as u32));
                     self.postmortems.push((token, pm));
+                }
+                // Shed: the typed report is the carrier, like a degraded
+                // sender's — the caller gets the artifact with the verdict.
+                SessionOutcome::Shed(report) => {
+                    report.postmortem =
+                        Some(ring.postmortem(role.as_str(), "shed", Some(slot as u32)));
                 }
                 _ => {}
             }

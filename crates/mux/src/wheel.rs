@@ -392,6 +392,78 @@ mod tests {
     }
 
     #[test]
+    fn next_deadline_is_exact_for_overflow_entries() {
+        // The idle nap of a wall-clocked mux is capped at next_deadline:
+        // when the earliest pending entry lives on the overflow list
+        // (beyond the 2^24-tick hierarchy horizon), the bound must be
+        // that entry's exact deadline, not a horizon-sized guess.
+        let mut w = TimerWheel::new();
+        let far = (1u64 << 24) + 12_345;
+        w.insert(far, 0);
+        assert_eq!(w.next_deadline(), Some(far));
+        let farther = (1u64 << 30) + 7;
+        w.insert(farther, 1);
+        assert_eq!(w.next_deadline(), Some(far), "earliest overflow entry wins");
+        w.insert(50, 2); // level 0: the bound is exact there too
+        assert_eq!(w.next_deadline(), Some(50), "in-hierarchy entry wins");
+    }
+
+    #[test]
+    fn far_deadline_cascades_preserve_fire_times() {
+        // Property-style sweep: seeded pseudo-random deadlines spanning
+        // every level AND the overflow list, advanced in pseudo-random
+        // strides. Every entry must fire exactly at its own tick, in
+        // deadline order, regardless of how the cascade path (including
+        // overflow migration back into the hierarchy) chops the journey.
+        let mut rng: u64 = 0x9E37_79B9;
+        let mut next = move || {
+            rng ^= rng << 13;
+            rng ^= rng >> 7;
+            rng ^= rng << 17;
+            rng
+        };
+        let mut w = TimerWheel::new();
+        let mut expected: Vec<(u64, u32)> = (0..96u32)
+            .map(|k| {
+                // Bias toward the far end: half the entries beyond the
+                // 2^24 horizon (the overflow list), the rest spread
+                // across the four hierarchy levels.
+                let d = if k % 2 == 0 {
+                    (1u64 << 24) + next() % (1u64 << 24)
+                } else {
+                    1 + next() % (1u64 << 24)
+                };
+                w.insert(d, k);
+                (d, k)
+            })
+            .collect();
+        expected.sort_by_key(|&(d, k)| (d, k));
+        let horizon = expected.last().map(|&(d, _)| d).unwrap_or(0);
+        let mut fired = Vec::new();
+        let mut t = 0u64;
+        while t < horizon {
+            t += 1 + next() % ((1u64 << 23) + 1);
+            // The advance target must respect the lower bound contract:
+            // next_deadline never overshoots the true earliest entry.
+            if let Some(bound) = w.next_deadline() {
+                assert!(
+                    bound <= expected[fired.len()].0,
+                    "bound {bound} past true earliest {}",
+                    expected[fired.len()].0
+                );
+            }
+            w.advance(t.min(horizon), &mut fired);
+        }
+        assert!(w.is_empty());
+        assert_eq!(fired.len(), expected.len());
+        for (&(got_d, got_k), &(want_d, _)) in fired.iter().zip(&expected) {
+            assert_eq!(got_d, want_d, "cascade distorted a deadline");
+            let original = expected.iter().find(|&&(_, k)| k == got_k).unwrap().0;
+            assert_eq!(got_d, original, "entry {got_k} fired off its deadline");
+        }
+    }
+
+    #[test]
     fn len_tracks_hierarchy_overflow_and_due() {
         let mut w = TimerWheel::new();
         w.insert(0, 0); // due

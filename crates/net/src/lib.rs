@@ -30,6 +30,7 @@
 //!   earlier slots; hearing an equal-or-better NAK cancels yours).
 
 pub mod chaos;
+pub mod farm;
 pub mod fault;
 pub mod fec_layer;
 pub mod mem;
@@ -42,6 +43,7 @@ pub mod udp;
 pub mod wire;
 
 pub use chaos::{scenario_grid, ChaosPreset, ChaosScenario};
+pub use farm::{FarmEndpoint, FarmHub, FarmRole, FarmStats};
 pub use fault::{FaultConfig, FaultStats, FaultyTransport};
 pub use fec_layer::{FecLayerConfig, FecTransport};
 pub use mem::MemHub;
@@ -49,7 +51,7 @@ pub use pcap::{PcapTransport, PcapWriter};
 pub use poll::{PollSet, PollTransport, Token};
 pub use suppression::NakSuppressor;
 pub use transcript::{Transcript, TranscriptTransport};
-pub use transport::{NetError, Transport};
+pub use transport::{classify_recv_err, NetError, RecvClass, Transport};
 pub use wire::Message;
 
 #[cfg(test)]

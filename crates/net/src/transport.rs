@@ -67,6 +67,39 @@ impl PartialEq for NetError {
     }
 }
 
+/// What a UDP `recv` error means for the loop that hit it. One total
+/// classification shared by every real-socket receive path — the
+/// [`crate::udp::UdpHub`] reader thread and the farm's poll-side drain —
+/// so the two can never drift on which errors retry and which abort.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvClass {
+    /// Nothing to read right now (`WouldBlock` / `TimedOut`): yield and
+    /// come back.
+    WouldBlock,
+    /// A per-datagram hiccup that does not damage the socket — signal
+    /// interruption, or an ICMP-unreachable surfaced from an earlier
+    /// send (connection reset/refused/aborted): drop and keep reading.
+    Transient,
+    /// The socket itself is broken (bad descriptor, out of memory, …):
+    /// stop reading and surface the error.
+    Fatal,
+}
+
+/// Classify a `recv`/`recv_from` error. Total: every [`std::io::Error`]
+/// maps to exactly one [`RecvClass`]; unknown kinds are conservatively
+/// [`RecvClass::Fatal`] so a broken socket can never spin a hot loop.
+pub fn classify_recv_err(e: &std::io::Error) -> RecvClass {
+    use std::io::ErrorKind;
+    match e.kind() {
+        ErrorKind::WouldBlock | ErrorKind::TimedOut => RecvClass::WouldBlock,
+        ErrorKind::Interrupted
+        | ErrorKind::ConnectionReset
+        | ErrorKind::ConnectionRefused
+        | ErrorKind::ConnectionAborted => RecvClass::Transient,
+        _ => RecvClass::Fatal,
+    }
+}
+
 /// A multicast endpoint: everything sent is delivered to every *other*
 /// endpoint of the group (standard multicast loopback semantics: a sender
 /// does not receive its own datagrams).
@@ -131,5 +164,54 @@ mod tests {
         assert!(!NetError::Closed.is_recoverable());
         let io = NetError::from(std::io::Error::new(std::io::ErrorKind::TimedOut, "t"));
         assert!(!io.is_recoverable());
+    }
+
+    fn err(kind: std::io::ErrorKind) -> std::io::Error {
+        std::io::Error::new(kind, "test")
+    }
+
+    #[test]
+    fn recv_class_would_block() {
+        use std::io::ErrorKind;
+        assert_eq!(
+            classify_recv_err(&err(ErrorKind::WouldBlock)),
+            RecvClass::WouldBlock
+        );
+        assert_eq!(
+            classify_recv_err(&err(ErrorKind::TimedOut)),
+            RecvClass::WouldBlock
+        );
+    }
+
+    #[test]
+    fn recv_class_transient() {
+        use std::io::ErrorKind;
+        for kind in [
+            ErrorKind::Interrupted,
+            ErrorKind::ConnectionReset,
+            ErrorKind::ConnectionRefused,
+            ErrorKind::ConnectionAborted,
+        ] {
+            assert_eq!(
+                classify_recv_err(&err(kind)),
+                RecvClass::Transient,
+                "{kind:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn recv_class_fatal_is_the_conservative_default() {
+        use std::io::ErrorKind;
+        for kind in [
+            ErrorKind::NotFound,
+            ErrorKind::PermissionDenied,
+            ErrorKind::BrokenPipe,
+            ErrorKind::InvalidInput,
+            ErrorKind::OutOfMemory,
+            ErrorKind::Other,
+        ] {
+            assert_eq!(classify_recv_err(&err(kind)), RecvClass::Fatal, "{kind:?}");
+        }
     }
 }

@@ -79,13 +79,13 @@ impl UdpHub {
                                 let _ = sink.send(datagram.clone());
                             }
                         }
-                        Err(e)
-                            if e.kind() == std::io::ErrorKind::WouldBlock
-                                || e.kind() == std::io::ErrorKind::TimedOut =>
-                        {
-                            continue
-                        }
-                        Err(_) => break,
+                        // Same classification the farm's poll path uses:
+                        // only a Fatal socket error stops the reader.
+                        Err(e) => match crate::transport::classify_recv_err(&e) {
+                            crate::transport::RecvClass::WouldBlock
+                            | crate::transport::RecvClass::Transient => continue,
+                            crate::transport::RecvClass::Fatal => break,
+                        },
                     }
                 }
             })?;

@@ -58,6 +58,9 @@ pub struct SessionAnalysis {
     pub last_t: f64,
     /// A `transfer_complete` event was seen.
     pub completed: bool,
+    /// A `mux_session_shed` event named this session: the multiplexer
+    /// removed it mid-flight under sustained overload.
+    pub shed: bool,
     events: u64,
 }
 
@@ -105,6 +108,21 @@ impl SessionAnalysis {
         Some(sum * sum / (n * sum_sq))
     }
 
+    /// The session's verdict as the trace tells it: `"shed"` when the
+    /// multiplexer removed it under overload, `"clean"` when a
+    /// `transfer_complete` landed, `"incomplete"` otherwise (the trace
+    /// alone cannot distinguish a typed error from a still-running
+    /// session — the driver's report ledger carries that split).
+    pub fn verdict(&self) -> &'static str {
+        if self.shed {
+            "shed"
+        } else if self.completed {
+            "clean"
+        } else {
+            "incomplete"
+        }
+    }
+
     /// Feedback messages (NAKs + DONEs) per second of session time.
     /// `None` for zero-duration sessions.
     pub fn feedback_bandwidth(&self) -> Option<f64> {
@@ -117,18 +135,36 @@ impl SessionAnalysis {
     }
 }
 
-/// One stall or linger incident on the trace timeline.
+/// One incident on the trace timeline: a stall or linger, or one of the
+/// multiplexer's overload-control events (admission refusal, overload
+/// episode boundaries, a session shed).
 #[derive(Debug, Clone, PartialEq)]
 pub struct Incident {
     /// Trace time of the event.
     pub t: f64,
-    /// `"stall_timeout"` or `"linger_expired"`.
+    /// `"stall_timeout"`, `"linger_expired"`, `"mux_admission_rejected"`,
+    /// `"mux_overload"`, `"mux_overload_cleared"`, or
+    /// `"mux_session_shed"`.
     pub kind: String,
     /// Role string when the event carried one.
     pub role: Option<String>,
-    /// Seconds waited before the incident fired.
+    /// Seconds waited before the incident fired (stall/linger only).
     pub waited_secs: f64,
+    /// Rolling mux utilization the event reported (overload family only).
+    pub utilization: Option<f64>,
+    /// The session the incident named, when the event carried one.
+    pub session: Option<u32>,
 }
+
+/// Event types that land on the incident timeline.
+const INCIDENT_KINDS: [&str; 6] = [
+    "stall_timeout",
+    "linger_expired",
+    "mux_admission_rejected",
+    "mux_overload",
+    "mux_overload_cleared",
+    "mux_session_shed",
+];
 
 /// Full analysis of one JSONL trace.
 #[derive(Debug, Clone, PartialEq)]
@@ -154,6 +190,14 @@ impl TraceAnalysis {
         } else {
             None
         }
+    }
+
+    /// Sessions a `mux_session_shed` event named — the trace-side shed
+    /// ledger. Reconciles exactly against the census count of
+    /// `mux_session_shed` lines, the shed incidents on the timeline, and
+    /// (end to end) the driver's `Mux::shed_count()`.
+    pub fn shed_sessions(&self) -> u64 {
+        self.sessions.values().filter(|s| s.shed).count() as u64
     }
 }
 
@@ -201,14 +245,21 @@ pub fn analyze_trace(text: &str) -> Result<TraceAnalysis, TraceError> {
             last_t = t;
         }
 
-        if ty == "stall_timeout" || ty == "linger_expired" {
+        if INCIDENT_KINDS.contains(&ty.as_str()) {
             incidents.push(Incident {
                 t,
                 kind: ty.clone(),
                 role: v.get("role").and_then(|r| r.as_str()).map(str::to_string),
                 waited_secs: num(&v, "waited_secs").unwrap_or(0.0),
+                utilization: num(&v, "utilization"),
+                session: num_u32(&v, "session"),
             });
-            continue;
+            // A shed names a real session and counts toward its timeline;
+            // the rest either carry no session or (admission refusals) a
+            // prospective slot label that never ran.
+            if ty != "mux_session_shed" {
+                continue;
+            }
         }
 
         let Some(session) = num_u32(&v, "session") else {
@@ -267,6 +318,7 @@ pub fn analyze_trace(text: &str) -> Result<TraceAnalysis, TraceError> {
                 }
             }
             "transfer_complete" => s.completed = true,
+            "mux_session_shed" => s.shed = true,
             _ => {}
         }
     }
@@ -403,6 +455,90 @@ mod tests {
         assert_eq!(a.incidents[0].kind, "stall_timeout");
         assert_eq!(a.incidents[0].role.as_deref(), Some("sender"));
         assert!((a.incidents[0].waited_secs - 4.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overload_incidents_and_shed_verdicts_reconcile() {
+        let mut trace = String::new();
+        // Session 1 completes; session 2 is shed mid-flight; session 7 is
+        // refused admission (its id is a prospective slot label and must
+        // NOT materialize as a session).
+        trace.push_str(&line(
+            0.1,
+            "data_sent",
+            "\"session\": 1, \"group\": 0, \"index\": 0",
+        ));
+        trace.push('\n');
+        trace.push_str(&line(
+            0.2,
+            "transfer_complete",
+            "\"session\": 1, \"bytes\": 128",
+        ));
+        trace.push('\n');
+        trace.push_str(&line(
+            0.3,
+            "data_sent",
+            "\"session\": 2, \"group\": 0, \"index\": 0",
+        ));
+        trace.push('\n');
+        trace.push_str(&line(
+            0.4,
+            "mux_overload",
+            "\"active\": 2, \"utilization\": 0.93",
+        ));
+        trace.push('\n');
+        trace.push_str(&line(
+            0.5,
+            "mux_admission_rejected",
+            "\"session\": 7, \"role\": \"sender\", \"active\": 2, \"utilization\": 0.93",
+        ));
+        trace.push('\n');
+        trace.push_str(&line(
+            0.6,
+            "mux_session_shed",
+            "\"session\": 2, \"role\": \"receiver\", \"active\": 1, \"drives\": 5, \
+             \"utilization\": 0.95",
+        ));
+        trace.push('\n');
+        trace.push_str(&line(
+            0.7,
+            "mux_overload_cleared",
+            "\"active\": 1, \"utilization\": 0.41",
+        ));
+        trace.push('\n');
+        let a = analyze_trace(&trace).unwrap();
+
+        // All four overload events land on the incident timeline, in order.
+        let kinds: Vec<&str> = a.incidents.iter().map(|i| i.kind.as_str()).collect();
+        assert_eq!(
+            kinds,
+            [
+                "mux_overload",
+                "mux_admission_rejected",
+                "mux_session_shed",
+                "mux_overload_cleared"
+            ]
+        );
+        assert_eq!(a.incidents[1].session, Some(7));
+        assert_eq!(a.incidents[2].session, Some(2));
+        assert_eq!(a.incidents[2].role.as_deref(), Some("receiver"));
+        assert!((a.incidents[2].utilization.unwrap() - 0.95).abs() < 1e-12);
+
+        // Verdicts: 1 clean, 2 shed; the refused session never exists.
+        assert_eq!(a.sessions[&1].verdict(), "clean");
+        assert_eq!(a.sessions[&2].verdict(), "shed");
+        assert!(!a.sessions.contains_key(&7));
+
+        // Reconciliation: ledger == census == timeline.
+        assert_eq!(a.shed_sessions(), 1);
+        assert_eq!(a.census.get("mux_session_shed").copied(), Some(1));
+        assert_eq!(
+            a.incidents
+                .iter()
+                .filter(|i| i.kind == "mux_session_shed")
+                .count(),
+            1
+        );
     }
 
     #[test]

@@ -444,6 +444,63 @@ pub enum Event {
         /// Drive steps this session consumed (the fairness unit).
         drives: u64,
     },
+    /// The multiplexer's admission control refused a new session: the
+    /// rolling utilization estimate was above the high-water mark (or the
+    /// hard session cap was reached). The session never ran.
+    MuxAdmissionRejected {
+        /// The session id that was refused.
+        session: u32,
+        /// The side that tried to join.
+        role: Role,
+        /// Sessions live at the moment of refusal.
+        active: u32,
+        /// Rolling poll-budget utilization (1.0 = the turn budget is
+        /// fully consumed) that triggered the refusal.
+        utilization: f64,
+    },
+    /// The multiplexer's poll budget has been saturated for long enough
+    /// that the overload policy considers the mux overloaded. Shedding
+    /// may follow. Paired with `mux_overload_cleared`.
+    MuxOverload {
+        /// Sessions live when the overload was declared.
+        active: u32,
+        /// Rolling utilization at declaration.
+        utilization: f64,
+    },
+    /// Utilization fell back below the high-water mark: the overload
+    /// episode (begun by `mux_overload`) is over.
+    MuxOverloadCleared {
+        /// Sessions live when the overload cleared.
+        active: u32,
+        /// Rolling utilization at clearance.
+        utilization: f64,
+    },
+    /// Sustained overload made the policy shed this session: it was
+    /// removed mid-flight with a typed `Shed` outcome and a postmortem,
+    /// by deterministic victim priority — not an error, the mux's
+    /// graceful degradation under load.
+    MuxSessionShed {
+        /// The shed session.
+        session: u32,
+        /// Sender or receiver side.
+        role: Role,
+        /// Sessions still live after the shed.
+        active: u32,
+        /// Drive steps the session had consumed when shed.
+        drives: u64,
+        /// Rolling utilization that sustained the overload.
+        utilization: f64,
+    },
+
+    // ---- shared-socket farm (pm-net) ----
+    /// A shared-socket farm demultiplexed a datagram to a session with no
+    /// registered endpoint — a stranger, or a straggler of a finished or
+    /// shed session — and dropped it after counting.
+    FarmUnknownDrop {
+        /// The wire header's session claim (0 if the header was too
+        /// damaged to carry one).
+        session: u32,
+    },
 
     // ---- telemetry (pm-obs) ----
     /// The code geometry and loss environment of a session, emitted once
@@ -492,7 +549,7 @@ pub enum Event {
 /// cross-checks its length against the [`Event::name`] match (so adding a
 /// variant without extending this list — which would make the new event
 /// fail trace validation — is caught at audit time, not in production).
-pub const EVENT_NAMES: [&str; 42] = [
+pub const EVENT_NAMES: [&str; 47] = [
     "session_start",
     "session_end",
     "stall_timeout",
@@ -533,6 +590,11 @@ pub const EVENT_NAMES: [&str; 42] = [
     "sim_trial",
     "mux_session_added",
     "mux_session_ended",
+    "mux_admission_rejected",
+    "mux_overload",
+    "mux_overload_cleared",
+    "mux_session_shed",
+    "farm_unknown_drop",
     "session_config",
     "window_sample",
 ];
@@ -581,6 +643,11 @@ impl Event {
             Event::SimTrial { .. } => "sim_trial",
             Event::MuxSessionAdded { .. } => "mux_session_added",
             Event::MuxSessionEnded { .. } => "mux_session_ended",
+            Event::MuxAdmissionRejected { .. } => "mux_admission_rejected",
+            Event::MuxOverload { .. } => "mux_overload",
+            Event::MuxOverloadCleared { .. } => "mux_overload_cleared",
+            Event::MuxSessionShed { .. } => "mux_session_shed",
+            Event::FarmUnknownDrop { .. } => "farm_unknown_drop",
             Event::SessionConfig { .. } => "session_config",
             Event::WindowSample { .. } => "window_sample",
         }
@@ -611,6 +678,9 @@ impl Event {
             | Event::TransferComplete { session, .. }
             | Event::MuxSessionAdded { session, .. }
             | Event::MuxSessionEnded { session, .. }
+            | Event::MuxAdmissionRejected { session, .. }
+            | Event::MuxSessionShed { session, .. }
+            | Event::FarmUnknownDrop { session }
             | Event::SessionConfig { session, .. }
             | Event::WindowSample { session, .. } => Some(*session),
             _ => None,
@@ -838,6 +908,42 @@ impl Event {
                 num!("active", *active as f64);
                 num!("drives", *drives as f64);
             }
+            Event::MuxAdmissionRejected {
+                session,
+                role,
+                active,
+                utilization,
+            } => {
+                num!("session", *session as f64);
+                m.push(("role".into(), Value::String(role.as_str().into())));
+                num!("active", *active as f64);
+                num!("utilization", *utilization);
+            }
+            Event::MuxOverload {
+                active,
+                utilization,
+            }
+            | Event::MuxOverloadCleared {
+                active,
+                utilization,
+            } => {
+                num!("active", *active as f64);
+                num!("utilization", *utilization);
+            }
+            Event::MuxSessionShed {
+                session,
+                role,
+                active,
+                drives,
+                utilization,
+            } => {
+                num!("session", *session as f64);
+                m.push(("role".into(), Value::String(role.as_str().into())));
+                num!("active", *active as f64);
+                num!("drives", *drives as f64);
+                num!("utilization", *utilization);
+            }
+            Event::FarmUnknownDrop { session } => num!("session", *session as f64),
             Event::SessionConfig {
                 session,
                 k,
@@ -1047,6 +1153,28 @@ mod tests {
                 active: 11,
                 drives: 4096,
             },
+            Event::MuxAdmissionRejected {
+                session: 9,
+                role: Role::Sender,
+                active: 12,
+                utilization: 0.97,
+            },
+            Event::MuxOverload {
+                active: 12,
+                utilization: 0.99,
+            },
+            Event::MuxOverloadCleared {
+                active: 10,
+                utilization: 0.4,
+            },
+            Event::MuxSessionShed {
+                session: 8,
+                role: Role::Receiver,
+                active: 11,
+                drives: 512,
+                utilization: 0.99,
+            },
+            Event::FarmUnknownDrop { session: 51 },
             Event::SessionConfig {
                 session: 1,
                 k: 8,
@@ -1071,7 +1199,7 @@ mod tests {
             assert_eq!(back["type"].as_str(), Some(ev.name()));
             assert_eq!(back["t"].as_f64(), Some(0.5));
         }
-        assert_eq!(names.len(), 42, "vocabulary size pinned");
+        assert_eq!(names.len(), 47, "vocabulary size pinned");
         // EVENT_NAMES is the trace-validation vocabulary: it must list
         // exactly the names the variants produce.
         assert_eq!(EVENT_NAMES.len(), names.len());

@@ -16,6 +16,8 @@
 //! cargo run --example file_multicast -- --chaos heavy --receivers 3
 //! # farm mode: 32 concurrent sessions on ONE driver thread (pm-mux)
 //! cargo run --example file_multicast -- --sessions 32 --size 65536
+//! # real-UDP farm: every session shares ONE socket, demuxed by session id
+//! cargo run --example file_multicast -- --sessions 256 --udp-farm --size 8192
 //! # watch it live: Prometheus-text metrics on http://127.0.0.1:9898/metrics
 //! cargo run --example file_multicast -- --sessions 16 --export 127.0.0.1:9898
 //! ```
@@ -28,7 +30,8 @@ use std::time::Duration;
 use parity_multicast::mux::{Mux, MuxClock, MuxConfig, SessionOutcome, WallClock};
 use parity_multicast::net::udp::UdpHub;
 use parity_multicast::net::{
-    ChaosPreset, FaultConfig, FaultStats, FaultyTransport, MemHub, PollTransport, Transport,
+    ChaosPreset, FarmHub, FarmRole, FaultConfig, FaultStats, FaultyTransport, MemHub,
+    PollTransport, Transport,
 };
 use parity_multicast::obs::{
     render_prometheus, Event, ExportServer, JsonlRecorder, MetricsRegistry, Obs, SnapshotFile,
@@ -54,6 +57,7 @@ struct Args {
     metrics: bool,
     chaos: Option<ChaosPreset>,
     sessions: u32,
+    udp_farm: bool,
     export: Option<String>,
     export_file: Option<String>,
     export_hold: f64,
@@ -72,6 +76,7 @@ fn parse_args() -> Args {
         metrics: false,
         chaos: None,
         sessions: 1,
+        udp_farm: false,
         export: None,
         export_file: None,
         export_hold: 0.0,
@@ -100,6 +105,7 @@ fn parse_args() -> Args {
                     }));
             }
             "--sessions" => args.sessions = val().parse().expect("--sessions takes a count"),
+            "--udp-farm" => args.udp_farm = true,
             "--export" => args.export = Some(val()),
             "--export-file" => args.export_file = Some(val()),
             "--export-hold" => {
@@ -128,6 +134,19 @@ fn run_farm(
         args.sessions,
         2 * args.sessions
     );
+    // `--udp-farm`: every endpoint shares ONE real non-blocking UDP
+    // socket; the hub demultiplexes arriving datagrams by the wire-v2
+    // session id (and direction), counting strays instead of crashing.
+    let farm = args.udp_farm.then(|| {
+        let hub = FarmHub::loopback()
+            .expect("udp farm socket")
+            .with_obs(obs.clone());
+        match hub.local_addr() {
+            Ok(addr) => println!("udp farm: shared socket at {addr}"),
+            Err(_) => println!("udp farm: shared socket"),
+        }
+        hub
+    });
     let fault = match args.chaos {
         Some(preset) => Some(preset.fault_config()),
         None if args.drop > 0.0 => Some(FaultConfig::drop_only(args.drop)),
@@ -158,7 +177,6 @@ fn run_farm(
     }
     let loss = fault.map_or(0.0, |f| f.drop);
     for i in 0..args.sessions {
-        let hub = MemHub::new();
         let session = 0xF000 + i;
         obs.emit(0.0, || Event::SessionConfig {
             session,
@@ -168,11 +186,28 @@ fn run_farm(
             loss,
             backend: pm_simd::backend_name(),
         });
+        let (sender_tp, receiver_inner): (Box<dyn PollTransport>, Box<dyn PollTransport>) =
+            match &farm {
+                Some(hub) => (
+                    Box::new(
+                        hub.endpoint(session, FarmRole::Sender)
+                            .expect("farm sender"),
+                    ),
+                    Box::new(
+                        hub.endpoint(session, FarmRole::Receiver)
+                            .expect("farm receiver"),
+                    ),
+                ),
+                None => {
+                    let hub = MemHub::new();
+                    (Box::new(hub.join()), Box::new(hub.join()))
+                }
+            };
         let sender = NpSender::new(session, data, cfg.clone()).expect("valid sender config");
-        mux.add_sender(sender, Box::new(hub.join()), rt);
+        mux.add_sender(sender, sender_tp, rt);
         let receiver_tp: Box<dyn PollTransport> = match fault {
-            Some(f) => Box::new(FaultyTransport::new(hub.join(), f, 0xBEEF + i as u64)),
-            None => Box::new(hub.join()),
+            Some(f) => Box::new(FaultyTransport::new(receiver_inner, f, 0xBEEF + i as u64)),
+            None => receiver_inner,
         };
         mux.add_receiver(
             NpReceiver::new(i, session, 0.002, i as u64),
@@ -201,6 +236,16 @@ fn run_farm(
                 ok &= args.chaos.is_some();
                 println!("session {tok:?}: FAILED — {e}");
             }
+            SessionOutcome::Shed(rep) => {
+                // Graceful degradation under overload, not a failure —
+                // but this farm runs without an overload policy, so a
+                // shed here is as fatal as a typed error.
+                ok &= args.chaos.is_some();
+                println!(
+                    "session {tok:?}: SHED at utilization {:.2} after {} drives",
+                    rep.utilization, rep.drives
+                );
+            }
         }
     }
     let drives = registry.histogram("mux.session_drives").snapshot();
@@ -211,6 +256,13 @@ fn run_farm(
         outcomes.len(),
         drives.max,
     );
+    if let Some(hub) = &farm {
+        let stats = hub.stats();
+        println!(
+            "udp farm: {} unknown-session drops, {} queue overflows, {} foreign datagrams",
+            stats.unknown_session, stats.queue_overflow, stats.foreign,
+        );
+    }
     assert!(ok, "a farm session failed outside chaos mode");
     if args.metrics {
         eprintln!("\n{}", registry.render_text());

@@ -146,16 +146,26 @@ fn print_human(path: &str, ta: &TraceAnalysis, comparisons: &[Comparison], max_d
             "  completed      {:>10}",
             if sess.completed { "yes" } else { "no" }
         );
+        println!("  verdict        {:>10}", sess.verdict());
     }
     if !ta.incidents.is_empty() {
         println!("incidents:");
         for inc in &ta.incidents {
             let role = inc.role.as_deref().unwrap_or("?");
-            println!(
-                "  t={:.2} {} role={role} waited={:.2}s",
-                inc.t, inc.kind, inc.waited_secs
-            );
+            let mut extra = String::new();
+            if let Some(session) = inc.session {
+                extra.push_str(&format!(" session={session}"));
+            }
+            match inc.utilization {
+                Some(util) => extra.push_str(&format!(" util={util:.3}")),
+                None => extra.push_str(&format!(" waited={:.2}s", inc.waited_secs)),
+            }
+            println!("  t={:.2} {} role={role}{extra}", inc.t, inc.kind);
         }
+    }
+    let shed = ta.shed_sessions();
+    if shed > 0 {
+        println!("shed sessions: {shed}");
     }
     for cmp in comparisons {
         let verdict = if cmp.deviation <= max_dev {
@@ -210,6 +220,8 @@ fn session_json(id: u32, sess: &SessionAnalysis) -> Value {
     m.push(("feedback_bandwidth".into(), opt(sess.feedback_bandwidth())));
     m.push(("duration_secs".into(), Value::Number(sess.duration())));
     m.push(("completed".into(), Value::Bool(sess.completed)));
+    m.push(("shed".into(), Value::Bool(sess.shed)));
+    m.push(("verdict".into(), Value::String(sess.verdict().into())));
     Value::Object(m)
 }
 
@@ -233,6 +245,15 @@ fn report_json(ta: &TraceAnalysis, comparisons: &[Comparison], max_dev: f64) -> 
                         .map_or(Value::Null, |r| Value::String(r.clone())),
                 ),
                 ("waited_secs".into(), Value::Number(inc.waited_secs)),
+                (
+                    "utilization".into(),
+                    inc.utilization.map_or(Value::Null, Value::Number),
+                ),
+                (
+                    "session".into(),
+                    inc.session
+                        .map_or(Value::Null, |s| Value::Number(f64::from(s))),
+                ),
             ])
         })
         .collect();

@@ -329,6 +329,10 @@ fn concurrent_chaos_sessions_uphold_the_degradation_trichotomy() {
             // Heavy chaos; a panic or hang is not (reaching here at all
             // proves neither happened).
             SessionOutcome::Sender(Err(_)) | SessionOutcome::Receiver(Err(_)) => {}
+            // Shedding requires an overload policy; none is configured.
+            SessionOutcome::Shed(rep) => {
+                panic!("no overload policy configured, yet {tok:?} was shed: {rep:?}")
+            }
         }
     }
 }
@@ -449,6 +453,9 @@ fn mux_postmortems_fire_exactly_once_per_degraded_session() {
                 yielded += 1;
                 Postmortem::validate(&serde_json::from_str(&pm.to_string_json()).expect("parses"))
                     .expect("schema-valid ledger postmortem");
+            }
+            SessionOutcome::Shed(rep) => {
+                panic!("no overload policy configured, yet {tok:?} was shed: {rep:?}")
             }
         }
     }
